@@ -1,0 +1,81 @@
+//! Smoke benchmarks over the figure-regeneration pipeline: one quick point
+//! per figure series, so `cargo bench` both exercises every experiment and
+//! tracks simulation throughput. The full-resolution figures come from the
+//! `fig3`/`fig4`/`fig5`/`claims` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mmr_bench::{
+    ablations, claims_table, extensions, fig3_jitter, fig4_delay, fig5, Fig5Metric, Quality,
+};
+
+fn smoke() -> Quality {
+    Quality { warmup: 500, measure: 2_000, loads: vec![0.7] }
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_jitter");
+    group.sample_size(10);
+    group.bench_function("panel_b_smoke", |b| {
+        b.iter(|| black_box(fig3_jitter(&[4, 8], &smoke())))
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_delay");
+    group.sample_size(10);
+    group.bench_function("panel_a_smoke", |b| {
+        b.iter(|| black_box(fig4_delay(&[1, 2], &smoke())))
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_algorithms");
+    group.sample_size(10);
+    group.bench_function("delay_smoke", |b| {
+        b.iter(|| black_box(fig5(Fig5Metric::Delay, &smoke())))
+    });
+    group.finish();
+}
+
+fn bench_claims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("claims_table");
+    group.sample_size(10);
+    group.bench_function("smoke", |b| b.iter(|| black_box(claims_table(&smoke()))));
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_suite");
+    group.sample_size(10);
+    group.bench_function("round_k_smoke", |b| {
+        b.iter(|| black_box(ablations::round_k(&smoke())))
+    });
+    group.bench_function("candidate_policy_smoke", |b| {
+        b.iter(|| black_box(ablations::candidate_policy(&smoke())))
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extension_suite");
+    group.sample_size(10);
+    group.bench_function("epb_vs_greedy_smoke", |b| {
+        b.iter(|| black_box(extensions::epb_vs_greedy(2)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_claims,
+    bench_ablations,
+    bench_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the router's building blocks: the per-flit-cycle
+//! hardware operations the paper argues must fit in 64–128 ns (§6).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mmr_bitvec::{Condition, StatusBits, StatusMatrix};
+use mmr_core::arbiter::ArbiterKind;
+use mmr_core::conn::{ConnectionRequest, QosClass};
+use mmr_core::ids::PortId;
+use mmr_core::router::RouterConfig;
+use mmr_sim::{Bandwidth, Cycles, SeededRng};
+use mmr_traffic::cbr::CbrWorkload;
+use mmr_traffic::rates::paper_rate_ladder;
+
+fn bench_bitvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitvec");
+    group.sample_size(30);
+
+    let mut rng = SeededRng::new(1);
+    let a = StatusBits::from_set_bits(256, (0..64).map(|_| rng.index(256)));
+    let b = StatusBits::from_set_bits(256, (0..64).map(|_| rng.index(256)));
+    group.bench_function("and_256", |bench| bench.iter(|| black_box(&a) & black_box(&b)));
+    group.bench_function("first_set_256", |bench| bench.iter(|| black_box(&a).first_set()));
+    group.bench_function("iter_set_256", |bench| {
+        bench.iter(|| black_box(&a).iter_set().count())
+    });
+
+    let mut matrix = StatusMatrix::new(256);
+    for i in (0..256).step_by(3) {
+        matrix.set(Condition::FlitsAvailable, i, true);
+        matrix.set(Condition::CreditsAvailable, i, true);
+        matrix.set(Condition::ConnectionActive, i, true);
+    }
+    group.bench_function("matrix_eligible_query", |bench| {
+        bench.iter(|| {
+            black_box(&matrix).all_of(&[
+                Condition::FlitsAvailable,
+                Condition::CreditsAvailable,
+                Condition::ConnectionActive,
+            ])
+        })
+    });
+    group.finish();
+}
+
+fn loaded_router(kind: ArbiterKind) -> (mmr_core::Router, CbrWorkload) {
+    let mut router =
+        RouterConfig::paper_default().arbiter(kind).candidates(8).seed(2).build();
+    let mut rng = SeededRng::new(2);
+    let workload = CbrWorkload::build(&mut router, &paper_rate_ladder(), 0.8, &mut rng);
+    (router, workload)
+}
+
+fn bench_router_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_cycle");
+    group.sample_size(20);
+
+    for (name, kind) in [
+        ("biased_8c", ArbiterKind::BiasedPriority),
+        ("fixed_8c", ArbiterKind::FixedPriority),
+        ("autonet", ArbiterKind::autonet_default()),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter_batched(
+                || loaded_router(kind),
+                |(mut router, mut workload)| {
+                    for t in 0..256u64 {
+                        workload.pump(&mut router, Cycles(t));
+                        black_box(router.step(Cycles(t)));
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_establish_teardown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connection_management");
+    group.sample_size(30);
+    group.bench_function("establish_teardown", |bench| {
+        let mut router = RouterConfig::paper_default().seed(3).build();
+        bench.iter(|| {
+            let id = router
+                .establish(ConnectionRequest {
+                    input: PortId(0),
+                    output: PortId(1),
+                    class: QosClass::Cbr { rate: Bandwidth::from_mbps(10.0) },
+                })
+                .expect("capacity");
+            router.teardown(black_box(id)).expect("live");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitvec, bench_router_cycle, bench_establish_teardown);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Runs the design-trade-off ablations A1–A6 (see DESIGN.md).
+//!
+//! Usage:
+//! `cargo run --release -p mmr-bench --bin ablations -- [name ...] [--quick]`
+//! where `name` ∈ {link-speed, candidates, round-k, vc-count, vcm-banks,
+//! candidate-policy, hardware-cost}; all run when none is given.
+
+use mmr_bench::{ablations, Quality};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quality =
+        if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let all = selected.is_empty();
+    let want = |name: &str| all || selected.contains(&name);
+
+    if want("link-speed") {
+        println!("{}", ablations::link_speed(&quality));
+    }
+    if want("candidates") {
+        println!("{}", ablations::candidates(&quality));
+    }
+    if want("round-k") {
+        println!("{}", ablations::round_k(&quality));
+    }
+    if want("vc-count") {
+        println!("{}", ablations::vc_count(&quality));
+    }
+    if want("vcm-banks") {
+        println!("{}", ablations::vcm_banks(&quality));
+    }
+    if want("candidate-policy") {
+        println!("{}", ablations::candidate_policy(&quality));
+    }
+    if want("hardware-cost") {
+        println!("{}", ablations::hardware_cost(&quality));
+    }
+}

@@ -1,0 +1,19 @@
+//! Checks the in-text quantitative claims of §5.2 (the T1 "claims table").
+//!
+//! Usage: `cargo run --release -p mmr-bench --bin claims -- [--quick]`
+//!
+//! Exits non-zero if any qualitative claim fails to hold.
+
+use mmr_bench::{claims_table, render_claims, Quality};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let quality = if quick { Quality::quick() } else { Quality::paper() };
+    let rows = claims_table(&quality);
+    println!("{}", render_claims(&rows));
+    let failures = rows.iter().filter(|r| !r.holds).count();
+    if failures > 0 {
+        eprintln!("{failures} claim(s) did not hold");
+        std::process::exit(1);
+    }
+}

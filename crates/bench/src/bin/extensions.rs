@@ -1,0 +1,39 @@
+//! Runs the extension experiments E1–E3 (see DESIGN.md): VBR MPEG-2
+//! service, hybrid traffic, and EPB vs greedy connection setup.
+//!
+//! Usage:
+//! `cargo run --release -p mmr-bench --bin extensions -- [vbr|hybrid|epb|setup-latency|calls|faults|network-load ...] [--quick]`
+
+use mmr_bench::{extensions, Quality};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let quality = if quick { Quality::quick() } else { Quality::paper() };
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let all = selected.is_empty();
+    let want = |name: &str| all || selected.contains(&name);
+
+    if want("vbr") {
+        println!("{}", extensions::vbr_concurrency(&quality));
+    }
+    if want("hybrid") {
+        println!("{}", extensions::hybrid(&quality));
+    }
+    if want("epb") {
+        println!("{}", extensions::epb_vs_greedy(if quick { 6 } else { 24 }));
+    }
+    if want("setup-latency") {
+        println!("{}", extensions::setup_latency(if quick { 4 } else { 16 }));
+    }
+    if want("calls") {
+        println!("{}", extensions::call_blocking(&quality));
+    }
+    if want("faults") {
+        println!("{}", extensions::fault_recovery(if quick { 6 } else { 24 }));
+    }
+    if want("network-load") {
+        println!("{}", extensions::network_load(&quality));
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 3: jitter vs offered load, fixed vs biased priorities.
+//!
+//! Usage: `cargo run --release -p mmr-bench --bin fig3 -- [--panel a|b] [--quick] [--plot]`
+//! Panel a sweeps 1 and 2 candidates; panel b sweeps 4 and 8 (both without
+//! a flag).
+
+use mmr_bench::{fig3_jitter, Quality};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quality = if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
+    let panel = args.iter().position(|a| a == "--panel").map(|i| args[i + 1].as_str());
+    let candidates: &[usize] = match panel {
+        Some("a") => &[1, 2],
+        Some("b") => &[4, 8],
+        _ => &[1, 2, 4, 8],
+    };
+    let table = fig3_jitter(candidates, &quality);
+    println!("{table}");
+    if args.iter().any(|a| a == "--plot") {
+        println!("{}", mmr_sim::plot::ascii_plot(&table, 64, 20));
+    }
+}

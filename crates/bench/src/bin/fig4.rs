@@ -1,0 +1,22 @@
+//! Regenerates Figure 4: delay (microseconds) vs offered load, fixed vs
+//! biased priorities.
+//!
+//! Usage: `cargo run --release -p mmr-bench --bin fig4 -- [--panel a|b] [--quick] [--plot]`
+
+use mmr_bench::{fig4_delay, Quality};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quality = if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
+    let panel = args.iter().position(|a| a == "--panel").map(|i| args[i + 1].as_str());
+    let candidates: &[usize] = match panel {
+        Some("a") => &[1, 2],
+        Some("b") => &[4, 8],
+        _ => &[1, 2, 4, 8],
+    };
+    let table = fig4_delay(candidates, &quality);
+    println!("{table}");
+    if args.iter().any(|a| a == "--plot") {
+        println!("{}", mmr_sim::plot::ascii_plot(&table, 64, 20));
+    }
+}

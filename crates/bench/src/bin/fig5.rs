@@ -1,0 +1,27 @@
+//! Regenerates Figure 5: delay and jitter vs offered load for
+//! biased(8C), fixed(8C), the Autonet/DEC scheduler and the perfect switch.
+//!
+//! Usage: `cargo run --release -p mmr-bench --bin fig5 -- [--metric delay|jitter] [--quick]`
+
+use mmr_bench::{fig5, Fig5Metric, Quality};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quality = if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
+    let metric = args.iter().position(|a| a == "--metric").map(|i| args[i + 1].as_str());
+    let plot = args.iter().any(|a| a == "--plot");
+    let emit = |table: mmr_sim::SweepTable| {
+        println!("{table}");
+        if plot {
+            println!("{}", mmr_sim::plot::ascii_plot(&table, 64, 20));
+        }
+    };
+    match metric {
+        Some("delay") => emit(fig5(Fig5Metric::Delay, &quality)),
+        Some("jitter") => emit(fig5(Fig5Metric::Jitter, &quality)),
+        _ => {
+            emit(fig5(Fig5Metric::Delay, &quality));
+            emit(fig5(Fig5Metric::Jitter, &quality));
+        }
+    }
+}

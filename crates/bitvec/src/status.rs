@@ -1,0 +1,388 @@
+//! The status bit vector itself.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, Not};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bit vector modelling one hardware status vector
+/// (§4.1 of the MMR paper): one bit per virtual channel, wide logical
+/// operations, and constant-time priority encoding.
+///
+/// # Example
+///
+/// ```
+/// use mmr_bitvec::StatusBits;
+///
+/// let mut flits_available = StatusBits::zeros(256);
+/// let mut credits_available = StatusBits::zeros(256);
+/// flits_available.set(3, true);
+/// flits_available.set(200, true);
+/// credits_available.set(200, true);
+///
+/// // "the virtual channels with flits_available and credits_available, by
+/// //  performing the logical AND of the corresponding bit vectors"
+/// let ready = &flits_available & &credits_available;
+/// assert_eq!(ready.first_set(), Some(200));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct StatusBits {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl StatusBits {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        StatusBits { len, words: vec![0; len.div_ceil(WORD_BITS)] }
+    }
+
+    /// Creates an all-one vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = StatusBits { len, words: vec![u64::MAX; len.div_ceil(WORD_BITS)] };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a vector from an iterator of set-bit positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of range.
+    pub fn from_set_bits(len: usize, bits: impl IntoIterator<Item = usize>) -> Self {
+        let mut v = StatusBits::zeros(len);
+        for b in bits {
+            v.set(b, true);
+        }
+        v
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Writes bit `i`. This is the per-VC status update the paper describes
+    /// ("a bit ... is updated every time the status of a virtual channel
+    /// changes").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Index of the lowest set bit (a hardware priority encoder), if any.
+    pub fn first_set(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Index of the lowest set bit at or after `from`, wrapping around —
+    /// a rotating priority encoder, the building block of round-robin
+    /// candidate selection.
+    pub fn next_set_wrapping(&self, from: usize) -> Option<usize> {
+        if self.len == 0 || !self.any() {
+            return None;
+        }
+        let from = from % self.len;
+        // Search [from, len).
+        let start_word = from / WORD_BITS;
+        let start_bit = from % WORD_BITS;
+        let masked = self.words[start_word] & (u64::MAX << start_bit);
+        if masked != 0 {
+            let idx = start_word * WORD_BITS + masked.trailing_zeros() as usize;
+            if idx < self.len {
+                return Some(idx);
+            }
+        }
+        for wi in start_word + 1..self.words.len() {
+            if self.words[wi] != 0 {
+                return Some(wi * WORD_BITS + self.words[wi].trailing_zeros() as usize);
+            }
+        }
+        // Wrap to [0, from).
+        self.first_set()
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_set(&self) -> SetBits<'_> {
+        SetBits { bits: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    fn zip_len(&self, other: &StatusBits) -> usize {
+        assert_eq!(self.len, other.len, "status vectors must have equal length");
+        self.len
+    }
+}
+
+impl fmt::Debug for StatusBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StatusBits[{}; set={:?}]", self.len, self.iter_set().collect::<Vec<_>>())
+    }
+}
+
+/// Iterator over set-bit indices; see [`StatusBits::iter_set`].
+#[derive(Debug, Clone)]
+pub struct SetBits<'a> {
+    bits: &'a StatusBits,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bits.words.len() {
+                return None;
+            }
+            self.current = self.bits.words[self.word_idx];
+        }
+    }
+}
+
+impl BitAnd for &StatusBits {
+    type Output = StatusBits;
+    fn bitand(self, rhs: &StatusBits) -> StatusBits {
+        let len = self.zip_len(rhs);
+        StatusBits {
+            len,
+            words: self.words.iter().zip(&rhs.words).map(|(a, b)| a & b).collect(),
+        }
+    }
+}
+
+impl BitOr for &StatusBits {
+    type Output = StatusBits;
+    fn bitor(self, rhs: &StatusBits) -> StatusBits {
+        let len = self.zip_len(rhs);
+        StatusBits { len, words: self.words.iter().zip(&rhs.words).map(|(a, b)| a | b).collect() }
+    }
+}
+
+impl BitXor for &StatusBits {
+    type Output = StatusBits;
+    fn bitxor(self, rhs: &StatusBits) -> StatusBits {
+        let len = self.zip_len(rhs);
+        StatusBits { len, words: self.words.iter().zip(&rhs.words).map(|(a, b)| a ^ b).collect() }
+    }
+}
+
+impl Not for &StatusBits {
+    type Output = StatusBits;
+    fn not(self) -> StatusBits {
+        let mut out =
+            StatusBits { len: self.len, words: self.words.iter().map(|w| !w).collect() };
+        out.mask_tail();
+        out
+    }
+}
+
+impl BitAndAssign<&StatusBits> for StatusBits {
+    fn bitand_assign(&mut self, rhs: &StatusBits) {
+        self.zip_len(rhs);
+        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+            *a &= b;
+        }
+    }
+}
+
+impl BitOrAssign<&StatusBits> for StatusBits {
+    fn bitor_assign(&mut self, rhs: &StatusBits) {
+        self.zip_len(rhs);
+        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+            *a |= b;
+        }
+    }
+}
+
+impl FromIterator<bool> for StatusBits {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        let mut v = StatusBits::zeros(bools.len());
+        for (i, b) in bools.into_iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = StatusBits::zeros(130);
+        assert!(!v.get(129));
+        v.set(129, true);
+        v.set(0, true);
+        v.set(64, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        StatusBits::zeros(10).get(10);
+    }
+
+    #[test]
+    fn ones_masks_tail() {
+        let v = StatusBits::ones(70);
+        assert_eq!(v.count_ones(), 70);
+        assert!(v.get(69));
+    }
+
+    #[test]
+    fn not_respects_length() {
+        let v = StatusBits::zeros(70);
+        let inv = !&v;
+        assert_eq!(inv.count_ones(), 70);
+        let back = !&inv;
+        assert_eq!(back.count_ones(), 0);
+    }
+
+    #[test]
+    fn and_or_xor() {
+        let a = StatusBits::from_set_bits(128, [1, 5, 64, 100]);
+        let b = StatusBits::from_set_bits(128, [5, 64, 101]);
+        assert_eq!((&a & &b).iter_set().collect::<Vec<_>>(), vec![5, 64]);
+        assert_eq!((&a | &b).count_ones(), 5);
+        assert_eq!((&a ^ &b).iter_set().collect::<Vec<_>>(), vec![1, 100, 101]);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = StatusBits::from_set_bits(64, [1, 2, 3]);
+        let b = StatusBits::from_set_bits(64, [2, 3, 4]);
+        a &= &b;
+        assert_eq!(a.iter_set().collect::<Vec<_>>(), vec![2, 3]);
+        a |= &b;
+        assert_eq!(a.iter_set().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = &StatusBits::zeros(64) & &StatusBits::zeros(65);
+    }
+
+    #[test]
+    fn first_set_priority_encodes() {
+        assert_eq!(StatusBits::zeros(256).first_set(), None);
+        assert_eq!(StatusBits::from_set_bits(256, [200, 3]).first_set(), Some(3));
+        assert_eq!(StatusBits::from_set_bits(256, [200]).first_set(), Some(200));
+    }
+
+    #[test]
+    fn next_set_wrapping_walks_ring() {
+        let v = StatusBits::from_set_bits(256, [10, 100, 250]);
+        assert_eq!(v.next_set_wrapping(0), Some(10));
+        assert_eq!(v.next_set_wrapping(10), Some(10));
+        assert_eq!(v.next_set_wrapping(11), Some(100));
+        assert_eq!(v.next_set_wrapping(101), Some(250));
+        assert_eq!(v.next_set_wrapping(251), Some(10)); // wraps
+        assert_eq!(StatusBits::zeros(8).next_set_wrapping(3), None);
+    }
+
+    #[test]
+    fn next_set_wrapping_from_beyond_len_wraps_modulo() {
+        let v = StatusBits::from_set_bits(8, [2]);
+        assert_eq!(v.next_set_wrapping(9), Some(2)); // 9 % 8 == 1 -> finds 2
+    }
+
+    #[test]
+    fn iter_set_matches_gets() {
+        let positions = [0, 1, 63, 64, 65, 127, 128, 255];
+        let v = StatusBits::from_set_bits(256, positions);
+        assert_eq!(v.iter_set().collect::<Vec<_>>(), positions.to_vec());
+    }
+
+    #[test]
+    fn from_iterator_of_bools() {
+        let v: StatusBits = [true, false, true, true].into_iter().collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter_set().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn empty_vector_is_benign() {
+        let v = StatusBits::zeros(0);
+        assert!(v.is_empty());
+        assert!(!v.any());
+        assert_eq!(v.first_set(), None);
+        assert_eq!(v.next_set_wrapping(0), None);
+        assert_eq!(v.iter_set().count(), 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let v = StatusBits::from_set_bits(8, [1]);
+        assert!(!format!("{v:?}").is_empty());
+    }
+}

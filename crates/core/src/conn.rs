@@ -1,0 +1,316 @@
+//! Connections, QoS classes and the channel mapping tables.
+//!
+//! §3.5: "The routing and arbitration unit keeps the channel mappings
+//! between input and output virtual channels for established connections …
+//! Direct and reverse channel mappings are stored. Direct mappings are
+//! required to forward data flits. Reverse mappings are used by backtracking
+//! headers and returned acknowledgments."
+
+use std::collections::BTreeMap;
+
+use mmr_sim::Bandwidth;
+
+use crate::ids::{ConnectionId, PortId, VcRef};
+
+/// The service class of a connection (§2, §4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QosClass {
+    /// Constant bit rate: a fixed bandwidth reserved at establishment.
+    Cbr {
+        /// The constant data rate of the stream.
+        rate: Bandwidth,
+    },
+    /// Variable bit rate: a guaranteed *permanent* bandwidth plus a *peak*
+    /// that is only statistically available (gated by the concurrency
+    /// factor), with a dynamic priority for excess service.
+    Vbr {
+        /// Bandwidth guaranteed in every round.
+        permanent: Bandwidth,
+        /// Worst-case bandwidth the connection may request.
+        peak: Bandwidth,
+        /// Priority for excess-bandwidth service (higher is served first).
+        priority: u8,
+    },
+    /// Best-effort packets: no reservation, lowest scheduling phase.
+    BestEffort,
+    /// Control packets (probes, acks): no reservation, highest scheduling
+    /// phase, cut-through when possible.
+    Control,
+}
+
+impl QosClass {
+    /// Whether this class reserves bandwidth at establishment.
+    pub fn reserves_bandwidth(&self) -> bool {
+        matches!(self, QosClass::Cbr { .. } | QosClass::Vbr { .. })
+    }
+
+    /// The bandwidth admission control must account as *guaranteed*.
+    pub fn guaranteed_rate(&self) -> Bandwidth {
+        match *self {
+            QosClass::Cbr { rate } => rate,
+            QosClass::Vbr { permanent, .. } => permanent,
+            QosClass::BestEffort | QosClass::Control => Bandwidth::ZERO,
+        }
+    }
+}
+
+/// A request to establish a connection through one router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnectionRequest {
+    /// Input port the connection arrives on.
+    pub input: PortId,
+    /// Output port the connection leaves on.
+    pub output: PortId,
+    /// Service class (and therefore bandwidth demand).
+    pub class: QosClass,
+}
+
+/// Mutable per-connection state held by the router.
+#[derive(Debug, Clone)]
+pub struct ConnState {
+    /// The connection's identity.
+    pub id: ConnectionId,
+    /// Input virtual channel reserved for the connection.
+    pub input_vc: VcRef,
+    /// Output virtual channel (the VC on the downstream link).
+    pub output_vc: VcRef,
+    /// Service class.
+    pub class: QosClass,
+    /// Mean flit inter-arrival period in flit cycles; drives the biased
+    /// priority ("the ratio of the delay experienced by a flit at the switch
+    /// and the inter-arrival time on the connection"). `f64::INFINITY` for
+    /// unpaced classes (best-effort, control).
+    pub interarrival_cycles: f64,
+    /// Static priority used by the fixed-priority arbiter; drawn once at
+    /// establishment.
+    pub fixed_priority: f64,
+    /// Allocated flit cycles per round (fractional; admission bookkeeping).
+    pub allocated_cycles_per_round: f64,
+    /// Flit cycles consumed in the current round (link scheduler quota).
+    pub serviced_this_round: u32,
+    /// For VBR: permanent cycles/round actually guaranteed.
+    pub vbr_permanent_cycles: f64,
+    /// For VBR: peak cycles/round requested.
+    pub vbr_peak_cycles: f64,
+    /// Current dynamic priority (VBR excess phase; adjustable by command
+    /// words).
+    pub dynamic_priority: u8,
+    /// Flits forwarded over the connection's lifetime.
+    pub flits_forwarded: u64,
+    /// Flits injected into the input VC over the connection's lifetime
+    /// (also the sequence number of the next flit).
+    pub flits_injected: u64,
+}
+
+impl ConnState {
+    /// The per-round flit quota the link scheduler enforces: the smallest
+    /// integer number of flit cycles covering the allocation. Connections
+    /// without a reservation have no quota.
+    pub fn round_quota(&self) -> Option<u32> {
+        if self.class.reserves_bandwidth() {
+            Some(self.allocated_cycles_per_round.ceil().max(1.0) as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the quota for the current round is exhausted.
+    pub fn quota_exhausted(&self) -> bool {
+        self.round_quota().is_some_and(|q| self.serviced_this_round >= q)
+    }
+}
+
+/// The connection table plus direct/reverse channel mappings.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectionTable {
+    conns: BTreeMap<ConnectionId, ConnState>,
+    /// Direct mapping: input VC -> connection (to forward data flits).
+    direct: BTreeMap<VcRef, ConnectionId>,
+    /// Reverse mapping: output VC -> connection (for backtracking probes and
+    /// acknowledgments).
+    reverse: BTreeMap<VcRef, ConnectionId>,
+    next_id: u32,
+}
+
+impl ConnectionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next connection id.
+    pub fn next_id(&mut self) -> ConnectionId {
+        let id = ConnectionId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts a connection, registering both channel mappings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either VC is already mapped — the router must never
+    /// double-book a virtual channel.
+    pub fn insert(&mut self, state: ConnState) {
+        let prev_d = self.direct.insert(state.input_vc, state.id);
+        assert!(prev_d.is_none(), "input VC {} double-booked", state.input_vc);
+        let prev_r = self.reverse.insert(state.output_vc, state.id);
+        assert!(prev_r.is_none(), "output VC {} double-booked", state.output_vc);
+        self.conns.insert(state.id, state);
+    }
+
+    /// Removes a connection and both its mappings, returning its state.
+    pub fn remove(&mut self, id: ConnectionId) -> Option<ConnState> {
+        let state = self.conns.remove(&id)?;
+        self.direct.remove(&state.input_vc);
+        self.reverse.remove(&state.output_vc);
+        Some(state)
+    }
+
+    /// Looks up a connection by id.
+    pub fn get(&self, id: ConnectionId) -> Option<&ConnState> {
+        self.conns.get(&id)
+    }
+
+    /// Mutable lookup by id.
+    pub fn get_mut(&mut self, id: ConnectionId) -> Option<&mut ConnState> {
+        self.conns.get_mut(&id)
+    }
+
+    /// Direct mapping: which connection owns this *input* VC?
+    pub fn by_input_vc(&self, vc: VcRef) -> Option<&ConnState> {
+        self.direct.get(&vc).and_then(|id| self.conns.get(id))
+    }
+
+    /// Reverse mapping: which connection owns this *output* VC?
+    pub fn by_output_vc(&self, vc: VcRef) -> Option<&ConnState> {
+        self.reverse.get(&vc).and_then(|id| self.conns.get(id))
+    }
+
+    /// Mutable direct-mapping lookup.
+    pub fn by_input_vc_mut(&mut self, vc: VcRef) -> Option<&mut ConnState> {
+        let id = *self.direct.get(&vc)?;
+        self.conns.get_mut(&id)
+    }
+
+    /// Iterates over all connections in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ConnState> {
+        self.conns.values()
+    }
+
+    /// Mutable iteration in id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut ConnState> {
+        self.conns.values_mut()
+    }
+
+    /// Number of live connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(id: u32, in_vc: VcRef, out_vc: VcRef) -> ConnState {
+        ConnState {
+            id: ConnectionId(id),
+            input_vc: in_vc,
+            output_vc: out_vc,
+            class: QosClass::Cbr { rate: Bandwidth::from_mbps(10.0) },
+            interarrival_cycles: 124.0,
+            fixed_priority: 0.5,
+            allocated_cycles_per_round: 4.13,
+            serviced_this_round: 0,
+            vbr_permanent_cycles: 0.0,
+            vbr_peak_cycles: 0.0,
+            dynamic_priority: 0,
+            flits_forwarded: 0,
+            flits_injected: 0,
+        }
+    }
+
+    #[test]
+    fn qos_class_guarantees() {
+        assert!(QosClass::Cbr { rate: Bandwidth::from_mbps(1.0) }.reserves_bandwidth());
+        assert!(!QosClass::BestEffort.reserves_bandwidth());
+        assert!(!QosClass::Control.reserves_bandwidth());
+        let vbr = QosClass::Vbr {
+            permanent: Bandwidth::from_mbps(2.0),
+            peak: Bandwidth::from_mbps(8.0),
+            priority: 3,
+        };
+        assert_eq!(vbr.guaranteed_rate(), Bandwidth::from_mbps(2.0));
+        assert_eq!(QosClass::BestEffort.guaranteed_rate(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn round_quota_ceils_allocation() {
+        let s = state(0, VcRef::new(0, 0), VcRef::new(1, 0));
+        assert_eq!(s.round_quota(), Some(5)); // ceil(4.13)
+        let mut tiny = s.clone();
+        tiny.allocated_cycles_per_round = 0.02; // 64 Kbps-style fraction
+        assert_eq!(tiny.round_quota(), Some(1), "minimum one cycle per round");
+        let mut be = s;
+        be.class = QosClass::BestEffort;
+        assert_eq!(be.round_quota(), None);
+    }
+
+    #[test]
+    fn quota_exhaustion() {
+        let mut s = state(0, VcRef::new(0, 0), VcRef::new(1, 0));
+        assert!(!s.quota_exhausted());
+        s.serviced_this_round = 5;
+        assert!(s.quota_exhausted());
+    }
+
+    #[test]
+    fn table_mappings_round_trip() {
+        let mut t = ConnectionTable::new();
+        let id = t.next_id();
+        assert_eq!(id, ConnectionId(0));
+        let in_vc = VcRef::new(2, 17);
+        let out_vc = VcRef::new(5, 3);
+        t.insert(state(id.raw(), in_vc, out_vc));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.by_input_vc(in_vc).map(|c| c.id), Some(id));
+        assert_eq!(t.by_output_vc(out_vc).map(|c| c.id), Some(id));
+        assert!(t.by_input_vc(VcRef::new(2, 18)).is_none());
+        let removed = t.remove(id).expect("present");
+        assert_eq!(removed.id, id);
+        assert!(t.by_input_vc(in_vc).is_none());
+        assert!(t.by_output_vc(out_vc).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "double-booked")]
+    fn double_booking_input_vc_panics() {
+        let mut t = ConnectionTable::new();
+        t.insert(state(0, VcRef::new(0, 0), VcRef::new(1, 0)));
+        t.insert(state(1, VcRef::new(0, 0), VcRef::new(1, 1)));
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let mut t = ConnectionTable::new();
+        let a = t.next_id();
+        let b = t.next_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut t = ConnectionTable::new();
+        t.insert(state(5, VcRef::new(0, 0), VcRef::new(1, 0)));
+        t.insert(state(2, VcRef::new(0, 1), VcRef::new(1, 1)));
+        let ids: Vec<u32> = t.iter().map(|c| c.id.raw()).collect();
+        assert_eq!(ids, vec![2, 5]);
+    }
+}

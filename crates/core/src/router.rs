@@ -1,0 +1,1322 @@
+//! The MMR router engine: configuration, connection management and the
+//! flit-cycle loop.
+//!
+//! [`Router`] wires together the architecture of Figure 1: one
+//! [`VirtualChannelMemory`] and status-bit-vector bank per input link, the
+//! multiplexed [`Crossbar`], per-output-link bandwidth allocation registers
+//! ([`LinkBandwidthBook`]), the link schedulers
+//! ([`crate::linksched::select_candidates`]) and the [`SwitchScheduler`].
+//! Each call to [`Router::step`] is one flit cycle (§3.4): link schedulers
+//! pick candidate sets, the switch scheduler computes the matching, matched
+//! head flits cross the switch, and the crossbar is reconfigured for the
+//! next cycle.
+
+use mmr_bitvec::{Condition, StatusMatrix};
+use mmr_sim::{Cycles, FlitTiming, SeededRng};
+
+use crate::arbiter::ArbiterKind;
+use crate::bandwidth::{AdmissionError, Allocation, LinkBandwidthBook, RoundConfig};
+use crate::conn::{ConnState, ConnectionRequest, ConnectionTable, QosClass};
+use crate::crossbar::Crossbar;
+use crate::flit::{CommandWord, Flit, FlitKind};
+use crate::ids::{ConnectionId, PortId, VcIndex, VcRef};
+use crate::linksched::{select_candidates, CandidatePolicy, LinkSchedView};
+use crate::switchsched::{MatchedPair, SwitchScheduler};
+use crate::vcm::{VcmError, VirtualChannelMemory};
+
+/// Router configuration (consuming builder).
+///
+/// Defaults are the paper's headline setup: an 8×8 router with 256 virtual
+/// channels per input port, 1.24 Gbps links, 128-bit flits, 4-flit VC
+/// buffers, biased-priority arbitration with 4 candidates, and rounds of
+/// `K = 2` × 256 cycles.
+///
+/// # Example
+///
+/// ```
+/// use mmr_core::router::RouterConfig;
+/// use mmr_core::arbiter::ArbiterKind;
+///
+/// let router = RouterConfig::paper_default()
+///     .candidates(8)
+///     .arbiter(ArbiterKind::BiasedPriority)
+///     .seed(1)
+///     .build();
+/// assert_eq!(router.config().ports(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    ports: u8,
+    vcs_per_port: u16,
+    vc_depth: usize,
+    vcm_banks: usize,
+    candidates: usize,
+    arbiter: ArbiterKind,
+    round_k: u32,
+    best_effort_reserve: f64,
+    concurrency_factor: f64,
+    enforce_round_quota: bool,
+    candidate_policy: CandidatePolicy,
+    track_output_credits: bool,
+    timing: FlitTiming,
+    phits_per_flit: u16,
+    seed: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl RouterConfig {
+    /// The configuration of the paper's simulation study (§5).
+    pub fn paper_default() -> Self {
+        RouterConfig {
+            ports: 8,
+            vcs_per_port: 256,
+            vc_depth: 4,
+            vcm_banks: 8,
+            candidates: 4,
+            arbiter: ArbiterKind::BiasedPriority,
+            round_k: 2,
+            best_effort_reserve: 0.0,
+            concurrency_factor: 4.0,
+            enforce_round_quota: true,
+            candidate_policy: CandidatePolicy::RotatingScan,
+            track_output_credits: false,
+            timing: FlitTiming::paper_default(),
+            phits_per_flit: 1,
+            seed: 0x004D_4D52_3139_3939_u64, // "MMR1999"
+        }
+    }
+
+    /// Sets the number of physical ports (an N×N router).
+    pub fn ports(mut self, ports: u8) -> Self {
+        self.ports = ports;
+        self
+    }
+
+    /// Sets the number of virtual channels per input port.
+    pub fn vcs_per_port(mut self, vcs: u16) -> Self {
+        self.vcs_per_port = vcs;
+        self
+    }
+
+    /// Sets the per-VC buffer depth in flits ("small fixed-size buffers").
+    pub fn vc_depth(mut self, depth: usize) -> Self {
+        self.vc_depth = depth;
+        self
+    }
+
+    /// Sets the number of interleaved VCM banks.
+    pub fn vcm_banks(mut self, banks: usize) -> Self {
+        self.vcm_banks = banks;
+        self
+    }
+
+    /// Sets the link-scheduler candidate-set size (the C of Figures 3–5).
+    pub fn candidates(mut self, candidates: usize) -> Self {
+        self.candidates = candidates;
+        self
+    }
+
+    /// Sets the arbitration scheme.
+    pub fn arbiter(mut self, arbiter: ArbiterKind) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+
+    /// Sets the round-length multiplier `K` (round = K × VCs flit cycles).
+    pub fn round_k(mut self, k: u32) -> Self {
+        self.round_k = k;
+        self
+    }
+
+    /// Reserves a fraction of each round for best-effort traffic (§4.2).
+    pub fn best_effort_reserve(mut self, fraction: f64) -> Self {
+        self.best_effort_reserve = fraction;
+        self
+    }
+
+    /// Sets the VBR concurrency factor (§4.2).
+    pub fn concurrency_factor(mut self, factor: f64) -> Self {
+        self.concurrency_factor = factor;
+        self
+    }
+
+    /// Enables or disables per-round quota enforcement by the link
+    /// schedulers (§4.3).
+    pub fn enforce_round_quota(mut self, enforce: bool) -> Self {
+        self.enforce_round_quota = enforce;
+        self
+    }
+
+    /// Sets how the link schedulers pick their candidate sets (see
+    /// [`CandidatePolicy`]).
+    pub fn candidate_policy(mut self, policy: CandidatePolicy) -> Self {
+        self.candidate_policy = policy;
+        self
+    }
+
+    /// Enables credit tracking on output VCs (multi-router operation). When
+    /// disabled, outputs behave as infinite sinks — the single-router setup
+    /// of the paper's evaluation.
+    pub fn track_output_credits(mut self, track: bool) -> Self {
+        self.track_output_credits = track;
+        self
+    }
+
+    /// Sets the flit/link timing model.
+    pub fn timing(mut self, timing: FlitTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the internal serialization factor (phits per flit).
+    pub fn phits_per_flit(mut self, phits: u16) -> Self {
+        self.phits_per_flit = phits;
+        self
+    }
+
+    /// Seeds the router's internal randomness (fixed-priority draws, PIM).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `candidates` exceeds the VC count.
+    pub fn build(self) -> Router {
+        Router::new(self)
+    }
+}
+
+/// Read-only view of a built router's dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterDims {
+    ports: usize,
+    vcs_per_port: usize,
+    candidates: usize,
+    arbiter: ArbiterKind,
+    round_cycles: u64,
+    timing: FlitTiming,
+}
+
+impl RouterDims {
+    /// Number of physical ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Virtual channels per input port.
+    pub fn vcs_per_port(&self) -> usize {
+        self.vcs_per_port
+    }
+
+    /// Candidate-set size per input port.
+    pub fn candidates(&self) -> usize {
+        self.candidates
+    }
+
+    /// Active arbitration scheme.
+    pub fn arbiter(&self) -> ArbiterKind {
+        self.arbiter
+    }
+
+    /// Round length in flit cycles.
+    pub fn round_cycles(&self) -> u64 {
+        self.round_cycles
+    }
+
+    /// The flit/link timing model.
+    pub fn timing(&self) -> FlitTiming {
+        self.timing
+    }
+}
+
+/// Why a connection could not be established.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstablishError {
+    /// Input or output port index out of range.
+    InvalidPort {
+        /// The offending port.
+        port: PortId,
+    },
+    /// No free virtual channel on the input link.
+    NoFreeInputVc,
+    /// No free virtual channel on the output link ("at the next router").
+    NoFreeOutputVc,
+    /// Bandwidth admission control rejected the request.
+    Admission(AdmissionError),
+}
+
+impl std::fmt::Display for EstablishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstablishError::InvalidPort { port } => write!(f, "port {port} does not exist"),
+            EstablishError::NoFreeInputVc => write!(f, "no free virtual channel on the input link"),
+            EstablishError::NoFreeOutputVc => {
+                write!(f, "no free virtual channel on the output link")
+            }
+            EstablishError::Admission(e) => write!(f, "admission control rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstablishError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstablishError::Admission(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AdmissionError> for EstablishError {
+    fn from(e: AdmissionError) -> Self {
+        EstablishError::Admission(e)
+    }
+}
+
+/// Why a flit could not be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectError {
+    /// The connection id is not in the table.
+    UnknownConnection(ConnectionId),
+    /// The input VC buffer is full — link-level flow control backpressure.
+    BufferFull(ConnectionId),
+}
+
+impl std::fmt::Display for InjectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectError::UnknownConnection(c) => write!(f, "{c} is not established"),
+            InjectError::BufferFull(c) => write!(f, "input buffer of {c} is full"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// Outcome of handing a VCT packet (control or best-effort) to the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketOutcome {
+    /// The packet cut through immediately — the requested output link was
+    /// free this cycle (§3.4, control packets only).
+    CutThrough,
+    /// The packet was stored in a reserved virtual channel and will be
+    /// scheduled synchronously with the data streams.
+    Buffered(ConnectionId),
+}
+
+/// Why a VCT packet was refused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PacketError {
+    /// Port index out of range.
+    InvalidPort {
+        /// The offending port.
+        port: PortId,
+    },
+    /// No free virtual channel — "the packet is blocked" (§3.4). The caller
+    /// keeps the packet and retries later.
+    Blocked,
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::InvalidPort { port } => write!(f, "port {port} does not exist"),
+            PacketError::Blocked => write!(f, "no free virtual channel; packet blocked"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// One flit that crossed the switch during a [`Router::step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmitted {
+    /// The connection serviced.
+    pub conn: ConnectionId,
+    /// Input VC the flit came from.
+    pub input_vc: VcRef,
+    /// Output VC the flit left on.
+    pub output_vc: VcRef,
+    /// The flit itself.
+    pub flit: Flit,
+    /// The paper's delay metric: cycles between the flit being ready at the
+    /// switch and leaving it.
+    pub delay: Cycles,
+}
+
+/// The result of one flit cycle.
+#[derive(Debug, Clone, Default)]
+pub struct StepReport {
+    /// Flits that crossed the switch this cycle, in output-port order.
+    pub transmitted: Vec<Transmitted>,
+    /// Number of distinct output ports that carried a flit this cycle
+    /// (switch utilization numerator).
+    pub outputs_used: usize,
+}
+
+/// Aggregate counters over a router's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Flit cycles executed.
+    pub cycles: u64,
+    /// Flits transmitted through the switch.
+    pub flits_transmitted: u64,
+    /// VCT packets that cut through without buffering.
+    pub cut_throughs: u64,
+    /// Crossbar reconfigurations.
+    pub reconfigurations: u64,
+    /// VCM bank-budget violations (should be zero when sized correctly).
+    pub bank_conflicts: u64,
+}
+
+impl RouterStats {
+    /// Mean switch utilization: flits per port per cycle.
+    pub fn utilization(&self, ports: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flits_transmitted as f64 / (self.cycles as f64 * ports as f64)
+        }
+    }
+}
+
+/// The MultiMedia Router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    cfg: RouterConfig,
+    round: RoundConfig,
+    vcms: Vec<VirtualChannelMemory>,
+    status: Vec<StatusMatrix>,
+    conns: ConnectionTable,
+    books: Vec<LinkBandwidthBook>,
+    /// Input-side admission registers: a connection consumes bandwidth on
+    /// the link it *arrives* on too, so both ends are policed (§4.2 reserves
+    /// bandwidth on every link of the path).
+    input_books: Vec<LinkBandwidthBook>,
+    allocations: std::collections::BTreeMap<ConnectionId, (Allocation, Allocation)>,
+    free_input_vcs: Vec<Vec<VcIndex>>,
+    free_output_vcs: Vec<Vec<VcIndex>>,
+    credits: Vec<Vec<u32>>,
+    scheduler: SwitchScheduler,
+    crossbar: Crossbar,
+    rr_pointers: Vec<usize>,
+    /// Guaranteed-class (CBR/VBR) flits serviced per output this round.
+    guaranteed_serviced: Vec<u32>,
+    rng: SeededRng,
+    cut_through_outputs: Vec<bool>,
+    output_busy_last_cycle: Vec<bool>,
+    flits_transmitted: u64,
+    cycles_run: u64,
+    cut_throughs: u64,
+}
+
+impl Router {
+    /// Builds a router from a configuration; prefer
+    /// [`RouterConfig::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or inconsistent.
+    pub fn new(cfg: RouterConfig) -> Self {
+        assert!(cfg.ports > 0, "router needs at least one port");
+        assert!(cfg.vcs_per_port > 0, "router needs at least one VC per port");
+        assert!(cfg.candidates > 0, "candidate set must be non-empty");
+        assert!(
+            cfg.candidates <= usize::from(cfg.vcs_per_port),
+            "cannot offer more candidates than virtual channels"
+        );
+        let ports = usize::from(cfg.ports);
+        let vcs = usize::from(cfg.vcs_per_port);
+        let round = RoundConfig::new(vcs, cfg.round_k);
+        let mk_books = || {
+            (0..ports)
+                .map(|_| {
+                    LinkBandwidthBook::new(
+                        round,
+                        cfg.timing,
+                        cfg.best_effort_reserve,
+                        cfg.concurrency_factor,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let books = mk_books();
+        let input_books = mk_books();
+        // Free VC stacks hold indices in descending order so allocation
+        // hands out low indices first.
+        let free: Vec<VcIndex> = (0..cfg.vcs_per_port).rev().map(VcIndex).collect();
+        Router {
+            scheduler: SwitchScheduler::new(cfg.arbiter, ports),
+            crossbar: Crossbar::new(ports, cfg.phits_per_flit),
+            vcms: (0..ports)
+                .map(|_| VirtualChannelMemory::new(vcs, cfg.vc_depth, cfg.vcm_banks))
+                .collect(),
+            status: (0..ports).map(|_| StatusMatrix::new(vcs)).collect(),
+            conns: ConnectionTable::new(),
+            books,
+            input_books,
+            allocations: std::collections::BTreeMap::new(),
+            free_input_vcs: vec![free.clone(); ports],
+            free_output_vcs: vec![free; ports],
+            credits: vec![vec![0; vcs]; ports],
+            rr_pointers: vec![0; ports],
+            guaranteed_serviced: vec![0; ports],
+            rng: SeededRng::new(cfg.seed),
+            cut_through_outputs: vec![false; ports],
+            output_busy_last_cycle: vec![false; ports],
+            flits_transmitted: 0,
+            cycles_run: 0,
+            cut_throughs: 0,
+            round,
+            cfg,
+        }
+    }
+
+    /// The router's dimensions and timing.
+    pub fn config(&self) -> RouterDims {
+        RouterDims {
+            ports: usize::from(self.cfg.ports),
+            vcs_per_port: usize::from(self.cfg.vcs_per_port),
+            candidates: self.cfg.candidates,
+            arbiter: self.cfg.arbiter,
+            round_cycles: self.round.cycles_per_round(),
+            timing: self.cfg.timing,
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            cycles: self.cycles_run,
+            flits_transmitted: self.flits_transmitted,
+            cut_throughs: self.cut_throughs,
+            reconfigurations: self.crossbar.reconfigurations(),
+            bank_conflicts: self.vcms.iter().map(VirtualChannelMemory::bank_conflicts).sum(),
+        }
+    }
+
+    /// Mean switch utilization so far (flits per output port per cycle).
+    pub fn utilization(&self) -> f64 {
+        self.stats().utilization(usize::from(self.cfg.ports))
+    }
+
+    /// The bandwidth book of an output link (admission state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn bandwidth_book(&self, output: PortId) -> &LinkBandwidthBook {
+        &self.books[output.index()]
+    }
+
+    /// The bandwidth book of an *input* link (admission state for the
+    /// arriving side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn input_bandwidth_book(&self, input: PortId) -> &LinkBandwidthBook {
+        &self.input_books[input.index()]
+    }
+
+    /// Looks up a connection's state.
+    pub fn connection(&self, id: ConnectionId) -> Option<&ConnState> {
+        self.conns.get(id)
+    }
+
+    /// Direct channel mapping: the connection owning an *input* VC, if any.
+    /// Multi-router simulators use this to retag flits arriving on a link.
+    pub fn connection_by_input_vc(&self, vc: VcRef) -> Option<ConnectionId> {
+        self.conns.by_input_vc(vc).map(|c| c.id)
+    }
+
+    /// Number of established connections.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn check_port(&self, port: PortId) -> Result<(), PortId> {
+        if port.index() < usize::from(self.cfg.ports) {
+            Ok(())
+        } else {
+            Err(port)
+        }
+    }
+
+    /// Establishes a connection through the router: reserves an input VC, an
+    /// output VC, and link bandwidth (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`EstablishError`] if a port is invalid, either link has no free VC,
+    /// or admission control rejects the bandwidth request. On error all
+    /// partially reserved resources are released — exactly the paper's
+    /// "if resources cannot be reserved along the whole path … all the
+    /// resources reserved during the construction of the path are released".
+    pub fn establish(&mut self, req: ConnectionRequest) -> Result<ConnectionId, EstablishError> {
+        self.establish_pinned(req, None)
+    }
+
+    /// Like [`Router::establish`], but reserves a *specific* input virtual
+    /// channel when `pinned_input` is given. Multi-router paths need this:
+    /// the upstream router has already chosen the VC on the shared link, so
+    /// this router must reserve exactly that VC on its input side.
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::establish`]; additionally
+    /// [`EstablishError::NoFreeInputVc`] when the pinned VC is taken.
+    pub fn establish_pinned(
+        &mut self,
+        req: ConnectionRequest,
+        pinned_input: Option<VcIndex>,
+    ) -> Result<ConnectionId, EstablishError> {
+        self.check_port(req.input).map_err(|port| EstablishError::InvalidPort { port })?;
+        self.check_port(req.output).map_err(|port| EstablishError::InvalidPort { port })?;
+
+        let free_inputs = &mut self.free_input_vcs[req.input.index()];
+        let in_vc = match pinned_input {
+            Some(vc) => {
+                let pos = free_inputs
+                    .iter()
+                    .position(|&v| v == vc)
+                    .ok_or(EstablishError::NoFreeInputVc)?;
+                free_inputs.swap_remove(pos)
+            }
+            None => free_inputs.pop().ok_or(EstablishError::NoFreeInputVc)?,
+        };
+        let Some(out_vc) = self.free_output_vcs[req.output.index()].pop() else {
+            self.free_input_vcs[req.input.index()].push(in_vc);
+            return Err(EstablishError::NoFreeOutputVc);
+        };
+        let in_alloc = match self.input_books[req.input.index()].try_admit(req.class) {
+            Ok(a) => a,
+            Err(e) => {
+                self.free_input_vcs[req.input.index()].push(in_vc);
+                self.free_output_vcs[req.output.index()].push(out_vc);
+                return Err(e.into());
+            }
+        };
+        let alloc = match self.books[req.output.index()].try_admit(req.class) {
+            Ok(a) => a,
+            Err(e) => {
+                self.input_books[req.input.index()].release(in_alloc);
+                self.free_input_vcs[req.input.index()].push(in_vc);
+                self.free_output_vcs[req.output.index()].push(out_vc);
+                return Err(e.into());
+            }
+        };
+
+        let id = self.conns.next_id();
+        let interarrival = match req.class {
+            QosClass::Cbr { rate } => self.cfg.timing.interarrival_cycles(rate),
+            QosClass::Vbr { permanent, .. } => self.cfg.timing.interarrival_cycles(permanent),
+            QosClass::BestEffort | QosClass::Control => f64::INFINITY,
+        };
+        let (vbr_perm, vbr_peak, dyn_prio) = match req.class {
+            QosClass::Vbr { permanent, peak, priority } => (
+                self.round.cycles_for_rate(permanent, self.cfg.timing),
+                self.round.cycles_for_rate(peak, self.cfg.timing),
+                priority,
+            ),
+            _ => (0.0, 0.0, 0),
+        };
+        // Fixed (static) priorities follow the connection's bandwidth class,
+        // as in the priority scheme of Chien & Kim the paper compares
+        // against: a high-speed connection permanently outranks a slow one.
+        // A tiny random component breaks ties between same-rate connections.
+        let fixed_priority = match req.class {
+            QosClass::Cbr { rate } => rate.fraction_of(self.cfg.timing.link_rate()),
+            QosClass::Vbr { permanent, .. } => permanent.fraction_of(self.cfg.timing.link_rate()),
+            QosClass::BestEffort | QosClass::Control => 0.0,
+        } + self.rng.unit() * 1e-6;
+        self.conns.insert(ConnState {
+            id,
+            input_vc: VcRef { port: req.input, vc: in_vc },
+            output_vc: VcRef { port: req.output, vc: out_vc },
+            class: req.class,
+            interarrival_cycles: interarrival,
+            fixed_priority,
+            allocated_cycles_per_round: alloc.guaranteed_cycles,
+            serviced_this_round: 0,
+            vbr_permanent_cycles: vbr_perm,
+            vbr_peak_cycles: vbr_peak,
+            dynamic_priority: dyn_prio,
+            flits_forwarded: 0,
+            flits_injected: 0,
+        });
+        self.allocations.insert(id, (in_alloc, alloc));
+
+        let status = &mut self.status[req.input.index()];
+        status.set(Condition::ConnectionActive, in_vc.index(), true);
+        if self.cfg.track_output_credits {
+            self.credits[req.output.index()][out_vc.index()] = self.cfg.vc_depth as u32;
+        }
+        status.set(Condition::CreditsAvailable, in_vc.index(), true);
+        Ok(id)
+    }
+
+    /// Tears down a connection, releasing its VCs and bandwidth and dropping
+    /// any queued flits. Returns the number of flits dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the id back if it is unknown.
+    pub fn teardown(&mut self, id: ConnectionId) -> Result<usize, ConnectionId> {
+        let state = self.conns.remove(id).ok_or(id)?;
+        let dropped = self.vcms[state.input_vc.port.index()].flush(state.input_vc.vc);
+        if let Some((in_alloc, out_alloc)) = self.allocations.remove(&id) {
+            self.input_books[state.input_vc.port.index()].release(in_alloc);
+            self.books[state.output_vc.port.index()].release(out_alloc);
+        }
+        let status = &mut self.status[state.input_vc.port.index()];
+        for cond in [
+            Condition::ConnectionActive,
+            Condition::CreditsAvailable,
+            Condition::FlitsAvailable,
+            Condition::CbrServiceRequested,
+            Condition::CbrBandwidthServiced,
+            Condition::VbrBandwidthServiced,
+        ] {
+            status.set(cond, state.input_vc.vc.index(), false);
+        }
+        self.free_input_vcs[state.input_vc.port.index()].push(state.input_vc.vc);
+        self.free_output_vcs[state.output_vc.port.index()].push(state.output_vc.vc);
+        Ok(dropped)
+    }
+
+    /// Injects the next data flit of `conn` into its input VC (the arrival
+    /// of one flit from the upstream link or the source interface).
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError::BufferFull`] when the VC's small buffer is occupied —
+    /// the caller models the paper's link-level flow control by retrying
+    /// later.
+    pub fn inject(&mut self, conn: ConnectionId, now: Cycles) -> Result<(), InjectError> {
+        self.inject_kind(conn, FlitKind::Data, now)
+    }
+
+    /// Injects a flit of an explicit kind (data, command word, …).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Router::inject`].
+    pub fn inject_kind(
+        &mut self,
+        conn: ConnectionId,
+        kind: FlitKind,
+        now: Cycles,
+    ) -> Result<(), InjectError> {
+        let state = self.conns.get_mut(conn).ok_or(InjectError::UnknownConnection(conn))?;
+        let vc_ref = state.input_vc;
+        let flit = Flit { conn, kind, seq: state.flits_injected, injected_at: now };
+        match self.vcms[vc_ref.port.index()].push(vc_ref.vc, flit, now) {
+            Ok(()) => {
+                state.flits_injected += 1;
+                self.status[vc_ref.port.index()].set(
+                    Condition::FlitsAvailable,
+                    vc_ref.vc.index(),
+                    true,
+                );
+                Ok(())
+            }
+            Err(VcmError::BufferFull { .. }) => Err(InjectError::BufferFull(conn)),
+            Err(VcmError::NoSuchVc { .. }) => {
+                unreachable!("established connections always map to valid VCs")
+            }
+        }
+    }
+
+    /// Accepts a flit arriving from an upstream router for `conn`,
+    /// preserving its original sequence number and injection time (so
+    /// end-to-end latency and ordering survive multi-hop forwarding). The
+    /// flit is retagged with this router's connection id.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Router::inject`].
+    pub fn accept(
+        &mut self,
+        conn: ConnectionId,
+        flit: Flit,
+        now: Cycles,
+    ) -> Result<(), InjectError> {
+        let state = self.conns.get_mut(conn).ok_or(InjectError::UnknownConnection(conn))?;
+        let vc_ref = state.input_vc;
+        let retagged = Flit { conn, ..flit };
+        match self.vcms[vc_ref.port.index()].push(vc_ref.vc, retagged, now) {
+            Ok(()) => {
+                state.flits_injected += 1;
+                self.status[vc_ref.port.index()].set(
+                    Condition::FlitsAvailable,
+                    vc_ref.vc.index(),
+                    true,
+                );
+                Ok(())
+            }
+            Err(VcmError::BufferFull { .. }) => Err(InjectError::BufferFull(conn)),
+            Err(VcmError::NoSuchVc { .. }) => {
+                unreachable!("established connections always map to valid VCs")
+            }
+        }
+    }
+
+    /// Whether `conn` can accept another flit this cycle.
+    pub fn can_inject(&self, conn: ConnectionId) -> bool {
+        self.conns
+            .get(conn)
+            .is_some_and(|s| !self.vcms[s.input_vc.port.index()].is_full(s.input_vc.vc))
+    }
+
+    /// Hands a single-flit VCT packet to the router (§3.4).
+    ///
+    /// Control packets cut through immediately when the requested output was
+    /// idle in the previous flit cycle and has not been claimed this cycle;
+    /// the claimed output "will be considered busy during link arbitration
+    /// for the next flit cycle". Otherwise — and always for best-effort —
+    /// the packet reserves a free VC and is scheduled synchronously.
+    ///
+    /// # Errors
+    ///
+    /// [`PacketError::Blocked`] when no VC is free; the caller retries.
+    pub fn inject_packet(
+        &mut self,
+        input: PortId,
+        output: PortId,
+        kind: FlitKind,
+        now: Cycles,
+    ) -> Result<PacketOutcome, PacketError> {
+        self.check_port(input).map_err(|port| PacketError::InvalidPort { port })?;
+        self.check_port(output).map_err(|port| PacketError::InvalidPort { port })?;
+        debug_assert!(
+            matches!(kind, FlitKind::Control | FlitKind::BestEffort),
+            "VCT packets are control or best-effort"
+        );
+
+        if matches!(kind, FlitKind::Control)
+            && !self.output_busy_last_cycle[output.index()]
+            && !self.cut_through_outputs[output.index()]
+        {
+            self.cut_through_outputs[output.index()] = true;
+            self.cut_throughs += 1;
+            return Ok(PacketOutcome::CutThrough);
+        }
+
+        let class =
+            if matches!(kind, FlitKind::Control) { QosClass::Control } else { QosClass::BestEffort };
+        let id = self
+            .establish(ConnectionRequest { input, output, class })
+            .map_err(|_| PacketError::Blocked)?;
+        self.inject_kind(id, kind, now).expect("freshly reserved VC has room");
+        Ok(PacketOutcome::Buffered(id))
+    }
+
+    /// Returns one credit for an output VC (the downstream router freed a
+    /// buffer slot). No-op unless credit tracking is enabled.
+    pub fn return_credit(&mut self, output_vc: VcRef) {
+        if !self.cfg.track_output_credits {
+            return;
+        }
+        self.credits[output_vc.port.index()][output_vc.vc.index()] += 1;
+        if let Some(conn) = self.conns.by_output_vc(output_vc) {
+            let in_vc = conn.input_vc;
+            self.status[in_vc.port.index()].set(
+                Condition::CreditsAvailable,
+                in_vc.vc.index(),
+                true,
+            );
+        }
+    }
+
+    /// Runs one flit cycle at time `now` and reports the flits transmitted.
+    ///
+    /// Callers advance `now` by one cycle per call; the round boundary and
+    /// all per-cycle state derive from it.
+    pub fn step(&mut self, now: Cycles) -> StepReport {
+        let ports = usize::from(self.cfg.ports);
+        self.cycles_run += 1;
+        for vcm in &mut self.vcms {
+            vcm.begin_cycle();
+        }
+
+        // Round boundary: reset every connection's serviced quota (§4.1)
+        // and the per-output guaranteed-service counters.
+        if now.count().is_multiple_of(self.round.cycles_per_round()) {
+            for conn in self.conns.iter_mut() {
+                conn.serviced_this_round = 0;
+            }
+            self.guaranteed_serviced.fill(0);
+            for status in &mut self.status {
+                status.clear_condition(Condition::CbrBandwidthServiced);
+                status.clear_condition(Condition::VbrBandwidthServiced);
+            }
+        }
+
+        // Link scheduling: candidate selection per input port.
+        let max_candidates = match self.cfg.arbiter {
+            ArbiterKind::FixedPriority
+            | ArbiterKind::BiasedPriority
+            | ArbiterKind::RoundRobin
+            | ArbiterKind::OldestFirst => self.cfg.candidates,
+            // Iterative/random and perfect schemes see the full eligible set
+            // and apply their own selection rule.
+            ArbiterKind::Autonet { .. } | ArbiterKind::Islip { .. } | ArbiterKind::Perfect => {
+                usize::from(self.cfg.vcs_per_port)
+            }
+        };
+        // Best-effort reserve: guaranteed traffic may use at most
+        // (1 - reserve) of each output's round (§4.2).
+        let guaranteed_cap = ((1.0 - self.cfg.best_effort_reserve)
+            * self.round.cycles_per_round() as f64)
+            .ceil() as u32;
+        let guaranteed_open: Vec<bool> =
+            self.guaranteed_serviced.iter().map(|&s| s < guaranteed_cap).collect();
+
+        let mut candidates: Vec<Vec<crate::arbiter::Candidate>> = Vec::with_capacity(ports);
+        for p in 0..ports {
+            let outcome = select_candidates(&LinkSchedView {
+                port: PortId(p as u8),
+                vcm: &self.vcms[p],
+                status: &self.status[p],
+                conns: &self.conns,
+                kind: self.cfg.arbiter,
+                max_candidates,
+                enforce_quota: self.cfg.enforce_round_quota,
+                policy: self.cfg.candidate_policy,
+                guaranteed_open: &guaranteed_open,
+                rr_pointer: self.rr_pointers[p],
+                now,
+            });
+            self.rr_pointers[p] = outcome.next_pointer;
+            candidates.push(outcome.candidates);
+        }
+
+        // Switch scheduling.
+        let pairs = self.scheduler.schedule(&candidates, &self.cut_through_outputs, &mut self.rng);
+
+        // Transmission.
+        let mut report = StepReport::default();
+        let mut outputs_used = vec![false; ports];
+        let mut completed_packets: Vec<ConnectionId> = Vec::new();
+        for pair in &pairs {
+            if let Some(t) = self.transmit(pair, now, &mut completed_packets) {
+                outputs_used[t.output_vc.port.index()] = true;
+                report.transmitted.push(t);
+            }
+        }
+        for id in completed_packets {
+            self.teardown(id).expect("packet connection exists");
+        }
+
+        // Crossbar reconfiguration for the cycle that just ran.
+        self.crossbar.apply(&pairs);
+
+        // Output-busy bookkeeping for next cycle's cut-through decisions.
+        for (o, used) in outputs_used.iter().enumerate() {
+            self.output_busy_last_cycle[o] = *used || self.cut_through_outputs[o];
+        }
+        self.cut_through_outputs.fill(false);
+
+        report.outputs_used = outputs_used.iter().filter(|&&u| u).count();
+        self.flits_transmitted += report.transmitted.len() as u64;
+        report
+    }
+
+    fn transmit(
+        &mut self,
+        pair: &MatchedPair,
+        now: Cycles,
+        completed_packets: &mut Vec<ConnectionId>,
+    ) -> Option<Transmitted> {
+        let p = pair.input.index();
+        let delay = self.vcms[p].head_delay(pair.vc, now)?;
+        let flit = self.vcms[p].pop(pair.vc, now)?;
+        self.status[p].set(
+            Condition::FlitsAvailable,
+            pair.vc.index(),
+            self.vcms[p].flits_available().get(pair.vc.index()),
+        );
+
+        let track_credits = self.cfg.track_output_credits;
+        let state = self.conns.get_mut(pair.conn).expect("matched connection exists");
+        state.serviced_this_round += 1;
+        state.flits_forwarded += 1;
+        if matches!(state.class, QosClass::Cbr { .. } | QosClass::Vbr { .. }) {
+            self.guaranteed_serviced[state.output_vc.port.index()] += 1;
+        }
+        let output_vc = state.output_vc;
+        let input_vc = state.input_vc;
+        let is_packet =
+            matches!(state.class, QosClass::Control | QosClass::BestEffort);
+
+        // Apply in-band command words as they pass through (§4.3).
+        if let FlitKind::Command(cmd) = flit.kind {
+            match cmd {
+                CommandWord::SetPriority(prio) => state.dynamic_priority = prio,
+                CommandWord::ScaleRate { num, den } => {
+                    if num > 0 && den > 0 {
+                        // Rate × num/den ⇒ inter-arrival × den/num.
+                        state.interarrival_cycles *=
+                            f64::from(den) / f64::from(num);
+                    }
+                }
+                CommandWord::AbortFrame => {
+                    let dropped = self.vcms[p].flush(input_vc.vc);
+                    if dropped > 0 {
+                        self.status[p].set(Condition::FlitsAvailable, input_vc.vc.index(), false);
+                    }
+                }
+            }
+        }
+
+        if track_credits {
+            let c = &mut self.credits[output_vc.port.index()][output_vc.vc.index()];
+            debug_assert!(*c > 0, "scheduled without a credit");
+            *c -= 1;
+            if *c == 0 {
+                self.status[p].set(Condition::CreditsAvailable, input_vc.vc.index(), false);
+            }
+        }
+
+        if is_packet {
+            completed_packets.push(pair.conn);
+        }
+
+        Some(Transmitted { conn: pair.conn, input_vc, output_vc, flit, delay })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmr_sim::Bandwidth;
+
+    fn small_router(arbiter: ArbiterKind) -> Router {
+        RouterConfig::paper_default()
+            .ports(4)
+            .vcs_per_port(8)
+            .candidates(4)
+            .arbiter(arbiter)
+            .seed(42)
+            .build()
+    }
+
+    fn cbr(rate_mbps: f64, input: u8, output: u8) -> ConnectionRequest {
+        ConnectionRequest {
+            input: PortId(input),
+            output: PortId(output),
+            class: QosClass::Cbr { rate: Bandwidth::from_mbps(rate_mbps) },
+        }
+    }
+
+    #[test]
+    fn establish_reserves_and_teardown_releases() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let id = r.establish(cbr(124.0, 0, 1)).expect("admits");
+        assert_eq!(r.connections(), 1);
+        let book_load = r.bandwidth_book(PortId(1)).load_factor();
+        assert!(book_load > 0.09 && book_load < 0.11, "10% of the link: {book_load}");
+        r.teardown(id).expect("present");
+        assert_eq!(r.connections(), 0);
+        assert_eq!(r.bandwidth_book(PortId(1)).load_factor(), 0.0);
+        assert_eq!(r.teardown(id), Err(id), "double teardown reports the id");
+    }
+
+    #[test]
+    fn establish_rejects_invalid_port() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let err = r.establish(cbr(1.0, 9, 1)).expect_err("port 9 of 4");
+        assert!(matches!(err, EstablishError::InvalidPort { .. }));
+    }
+
+    #[test]
+    fn vc_exhaustion_is_reported_and_recoverable() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        // 8 VCs per port; the 9th connection on the same ports must fail.
+        let ids: Vec<_> = (0..8).map(|_| r.establish(cbr(1.0, 0, 1)).expect("fits")).collect();
+        let err = r.establish(cbr(1.0, 0, 1)).expect_err("VCs exhausted");
+        assert!(matches!(err, EstablishError::NoFreeInputVc));
+        // Different input port, same output: output VCs are also exhausted.
+        let err = r.establish(cbr(1.0, 2, 1)).expect_err("output VCs exhausted");
+        assert!(matches!(err, EstablishError::NoFreeOutputVc));
+        r.teardown(ids[0]).expect("present");
+        r.establish(cbr(1.0, 0, 1)).expect("VC recycled");
+    }
+
+    #[test]
+    fn admission_failure_releases_vcs() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        r.establish(cbr(1240.0, 0, 1)).expect("full link admits");
+        let err = r.establish(cbr(124.0, 0, 1)).expect_err("link is full");
+        assert!(matches!(err, EstablishError::Admission(_)));
+        // The failed attempt must not leak VCs: more connections on other
+        // ports still fit (input 0 is bandwidth-saturated, so use input 2).
+        for _ in 0..7 {
+            r.establish(cbr(1.0, 2, 2)).expect("VC pools intact");
+        }
+        // Input 0's own bandwidth is genuinely exhausted on both sides.
+        let err = r.establish(cbr(124.0, 0, 2)).expect_err("input link full");
+        assert!(matches!(err, EstablishError::Admission(_)));
+    }
+
+    #[test]
+    fn single_flit_flows_through_in_one_cycle() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let id = r.establish(cbr(124.0, 0, 1)).expect("admits");
+        r.inject(id, Cycles(5)).expect("buffer empty");
+        let report = r.step(Cycles(5));
+        assert_eq!(report.transmitted.len(), 1);
+        let t = &report.transmitted[0];
+        assert_eq!(t.conn, id);
+        assert_eq!(t.delay, Cycles(0), "uncontended flit leaves immediately");
+        assert_eq!(t.output_vc.port, PortId(1));
+        assert_eq!(report.outputs_used, 1);
+        // The queue is now empty.
+        assert!(r.step(Cycles(6)).transmitted.is_empty());
+    }
+
+    #[test]
+    fn conflicting_inputs_share_an_output() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let a = r.establish(cbr(124.0, 0, 3)).expect("admits");
+        let b = r.establish(cbr(124.0, 1, 3)).expect("admits");
+        r.inject(a, Cycles(0)).expect("room");
+        r.inject(b, Cycles(0)).expect("room");
+        let first = r.step(Cycles(0));
+        assert_eq!(first.transmitted.len(), 1, "one output carries one flit per cycle");
+        let second = r.step(Cycles(1));
+        assert_eq!(second.transmitted.len(), 1);
+        let served: std::collections::BTreeSet<_> = first
+            .transmitted
+            .iter()
+            .chain(&second.transmitted)
+            .map(|t| t.conn)
+            .collect();
+        assert_eq!(served.len(), 2, "both connections served across two cycles");
+        // The loser waited exactly one cycle.
+        assert_eq!(second.transmitted[0].delay, Cycles(1));
+    }
+
+    #[test]
+    fn buffer_full_backpressure() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let id = r.establish(cbr(1.0, 0, 1)).expect("admits");
+        for _ in 0..4 {
+            r.inject(id, Cycles(0)).expect("vc_depth = 4");
+        }
+        assert!(!r.can_inject(id));
+        assert_eq!(r.inject(id, Cycles(0)), Err(InjectError::BufferFull(id)));
+        r.step(Cycles(0));
+        assert!(r.can_inject(id), "transmission freed a slot");
+    }
+
+    #[test]
+    fn unknown_connection_errors() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let ghost = ConnectionId(99);
+        assert_eq!(r.inject(ghost, Cycles(0)), Err(InjectError::UnknownConnection(ghost)));
+        assert!(!r.can_inject(ghost));
+    }
+
+    #[test]
+    fn control_packet_cuts_through_idle_output() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let out = r
+            .inject_packet(PortId(0), PortId(2), FlitKind::Control, Cycles(0))
+            .expect("output idle");
+        assert_eq!(out, PacketOutcome::CutThrough);
+        assert_eq!(r.stats().cut_throughs, 1);
+        // A second control packet to the same output in the same cycle must
+        // buffer instead.
+        let out2 = r
+            .inject_packet(PortId(1), PortId(2), FlitKind::Control, Cycles(0))
+            .expect("buffers");
+        assert!(matches!(out2, PacketOutcome::Buffered(_)));
+        // The claimed output is busy for this cycle's matching.
+        let report = r.step(Cycles(0));
+        assert!(report.transmitted.is_empty(), "output 2 was claimed by the cut-through");
+        // Next cycle the buffered control packet goes through and its
+        // ephemeral VC is released.
+        let report = r.step(Cycles(1));
+        assert_eq!(report.transmitted.len(), 1);
+        assert_eq!(report.transmitted[0].flit.kind, FlitKind::Control);
+        assert_eq!(r.connections(), 0, "packet connection torn down after transmit");
+    }
+
+    #[test]
+    fn best_effort_packets_always_buffer() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let out = r
+            .inject_packet(PortId(0), PortId(1), FlitKind::BestEffort, Cycles(0))
+            .expect("free VCs");
+        assert!(matches!(out, PacketOutcome::Buffered(_)));
+        let report = r.step(Cycles(0));
+        assert_eq!(report.transmitted.len(), 1);
+        assert_eq!(report.transmitted[0].flit.kind, FlitKind::BestEffort);
+    }
+
+    #[test]
+    fn best_effort_yields_to_streams() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let stream = r.establish(cbr(124.0, 0, 1)).expect("admits");
+        // Best-effort from another input to the same output.
+        r.inject_packet(PortId(2), PortId(1), FlitKind::BestEffort, Cycles(0)).expect("buffers");
+        r.inject(stream, Cycles(0)).expect("room");
+        let report = r.step(Cycles(0));
+        assert_eq!(report.transmitted.len(), 1);
+        assert_eq!(report.transmitted[0].conn, stream, "CBR outranks best-effort");
+        let report = r.step(Cycles(1));
+        assert_eq!(report.transmitted[0].flit.kind, FlitKind::BestEffort);
+    }
+
+    #[test]
+    fn command_word_set_priority_applies() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let id = r.establish(cbr(124.0, 0, 1)).expect("admits");
+        r.inject_kind(id, FlitKind::Command(CommandWord::SetPriority(9)), Cycles(0))
+            .expect("room");
+        r.step(Cycles(0));
+        assert_eq!(r.connection(id).expect("live").dynamic_priority, 9);
+    }
+
+    #[test]
+    fn command_word_scale_rate_changes_interarrival() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let id = r.establish(cbr(124.0, 0, 1)).expect("admits");
+        let before = r.connection(id).expect("live").interarrival_cycles;
+        // Halve the rate => double the inter-arrival.
+        r.inject_kind(id, FlitKind::Command(CommandWord::ScaleRate { num: 1, den: 2 }), Cycles(0))
+            .expect("room");
+        r.step(Cycles(0));
+        let after = r.connection(id).expect("live").interarrival_cycles;
+        assert!((after / before - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn command_word_abort_frame_flushes_queue() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let id = r.establish(cbr(124.0, 0, 1)).expect("admits");
+        r.inject_kind(id, FlitKind::Command(CommandWord::AbortFrame), Cycles(0)).expect("room");
+        r.inject(id, Cycles(0)).expect("room");
+        r.inject(id, Cycles(0)).expect("room");
+        let report = r.step(Cycles(0));
+        assert_eq!(report.transmitted.len(), 1, "the command word itself is forwarded");
+        // The two queued data flits were dropped.
+        assert!(r.step(Cycles(1)).transmitted.is_empty());
+    }
+
+    #[test]
+    fn credits_gate_scheduling_when_tracked() {
+        let mut r = RouterConfig::paper_default()
+            .ports(2)
+            .vcs_per_port(4)
+            .vc_depth(2)
+            .candidates(2)
+            .track_output_credits(true)
+            .enforce_round_quota(false)
+            .seed(1)
+            .build();
+        let id = r.establish(cbr(124.0, 0, 1)).expect("admits");
+        let out_vc = r.connection(id).expect("live").output_vc;
+        // Drain both credits.
+        for cycle in 0..2 {
+            r.inject(id, Cycles(cycle)).expect("room");
+            let rep = r.step(Cycles(cycle));
+            assert_eq!(rep.transmitted.len(), 1);
+        }
+        // No credits left: the flit stays queued.
+        r.inject(id, Cycles(2)).expect("room");
+        assert!(r.step(Cycles(2)).transmitted.is_empty());
+        // A returned credit unblocks it.
+        r.return_credit(out_vc);
+        assert_eq!(r.step(Cycles(3)).transmitted.len(), 1);
+    }
+
+    #[test]
+    fn round_quota_throttles_over_rate_connection() {
+        // 1-VC-per-candidate router with quota enforcement: a connection
+        // allocated ~10% of the link cannot burst past its round quota.
+        let mut r = RouterConfig::paper_default()
+            .ports(2)
+            .vcs_per_port(4)
+            .vc_depth(4)
+            .candidates(1)
+            .round_k(2) // round = 8 cycles
+            .seed(3)
+            .build();
+        let id = r.establish(cbr(155.0, 0, 1)).expect("admits"); // 12.5% => 1 cycle/round
+        let mut sent = 0;
+        for cycle in 0..8u64 {
+            if r.can_inject(id) {
+                r.inject(id, Cycles(cycle)).expect("room");
+            }
+            sent += r.step(Cycles(cycle)).transmitted.len();
+        }
+        assert_eq!(sent, 1, "quota of ceil(1.0) = 1 flit in the 8-cycle round");
+    }
+
+    #[test]
+    fn utilization_counts_flits_per_port_cycle() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        // Full-link-rate connections so one flit per cycle is within quota.
+        let a = r.establish(cbr(1240.0, 0, 1)).expect("admits");
+        let b = r.establish(cbr(1240.0, 1, 2)).expect("admits");
+        for cycle in 0..10u64 {
+            r.inject(a, Cycles(cycle)).expect("room");
+            r.inject(b, Cycles(cycle)).expect("room");
+            r.step(Cycles(cycle));
+        }
+        // 2 flits per cycle on a 4-port router = 50% utilization.
+        assert!((r.utilization() - 0.5).abs() < 1e-9);
+        assert_eq!(r.stats().flits_transmitted, 20);
+        assert_eq!(r.stats().cycles, 10);
+    }
+
+    #[test]
+    fn perfect_switch_has_no_conflicts() {
+        let mut r = small_router(ArbiterKind::Perfect);
+        let a = r.establish(cbr(124.0, 0, 3)).expect("admits");
+        let b = r.establish(cbr(124.0, 1, 3)).expect("admits");
+        r.inject(a, Cycles(0)).expect("room");
+        r.inject(b, Cycles(0)).expect("room");
+        let report = r.step(Cycles(0));
+        assert_eq!(report.transmitted.len(), 2, "perfect switch absorbs the conflict");
+        assert!(report.transmitted.iter().all(|t| t.delay == Cycles(0)));
+    }
+
+    #[test]
+    fn autonet_router_transmits_under_contention() {
+        let mut r = small_router(ArbiterKind::autonet_default());
+        let a = r.establish(cbr(124.0, 0, 3)).expect("admits");
+        let b = r.establish(cbr(124.0, 1, 3)).expect("admits");
+        let mut total = 0;
+        for cycle in 0..4u64 {
+            let _ = r.inject(a, Cycles(cycle));
+            let _ = r.inject(b, Cycles(cycle));
+            total += r.step(Cycles(cycle)).transmitted.len();
+        }
+        assert!(total >= 4, "PIM serves the contended output every cycle: {total}");
+    }
+
+    #[test]
+    fn clone_produces_independent_router() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let id = r.establish(cbr(124.0, 0, 1)).expect("admits");
+        let mut copy = r.clone();
+        r.inject(id, Cycles(0)).expect("room");
+        r.step(Cycles(0));
+        assert_eq!(copy.stats().flits_transmitted, 0);
+        copy.inject(id, Cycles(0)).expect("room");
+        assert_eq!(copy.step(Cycles(0)).transmitted.len(), 1);
+    }
+}

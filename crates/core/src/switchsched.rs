@@ -1,0 +1,490 @@
+//! Switch scheduling: matching input ports to output ports each flit cycle.
+//!
+//! §4.4: the MMR is *input-driven* — link schedulers offer candidate sets
+//! and the switch scheduler "attempts to maximize the probability of
+//! assigning virtual channels to every output link during each flit cycle by
+//! using sets of candidates (4–8) at each input port and fast priority
+//! biasing schemes".
+//!
+//! [`SwitchScheduler`] implements the matching rule of every evaluated
+//! scheme:
+//!
+//! * priority matching (fixed / biased / round-robin): iterative
+//!   propose-and-grant where each unmatched input offers its best remaining
+//!   candidate whose output is still free and contested outputs go to the
+//!   best-ranked proposal;
+//! * [`ArbiterKind::Autonet`]: Anderson et al.'s parallel iterative matching
+//!   (random grant, random accept, k iterations);
+//! * [`ArbiterKind::Islip`]: rotating-pointer grant/accept iterations;
+//! * [`ArbiterKind::Perfect`]: the paper's lower bound — every input
+//!   transmits its best candidate, outputs accept any number of flits.
+
+use mmr_sim::SeededRng;
+
+use crate::arbiter::{ArbiterKind, Candidate};
+use crate::ids::{ConnectionId, PortId, VcIndex};
+
+/// One (input VC → output port) assignment for the coming flit cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchedPair {
+    /// Input port transmitting.
+    pub input: PortId,
+    /// Input virtual channel whose head flit crosses the switch.
+    pub vc: VcIndex,
+    /// Output port receiving.
+    pub output: PortId,
+    /// The connection being serviced.
+    pub conn: ConnectionId,
+}
+
+impl From<&Candidate> for MatchedPair {
+    fn from(c: &Candidate) -> Self {
+        MatchedPair { input: c.input, vc: c.vc, output: c.output, conn: c.conn }
+    }
+}
+
+/// The switch scheduler with its per-scheme state (rotating pointers).
+#[derive(Debug, Clone)]
+pub struct SwitchScheduler {
+    kind: ArbiterKind,
+    ports: usize,
+    /// Per-output grant pointer over input ports (round-robin, iSLIP).
+    grant_ptr: Vec<usize>,
+    /// Per-input accept pointer over output ports (iSLIP).
+    accept_ptr: Vec<usize>,
+}
+
+impl SwitchScheduler {
+    /// Creates a scheduler for a `ports`×`ports` multiplexed crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(kind: ArbiterKind, ports: usize) -> Self {
+        assert!(ports > 0, "a router needs at least one port");
+        assert!(ports <= 64, "the scheduler's request bitmaps support up to 64 ports");
+        SwitchScheduler { kind, ports, grant_ptr: vec![0; ports], accept_ptr: vec![0; ports] }
+    }
+
+    /// The active arbitration scheme.
+    pub fn kind(&self) -> ArbiterKind {
+        self.kind
+    }
+
+    /// Computes the matching for the next flit cycle.
+    ///
+    /// `candidates[p]` is input port `p`'s ranked candidate list (from
+    /// [`crate::linksched::select_candidates`]); `output_blocked[o]` marks
+    /// outputs already claimed this cycle (e.g. by a VCT cut-through, §3.4:
+    /// "the corresponding switch port and output link will be considered
+    /// busy during link arbitration for the next flit cycle").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the port count.
+    pub fn schedule(
+        &mut self,
+        candidates: &[Vec<Candidate>],
+        output_blocked: &[bool],
+        rng: &mut SeededRng,
+    ) -> Vec<MatchedPair> {
+        assert_eq!(candidates.len(), self.ports, "one candidate list per input port");
+        assert_eq!(output_blocked.len(), self.ports, "one blocked flag per output port");
+        match self.kind {
+            ArbiterKind::FixedPriority
+            | ArbiterKind::BiasedPriority
+            | ArbiterKind::OldestFirst => self.priority_match(candidates, output_blocked, false),
+            ArbiterKind::RoundRobin => self.priority_match(candidates, output_blocked, true),
+            ArbiterKind::Autonet { iterations } => {
+                self.pim_match(candidates, output_blocked, iterations, rng)
+            }
+            ArbiterKind::Islip { iterations } => {
+                self.islip_match(candidates, output_blocked, iterations)
+            }
+            ArbiterKind::Perfect => Self::perfect_match(candidates),
+        }
+    }
+
+    /// Iterative propose-and-grant with ranked candidates. With
+    /// `rotating_outputs` the contested-output winner is chosen by the
+    /// output's rotating pointer instead of candidate rank.
+    fn priority_match(
+        &mut self,
+        candidates: &[Vec<Candidate>],
+        output_blocked: &[bool],
+        rotating_outputs: bool,
+    ) -> Vec<MatchedPair> {
+        let ports = self.ports;
+        let mut input_matched = vec![false; ports];
+        let mut output_matched = output_blocked.to_vec();
+        let mut pairs = Vec::new();
+
+        loop {
+            // Each unmatched input proposes its best candidate whose output
+            // is still free.
+            let mut proposals: Vec<&Candidate> = Vec::new();
+            for (p, list) in candidates.iter().enumerate() {
+                if input_matched[p] {
+                    continue;
+                }
+                if let Some(c) = list.iter().find(|c| !output_matched[c.output.index()]) {
+                    proposals.push(c);
+                }
+            }
+            if proposals.is_empty() {
+                break;
+            }
+
+            // Resolve each contested output.
+            let mut granted = false;
+            #[allow(clippy::needless_range_loop)]
+            for o in 0..ports {
+                let contenders: Vec<&Candidate> =
+                    proposals.iter().copied().filter(|c| c.output.index() == o).collect();
+                let winner = if rotating_outputs {
+                    Self::nearest_from(&contenders, self.grant_ptr[o], ports, |c| c.input.index())
+                        .copied()
+                } else {
+                    contenders
+                        .iter()
+                        .copied()
+                        .reduce(|best, c| if c.rank_before(best) { c } else { best })
+                };
+                if let Some(w) = winner {
+                    if rotating_outputs {
+                        self.grant_ptr[o] = (w.input.index() + 1) % ports;
+                    }
+                    input_matched[w.input.index()] = true;
+                    output_matched[o] = true;
+                    pairs.push(MatchedPair::from(w));
+                    granted = true;
+                }
+            }
+            if !granted {
+                break;
+            }
+        }
+        pairs
+    }
+
+    /// Finds the contender whose key is nearest at/after `ptr`, wrapping in
+    /// a ring of `ports` positions.
+    fn nearest_from<T>(
+        contenders: &[T],
+        ptr: usize,
+        ports: usize,
+        key: impl Fn(&T) -> usize,
+    ) -> Option<&T> {
+        contenders.iter().min_by_key(|c| (key(c) + ports - ptr % ports) % ports)
+    }
+
+    /// Parallel iterative matching (Anderson et al.): in each iteration,
+    /// every unmatched output grants a *random* requesting input and every
+    /// input accepts a *random* grant.
+    fn pim_match(
+        &mut self,
+        candidates: &[Vec<Candidate>],
+        output_blocked: &[bool],
+        iterations: u32,
+        rng: &mut SeededRng,
+    ) -> Vec<MatchedPair> {
+        let ports = self.ports;
+        let mut input_matched = vec![false; ports];
+        let mut output_matched = output_blocked.to_vec();
+        let mut pairs = Vec::new();
+
+        for _ in 0..iterations.max(1) {
+            // Request phase: which unmatched inputs request which unmatched
+            // outputs?
+            let mut requests: Vec<Vec<usize>> = vec![Vec::new(); ports]; // per output: inputs
+            for (p, list) in candidates.iter().enumerate() {
+                if input_matched[p] {
+                    continue;
+                }
+                let mut seen = [false; 64];
+                for c in list {
+                    let o = c.output.index();
+                    if !output_matched[o] && !seen[o] {
+                        seen[o] = true;
+                        requests[o].push(p);
+                    }
+                }
+            }
+            // Grant phase: each output picks a random requester.
+            let mut grants: Vec<Vec<usize>> = vec![Vec::new(); ports]; // per input: outputs
+            for (o, reqs) in requests.iter().enumerate() {
+                if !reqs.is_empty() {
+                    let pick = reqs[rng.index(reqs.len())];
+                    grants[pick].push(o);
+                }
+            }
+            // Accept phase: each input picks a random grant.
+            let mut progress = false;
+            for (p, gs) in grants.iter().enumerate() {
+                if gs.is_empty() {
+                    continue;
+                }
+                let o = gs[rng.index(gs.len())];
+                // The flit transmitted is a random candidate of (p, o).
+                let choices: Vec<&Candidate> =
+                    candidates[p].iter().filter(|c| c.output.index() == o).collect();
+                let c = choices[rng.index(choices.len())];
+                input_matched[p] = true;
+                output_matched[o] = true;
+                pairs.push(MatchedPair::from(c));
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+        pairs
+    }
+
+    /// iSLIP-style matching: grant/accept by rotating pointers, pointers
+    /// advanced only for matches made in the first iteration (the standard
+    /// rule that preserves fairness).
+    fn islip_match(
+        &mut self,
+        candidates: &[Vec<Candidate>],
+        output_blocked: &[bool],
+        iterations: u32,
+    ) -> Vec<MatchedPair> {
+        let ports = self.ports;
+        let mut input_matched = vec![false; ports];
+        let mut output_matched = output_blocked.to_vec();
+        let mut pairs = Vec::new();
+
+        for it in 0..iterations.max(1) {
+            let mut requests: Vec<Vec<usize>> = vec![Vec::new(); ports];
+            for (p, list) in candidates.iter().enumerate() {
+                if input_matched[p] {
+                    continue;
+                }
+                let mut seen = [false; 64];
+                for c in list {
+                    let o = c.output.index();
+                    if !output_matched[o] && !seen[o] {
+                        seen[o] = true;
+                        requests[o].push(p);
+                    }
+                }
+            }
+            let mut grants: Vec<Vec<usize>> = vec![Vec::new(); ports];
+            for (o, reqs) in requests.iter().enumerate() {
+                if reqs.is_empty() {
+                    continue;
+                }
+                let ptr = self.grant_ptr[o];
+                let pick = *reqs
+                    .iter()
+                    .min_by_key(|&&p| (p + ports - ptr % ports) % ports)
+                    .expect("non-empty");
+                grants[pick].push(o);
+            }
+            let mut progress = false;
+            for (p, gs) in grants.iter().enumerate() {
+                if gs.is_empty() {
+                    continue;
+                }
+                let ptr = self.accept_ptr[p];
+                let o = *gs
+                    .iter()
+                    .min_by_key(|&&o| (o + ports - ptr % ports) % ports)
+                    .expect("non-empty");
+                let c = candidates[p]
+                    .iter()
+                    .find(|c| c.output.index() == o)
+                    .expect("granted output came from a candidate");
+                input_matched[p] = true;
+                output_matched[o] = true;
+                pairs.push(MatchedPair::from(c));
+                progress = true;
+                if it == 0 {
+                    self.grant_ptr[o] = (p + 1) % ports;
+                    self.accept_ptr[p] = (o + 1) % ports;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        pairs
+    }
+
+    /// The perfect switch: every input transmits its top-ranked candidate;
+    /// outputs accept any number of flits in the same cycle.
+    fn perfect_match(candidates: &[Vec<Candidate>]) -> Vec<MatchedPair> {
+        candidates.iter().filter_map(|list| list.first().map(MatchedPair::from)).collect()
+    }
+}
+
+/// Checks that a matching is feasible for a multiplexed crossbar: at most
+/// one flit per input port and (except for the perfect switch) one per
+/// output port. Used by tests and debug assertions.
+pub fn is_valid_matching(pairs: &[MatchedPair], ports: usize, allow_output_sharing: bool) -> bool {
+    let mut in_used = vec![false; ports];
+    let mut out_used = vec![false; ports];
+    for p in pairs {
+        if std::mem::replace(&mut in_used[p.input.index()], true) {
+            return false;
+        }
+        if !allow_output_sharing && std::mem::replace(&mut out_used[p.output.index()], true) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::ServicePhase;
+
+    fn cand(input: u8, vc: u16, output: u8, prio: f64) -> Candidate {
+        Candidate {
+            input: PortId(input),
+            vc: VcIndex(vc),
+            output: PortId(output),
+            conn: ConnectionId(u32::from(vc)),
+            phase: ServicePhase::CbrGuaranteed,
+            priority: prio,
+        }
+    }
+
+    fn rng() -> SeededRng {
+        SeededRng::new(7)
+    }
+
+    #[test]
+    fn priority_match_resolves_conflict_by_priority() {
+        let mut s = SwitchScheduler::new(ArbiterKind::BiasedPriority, 4);
+        // Inputs 0 and 1 both want output 2; input 1 has higher priority and
+        // input 0 has a fallback to output 3.
+        let cands = vec![
+            vec![cand(0, 0, 2, 1.0), cand(0, 1, 3, 0.5)],
+            vec![cand(1, 0, 2, 9.0)],
+            vec![],
+            vec![],
+        ];
+        let pairs = s.schedule(&cands, &[false; 4], &mut rng());
+        assert!(is_valid_matching(&pairs, 4, false));
+        assert_eq!(pairs.len(), 2, "loser falls back to its second candidate");
+        let winner = pairs.iter().find(|p| p.output == PortId(2)).expect("output 2 matched");
+        assert_eq!(winner.input, PortId(1));
+        let fallback = pairs.iter().find(|p| p.output == PortId(3)).expect("output 3 matched");
+        assert_eq!(fallback.input, PortId(0));
+    }
+
+    #[test]
+    fn single_candidate_loser_goes_unmatched() {
+        let mut s = SwitchScheduler::new(ArbiterKind::BiasedPriority, 2);
+        let cands = vec![vec![cand(0, 0, 1, 1.0)], vec![cand(1, 0, 1, 2.0)]];
+        let pairs = s.schedule(&cands, &[false; 2], &mut rng());
+        assert_eq!(pairs.len(), 1, "with one candidate there is no fallback");
+        assert_eq!(pairs[0].input, PortId(1));
+    }
+
+    #[test]
+    fn blocked_outputs_are_skipped() {
+        let mut s = SwitchScheduler::new(ArbiterKind::BiasedPriority, 2);
+        let cands = vec![vec![cand(0, 0, 1, 1.0)], vec![]];
+        let pairs = s.schedule(&cands, &[false, true], &mut rng());
+        assert!(pairs.is_empty(), "output 1 is claimed by a cut-through");
+    }
+
+    #[test]
+    fn more_candidates_fill_more_ports() {
+        // All inputs prefer output 0; extra candidates let losers divert.
+        let lists_1: Vec<Vec<Candidate>> =
+            (0..4).map(|i| vec![cand(i, 0, 0, f64::from(i))]).collect();
+        let lists_4: Vec<Vec<Candidate>> = (0..4u8)
+            .map(|i| {
+                (0..4u8)
+                    .map(|o| cand(i, u16::from(o), o, f64::from(i) + f64::from(4 - o)))
+                    .collect()
+            })
+            .collect();
+        let mut s = SwitchScheduler::new(ArbiterKind::BiasedPriority, 4);
+        let one = s.schedule(&lists_1, &[false; 4], &mut rng()).len();
+        let four = s.schedule(&lists_4, &[false; 4], &mut rng()).len();
+        assert_eq!(one, 1);
+        assert_eq!(four, 4, "4 candidates per input saturate the switch");
+    }
+
+    #[test]
+    fn pim_produces_valid_maximal_matchings() {
+        let mut s = SwitchScheduler::new(ArbiterKind::autonet_default(), 8);
+        let mut r = rng();
+        // Dense request pattern: every input offers every output.
+        let cands: Vec<Vec<Candidate>> =
+            (0..8).map(|i| (0..8).map(|o| cand(i, u16::from(o), o, 0.0)).collect()).collect();
+        for _ in 0..50 {
+            let pairs = s.schedule(&cands, &[false; 8], &mut r);
+            assert!(is_valid_matching(&pairs, 8, false));
+            assert_eq!(pairs.len(), 8, "dense PIM converges to a perfect matching");
+        }
+    }
+
+    #[test]
+    fn pim_respects_blocked_outputs() {
+        let mut s = SwitchScheduler::new(ArbiterKind::autonet_default(), 4);
+        let cands: Vec<Vec<Candidate>> =
+            (0..4).map(|i| vec![cand(i, 0, 0, 0.0)]).collect();
+        let blocked = [true, false, false, false];
+        let pairs = s.schedule(&cands, &blocked, &mut rng());
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn islip_is_deterministic_and_valid() {
+        let mut s = SwitchScheduler::new(ArbiterKind::Islip { iterations: 4 }, 4);
+        let cands: Vec<Vec<Candidate>> =
+            (0..4).map(|i| (0..4).map(|o| cand(i, u16::from(o), o, 0.0)).collect()).collect();
+        let pairs = s.schedule(&cands, &[false; 4], &mut rng());
+        assert!(is_valid_matching(&pairs, 4, false));
+        assert_eq!(pairs.len(), 4);
+        // Pointers rotate: repeated scheduling shifts the grants.
+        let again = s.schedule(&cands, &[false; 4], &mut rng());
+        assert!(is_valid_matching(&again, 4, false));
+        assert_eq!(again.len(), 4);
+    }
+
+    #[test]
+    fn islip_pointer_rotation_shares_contested_output() {
+        let mut s = SwitchScheduler::new(ArbiterKind::Islip { iterations: 1 }, 2);
+        let cands = vec![vec![cand(0, 0, 0, 0.0)], vec![cand(1, 0, 0, 0.0)]];
+        let first = s.schedule(&cands, &[false; 2], &mut rng());
+        let second = s.schedule(&cands, &[false; 2], &mut rng());
+        assert_eq!(first.len(), 1);
+        assert_eq!(second.len(), 1);
+        assert_ne!(first[0].input, second[0].input, "pointer moved past the first winner");
+    }
+
+    #[test]
+    fn perfect_switch_ignores_conflicts() {
+        let mut s = SwitchScheduler::new(ArbiterKind::Perfect, 4);
+        let cands: Vec<Vec<Candidate>> =
+            (0..4).map(|i| vec![cand(i, 0, 0, 0.0)]).collect();
+        let pairs = s.schedule(&cands, &[false; 4], &mut rng());
+        assert_eq!(pairs.len(), 4, "all four inputs transmit to output 0 at once");
+        assert!(is_valid_matching(&pairs, 4, true));
+        assert!(!is_valid_matching(&pairs, 4, false));
+    }
+
+    #[test]
+    fn round_robin_rotates_winners() {
+        let mut s = SwitchScheduler::new(ArbiterKind::RoundRobin, 2);
+        let cands = vec![vec![cand(0, 0, 0, 0.0)], vec![cand(1, 0, 0, 0.0)]];
+        let a = s.schedule(&cands, &[false; 2], &mut rng())[0].input;
+        let b = s.schedule(&cands, &[false; 2], &mut rng())[0].input;
+        assert_ne!(a, b, "grant pointer alternates the contested output");
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_matching() {
+        let mut s = SwitchScheduler::new(ArbiterKind::BiasedPriority, 3);
+        let pairs = s.schedule(&vec![Vec::new(); 3], &[false; 3], &mut rng());
+        assert!(pairs.is_empty());
+    }
+}

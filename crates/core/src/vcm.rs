@@ -1,0 +1,406 @@
+//! Virtual channel memory (VCM).
+//!
+//! §3.2 of the paper: instead of discrete FIFO queues per virtual channel,
+//! the MMR stores flits in "a set of interleaved RAM modules", each flit
+//! low-order interleaved across banks, with flits of the same VC in adjacent
+//! locations. The number of banks is chosen to balance memory access time
+//! against link speed.
+//!
+//! Functionally the VCM behaves as a set of bounded per-VC FIFOs; the bank
+//! structure determines how many flit accesses can be sustained per flit
+//! cycle. [`VirtualChannelMemory`] implements the FIFO semantics, maintains
+//! the `flits_available` status vector for the link scheduler, tracks the
+//! head-of-queue *ready time* used by the paper's delay metric, and counts
+//! bank accesses so over-committed configurations are visible
+//! ([`VirtualChannelMemory::bank_conflicts`]). [`BankTimingModel`] gives the
+//! analytic sustainable-bandwidth side used by the A5 ablation.
+
+use std::collections::VecDeque;
+
+use mmr_bitvec::StatusBits;
+use mmr_sim::{Bandwidth, Cycles};
+
+use crate::flit::Flit;
+use crate::ids::VcIndex;
+
+/// Errors returned by VCM operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcmError {
+    /// The target virtual channel's buffer is full; link-level flow control
+    /// should have withheld the flit.
+    BufferFull {
+        /// The VC whose buffer overflowed.
+        vc: VcIndex,
+    },
+    /// The VC index is out of range for this port.
+    NoSuchVc {
+        /// The offending index.
+        vc: VcIndex,
+    },
+}
+
+impl std::fmt::Display for VcmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VcmError::BufferFull { vc } => write!(f, "virtual channel {vc} buffer is full"),
+            VcmError::NoSuchVc { vc } => write!(f, "virtual channel {vc} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for VcmError {}
+
+#[derive(Debug, Clone, Default)]
+struct VcQueue {
+    flits: VecDeque<Flit>,
+    /// Cycle at which the current head flit became ready to be transmitted
+    /// through the switch (the paper's delay reference point).
+    head_ready_at: Cycles,
+}
+
+/// The virtual channel memory of one input port: `vcs` bounded FIFOs over an
+/// interleaved bank array.
+///
+/// # Example
+///
+/// ```
+/// use mmr_core::vcm::VirtualChannelMemory;
+/// use mmr_core::flit::Flit;
+/// use mmr_core::ids::{ConnectionId, VcIndex};
+/// use mmr_sim::Cycles;
+///
+/// let mut vcm = VirtualChannelMemory::new(256, 4, 8);
+/// let vc = VcIndex(17);
+/// vcm.push(vc, Flit::data(ConnectionId(1), 0, Cycles(5)), Cycles(5))?;
+/// assert_eq!(vcm.occupancy(vc), 1);
+/// assert_eq!(vcm.flits_available().first_set(), Some(17));
+/// let flit = vcm.pop(vc, Cycles(6)).expect("head present");
+/// assert_eq!(flit.seq, 0);
+/// # Ok::<(), mmr_core::vcm::VcmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtualChannelMemory {
+    queues: Vec<VcQueue>,
+    depth: usize,
+    flits_available: StatusBits,
+    banks: usize,
+    accesses_this_cycle: usize,
+    bank_conflicts: u64,
+    total_pushed: u64,
+    total_popped: u64,
+}
+
+impl VirtualChannelMemory {
+    /// Creates a VCM with `vcs` virtual channels of `depth` flits each,
+    /// backed by `banks` interleaved RAM modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs`, `depth` or `banks` is zero.
+    pub fn new(vcs: usize, depth: usize, banks: usize) -> Self {
+        assert!(vcs > 0, "need at least one virtual channel");
+        assert!(depth > 0, "virtual channel depth must be positive");
+        assert!(banks > 0, "need at least one memory bank");
+        VirtualChannelMemory {
+            queues: vec![VcQueue::default(); vcs],
+            depth,
+            flits_available: StatusBits::zeros(vcs),
+            banks,
+            accesses_this_cycle: 0,
+            bank_conflicts: 0,
+            total_pushed: 0,
+            total_popped: 0,
+        }
+    }
+
+    /// Number of virtual channels.
+    pub fn vcs(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Per-VC buffer depth in flits.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of interleaved banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    fn queue(&self, vc: VcIndex) -> Result<&VcQueue, VcmError> {
+        self.queues.get(vc.index()).ok_or(VcmError::NoSuchVc { vc })
+    }
+
+    /// Marks the start of a new flit cycle (resets the bank access budget).
+    pub fn begin_cycle(&mut self) {
+        self.accesses_this_cycle = 0;
+    }
+
+    fn count_access(&mut self) {
+        self.accesses_this_cycle += 1;
+        if self.accesses_this_cycle > self.banks {
+            self.bank_conflicts += 1;
+        }
+    }
+
+    /// Stores a flit arriving for `vc` at cycle `now`.
+    ///
+    /// If the queue was empty the flit becomes the head and is ready in the
+    /// same cycle (the paper's phit buffers hide the decoding delay).
+    ///
+    /// # Errors
+    ///
+    /// [`VcmError::BufferFull`] if the VC already holds `depth` flits;
+    /// [`VcmError::NoSuchVc`] if the index is out of range.
+    pub fn push(&mut self, vc: VcIndex, flit: Flit, now: Cycles) -> Result<(), VcmError> {
+        let depth = self.depth;
+        let q = self.queues.get_mut(vc.index()).ok_or(VcmError::NoSuchVc { vc })?;
+        if q.flits.len() >= depth {
+            return Err(VcmError::BufferFull { vc });
+        }
+        if q.flits.is_empty() {
+            q.head_ready_at = now;
+            self.flits_available.set(vc.index(), true);
+        }
+        q.flits.push_back(flit);
+        self.total_pushed += 1;
+        self.count_access();
+        Ok(())
+    }
+
+    /// Removes and returns the head flit of `vc`; the next flit (if any)
+    /// becomes ready at `now + 1` — it can only use the next flit cycle.
+    pub fn pop(&mut self, vc: VcIndex, now: Cycles) -> Option<Flit> {
+        let q = self.queues.get_mut(vc.index())?;
+        let flit = q.flits.pop_front()?;
+        if q.flits.is_empty() {
+            self.flits_available.set(vc.index(), false);
+        } else {
+            q.head_ready_at = now + Cycles(1);
+        }
+        self.total_popped += 1;
+        self.count_access();
+        Some(flit)
+    }
+
+    /// The head flit of `vc`, if any.
+    pub fn head(&self, vc: VcIndex) -> Option<&Flit> {
+        self.queue(vc).ok().and_then(|q| q.flits.front())
+    }
+
+    /// Cycle at which the head flit of `vc` became ready, if there is one.
+    pub fn head_ready_at(&self, vc: VcIndex) -> Option<Cycles> {
+        self.queue(vc).ok().and_then(|q| (!q.flits.is_empty()).then_some(q.head_ready_at))
+    }
+
+    /// The paper's per-flit delay so far: cycles the head of `vc` has waited
+    /// since becoming ready. `None` if the VC is empty.
+    pub fn head_delay(&self, vc: VcIndex, now: Cycles) -> Option<Cycles> {
+        self.head_ready_at(vc).map(|r| now.since(r))
+    }
+
+    /// Number of flits queued on `vc` (0 for out-of-range indices).
+    pub fn occupancy(&self, vc: VcIndex) -> usize {
+        self.queue(vc).map(|q| q.flits.len()).unwrap_or(0)
+    }
+
+    /// Whether `vc` has no room for another flit.
+    pub fn is_full(&self, vc: VcIndex) -> bool {
+        self.occupancy(vc) >= self.depth
+    }
+
+    /// Drops every queued flit of `vc` (connection teardown or an
+    /// `AbortFrame` command word) and returns how many were dropped.
+    pub fn flush(&mut self, vc: VcIndex) -> usize {
+        let Some(q) = self.queues.get_mut(vc.index()) else { return 0 };
+        let n = q.flits.len();
+        q.flits.clear();
+        if n > 0 {
+            self.flits_available.set(vc.index(), false);
+        }
+        n
+    }
+
+    /// The `flits_available` status vector (one bit per VC with a ready
+    /// head flit) — the link scheduler's primary input.
+    pub fn flits_available(&self) -> &StatusBits {
+        &self.flits_available
+    }
+
+    /// Total flits currently stored across all VCs.
+    pub fn total_occupancy(&self) -> usize {
+        self.queues.iter().map(|q| q.flits.len()).sum()
+    }
+
+    /// Accesses that exceeded the per-cycle bank budget since construction.
+    /// A correctly sized VCM keeps this at zero.
+    pub fn bank_conflicts(&self) -> u64 {
+        self.bank_conflicts
+    }
+
+    /// Lifetime (pushed, popped) flit counts — conservation checking.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.total_pushed, self.total_popped)
+    }
+}
+
+/// Analytic timing model for the interleaved bank array (§3.2: "The number
+/// of memory modules and flit size must be selected to balance memory access
+/// time, link speed, and crossbar switching delay").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankTimingModel {
+    /// Number of interleaved RAM modules.
+    pub banks: usize,
+    /// Width of one memory word in bits (the interleaving granularity).
+    pub word_bits: u32,
+    /// Access time of one module in nanoseconds.
+    pub access_ns: f64,
+}
+
+impl BankTimingModel {
+    /// Peak memory bandwidth of the array in bits/s: every bank streams one
+    /// word per access time.
+    pub fn peak_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_bps(self.banks as f64 * f64::from(self.word_bits) / (self.access_ns * 1e-9))
+    }
+
+    /// Whether the array can sustain `link_rate` for simultaneous read and
+    /// write streams (one incoming and one outgoing flit per flit cycle, the
+    /// steady-state load of a busy port).
+    pub fn sustains_full_duplex(&self, link_rate: Bandwidth) -> bool {
+        self.peak_bandwidth().bits_per_sec() >= 2.0 * link_rate.bits_per_sec()
+    }
+
+    /// Minimum number of banks of this word size / access time needed to
+    /// sustain full-duplex `link_rate`.
+    pub fn banks_required(word_bits: u32, access_ns: f64, link_rate: Bandwidth) -> usize {
+        let per_bank = f64::from(word_bits) / (access_ns * 1e-9);
+        (2.0 * link_rate.bits_per_sec() / per_bank).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ConnectionId;
+
+    fn flit(seq: u64, at: u64) -> Flit {
+        Flit::data(ConnectionId(1), seq, Cycles(at))
+    }
+
+    #[test]
+    fn fifo_order_per_vc() {
+        let mut vcm = VirtualChannelMemory::new(4, 8, 2);
+        let vc = VcIndex(2);
+        for i in 0..3 {
+            vcm.push(vc, flit(i, 0), Cycles(0)).expect("room");
+        }
+        assert_eq!(vcm.occupancy(vc), 3);
+        assert_eq!(vcm.pop(vc, Cycles(1)).map(|f| f.seq), Some(0));
+        assert_eq!(vcm.pop(vc, Cycles(2)).map(|f| f.seq), Some(1));
+        assert_eq!(vcm.pop(vc, Cycles(3)).map(|f| f.seq), Some(2));
+        assert_eq!(vcm.pop(vc, Cycles(4)), None);
+    }
+
+    #[test]
+    fn depth_is_enforced() {
+        let mut vcm = VirtualChannelMemory::new(2, 2, 1);
+        let vc = VcIndex(0);
+        vcm.push(vc, flit(0, 0), Cycles(0)).expect("room");
+        vcm.push(vc, flit(1, 0), Cycles(0)).expect("room");
+        assert!(vcm.is_full(vc));
+        assert_eq!(vcm.push(vc, flit(2, 0), Cycles(0)), Err(VcmError::BufferFull { vc }));
+    }
+
+    #[test]
+    fn bad_vc_is_reported() {
+        let mut vcm = VirtualChannelMemory::new(2, 2, 1);
+        let vc = VcIndex(9);
+        assert_eq!(vcm.push(vc, flit(0, 0), Cycles(0)), Err(VcmError::NoSuchVc { vc }));
+        assert_eq!(vcm.pop(vc, Cycles(0)), None);
+        assert_eq!(vcm.occupancy(vc), 0);
+    }
+
+    #[test]
+    fn flits_available_tracks_heads() {
+        let mut vcm = VirtualChannelMemory::new(8, 4, 2);
+        assert!(!vcm.flits_available().any());
+        vcm.push(VcIndex(5), flit(0, 0), Cycles(0)).expect("room");
+        assert_eq!(vcm.flits_available().iter_set().collect::<Vec<_>>(), vec![5]);
+        vcm.push(VcIndex(5), flit(1, 0), Cycles(0)).expect("room");
+        vcm.pop(VcIndex(5), Cycles(1));
+        assert!(vcm.flits_available().get(5), "still one flit queued");
+        vcm.pop(VcIndex(5), Cycles(2));
+        assert!(!vcm.flits_available().any());
+    }
+
+    #[test]
+    fn head_ready_time_and_delay() {
+        let mut vcm = VirtualChannelMemory::new(2, 4, 1);
+        let vc = VcIndex(0);
+        vcm.push(vc, flit(0, 10), Cycles(10)).expect("room");
+        vcm.push(vc, flit(1, 10), Cycles(10)).expect("room");
+        // Head became ready when it arrived into an empty queue.
+        assert_eq!(vcm.head_ready_at(vc), Some(Cycles(10)));
+        assert_eq!(vcm.head_delay(vc, Cycles(14)), Some(Cycles(4)));
+        // After popping at cycle 14, the next head is ready at 15.
+        vcm.pop(vc, Cycles(14));
+        assert_eq!(vcm.head_ready_at(vc), Some(Cycles(15)));
+        assert_eq!(vcm.head_delay(vc, Cycles(15)), Some(Cycles(0)));
+    }
+
+    #[test]
+    fn flush_empties_and_clears_status() {
+        let mut vcm = VirtualChannelMemory::new(2, 4, 1);
+        let vc = VcIndex(1);
+        for i in 0..3 {
+            vcm.push(vc, flit(i, 0), Cycles(0)).expect("room");
+        }
+        assert_eq!(vcm.flush(vc), 3);
+        assert_eq!(vcm.occupancy(vc), 0);
+        assert!(!vcm.flits_available().get(1));
+        assert_eq!(vcm.flush(vc), 0);
+    }
+
+    #[test]
+    fn bank_conflicts_counted_beyond_budget() {
+        let mut vcm = VirtualChannelMemory::new(8, 4, 2);
+        vcm.begin_cycle();
+        for i in 0..4 {
+            vcm.push(VcIndex(i), flit(0, 0), Cycles(0)).expect("room");
+        }
+        // 4 accesses against a 2-bank budget -> 2 conflicts.
+        assert_eq!(vcm.bank_conflicts(), 2);
+        vcm.begin_cycle();
+        vcm.pop(VcIndex(0), Cycles(1));
+        vcm.pop(VcIndex(1), Cycles(1));
+        assert_eq!(vcm.bank_conflicts(), 2, "within budget after reset");
+    }
+
+    #[test]
+    fn totals_conserve_flits() {
+        let mut vcm = VirtualChannelMemory::new(4, 4, 4);
+        for i in 0..3 {
+            vcm.push(VcIndex(i), flit(0, 0), Cycles(0)).expect("room");
+        }
+        vcm.pop(VcIndex(0), Cycles(1));
+        let (pushed, popped) = vcm.totals();
+        assert_eq!(pushed, 3);
+        assert_eq!(popped, 1);
+        assert_eq!(vcm.total_occupancy(), 2);
+    }
+
+    #[test]
+    fn bank_timing_model_matches_paper_scaling() {
+        // 8 banks of 32-bit words at 10 ns sustain 25.6 Gbps peak.
+        let m = BankTimingModel { banks: 8, word_bits: 32, access_ns: 10.0 };
+        assert!((m.peak_bandwidth().bits_per_sec() - 25.6e9).abs() < 1e3);
+        assert!(m.sustains_full_duplex(Bandwidth::from_gbps(1.24)));
+        // One bank of the same geometry cannot sustain 2.48 Gbps duplex.
+        let one = BankTimingModel { banks: 1, word_bits: 32, access_ns: 10.0 };
+        assert!(!one.sustains_full_duplex(Bandwidth::from_gbps(2.0)));
+        assert_eq!(BankTimingModel::banks_required(32, 10.0, Bandwidth::from_gbps(1.24)), 1);
+        assert_eq!(BankTimingModel::banks_required(32, 40.0, Bandwidth::from_gbps(1.24)), 4);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for admission control and round accounting.
+
+use mmr_core::bandwidth::{LinkBandwidthBook, RoundConfig};
+use mmr_core::conn::QosClass;
+use mmr_sim::{Bandwidth, FlitTiming};
+use proptest::prelude::*;
+
+fn timing() -> FlitTiming {
+    FlitTiming::paper_default()
+}
+
+proptest! {
+    /// However requests interleave with releases, the guaranteed register
+    /// never exceeds the reservable cycles and never goes negative.
+    #[test]
+    fn registers_stay_within_bounds(
+        ops in prop::collection::vec((1.0f64..1500.0, any::<bool>()), 1..80)
+    ) {
+        let mut book = LinkBandwidthBook::new(RoundConfig::new(256, 2), timing(), 0.0, 4.0);
+        let mut held = Vec::new();
+        for (mbps, release_one) in ops {
+            if release_one && !held.is_empty() {
+                let alloc = held.swap_remove(0);
+                book.release(alloc);
+            } else if let Ok(alloc) =
+                book.try_admit(QosClass::Cbr { rate: Bandwidth::from_mbps(mbps) })
+            {
+                held.push(alloc);
+            }
+            prop_assert!(book.guaranteed_allocated() <= book.reservable_cycles() + 1e-6);
+            prop_assert!(book.guaranteed_allocated() >= -1e-9);
+        }
+        // Releasing everything restores an empty book.
+        for alloc in held {
+            book.release(alloc);
+        }
+        prop_assert!(book.guaranteed_allocated().abs() < 1e-6);
+        prop_assert!(book.peak_booked().abs() < 1e-6);
+    }
+
+    /// The sum of admitted CBR rates never exceeds the link rate, and a
+    /// request is only rejected when it genuinely would not fit.
+    #[test]
+    fn admission_is_exact(rates in prop::collection::vec(0.1f64..1300.0, 1..60)) {
+        let mut book = LinkBandwidthBook::new(RoundConfig::new(256, 2), timing(), 0.0, 4.0);
+        let link = timing().link_rate().bits_per_sec();
+        let mut admitted = 0.0f64;
+        for mbps in rates {
+            let rate = Bandwidth::from_mbps(mbps);
+            match book.try_admit(QosClass::Cbr { rate }) {
+                Ok(_) => admitted += rate.bits_per_sec(),
+                Err(_) => prop_assert!(
+                    admitted + rate.bits_per_sec() > link * (1.0 - 1e-9),
+                    "rejected {mbps} Mbps with only {admitted} admitted"
+                ),
+            }
+            prop_assert!(admitted <= link * (1.0 + 1e-9));
+        }
+    }
+
+    /// VBR peak booking is bounded by round × concurrency factor, for any
+    /// factor and request mix.
+    #[test]
+    fn vbr_peak_respects_concurrency(
+        factor in 1.0f64..8.0,
+        requests in prop::collection::vec((1.0f64..100.0, 1.0f64..10.0), 1..40)
+    ) {
+        let round = RoundConfig::new(256, 2);
+        let mut book = LinkBandwidthBook::new(round, timing(), 0.0, factor);
+        let limit = round.cycles_per_round() as f64 * factor;
+        for (perm_mbps, peak_mult) in requests {
+            let permanent = Bandwidth::from_mbps(perm_mbps);
+            let peak = permanent * peak_mult;
+            let _ = book.try_admit(QosClass::Vbr { permanent, peak, priority: 0 });
+            prop_assert!(book.peak_booked() <= limit + 1e-6);
+        }
+    }
+
+    /// Round arithmetic: cycles_for_rate is linear in the rate and the
+    /// granularity equals one cycle per round.
+    #[test]
+    fn round_conversion_is_linear(k in 2u32..32, mbps in 0.01f64..1240.0) {
+        let round = RoundConfig::new(256, k);
+        let t = timing();
+        let one = round.cycles_for_rate(Bandwidth::from_mbps(mbps), t);
+        let two = round.cycles_for_rate(Bandwidth::from_mbps(2.0 * mbps), t);
+        prop_assert!((two - 2.0 * one).abs() < 1e-9);
+        let g = round.granularity(t);
+        let cycles_for_g = round.cycles_for_rate(g, t);
+        prop_assert!((cycles_for_g - 1.0).abs() < 1e-9);
+    }
+}

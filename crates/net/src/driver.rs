@@ -1,0 +1,221 @@
+//! Network-level experiments: end-to-end streams over a multi-router
+//! fabric.
+//!
+//! The paper evaluates one router; this driver runs the same CBR
+//! methodology across a whole network — connections established by EPB
+//! probes, flits crossing multiple routers under credit flow control — and
+//! measures *end-to-end* latency and jitter at the destination NIs. This is
+//! the evaluation the MMR project's later papers perform, built here on the
+//! same substrate.
+
+use mmr_core::router::RouterConfig;
+use mmr_sim::{Bandwidth, Cycles, DelayJitterRecorder, SeededRng, Warmup};
+
+use crate::network::{NetConnectionId, NetworkSim};
+use crate::setup::SetupStrategy;
+use crate::topology::{NodeId, Topology};
+
+/// Configuration of one network experiment.
+#[derive(Debug, Clone)]
+pub struct NetExperiment {
+    /// Topology of the fabric.
+    pub topology: Topology,
+    /// Per-node router configuration.
+    pub router: RouterConfig,
+    /// Target fraction of total NI bandwidth offered as CBR streams.
+    pub target_load: f64,
+    /// Rates drawn uniformly for the streams.
+    pub ladder: Vec<Bandwidth>,
+    /// Warm-up cycles before measurement.
+    pub warmup_cycles: u64,
+    /// Measured cycles.
+    pub measure_cycles: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl NetExperiment {
+    /// An experiment over `topology` at `target_load`, with the paper's
+    /// rate ladder and measurement windows scaled for network runs.
+    pub fn new(topology: Topology, router: RouterConfig, target_load: f64) -> Self {
+        NetExperiment {
+            topology,
+            router,
+            target_load,
+            ladder: mmr_traffic::rates::paper_rate_ladder().to_vec(),
+            warmup_cycles: 5_000,
+            measure_cycles: 20_000,
+            seed: 2_026,
+        }
+    }
+
+    /// Overrides the measurement windows.
+    pub fn windows(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup_cycles = warmup;
+        self.measure_cycles = measure;
+        self
+    }
+
+    /// Overrides the workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the experiment.
+    pub fn run(&self) -> NetExperimentResult {
+        let mut net = NetworkSim::new(self.topology.clone(), self.router.clone());
+        let mut rng = SeededRng::new(self.seed);
+        let nodes = net.topology().nodes();
+        let link = self.router.clone().build().config().timing().link_rate();
+        let capacity = link * nodes as f64; // one NI per node
+
+        // Build the stream population under EPB admission.
+        struct Source {
+            conn: NetConnectionId,
+            interarrival: f64,
+            next: f64,
+            backlog: u32,
+        }
+        let mut sources: Vec<Source> = Vec::new();
+        let mut offered = Bandwidth::ZERO;
+        let mut failures = 0u32;
+        let timing = self.router.clone().build().config().timing();
+        while offered.fraction_of(capacity) < self.target_load && failures < 400 {
+            let rate = *rng.pick(&self.ladder);
+            let src = NodeId(rng.index(nodes) as u16);
+            let dst = NodeId(rng.index(nodes) as u16);
+            if src == dst {
+                continue;
+            }
+            match net.establish(
+                src,
+                dst,
+                mmr_core::conn::QosClass::Cbr { rate },
+                SetupStrategy::Epb,
+            ) {
+                Ok(conn) => {
+                    offered += rate;
+                    let interarrival = timing.interarrival_cycles(rate);
+                    sources.push(Source {
+                        conn,
+                        next: rng.uniform(0.0, interarrival),
+                        interarrival,
+                        backlog: 0,
+                    });
+                }
+                Err(_) => failures += 1,
+            }
+        }
+
+        let warmup = Warmup::until(Cycles(self.warmup_cycles));
+        let total = self.warmup_cycles + self.measure_cycles;
+        let mut recorder = DelayJitterRecorder::new();
+        let mut hop_weighted_latency = 0.0f64;
+        let mut measured = 0u64;
+
+        for t in 0..total {
+            let now = Cycles(t);
+            for s in &mut sources {
+                let mut due = s.backlog;
+                s.backlog = 0;
+                while s.next <= now.as_f64() {
+                    due += 1;
+                    s.next += s.interarrival;
+                }
+                for k in 0..due {
+                    if net.inject(s.conn, now).is_err() {
+                        s.backlog = due - k;
+                        break;
+                    }
+                }
+            }
+            let report = net.step(now);
+            if warmup.measuring(now) {
+                for d in &report.delivered {
+                    recorder.record(d.conn.0, d.latency);
+                    measured += 1;
+                    hop_weighted_latency += d.latency.as_f64();
+                }
+            }
+        }
+
+        NetExperimentResult {
+            offered_load: offered.fraction_of(capacity),
+            streams: sources.len(),
+            mean_latency_cycles: recorder.mean_delay_cycles(),
+            mean_latency_us: timing.cycles_f64_to_time(recorder.mean_delay_cycles()).us(),
+            mean_jitter_cycles: recorder.mean_jitter_cycles(),
+            flits_delivered: measured,
+            out_of_order: net.stats().out_of_order,
+            _hop_weighted: hop_weighted_latency,
+        }
+    }
+}
+
+/// Results of one network experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetExperimentResult {
+    /// Offered load achieved (fraction of total NI bandwidth).
+    pub offered_load: f64,
+    /// Number of established streams.
+    pub streams: usize,
+    /// Mean end-to-end latency (injection at source NI → exit at
+    /// destination NI), in flit cycles.
+    pub mean_latency_cycles: f64,
+    /// Mean end-to-end latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Connection-weighted end-to-end jitter in flit cycles.
+    pub mean_jitter_cycles: f64,
+    /// Flits measured after warm-up.
+    pub flits_delivered: u64,
+    /// Out-of-order deliveries (must be zero).
+    pub out_of_order: u64,
+    _hop_weighted: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(load: f64) -> NetExperimentResult {
+        NetExperiment::new(
+            Topology::mesh2d(3, 3, 8),
+            RouterConfig::paper_default().vcs_per_port(16).candidates(4),
+            load,
+        )
+        .windows(1_000, 5_000)
+        .seed(3)
+        .run()
+    }
+
+    #[test]
+    fn network_streams_flow_and_stay_ordered() {
+        let r = quick(0.3);
+        assert!(r.streams > 5, "population built: {}", r.streams);
+        assert!(r.flits_delivered > 500, "{}", r.flits_delivered);
+        assert_eq!(r.out_of_order, 0);
+        // Multi-hop latency is at least a couple of cycles.
+        assert!(r.mean_latency_cycles >= 2.0, "{}", r.mean_latency_cycles);
+    }
+
+    #[test]
+    fn latency_grows_with_network_load() {
+        let low = quick(0.15);
+        let high = quick(0.5);
+        assert!(
+            high.mean_latency_cycles > low.mean_latency_cycles,
+            "end-to-end latency rises with load: {} vs {}",
+            low.mean_latency_cycles,
+            high.mean_latency_cycles
+        );
+    }
+
+    #[test]
+    fn network_experiment_is_reproducible() {
+        let a = quick(0.3);
+        let b = quick(0.3);
+        assert_eq!(a.mean_latency_cycles.to_bits(), b.mean_latency_cycles.to_bits());
+        assert_eq!(a.flits_delivered, b.flits_delivered);
+    }
+}

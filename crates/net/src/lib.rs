@@ -1,0 +1,57 @@
+//! Multi-router network substrate for the MMR reproduction.
+//!
+//! The paper evaluates a single router but describes full network operation:
+//! pipelined-circuit-switched connections established by backtracking probes
+//! (§3.5, §4.2), link-level virtual-channel flow control (§3.2), and VCT
+//! transport with adaptive routing for control/best-effort packets (§3.4).
+//! This crate builds all of it:
+//!
+//! * [`topology`] — meshes, tori, rings and connected random irregular
+//!   graphs, with router-port wiring and terminal (NI) ports.
+//! * [`updown`] — deadlock-free up*/down* adaptive routing for arbitrary
+//!   connected topologies (the substrate of the Silla–Duato algorithms the
+//!   paper cites).
+//! * [`setup`] — exhaustive profitable backtracking (EPB) connection
+//!   establishment with history stores, plus a greedy baseline.
+//! * [`network`] — the cycle-driven multi-router simulator: one
+//!   [`mmr_core::Router`] per node, credit flow control across wires,
+//!   end-to-end stream delivery, packet hopping, and link-failure
+//!   injection.
+//! * [`driver`] — network-level experiments (end-to-end latency/jitter vs
+//!   load).
+//!
+//! # Example
+//!
+//! ```
+//! use mmr_core::router::RouterConfig;
+//! use mmr_net::{NetworkSim, NodeId, SetupStrategy, Topology};
+//! use mmr_net::setup::cbr_mbps;
+//! use mmr_sim::Cycles;
+//!
+//! let mut net = NetworkSim::new(
+//!     Topology::mesh2d(3, 3, 8),
+//!     RouterConfig::paper_default().vcs_per_port(16),
+//! );
+//! let conn = net.establish(NodeId(0), NodeId(8), cbr_mbps(55.0), SetupStrategy::Epb)?;
+//! net.inject(conn, Cycles(0))?;
+//! for t in 0..20 {
+//!     net.step(Cycles(t));
+//! }
+//! assert_eq!(net.stats().flits_delivered, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod driver;
+pub mod network;
+pub mod setup;
+pub mod topology;
+pub mod updown;
+
+pub use driver::{NetExperiment, NetExperimentResult};
+pub use network::{
+    DeliveredFlit, DeliveredPacket, NetConnection, NetConnectionId, NetStats, NetStepReport,
+    NetworkSim, PacketId, ProbeToken, SetupEvent,
+};
+pub use setup::{ProbeMachine, ProbeStep, SetupError, SetupReceipt, SetupStrategy};
+pub use topology::{NodeId, Topology, Wire};
+pub use updown::{LinkDir, UpDownRouting};

@@ -1,0 +1,1065 @@
+//! The multi-router network simulator.
+//!
+//! [`NetworkSim`] instantiates one [`Router`] per topology node, wires their
+//! ports per the [`Topology`], and moves flits across links with one flit
+//! cycle of wire latency and credit-based link-level flow control (§3.2's
+//! "flits_available / credits_available" machinery operating across real
+//! router boundaries). Established connections span multiple routers via
+//! pinned virtual channels — the direct/reverse channel mappings of §3.5 —
+//! and single-flit VCT packets (control / best-effort) hop through the
+//! network under up*/down* adaptive routing (§3.4–§3.5).
+
+use std::collections::BTreeMap;
+
+use mmr_core::conn::QosClass;
+use mmr_core::flit::{Flit, FlitKind};
+use mmr_core::ids::{ConnectionId, PortId, VcIndex, VcRef};
+use mmr_core::router::{InjectError, PacketError, PacketOutcome, Router, RouterConfig};
+use mmr_sim::{Accumulator, Cycles, SeededRng};
+
+use crate::setup::{ProbeMachine, ProbeStep, SetupError, SetupStrategy};
+use crate::topology::{NodeId, Topology};
+use crate::updown::{LinkDir, UpDownRouting};
+
+/// A network-wide connection identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetConnectionId(pub u32);
+
+impl std::fmt::Display for NetConnectionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "net{}", self.0)
+    }
+}
+
+/// A network-wide packet identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u64);
+
+/// Handle for an in-flight asynchronous connection setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProbeToken(pub u64);
+
+/// Completion of an asynchronous setup (see
+/// [`NetworkSim::request_connection`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetupEvent {
+    /// The probe that finished.
+    pub token: ProbeToken,
+    /// The established connection, or why setup failed.
+    pub result: Result<NetConnectionId, SetupError>,
+    /// Cycles from the request to this event (probe travel + ack return).
+    pub latency: Cycles,
+    /// Probe hops consumed (forward + backtrack moves).
+    pub probe_hops: u32,
+}
+
+/// One hop of an established connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hop {
+    /// The router this hop crosses.
+    pub node: NodeId,
+    /// The router-local connection.
+    pub local: ConnectionId,
+}
+
+/// An established end-to-end connection.
+#[derive(Debug, Clone)]
+pub struct NetConnection {
+    /// Network-wide id.
+    pub id: NetConnectionId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Service class.
+    pub class: QosClass,
+    /// Per-router hops, source first.
+    pub hops: Vec<Hop>,
+    /// Flits delivered at the destination NI.
+    pub delivered: u64,
+    /// Next expected sequence number (in-order check).
+    pub next_seq: u64,
+}
+
+/// A flit that exited at its destination network interface this cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveredFlit {
+    /// The owning end-to-end connection.
+    pub conn: NetConnectionId,
+    /// The flit, with its original sequence number and injection time.
+    pub flit: Flit,
+    /// End-to-end latency in flit cycles.
+    pub latency: Cycles,
+    /// Whether the flit arrived in sequence order.
+    pub in_order: bool,
+}
+
+/// A VCT packet that reached its destination this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredPacket {
+    /// The packet.
+    pub packet: PacketId,
+    /// Destination node.
+    pub at: NodeId,
+    /// Hops traversed.
+    pub hops: u32,
+    /// End-to-end latency in flit cycles.
+    pub latency: Cycles,
+}
+
+/// The result of one network flit cycle.
+#[derive(Debug, Clone, Default)]
+pub struct NetStepReport {
+    /// Stream flits delivered at their destination NIs.
+    pub delivered: Vec<DeliveredFlit>,
+    /// VCT packets delivered at their destination nodes.
+    pub packets: Vec<DeliveredPacket>,
+    /// Asynchronous setups that completed this cycle.
+    pub setups: Vec<SetupEvent>,
+    /// Flits transmitted by any router this cycle.
+    pub flits_switched: usize,
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// End-to-end stream-flit latency (flit cycles).
+    pub latency: Accumulator,
+    /// End-to-end packet latency (flit cycles).
+    pub packet_latency: Accumulator,
+    /// Stream flits delivered.
+    pub flits_delivered: u64,
+    /// Packets delivered.
+    pub packets_delivered: u64,
+    /// Out-of-order stream deliveries (must stay zero).
+    pub out_of_order: u64,
+}
+
+#[derive(Debug, Clone)]
+struct InFlightFlit {
+    deliver_at: Cycles,
+    to: NodeId,
+    port: PortId,
+    vc: VcIndex,
+    flit: Flit,
+}
+
+#[derive(Debug, Clone)]
+struct PacketState {
+    dst: NodeId,
+    kind: FlitKind,
+    hops: u32,
+    injected_at: Cycles,
+    /// Direction of the last inter-router link taken (up*/down* phase).
+    last_dir: Option<LinkDir>,
+}
+
+#[derive(Debug)]
+enum ProbePhase {
+    /// The probe is still searching/reserving, one move per cycle.
+    Searching(ProbeMachine),
+    /// The path is fully reserved; the acknowledgment is returning to the
+    /// source along the reverse channel mappings, one link per cycle.
+    Acking {
+        machine: ProbeMachine,
+        remaining: usize,
+    },
+}
+
+#[derive(Debug)]
+struct ActiveProbe {
+    token: ProbeToken,
+    phase: ProbePhase,
+    started_at: Cycles,
+}
+
+#[derive(Debug, Clone)]
+struct PacketArrival {
+    deliver_at: Cycles,
+    node: NodeId,
+    entry: PortId,
+    packet: PacketId,
+}
+
+/// The multi-router simulator.
+#[derive(Debug)]
+pub struct NetworkSim {
+    topology: Topology,
+    /// The surviving graph after failures (routing decisions use this).
+    live_topology: Topology,
+    routing: UpDownRouting,
+    routers: Vec<Router>,
+    conns: BTreeMap<NetConnectionId, NetConnection>,
+    /// (node, local connection) → network connection, for delivery lookup.
+    local_index: BTreeMap<(NodeId, ConnectionId), NetConnectionId>,
+    /// (node, local connection) → in-transit packet.
+    packet_index: BTreeMap<(NodeId, ConnectionId), PacketId>,
+    packets: BTreeMap<PacketId, PacketState>,
+    in_flight: Vec<InFlightFlit>,
+    arrivals: Vec<PacketArrival>,
+    /// Packets blocked at a node awaiting a free VC, retried each cycle.
+    blocked_packets: Vec<(NodeId, PortId, PacketId)>,
+    pending_packet_deliveries: Vec<DeliveredPacket>,
+    active_probes: Vec<ActiveProbe>,
+    /// Ports whose attached wire has failed (both endpoints are listed).
+    failed_ports: std::collections::BTreeSet<(NodeId, PortId)>,
+    next_conn: u32,
+    next_packet: u64,
+    next_probe: u64,
+    pub(crate) rng: SeededRng,
+    stats: NetStats,
+}
+
+impl NetworkSim {
+    /// Builds a network of routers over `topology`. The router configuration
+    /// is applied per node with credit tracking forced on (links are real
+    /// here) and per-node seeds derived from the configuration seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology needs more ports than the configuration has.
+    pub fn new(topology: Topology, router_cfg: RouterConfig) -> Self {
+        let mut seed_rng = SeededRng::new(0x4E45_5457 ^ 0x1999);
+        let routers: Vec<Router> = (0..topology.nodes())
+            .map(|n| {
+                router_cfg
+                    .clone()
+                    .ports(topology.ports_per_node())
+                    .track_output_credits(true)
+                    .seed(seed_rng.next_u64() ^ n as u64)
+                    .build()
+            })
+            .collect();
+        let routing = UpDownRouting::new(&topology);
+        NetworkSim {
+            routing,
+            live_topology: topology.clone(),
+            routers,
+            conns: BTreeMap::new(),
+            local_index: BTreeMap::new(),
+            packet_index: BTreeMap::new(),
+            packets: BTreeMap::new(),
+            in_flight: Vec::new(),
+            arrivals: Vec::new(),
+            blocked_packets: Vec::new(),
+            pending_packet_deliveries: Vec::new(),
+            active_probes: Vec::new(),
+            failed_ports: std::collections::BTreeSet::new(),
+            next_conn: 0,
+            next_packet: 0,
+            next_probe: 0,
+            rng: SeededRng::new(0x4E45_5457),
+            topology,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The physical topology (as built, including failed wires).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The operational topology (failed wires removed); routing decisions
+    /// use this view.
+    pub fn live_topology(&self) -> &Topology {
+        &self.live_topology
+    }
+
+    /// The up*/down* routing relation.
+    pub fn routing(&self) -> &UpDownRouting {
+        &self.routing
+    }
+
+    /// A node's router (read access for assertions and stats).
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.index()]
+    }
+
+    pub(crate) fn router_mut(&mut self, node: NodeId) -> &mut Router {
+        &mut self.routers[node.index()]
+    }
+
+    /// Number of live end-to-end connections.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// A connection's state.
+    pub fn connection(&self, id: NetConnectionId) -> Option<&NetConnection> {
+        self.conns.get(&id)
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    pub(crate) fn register_connection(&mut self, mut conn: NetConnection) -> NetConnectionId {
+        let id = NetConnectionId(self.next_conn);
+        self.next_conn += 1;
+        conn.id = id;
+        for hop in &conn.hops {
+            self.local_index.insert((hop.node, hop.local), id);
+        }
+        self.conns.insert(id, conn);
+        id
+    }
+
+    /// Tears down an end-to-end connection, releasing every hop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the id back if it is unknown.
+    pub fn teardown(&mut self, id: NetConnectionId) -> Result<(), NetConnectionId> {
+        let conn = self.conns.remove(&id).ok_or(id)?;
+        for hop in &conn.hops {
+            self.local_index.remove(&(hop.node, hop.local));
+            self.routers[hop.node.index()]
+                .teardown(hop.local)
+                .expect("hop connections exist until network teardown");
+        }
+        Ok(())
+    }
+
+    /// Injects the next flit of `conn` at its source NI.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError`] on backpressure (source buffer full) or unknown ids.
+    pub fn inject(&mut self, id: NetConnectionId, now: Cycles) -> Result<(), InjectError> {
+        let conn = self
+            .conns
+            .get(&id)
+            .ok_or(InjectError::UnknownConnection(ConnectionId(id.0)))?;
+        let first = conn.hops.first().expect("connections have at least one hop");
+        self.routers[first.node.index()].inject(first.local, now)
+    }
+
+    /// Whether the source NI can inject another flit this cycle.
+    pub fn can_inject(&self, id: NetConnectionId) -> bool {
+        self.conns.get(&id).is_some_and(|c| {
+            let first = c.hops.first().expect("non-empty path");
+            self.routers[first.node.index()].can_inject(first.local)
+        })
+    }
+
+    /// Whether the wire attached to `(node, port)` is operational.
+    pub fn link_ok(&self, node: NodeId, port: PortId) -> bool {
+        !self.failed_ports.contains(&(node, port))
+    }
+
+    /// Fails the wire attached to `(node, port)` — the fault-injection hook
+    /// behind experiment E6. Both endpoints stop carrying traffic, flits
+    /// currently on the wire are lost, routing recomputes around the break,
+    /// and every established connection crossing it is torn down.
+    ///
+    /// Returns the torn-down connections so callers can re-establish them
+    /// (the recovery pattern of the fault-tolerant protocols the MMR's EPB
+    /// descends from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(node, port)` is a terminal port (NIs cannot fail here).
+    pub fn fail_link(&mut self, node: NodeId, port: PortId) -> Vec<NetConnectionId> {
+        let (peer, peer_port) = self
+            .topology
+            .peer_of(node, port)
+            .expect("only inter-router wires can fail");
+        self.failed_ports.insert((node, port));
+        self.failed_ports.insert((peer, peer_port));
+
+        // Flits and probe packets on the wire are lost.
+        self.in_flight.retain(|f| {
+            !(f.to == peer && f.port == peer_port) && !(f.to == node && f.port == port)
+        });
+        self.arrivals.retain(|a| {
+            let lost = (a.node == peer && a.entry == peer_port)
+                || (a.node == node && a.entry == port);
+            if lost {
+                self.packets.remove(&a.packet);
+            }
+            !lost
+        });
+
+        // Routing recomputes on the surviving graph.
+        let mut survivor = Topology::new(self.topology.nodes(), self.topology.ports_per_node());
+        for w in self.topology.wires() {
+            let dead = self.failed_ports.contains(&w.a) || self.failed_ports.contains(&w.b);
+            if !dead {
+                survivor.connect(w.a, w.b);
+            }
+        }
+        self.routing = UpDownRouting::new(&survivor);
+        self.live_topology = survivor;
+
+        // Tear down every connection crossing the failed wire.
+        let broken: Vec<NetConnectionId> = self
+            .conns
+            .values()
+            .filter(|c| {
+                c.hops.iter().any(|h| {
+                    self.routers[h.node.index()]
+                        .connection(h.local)
+                        .is_some_and(|state| {
+                            (h.node == node && state.output_vc.port == port)
+                                || (h.node == peer && state.output_vc.port == peer_port)
+                                || (h.node == node && state.input_vc.port == port)
+                                || (h.node == peer && state.input_vc.port == peer_port)
+                        })
+                })
+            })
+            .map(|c| c.id)
+            .collect();
+        for id in &broken {
+            self.teardown(*id).expect("listed connections are live");
+        }
+        broken
+    }
+
+    /// Starts an *asynchronous* connection setup: the routing probe departs
+    /// from `src`'s NI and moves one router per flit cycle (reserving,
+    /// backtracking, or failing), and on success the acknowledgment returns
+    /// to the source along the reverse channel mappings, one link per cycle
+    /// (§4.2). The completion — with its measured setup latency — appears in
+    /// a later [`NetStepReport::setups`].
+    pub fn request_connection(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: QosClass,
+        strategy: SetupStrategy,
+        now: Cycles,
+    ) -> ProbeToken {
+        let token = ProbeToken(self.next_probe);
+        self.next_probe += 1;
+        let machine = ProbeMachine::new(self, src, dst, class, strategy);
+        self.active_probes.push(ActiveProbe {
+            token,
+            phase: ProbePhase::Searching(machine),
+            started_at: now,
+        });
+        token
+    }
+
+    /// Number of setups still in flight.
+    pub fn probes_in_flight(&self) -> usize {
+        self.active_probes.len()
+    }
+
+    fn advance_probes(&mut self, now: Cycles, report: &mut NetStepReport) {
+        let mut probes = std::mem::take(&mut self.active_probes);
+        let mut still_active = Vec::with_capacity(probes.len());
+        for mut probe in probes.drain(..) {
+            match probe.phase {
+                ProbePhase::Searching(ref mut machine) => match machine.advance(self) {
+                    ProbeStep::Advanced | ProbeStep::Backtracked => still_active.push(probe),
+                    ProbeStep::Reserved => {
+                        // The ack crosses every inter-router link on the
+                        // reserved path, one per cycle.
+                        let remaining = machine.path_len().saturating_sub(1);
+                        let ProbePhase::Searching(machine) = probe.phase else { unreachable!() };
+                        probe.phase = ProbePhase::Acking { machine, remaining };
+                        still_active.push(probe);
+                    }
+                    ProbeStep::Failed(e) => {
+                        report.setups.push(SetupEvent {
+                            token: probe.token,
+                            result: Err(e),
+                            latency: now.since(probe.started_at),
+                            probe_hops: machine.probe_hops(),
+                        });
+                    }
+                },
+                ProbePhase::Acking { machine, remaining } => {
+                    if remaining == 0 {
+                        let probe_hops = machine.probe_hops();
+                        let receipt = machine.commit(self);
+                        report.setups.push(SetupEvent {
+                            token: probe.token,
+                            result: Ok(receipt.conn),
+                            latency: now.since(probe.started_at),
+                            probe_hops,
+                        });
+                    } else {
+                        probe.phase = ProbePhase::Acking { machine, remaining: remaining - 1 };
+                        still_active.push(probe);
+                    }
+                }
+            }
+        }
+        self.active_probes = still_active;
+    }
+
+    /// Sends a single-flit VCT packet from `src` toward `dst`.
+    ///
+    /// Control packets may cut through idle routers; blocked packets wait at
+    /// their current node and are retried every cycle, per §3.4.
+    pub fn send_packet(&mut self, src: NodeId, dst: NodeId, kind: FlitKind, now: Cycles) -> PacketId {
+        assert!(
+            matches!(kind, FlitKind::Control | FlitKind::BestEffort),
+            "VCT packets are control or best-effort"
+        );
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        self.packets.insert(
+            id,
+            PacketState { dst, kind, hops: 0, injected_at: now, last_dir: None },
+        );
+        let entry = self
+            .topology
+            .terminal_port(src)
+            .expect("every node keeps a terminal port");
+        self.offer_packet(src, entry, id, now);
+        id
+    }
+
+    /// Offers a packet to a node; on `Blocked` it queues for retry.
+    fn offer_packet(&mut self, node: NodeId, entry: PortId, packet: PacketId, now: Cycles) {
+        let state = self.packets.get(&packet).expect("live packet").clone();
+        // Next output: terminal port when at the destination, else the best
+        // adaptive up*/down* hop (the packet's descent phase is sticky).
+        let (output, dir) = if node == state.dst {
+            (self.topology.terminal_port(node).expect("terminal exists"), None)
+        } else {
+            let hops =
+                self.routing.next_hops(&self.live_topology, node, state.dst, state.last_dir);
+            match hops.first() {
+                Some(&(port, _, dir)) => (port, Some(dir)),
+                None => {
+                    // Unreachable destination: drop the packet.
+                    self.packets.remove(&packet);
+                    return;
+                }
+            }
+        };
+        match self.routers[node.index()].inject_packet(entry, output, state.kind, now) {
+            Ok(PacketOutcome::CutThrough) => {
+                if let (Some(d), Some(state)) = (dir, self.packets.get_mut(&packet)) {
+                    state.last_dir = Some(d);
+                }
+                // The packet crossed this router within the cycle; it is now
+                // on the output wire (or delivered, at the destination).
+                self.forward_packet(node, output, packet, now);
+            }
+            Ok(PacketOutcome::Buffered(local)) => {
+                if let (Some(d), Some(state)) = (dir, self.packets.get_mut(&packet)) {
+                    state.last_dir = Some(d);
+                }
+                self.packet_index.insert((node, local), packet);
+            }
+            Err(PacketError::Blocked) => {
+                self.blocked_packets.push((node, entry, packet));
+            }
+            Err(e @ PacketError::InvalidPort { .. }) => unreachable!("{e}"),
+        }
+    }
+
+    /// Moves a packet from `node`'s `output` port onto the wire (or records
+    /// delivery when the output is a terminal).
+    fn forward_packet(&mut self, node: NodeId, output: PortId, packet: PacketId, now: Cycles) {
+        match self.topology.peer_of(node, output) {
+            Some((peer, peer_port)) => {
+                if let Some(state) = self.packets.get_mut(&packet) {
+                    state.hops += 1;
+                }
+                self.arrivals.push(PacketArrival {
+                    deliver_at: now + Cycles(1),
+                    node: peer,
+                    entry: peer_port,
+                    packet,
+                });
+            }
+            None => {
+                let state = self.packets.remove(&packet).expect("live packet");
+                debug_assert_eq!(node, state.dst, "packets exit only at their destination");
+                let latency = now.since(state.injected_at);
+                self.stats.packet_latency.record(latency.as_f64());
+                self.stats.packets_delivered += 1;
+                self.pending_packet_deliveries.push(DeliveredPacket {
+                    packet,
+                    at: node,
+                    hops: state.hops,
+                    latency,
+                });
+            }
+        }
+    }
+
+    /// Runs one network flit cycle.
+    pub fn step(&mut self, now: Cycles) -> NetStepReport {
+        let mut report = NetStepReport::default();
+
+        // Move in-flight setup probes and acknowledgments.
+        self.advance_probes(now, &mut report);
+
+        // Retry packets blocked waiting for a free VC.
+        let blocked = std::mem::take(&mut self.blocked_packets);
+        for (node, entry, packet) in blocked {
+            self.offer_packet(node, entry, packet, now);
+        }
+
+        // Step every router; route its transmissions.
+        for n in 0..self.routers.len() {
+            let node = NodeId(n as u16);
+            let rep = self.routers[n].step(now);
+            report.flits_switched += rep.transmitted.len();
+            for t in rep.transmitted {
+                // Return a credit upstream: this router freed an input slot.
+                if let Some((up, up_port)) = self.topology.peer_of(node, t.input_vc.port) {
+                    self.routers[up.index()]
+                        .return_credit(VcRef { port: up_port, vc: t.input_vc.vc });
+                }
+
+                if let Some(packet) = self.packet_index.remove(&(node, t.conn)) {
+                    // Packet connections tear down on transmit inside the
+                    // router; move the packet along.
+                    self.forward_packet(node, t.output_vc.port, packet, now);
+                    continue;
+                }
+
+                match self.topology.peer_of(node, t.output_vc.port) {
+                    Some((peer, peer_port)) => {
+                        self.in_flight.push(InFlightFlit {
+                            deliver_at: now + Cycles(1),
+                            to: peer,
+                            port: peer_port,
+                            vc: t.output_vc.vc,
+                            flit: t.flit,
+                        });
+                    }
+                    None => {
+                        // Terminal port: the NI consumes the flit at once and
+                        // returns the credit.
+                        self.routers[n].return_credit(t.output_vc);
+                        if let Some(&net_id) = self.local_index.get(&(node, t.conn)) {
+                            let conn = self.conns.get_mut(&net_id).expect("indexed");
+                            let in_order = t.flit.seq == conn.next_seq;
+                            conn.next_seq = t.flit.seq + 1;
+                            conn.delivered += 1;
+                            let latency = now.since(t.flit.injected_at);
+                            self.stats.latency.record(latency.as_f64());
+                            self.stats.flits_delivered += 1;
+                            if !in_order {
+                                self.stats.out_of_order += 1;
+                            }
+                            report.delivered.push(DeliveredFlit {
+                                conn: net_id,
+                                flit: t.flit,
+                                latency,
+                                in_order,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Deliver stream flits that finished crossing a wire.
+        let mut still_flying = Vec::with_capacity(self.in_flight.len());
+        for f in std::mem::take(&mut self.in_flight) {
+            if f.deliver_at > now + Cycles(1) {
+                still_flying.push(f);
+                continue;
+            }
+            let node = f.to;
+            let local = self.routers[node.index()]
+                .connection_by_input_vc(VcRef { port: f.port, vc: f.vc })
+                .expect("flits arrive only on mapped VCs (credits guarantee a connection)");
+            self.routers[node.index()]
+                .accept(local, f.flit, f.deliver_at)
+                .expect("credits guarantee buffer space");
+        }
+        self.in_flight = still_flying;
+
+        // Deliver packets that finished crossing a wire.
+        for a in std::mem::take(&mut self.arrivals) {
+            if a.deliver_at > now + Cycles(1) {
+                self.arrivals.push(a);
+                continue;
+            }
+            if self.packets.contains_key(&a.packet) {
+                self.offer_packet(a.node, a.entry, a.packet, a.deliver_at);
+            }
+        }
+
+        report.packets.append(&mut self.pending_packet_deliveries);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::SetupStrategy;
+    use mmr_sim::Bandwidth;
+
+    fn mesh_net() -> NetworkSim {
+        let topology = Topology::mesh2d(3, 3, 8);
+        let cfg = RouterConfig::paper_default().vcs_per_port(16).vc_depth(4).candidates(4);
+        NetworkSim::new(topology, cfg)
+    }
+
+    fn cbr(mbps: f64) -> QosClass {
+        QosClass::Cbr { rate: Bandwidth::from_mbps(mbps) }
+    }
+
+    #[test]
+    fn stream_flows_end_to_end_in_order() {
+        let mut net = mesh_net();
+        // 620 Mbps reserves half of each link, so one flit per 4 cycles is
+        // comfortably inside the per-round quota.
+        let id = net
+            .establish(NodeId(0), NodeId(8), cbr(620.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let mut delivered = 0;
+        for t in 0..200u64 {
+            if t % 4 == 0 && net.can_inject(id) {
+                net.inject(id, Cycles(t)).expect("room");
+            }
+            let rep = net.step(Cycles(t));
+            for d in &rep.delivered {
+                assert!(d.in_order, "stream stays in order");
+                assert_eq!(d.conn, id);
+                // 0->8 on a 3x3 mesh crosses 5 routers: latency >= hops.
+                assert!(d.latency >= Cycles(4), "latency {:?}", d.latency);
+                delivered += 1;
+            }
+        }
+        assert!(delivered >= 40, "sustained delivery: {delivered}");
+        assert_eq!(net.stats().out_of_order, 0);
+    }
+
+    #[test]
+    fn credits_bound_inflight_flits() {
+        let mut net = mesh_net();
+        let id = net
+            .establish(NodeId(0), NodeId(2), cbr(1240.0), SetupStrategy::Epb)
+            .expect("path exists");
+        // Inject as fast as possible; credits must throttle, never overflow.
+        let mut injected = 0u64;
+        let mut delivered = 0u64;
+        for t in 0..300u64 {
+            while net.can_inject(id) && injected < 250 {
+                net.inject(id, Cycles(t)).expect("checked");
+                injected += 1;
+            }
+            delivered += net.step(Cycles(t)).delivered.len() as u64;
+        }
+        // Drain.
+        for t in 300..400u64 {
+            delivered += net.step(Cycles(t)).delivered.len() as u64;
+        }
+        assert_eq!(injected, delivered, "conservation across the network");
+    }
+
+    #[test]
+    fn teardown_releases_every_hop() {
+        let mut net = mesh_net();
+        let before: usize = (0..9).map(|n| net.router(NodeId(n)).connections()).sum();
+        let id = net
+            .establish(NodeId(0), NodeId(8), cbr(10.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let during: usize = (0..9).map(|n| net.router(NodeId(n)).connections()).sum();
+        assert!(during >= before + 5, "a 0->8 path spans at least 5 routers");
+        net.teardown(id).expect("live");
+        let after: usize = (0..9).map(|n| net.router(NodeId(n)).connections()).sum();
+        assert_eq!(after, before);
+        assert_eq!(net.teardown(id), Err(id));
+    }
+
+    #[test]
+    fn packets_reach_their_destination() {
+        let mut net = mesh_net();
+        let mut got = Vec::new();
+        net.send_packet(NodeId(0), NodeId(8), FlitKind::Control, Cycles(0));
+        net.send_packet(NodeId(3), NodeId(5), FlitKind::BestEffort, Cycles(0));
+        for t in 0..100u64 {
+            let rep = net.step(Cycles(t));
+            got.extend(rep.packets);
+        }
+        assert_eq!(got.len(), 2, "both packets delivered: {got:?}");
+        assert_eq!(net.stats().packets_delivered, 2);
+        for p in &got {
+            assert!(p.hops >= 1);
+        }
+    }
+
+    #[test]
+    fn control_packets_cut_through_an_idle_network() {
+        let mut net = mesh_net();
+        net.send_packet(NodeId(0), NodeId(2), FlitKind::Control, Cycles(0));
+        let mut latency = None;
+        for t in 0..50u64 {
+            if let Some(p) = net.step(Cycles(t)).packets.first() {
+                latency = Some(p.latency);
+                break;
+            }
+        }
+        let latency = latency.expect("delivered");
+        // Two wire hops with cut-through at intermediate routers: a handful
+        // of cycles, far below the buffered worst case.
+        assert!(latency <= Cycles(6), "cut-through latency {latency}");
+        let cut_throughs: u64 = (0..9).map(|n| net.router(NodeId(n)).stats().cut_throughs).sum();
+        assert!(cut_throughs >= 1);
+    }
+
+    #[test]
+    fn many_packets_with_small_vc_pool_eventually_deliver() {
+        let topology = Topology::mesh2d(2, 2, 6);
+        let cfg = RouterConfig::paper_default().vcs_per_port(4).candidates(2).vc_depth(2);
+        let mut net = NetworkSim::new(topology, cfg);
+        for i in 0..20 {
+            net.send_packet(NodeId(i % 4), NodeId((i + 1) % 4), FlitKind::BestEffort, Cycles(0));
+        }
+        for t in 0..500u64 {
+            net.step(Cycles(t));
+        }
+        assert_eq!(net.stats().packets_delivered, 20, "blocked packets retry until done");
+    }
+}
+
+#[cfg(test)]
+mod async_setup_tests {
+    use super::*;
+    use crate::setup::cbr_mbps;
+    use mmr_core::router::RouterConfig;
+
+    fn mesh_net() -> NetworkSim {
+        NetworkSim::new(
+            Topology::mesh2d(3, 3, 8),
+            RouterConfig::paper_default().vcs_per_port(16).candidates(4),
+        )
+    }
+
+    #[test]
+    fn async_setup_takes_probe_plus_ack_cycles() {
+        let mut net = mesh_net();
+        let token =
+            net.request_connection(NodeId(0), NodeId(8), cbr_mbps(10.0), SetupStrategy::Epb, Cycles(0));
+        assert_eq!(net.probes_in_flight(), 1);
+        let mut event = None;
+        for t in 0..40u64 {
+            if let Some(e) = net.step(Cycles(t)).setups.first().copied() {
+                event = Some(e);
+                break;
+            }
+        }
+        let event = event.expect("setup completes");
+        assert_eq!(event.token, token);
+        let conn = event.result.expect("resources abundant");
+        // Probe: 4 forward moves; ack: 4 links back => ~9 cycles.
+        assert!(
+            event.latency >= Cycles(8) && event.latency <= Cycles(12),
+            "round-trip latency {:?}",
+            event.latency
+        );
+        assert_eq!(event.probe_hops, 4);
+        assert_eq!(net.probes_in_flight(), 0);
+        // The established connection carries traffic end to end.
+        net.inject(conn, Cycles(50)).expect("live");
+        let mut delivered = 0;
+        for t in 50..80u64 {
+            delivered += net.step(Cycles(t)).delivered.len();
+        }
+        assert_eq!(delivered, 1);
+    }
+
+    #[test]
+    fn async_setup_failure_is_reported_with_latency() {
+        let mut net = mesh_net();
+        // Saturate node 0's network-interface link so the probe must fail.
+        net.establish(NodeId(0), NodeId(1), cbr_mbps(620.0), SetupStrategy::Epb).expect("block");
+        net.establish(NodeId(0), NodeId(3), cbr_mbps(620.0), SetupStrategy::Epb).expect("block");
+        net.request_connection(NodeId(0), NodeId(8), cbr_mbps(620.0), SetupStrategy::Epb, Cycles(0));
+        let mut result = None;
+        for t in 0..100u64 {
+            if let Some(e) = net.step(Cycles(t)).setups.first().copied() {
+                result = Some(e.result);
+                break;
+            }
+        }
+        assert!(matches!(result, Some(Err(SetupError::Exhausted { .. }))), "{result:?}");
+        // No reservations leaked.
+        let total: usize = (0..9).map(|n| net.router(NodeId(n)).connections()).sum();
+        assert_eq!(total, 4, "only the two blocking connections' hops remain");
+    }
+
+    #[test]
+    fn concurrent_probes_compete_for_resources() {
+        let mut net = NetworkSim::new(
+            Topology::mesh2d(3, 3, 8),
+            RouterConfig::paper_default().vcs_per_port(4).candidates(2),
+        );
+        // Launch many probes at once; they race for VCs.
+        let n_probes = 12;
+        for i in 0..n_probes {
+            let src = NodeId(i % 9);
+            let dst = NodeId((i + 4) % 9);
+            net.request_connection(src, dst, cbr_mbps(124.0), SetupStrategy::Epb, Cycles(0));
+        }
+        let mut ok = 0;
+        let mut failed = 0;
+        for t in 0..300u64 {
+            for e in net.step(Cycles(t)).setups {
+                match e.result {
+                    Ok(_) => ok += 1,
+                    Err(_) => failed += 1,
+                }
+            }
+        }
+        assert_eq!(ok + failed, u32::from(n_probes), "every probe resolves");
+        assert!(ok >= 6, "most setups succeed: {ok}");
+    }
+
+    #[test]
+    fn async_and_atomic_setups_reserve_identically() {
+        // The same request through both APIs yields the same path length.
+        let mut a = mesh_net();
+        let mut b = mesh_net();
+        let atomic = a
+            .establish(NodeId(0), NodeId(8), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("ok");
+        let token =
+            b.request_connection(NodeId(0), NodeId(8), cbr_mbps(10.0), SetupStrategy::Epb, Cycles(0));
+        let mut got = None;
+        for t in 0..50u64 {
+            if let Some(e) = b.step(Cycles(t)).setups.first().copied() {
+                assert_eq!(e.token, token);
+                got = Some(e.result.expect("ok"));
+                break;
+            }
+        }
+        let async_conn = got.expect("completes");
+        assert_eq!(
+            a.connection(atomic).expect("live").hops.len(),
+            b.connection(async_conn).expect("live").hops.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::setup::cbr_mbps;
+    use crate::setup::SetupStrategy;
+    use mmr_core::router::RouterConfig;
+
+    fn mesh_net() -> NetworkSim {
+        NetworkSim::new(
+            Topology::mesh2d(3, 3, 8),
+            RouterConfig::paper_default().vcs_per_port(16).candidates(4),
+        )
+    }
+
+    /// The wired port from `a` toward `b`, if adjacent.
+    fn port_toward(net: &NetworkSim, a: NodeId, b: NodeId) -> PortId {
+        net.topology()
+            .neighbors(a)
+            .into_iter()
+            .find(|&(_, peer, _)| peer == b)
+            .map(|(port, _, _)| port)
+            .expect("adjacent")
+    }
+
+    #[test]
+    fn failing_a_link_tears_down_crossing_connections() {
+        let mut net = mesh_net();
+        let through = net
+            .establish(NodeId(0), NodeId(2), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let elsewhere = net
+            .establish(NodeId(6), NodeId(8), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("path exists");
+        // A 0->2 path on the top row crosses 0-1 and 1-2; fail whichever
+        // wire the connection actually took.
+        let conn = net.connection(through).expect("live").clone();
+        let first_hop = &conn.hops[0];
+        let out_port = net
+            .router(first_hop.node)
+            .connection(first_hop.local)
+            .expect("live")
+            .output_vc
+            .port;
+        let broken = net.fail_link(first_hop.node, out_port);
+        assert_eq!(broken, vec![through], "only the crossing connection breaks");
+        assert!(net.connection(through).is_none());
+        assert!(net.connection(elsewhere).is_some(), "unrelated connection survives");
+        // No local reservations leaked.
+        let total: usize = (0..9).map(|n| net.router(NodeId(n)).connections()).sum();
+        assert_eq!(total, net.connection(elsewhere).expect("live").hops.len());
+    }
+
+    #[test]
+    fn epb_reroutes_around_a_failed_link() {
+        let mut net = mesh_net();
+        // Fail the 0-1 wire; 0 -> 2 must go around (0-3-4-1-2 or similar).
+        let p = port_toward(&net, NodeId(0), NodeId(1));
+        net.fail_link(NodeId(0), p);
+        let conn = net
+            .establish(NodeId(0), NodeId(2), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("alternative path exists");
+        let hops = net.connection(conn).expect("live").hops.len();
+        assert!(hops >= 3, "0->2 is no longer two hops: {hops} routers");
+        // Traffic still flows end to end.
+        net.inject(conn, Cycles(0)).expect("live");
+        let mut delivered = 0;
+        for t in 0..40u64 {
+            delivered += net.step(Cycles(t)).delivered.len();
+        }
+        assert_eq!(delivered, 1);
+    }
+
+    #[test]
+    fn packets_route_around_failures() {
+        let mut net = mesh_net();
+        let p = port_toward(&net, NodeId(0), NodeId(1));
+        net.fail_link(NodeId(0), p);
+        net.send_packet(NodeId(0), NodeId(2), FlitKind::BestEffort, Cycles(0));
+        let mut delivered = 0;
+        for t in 0..100u64 {
+            delivered += net.step(Cycles(t)).packets.len();
+        }
+        assert_eq!(delivered, 1, "packet detours around the break");
+    }
+
+    #[test]
+    fn disconnection_is_reported_as_unreachable() {
+        // Ring of 4: failing two opposite wires splits the ring.
+        let mut net = NetworkSim::new(
+            Topology::ring(4, 4),
+            RouterConfig::paper_default().vcs_per_port(8).candidates(2),
+        );
+        let p01 = port_toward(&net, NodeId(0), NodeId(1));
+        let p23 = port_toward(&net, NodeId(2), NodeId(3));
+        net.fail_link(NodeId(0), p01);
+        net.fail_link(NodeId(2), p23);
+        let err = net
+            .establish(NodeId(0), NodeId(2), cbr_mbps(1.0), SetupStrategy::Epb)
+            .expect_err("0 and 2 are in different fragments");
+        assert_eq!(err, crate::setup::SetupError::Unreachable);
+    }
+
+    #[test]
+    fn recovery_reestablishes_broken_streams() {
+        let mut net = mesh_net();
+        let conn = net
+            .establish(NodeId(0), NodeId(8), cbr_mbps(124.0), SetupStrategy::Epb)
+            .expect("path exists");
+        // Find and fail a wire the stream crosses.
+        let hops = net.connection(conn).expect("live").hops.clone();
+        let mid = &hops[1];
+        let out = net.router(mid.node).connection(mid.local).expect("live").output_vc.port;
+        let broken = net.fail_link(mid.node, out);
+        assert_eq!(broken, vec![conn]);
+        // The fault-tolerant recovery pattern: re-establish with EPB.
+        let recovered = net
+            .establish(NodeId(0), NodeId(8), cbr_mbps(124.0), SetupStrategy::Epb)
+            .expect("a 3x3 mesh survives one link failure");
+        net.inject(recovered, Cycles(0)).expect("live");
+        let mut delivered = 0;
+        for t in 0..60u64 {
+            delivered += net.step(Cycles(t)).delivered.len();
+        }
+        assert_eq!(delivered, 1);
+    }
+}

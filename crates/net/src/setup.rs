@@ -1,0 +1,490 @@
+//! Connection establishment: exhaustive profitable backtracking (EPB).
+//!
+//! §4.2: "the source node generates a routing probe that tries to establish
+//! a connection by setting up a path from source to destination, reserving
+//! link bandwidth and buffer space along that path. If resource reservation
+//! is successful the connection is established … If resources cannot be
+//! reserved along the whole path, the connection fails and all the
+//! resources reserved during the construction of the path are released.
+//! Using a backtracking search, alternative paths through the network can be
+//! pursued."
+//!
+//! §3.5: "Exhaustive profitable backtracking (EPB) will be used when
+//! establishing connections. This algorithm performs an exhaustive search of
+//! the minimal paths in the network until a valid path is found or the probe
+//! backtracks to the source node. In order to avoid searching the same links
+//! twice, a history store associated with each input virtual channel records
+//! all the output links that have already been searched."
+//!
+//! The search is implemented as a [`ProbeMachine`] that moves one hop per
+//! invocation — forward, or backward when a node's profitable outputs are
+//! exhausted. [`NetworkSim::establish`] runs the machine to completion
+//! instantly (the connection-level view); the asynchronous API
+//! ([`NetworkSim::request_connection`]) advances it one hop per flit cycle
+//! and returns the acknowledgment along the reverse channel mappings, so
+//! setup latency is measured in cycles like everything else.
+
+use std::collections::BTreeMap;
+
+use mmr_core::conn::{ConnectionRequest, QosClass};
+use mmr_core::ids::{ConnectionId, PortId, VcIndex};
+use mmr_sim::Bandwidth;
+
+use crate::network::{Hop, NetConnection, NetConnectionId, NetworkSim};
+use crate::topology::NodeId;
+
+/// The path-search strategy a probe uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetupStrategy {
+    /// Exhaustive profitable backtracking over minimal paths (§3.5).
+    Epb,
+    /// Greedy profitable search without backtracking: the probe fails at
+    /// the first node where every minimal output is exhausted (comparison
+    /// baseline for experiment E3).
+    Greedy,
+}
+
+/// Why connection establishment failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetupError {
+    /// The destination is unreachable in the topology.
+    Unreachable,
+    /// The probe exhausted every minimal path (EPB backtracked to the
+    /// source) or hit a dead end (greedy).
+    Exhausted {
+        /// Probe hops consumed, counting forward moves and backtracks —
+        /// the setup-cost proxy reported by experiment E3.
+        probe_hops: u32,
+    },
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetupError::Unreachable => write!(f, "destination unreachable"),
+            SetupError::Exhausted { probe_hops } => {
+                write!(f, "all minimal paths exhausted after {probe_hops} probe hops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// The outcome of a successful setup, with search-cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetupReceipt {
+    /// The established connection.
+    pub conn: NetConnectionId,
+    /// Probe hops consumed (forward moves + backtracks).
+    pub probe_hops: u32,
+    /// Number of backtrack moves the probe made (0 for first-try paths).
+    pub backtracks: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    node: NodeId,
+    /// Port (and pinned VC) the probe entered this node on; `None` at the
+    /// source NI.
+    entry: (PortId, Option<VcIndex>),
+    /// Reservation made when the probe advanced *from* this node.
+    reserved: Option<(ConnectionId, PortId, VcIndex)>,
+}
+
+/// What one [`ProbeMachine::advance`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeStep {
+    /// The probe moved forward one router.
+    Advanced,
+    /// The probe released a reservation and moved back one router.
+    Backtracked,
+    /// Every hop is reserved; the path is complete (acknowledgment pending).
+    Reserved,
+    /// The search failed; all reservations have been released.
+    Failed(SetupError),
+}
+
+/// The incremental EPB/greedy probe state machine (§3.5, §4.2).
+#[derive(Debug, Clone)]
+pub struct ProbeMachine {
+    src: NodeId,
+    dst: NodeId,
+    class: QosClass,
+    strategy: SetupStrategy,
+    stack: Vec<Frame>,
+    /// History store: outputs already searched, per node. The probe visits
+    /// each node at one minimal-path distance, so per-node histories are
+    /// equivalent to the paper's per-input-VC stores here.
+    history: BTreeMap<NodeId, Vec<PortId>>,
+    probe_hops: u32,
+    backtracks: u32,
+}
+
+impl ProbeMachine {
+    /// Creates a probe at the source NI, ready to advance.
+    pub fn new(net: &NetworkSim, src: NodeId, dst: NodeId, class: QosClass, strategy: SetupStrategy) -> Self {
+        let src_ni = net.topology().terminal_port(src).expect("terminal port exists");
+        ProbeMachine {
+            src,
+            dst,
+            class,
+            strategy,
+            stack: vec![Frame { node: src, entry: (src_ni, None), reserved: None }],
+            history: BTreeMap::new(),
+            probe_hops: 0,
+            backtracks: 0,
+        }
+    }
+
+    /// Probe hops consumed so far (forward + backtrack moves).
+    pub fn probe_hops(&self) -> u32 {
+        self.probe_hops
+    }
+
+    /// Backtrack moves made so far.
+    pub fn backtracks(&self) -> u32 {
+        self.backtracks
+    }
+
+    /// Routers currently holding a reservation for this probe.
+    pub fn path_len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Performs one probe move: advance one hop, backtrack one hop, finish,
+    /// or fail. Local reservation attempts at the current router happen
+    /// within the move (they are register operations, not link crossings).
+    pub fn advance(&mut self, net: &mut NetworkSim) -> ProbeStep {
+        if net.routing().distance(self.src, self.dst) == usize::MAX {
+            return ProbeStep::Failed(SetupError::Unreachable);
+        }
+        let top = self.stack.len() - 1;
+        let node = self.stack[top].node;
+
+        if node == self.dst {
+            // Reserve the final hop to the destination NI.
+            let (entry_port, pinned) = self.stack[top].entry;
+            let ni = net.topology().terminal_port(self.dst).expect("terminal port exists");
+            match net.router_mut(self.dst).establish_pinned(
+                ConnectionRequest { input: entry_port, output: ni, class: self.class },
+                pinned,
+            ) {
+                Ok(local) => {
+                    self.stack[top].reserved = Some((local, ni, VcIndex(0)));
+                    return ProbeStep::Reserved;
+                }
+                Err(_) => {
+                    if matches!(self.strategy, SetupStrategy::Greedy) {
+                        let hops = self.probe_hops;
+                        self.unwind(net);
+                        return ProbeStep::Failed(SetupError::Exhausted { probe_hops: hops });
+                    }
+                    return self.backtrack(net);
+                }
+            }
+        }
+
+        // Profitable (minimal) outputs not yet in the history store,
+        // skipping failed wires.
+        let here = net.routing().distance(node, self.dst);
+        let mut options: Vec<(PortId, NodeId, PortId)> = net
+            .live_topology()
+            .neighbors(node)
+            .into_iter()
+            .filter(|&(port, peer, _)| {
+                net.routing().distance(peer, self.dst) + 1 == here
+                    && !self.history.get(&node).is_some_and(|h| h.contains(&port))
+            })
+            .collect();
+        // Randomise the search order so concurrent connections spread over
+        // equivalent minimal paths.
+        if options.len() > 1 {
+            net.rng.shuffle(&mut options);
+        }
+
+        for (port, peer, peer_port) in options {
+            self.history.entry(node).or_default().push(port);
+            let (entry_port, pinned) = self.stack[top].entry;
+            match net.router_mut(node).establish_pinned(
+                ConnectionRequest { input: entry_port, output: port, class: self.class },
+                pinned,
+            ) {
+                Ok(local) => {
+                    let out_vc =
+                        net.router(node).connection(local).expect("just established").output_vc.vc;
+                    self.stack[top].reserved = Some((local, port, out_vc));
+                    self.stack.push(Frame {
+                        node: peer,
+                        entry: (peer_port, Some(out_vc)),
+                        reserved: None,
+                    });
+                    self.probe_hops += 1;
+                    return ProbeStep::Advanced;
+                }
+                Err(_) => continue,
+            }
+        }
+
+        // Dead end.
+        match self.strategy {
+            SetupStrategy::Greedy => {
+                let hops = self.probe_hops;
+                self.unwind(net);
+                ProbeStep::Failed(SetupError::Exhausted { probe_hops: hops })
+            }
+            SetupStrategy::Epb => self.backtrack(net),
+        }
+    }
+
+    /// Commits the fully reserved path as a network connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`ProbeMachine::advance`] returned
+    /// [`ProbeStep::Reserved`].
+    pub fn commit(self, net: &mut NetworkSim) -> SetupReceipt {
+        let hops: Vec<Hop> = self
+            .stack
+            .iter()
+            .map(|f| Hop {
+                node: f.node,
+                local: f.reserved.expect("committed frames hold reservations").0,
+            })
+            .collect();
+        let conn = net.register_connection(NetConnection {
+            id: NetConnectionId(0), // overwritten on registration
+            src: self.src,
+            dst: self.dst,
+            class: self.class,
+            hops,
+            delivered: 0,
+            next_seq: 0,
+        });
+        SetupReceipt { conn, probe_hops: self.probe_hops, backtracks: self.backtracks }
+    }
+
+    /// Pops the top frame and releases the reservation that led to it.
+    fn backtrack(&mut self, net: &mut NetworkSim) -> ProbeStep {
+        self.stack.pop();
+        let Some(prev) = self.stack.last_mut() else {
+            let hops = self.probe_hops;
+            return ProbeStep::Failed(SetupError::Exhausted { probe_hops: hops });
+        };
+        if let Some((local, _, _)) = prev.reserved.take() {
+            let node = prev.node;
+            net.router_mut(node).teardown(local).expect("reservation exists");
+        }
+        self.probe_hops += 1;
+        self.backtracks += 1;
+        ProbeStep::Backtracked
+    }
+
+    /// Releases every reservation on the stack (greedy failure).
+    fn unwind(&mut self, net: &mut NetworkSim) {
+        while let Some(frame) = self.stack.pop() {
+            if let Some((local, _, _)) = frame.reserved {
+                net.router_mut(frame.node).teardown(local).expect("reservation exists");
+            }
+        }
+    }
+}
+
+impl NetworkSim {
+    /// Establishes a connection from `src`'s NI to `dst`'s NI with the given
+    /// class, searching minimal paths per the chosen strategy and reserving
+    /// VCs and bandwidth hop by hop. The search runs to completion
+    /// immediately; use [`NetworkSim::request_connection`] for the
+    /// cycle-accurate probe.
+    ///
+    /// # Errors
+    ///
+    /// [`SetupError`] when no minimal path with sufficient resources exists;
+    /// all partial reservations are released.
+    pub fn establish(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: QosClass,
+        strategy: SetupStrategy,
+    ) -> Result<NetConnectionId, SetupError> {
+        self.establish_with_receipt(src, dst, class, strategy).map(|r| r.conn)
+    }
+
+    /// [`NetworkSim::establish`] with probe-cost accounting.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetworkSim::establish`].
+    pub fn establish_with_receipt(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: QosClass,
+        strategy: SetupStrategy,
+    ) -> Result<SetupReceipt, SetupError> {
+        let mut probe = ProbeMachine::new(self, src, dst, class, strategy);
+        loop {
+            match probe.advance(self) {
+                ProbeStep::Advanced | ProbeStep::Backtracked => continue,
+                ProbeStep::Reserved => return Ok(probe.commit(self)),
+                ProbeStep::Failed(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Convenience: a CBR class from Mbps (used heavily by examples and tests).
+pub fn cbr_mbps(mbps: f64) -> QosClass {
+    QosClass::Cbr { rate: Bandwidth::from_mbps(mbps) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use mmr_core::router::RouterConfig;
+
+    fn net(vcs: u16) -> NetworkSim {
+        let topology = Topology::mesh2d(3, 3, 8);
+        NetworkSim::new(topology, RouterConfig::paper_default().vcs_per_port(vcs).candidates(4))
+    }
+
+    #[test]
+    fn setup_reserves_a_minimal_path() {
+        let mut n = net(16);
+        let receipt = n
+            .establish_with_receipt(NodeId(0), NodeId(8), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("resources abundant");
+        // Minimal 0->8 distance is 4: the probe advanced 4 times plus the
+        // source frame; no backtracking needed.
+        assert_eq!(receipt.probe_hops, 4);
+        assert_eq!(receipt.backtracks, 0);
+        let conn = n.connection(receipt.conn).expect("registered");
+        assert_eq!(conn.hops.len(), 5, "five routers on a minimal 0->8 path");
+        assert_eq!(conn.hops.first().map(|h| h.node), Some(NodeId(0)));
+        assert_eq!(conn.hops.last().map(|h| h.node), Some(NodeId(8)));
+    }
+
+    #[test]
+    fn adjacent_vcs_are_pinned_consistently() {
+        let mut n = net(16);
+        let id = n
+            .establish(NodeId(0), NodeId(2), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let conn = n.connection(id).expect("registered").clone();
+        for pair in conn.hops.windows(2) {
+            let up = n.router(pair[0].node).connection(pair[0].local).expect("live");
+            let down = n.router(pair[1].node).connection(pair[1].local).expect("live");
+            // The VC chosen on the upstream output is the VC reserved on the
+            // downstream input (they are two views of the same wire).
+            assert_eq!(up.output_vc.vc, down.input_vc.vc);
+            let (peer, peer_port) = n
+                .topology()
+                .peer_of(pair[0].node, up.output_vc.port)
+                .expect("wired");
+            assert_eq!(peer, pair[1].node);
+            assert_eq!(peer_port, down.input_vc.port);
+        }
+    }
+
+    #[test]
+    fn bandwidth_exhaustion_fails_cleanly() {
+        let mut n = net(64);
+        // Saturate node 0's network interface (two half-link-rate streams
+        // fill its single terminal input link), then ask for one more.
+        n.establish(NodeId(0), NodeId(1), cbr_mbps(620.0), SetupStrategy::Epb).expect("first");
+        n.establish(NodeId(0), NodeId(3), cbr_mbps(620.0), SetupStrategy::Epb).expect("second");
+        let before: usize = (0..9).map(|i| n.router(NodeId(i)).connections()).sum();
+        let err = n
+            .establish(NodeId(0), NodeId(8), cbr_mbps(124.0), SetupStrategy::Epb)
+            .expect_err("no bandwidth off node 0");
+        assert!(matches!(err, SetupError::Exhausted { .. }));
+        let after: usize = (0..9).map(|i| n.router(NodeId(i)).connections()).sum();
+        assert_eq!(before, after, "failed setup releases everything");
+    }
+
+    #[test]
+    fn epb_backtracks_around_a_saturated_region() {
+        let mut n = net(64);
+        // Saturate the central column links 1->4 and 4->7 so minimal paths
+        // through the centre fail, but side paths survive. 0 -> 8 has many
+        // minimal paths; block a few and EPB must still succeed.
+        n.establish(NodeId(1), NodeId(4), cbr_mbps(1240.0), SetupStrategy::Epb).expect("block");
+        n.establish(NodeId(4), NodeId(7), cbr_mbps(1240.0), SetupStrategy::Epb).expect("block");
+        let receipt = n
+            .establish_with_receipt(NodeId(0), NodeId(8), cbr_mbps(620.0), SetupStrategy::Epb)
+            .expect("EPB finds a clear minimal path");
+        assert_eq!(
+            n.connection(receipt.conn).expect("registered").hops.len(),
+            5,
+            "still a minimal path"
+        );
+    }
+
+    #[test]
+    fn epb_succeeds_where_greedy_may_fail() {
+        // Statistical comparison: with scarce VCs, EPB's success rate
+        // dominates greedy's.
+        let mut epb_ok = 0;
+        let mut greedy_ok = 0;
+        let trials = 30;
+        for seed in 0..trials {
+            for (strategy, counter) in
+                [(SetupStrategy::Epb, &mut epb_ok), (SetupStrategy::Greedy, &mut greedy_ok)]
+            {
+                let topology = Topology::mesh2d(3, 3, 8);
+                let mut n = NetworkSim::new(
+                    topology,
+                    RouterConfig::paper_default().vcs_per_port(4).candidates(2).seed(seed),
+                );
+                // Pre-load with random connections to create scarcity.
+                let mut rng = mmr_sim::SeededRng::new(seed);
+                for _ in 0..12 {
+                    let a = NodeId(rng.index(9) as u16);
+                    let b = NodeId(rng.index(9) as u16);
+                    if a != b {
+                        let _ = n.establish(a, b, cbr_mbps(124.0), SetupStrategy::Epb);
+                    }
+                }
+                if n.establish(NodeId(0), NodeId(8), cbr_mbps(124.0), strategy).is_ok() {
+                    *counter += 1;
+                }
+            }
+        }
+        assert!(
+            epb_ok >= greedy_ok,
+            "EPB ({epb_ok}/{trials}) at least matches greedy ({greedy_ok}/{trials})"
+        );
+    }
+
+    #[test]
+    fn unreachable_destination_is_reported() {
+        // Two disconnected nodes.
+        let topology = Topology::new(2, 4);
+        let mut n = NetworkSim::new(topology, RouterConfig::paper_default().vcs_per_port(4).candidates(2));
+        let err = n
+            .establish(NodeId(0), NodeId(1), cbr_mbps(1.0), SetupStrategy::Epb)
+            .expect_err("no wire between the nodes");
+        assert_eq!(err, SetupError::Unreachable);
+    }
+
+    #[test]
+    fn probe_machine_steps_are_observable() {
+        let mut n = net(16);
+        let mut probe =
+            ProbeMachine::new(&n, NodeId(0), NodeId(8), cbr_mbps(10.0), SetupStrategy::Epb);
+        let mut advances = 0;
+        loop {
+            match probe.advance(&mut n) {
+                ProbeStep::Advanced => advances += 1,
+                ProbeStep::Reserved => break,
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+        assert_eq!(advances, 4, "one advance per minimal hop");
+        assert_eq!(probe.path_len(), 5);
+        let receipt = probe.commit(&mut n);
+        assert_eq!(receipt.probe_hops, 4);
+    }
+}

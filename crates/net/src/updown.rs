@@ -1,0 +1,331 @@
+//! Up*/down* routing for irregular topologies.
+//!
+//! §3.5: "For best effort packets, the MMR uses a fully adaptive routing
+//! algorithm that has been proposed for wormhole networks with irregular
+//! topology [26, 27] and is valid for VCT switching." Those proposals build
+//! on up*/down* routing (from Autonet): a BFS spanning tree orients every
+//! link — toward the root is *up* — and a legal path takes zero or more up
+//! links followed by zero or more down links, which breaks every cycle and
+//! hence every deadlock.
+//!
+//! Adaptivity needs care: a greedy "move closer" rule can strand a packet,
+//! because the shortest *legal* path may have to ascend away from the
+//! destination first, and a wrong down-move can make the destination
+//! unreachable (no up-moves are allowed afterwards). [`UpDownRouting`]
+//! therefore precomputes legal distances over the state space
+//! `(node, still-may-go-up?)`, so every offered hop strictly reduces the
+//! remaining legal distance and routing can never dead-end.
+
+use mmr_core::ids::PortId;
+
+use crate::topology::{NodeId, Topology};
+
+/// Direction of a traversed link relative to the spanning tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDir {
+    /// Toward the root (lower BFS level, ties by lower node id).
+    Up,
+    /// Away from the root.
+    Down,
+}
+
+/// Phase of a packet's legal walk: still allowed to ascend, or descending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    MayGoUp = 0,
+    DownOnly = 1,
+}
+
+impl Phase {
+    fn from_last(last: Option<LinkDir>) -> Phase {
+        match last {
+            None | Some(LinkDir::Up) => Phase::MayGoUp,
+            Some(LinkDir::Down) => Phase::DownOnly,
+        }
+    }
+}
+
+/// The up*/down* routing relation for one topology.
+#[derive(Debug, Clone)]
+pub struct UpDownRouting {
+    /// BFS level of each node (from the root, node 0).
+    level: Vec<usize>,
+    /// Plain hop distances between all pairs (minimal-path checks for EPB).
+    dist: Vec<Vec<usize>>,
+    /// legal\[dest\]\[node\]\[phase\] = minimum legal hops to `dest` from
+    /// `node` in `phase` (`usize::MAX` if unreachable legally).
+    legal: Vec<Vec<[usize; 2]>>,
+}
+
+impl UpDownRouting {
+    /// Builds the routing relation with node 0 as the tree root.
+    pub fn new(topology: &Topology) -> Self {
+        let n = topology.nodes();
+        let level = topology.distances_from(NodeId(0));
+        let dist: Vec<Vec<usize>> =
+            (0..n).map(|i| topology.distances_from(NodeId(i as u16))).collect();
+
+        let direction = |from: NodeId, to: NodeId| -> LinkDir {
+            let (lf, lt) = (level[from.index()], level[to.index()]);
+            if lt < lf || (lt == lf && to < from) {
+                LinkDir::Up
+            } else {
+                LinkDir::Down
+            }
+        };
+
+        // Backward BFS over the legality state space, per destination.
+        let mut legal = vec![vec![[usize::MAX; 2]; n]; n];
+        for dest in 0..n {
+            let table = &mut legal[dest];
+            table[dest] = [0, 0];
+            let mut queue =
+                std::collections::VecDeque::from([(dest, 0usize), (dest, 1usize)]);
+            while let Some((node, phase)) = queue.pop_front() {
+                let d = table[node][phase];
+                // Incoming transitions: a move `prev -> node` with direction
+                // `dir` lands in phase `dir == Down`; it is legal from
+                // `prev`'s phase `p` when `p == MayGoUp || dir == Down`.
+                for (_, prev, _) in topology.neighbors(NodeId(node as u16)) {
+                    let dir = direction(prev, NodeId(node as u16));
+                    let landing_phase = usize::from(dir == LinkDir::Down);
+                    if landing_phase != phase {
+                        continue;
+                    }
+                    let from_phases: &[usize] =
+                        if dir == LinkDir::Down { &[0, 1] } else { &[0] };
+                    for &p in from_phases {
+                        if table[prev.index()][p] == usize::MAX {
+                            table[prev.index()][p] = d + 1;
+                            queue.push_back((prev.index(), p));
+                        }
+                    }
+                }
+            }
+        }
+
+        UpDownRouting { level, dist, legal }
+    }
+
+    /// Direction of the link `from → to`.
+    pub fn direction(&self, from: NodeId, to: NodeId) -> LinkDir {
+        let (lf, lt) = (self.level[from.index()], self.level[to.index()]);
+        if lt < lf || (lt == lf && to < from) {
+            LinkDir::Up
+        } else {
+            LinkDir::Down
+        }
+    }
+
+    /// Plain (topological) hop distance between two nodes.
+    pub fn distance(&self, from: NodeId, to: NodeId) -> usize {
+        self.dist[from.index()][to.index()]
+    }
+
+    /// Minimum *legal* hops from `from` (having last moved `last_dir`) to
+    /// `to`; `usize::MAX` when unreachable.
+    pub fn legal_distance(&self, from: NodeId, to: NodeId, last_dir: Option<LinkDir>) -> usize {
+        self.legal[to.index()][from.index()][Phase::from_last(last_dir) as usize]
+    }
+
+    /// Legal adaptive next hops from `current` toward `dest`, given the
+    /// direction of the last traversed link (`None` at the source). Every
+    /// offered hop strictly reduces the remaining legal distance, so
+    /// following any of them always reaches the destination; they are sorted
+    /// best-first.
+    pub fn next_hops(
+        &self,
+        topology: &Topology,
+        current: NodeId,
+        dest: NodeId,
+        last_dir: Option<LinkDir>,
+    ) -> Vec<(PortId, NodeId, LinkDir)> {
+        if current == dest {
+            return Vec::new();
+        }
+        let phase = Phase::from_last(last_dir);
+        let here = self.legal[dest.index()][current.index()][phase as usize];
+        if here == usize::MAX {
+            return Vec::new();
+        }
+        let mut hops: Vec<(usize, PortId, NodeId, LinkDir)> = topology
+            .neighbors(current)
+            .into_iter()
+            .filter_map(|(port, peer, _)| {
+                let dir = self.direction(current, peer);
+                if phase == Phase::DownOnly && dir == LinkDir::Up {
+                    return None;
+                }
+                let landing = usize::from(dir == LinkDir::Down);
+                let there = self.legal[dest.index()][peer.index()][landing];
+                (there < here).then_some((there, port, peer, dir))
+            })
+            .collect();
+        hops.sort_by_key(|&(there, port, _, _)| (there, port.index()));
+        hops.into_iter().map(|(_, port, peer, dir)| (port, peer, dir)).collect()
+    }
+
+    /// One deadlock-free legal path `src → dest` (best next hop each step).
+    /// `None` only if `dest` is unreachable.
+    pub fn route(
+        &self,
+        topology: &Topology,
+        src: NodeId,
+        dest: NodeId,
+    ) -> Option<Vec<(PortId, NodeId)>> {
+        if src != dest && self.legal_distance(src, dest, None) == usize::MAX {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut current = src;
+        let mut last_dir = None;
+        while current != dest {
+            let hops = self.next_hops(topology, current, dest, last_dir);
+            let &(port, peer, dir) = hops.first()?;
+            path.push((port, peer));
+            current = peer;
+            last_dir = Some(dir);
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmr_sim::SeededRng;
+
+    #[test]
+    fn directions_are_antisymmetric() {
+        let t = Topology::mesh2d(3, 3, 8);
+        let r = UpDownRouting::new(&t);
+        for w in t.wires() {
+            let d1 = r.direction(w.a.0, w.b.0);
+            let d2 = r.direction(w.b.0, w.a.0);
+            assert_ne!(d1, d2, "each link is up one way and down the other");
+        }
+    }
+
+    #[test]
+    fn routes_reach_destination_on_mesh() {
+        let t = Topology::mesh2d(4, 4, 8);
+        let r = UpDownRouting::new(&t);
+        for src in 0..16 {
+            for dst in 0..16 {
+                let path = r.route(&t, NodeId(src), NodeId(dst)).expect("reachable");
+                if src == dst {
+                    assert!(path.is_empty());
+                } else {
+                    assert_eq!(path.last().expect("non-empty").1, NodeId(dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_never_go_up_after_down() {
+        let t = Topology::mesh2d(4, 4, 8);
+        let r = UpDownRouting::new(&t);
+        for src in 0..16u16 {
+            for dst in 0..16u16 {
+                let path = r.route(&t, NodeId(src), NodeId(dst)).expect("reachable");
+                let mut current = NodeId(src);
+                let mut gone_down = false;
+                for (_, next) in path {
+                    let dir = r.direction(current, next);
+                    if gone_down {
+                        assert_ne!(dir, LinkDir::Up, "{src}->{dst} went up after down");
+                    }
+                    gone_down |= dir == LinkDir::Down;
+                    current = next;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_work_on_irregular_graphs() {
+        for seed in 0..10 {
+            let mut rng = SeededRng::new(seed);
+            let t = Topology::irregular(12, 5, 6, &mut rng);
+            let r = UpDownRouting::new(&t);
+            for src in 0..12u16 {
+                for dst in 0..12u16 {
+                    let path = r.route(&t, NodeId(src), NodeId(dst));
+                    assert!(path.is_some(), "seed {seed}: {src}->{dst} unroutable");
+                    // Legal distance bounds the realised path length.
+                    let path = path.expect("checked");
+                    assert_eq!(path.len(), r.legal_distance(NodeId(src), NodeId(dst), None));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legal_distance_at_least_plain_distance() {
+        let mut rng = SeededRng::new(3);
+        let t = Topology::irregular(10, 5, 4, &mut rng);
+        let r = UpDownRouting::new(&t);
+        for src in 0..10u16 {
+            for dst in 0..10u16 {
+                let legal = r.legal_distance(NodeId(src), NodeId(dst), None);
+                let plain = r.distance(NodeId(src), NodeId(dst));
+                assert!(legal >= plain, "{src}->{dst}: legal {legal} < plain {plain}");
+                assert!(legal != usize::MAX, "connected graphs are legally routable");
+            }
+        }
+    }
+
+    #[test]
+    fn next_hops_always_progress() {
+        let t = Topology::mesh2d(3, 3, 8);
+        let r = UpDownRouting::new(&t);
+        for src in 0..9u16 {
+            for dst in 0..9u16 {
+                if src == dst {
+                    continue;
+                }
+                let hops = r.next_hops(&t, NodeId(src), NodeId(dst), None);
+                assert!(!hops.is_empty(), "{src}->{dst} must offer a hop");
+                let here = r.legal_distance(NodeId(src), NodeId(dst), None);
+                for (_, peer, dir) in hops {
+                    let there = r.legal_distance(NodeId(peer.0), NodeId(dst), Some(dir));
+                    assert!(there < here, "offered hops strictly progress");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptivity_offers_multiple_hops() {
+        let t = Topology::torus2d(4, 4, 8);
+        let r = UpDownRouting::new(&t);
+        let multi = (0..16u16)
+            .flat_map(|s| (0..16u16).map(move |d| (s, d)))
+            .filter(|&(s, d)| s != d)
+            .filter(|&(s, d)| r.next_hops(&t, NodeId(s), NodeId(d), None).len() > 1)
+            .count();
+        assert!(multi > 20, "adaptive choice exists for many pairs: {multi}");
+    }
+
+    #[test]
+    fn down_only_phase_restricts_hops() {
+        let t = Topology::mesh2d(3, 3, 8);
+        let r = UpDownRouting::new(&t);
+        for src in 0..9u16 {
+            for dst in 0..9u16 {
+                if src == dst {
+                    continue;
+                }
+                let down_hops = r.next_hops(&t, NodeId(src), NodeId(dst), Some(LinkDir::Down));
+                for (_, peer, _) in down_hops {
+                    assert_eq!(
+                        r.direction(NodeId(src), peer),
+                        LinkDir::Down,
+                        "descending packets only descend"
+                    );
+                }
+            }
+        }
+    }
+}

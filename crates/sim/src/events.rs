@@ -1,0 +1,158 @@
+//! A minimal discrete-event queue.
+//!
+//! The router proper is cycle-synchronous (§3.4 of the paper: flit cycles,
+//! synchronous switch setting), but connection-level activity — stream
+//! establishment, teardown, VBR frame boundaries — is naturally event
+//! driven. [`EventQueue`] orders events by cycle with a stable FIFO
+//! tie-break so simulations are deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::units::Cycles;
+
+/// An entry in the queue: an event `E` scheduled at a cycle.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: Cycles,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events scheduled for the same cycle pop in insertion order.
+///
+/// # Example
+///
+/// ```
+/// use mmr_sim::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles(5), "later");
+/// q.schedule(Cycles(1), "sooner");
+/// assert_eq!(q.pop_before(Cycles(10)), Some((Cycles(1), "sooner")));
+/// assert_eq!(q.pop_before(Cycles(3)), None); // "later" is not due yet
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at cycle `at`.
+    pub fn schedule(&mut self, at: Cycles, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Cycle of the earliest pending event, if any.
+    pub fn next_at(&self) -> Option<Cycles> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the earliest event if it is due at or before `now`.
+    pub fn pop_before(&mut self, now: Cycles) -> Option<(Cycles, E)> {
+        if self.heap.peek().is_some_and(|s| s.at <= now) {
+            self.heap.pop().map(|s| (s.at, s.event))
+        } else {
+            None
+        }
+    }
+
+    /// Pops the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(30), 'c');
+        q.schedule(Cycles(10), 'a');
+        q.schedule(Cycles(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(Cycles(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), ());
+        assert!(q.pop_before(Cycles(9)).is_none());
+        assert_eq!(q.pop_before(Cycles(10)), Some((Cycles(10), ())));
+        assert!(q.pop_before(Cycles(100)).is_none());
+    }
+
+    #[test]
+    fn len_and_next_at_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_at(), None);
+        q.schedule(Cycles(7), 1);
+        q.schedule(Cycles(3), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_at(), Some(Cycles(3)));
+        q.pop();
+        assert_eq!(q.next_at(), Some(Cycles(7)));
+    }
+}

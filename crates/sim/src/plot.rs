@@ -1,0 +1,147 @@
+//! ASCII rendering of figure series.
+//!
+//! The benchmark harness prints its tables numerically ([`SweepTable`]);
+//! this module adds a terminal plot so the figure *shapes* — who wins,
+//! where curves cross, where saturation kicks in — are visible at a glance
+//! without external tooling.
+
+use crate::stats::SweepTable;
+
+/// Glyphs used for the series, in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders a [`SweepTable`] as an ASCII scatter plot of `width`×`height`
+/// character cells (plus axes and a legend).
+///
+/// Points from different series that fall in the same cell render as the
+/// *later* series' glyph (the legend lists series in draw order).
+///
+/// # Example
+///
+/// ```
+/// use mmr_sim::{plot::ascii_plot, SweepTable};
+///
+/// let mut t = SweepTable::new("demo");
+/// t.push("a", 0.0, 0.0);
+/// t.push("a", 1.0, 1.0);
+/// let art = ascii_plot(&t, 20, 8);
+/// assert!(art.contains('*'));
+/// assert!(art.contains("a"));
+/// ```
+pub fn ascii_plot(table: &SweepTable, width: usize, height: usize) -> String {
+    let width = width.max(8);
+    let height = height.max(4);
+
+    // Bounds over all series.
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    let names: Vec<&str> = table.series_names().collect();
+    for name in &names {
+        for p in table.series(name).unwrap_or(&[]) {
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+    }
+    if !min_x.is_finite() {
+        return format!("# {} (no data)\n", table.metric());
+    }
+    if (max_x - min_x).abs() < 1e-12 {
+        max_x = min_x + 1.0;
+    }
+    if (max_y - min_y).abs() < 1e-12 {
+        max_y = min_y + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, name) in names.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for p in table.series(name).unwrap_or(&[]) {
+            let cx = ((p.x - min_x) / (max_x - min_x) * (width - 1) as f64).round() as usize;
+            let cy = ((p.y - min_y) / (max_y - min_y) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", table.metric()));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max_y:>9.2}")
+        } else if i == height - 1 {
+            format!("{min_y:>9.2}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("{:>10}{min_x:<.2}{:>pad$}{max_x:<.2}\n", "", "", pad = width.saturating_sub(8)));
+    out.push_str("  legend: ");
+    for (si, name) in names.iter().enumerate() {
+        out.push_str(&format!("{}={name}  ", GLYPHS[si % GLYPHS.len()]));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SweepTable {
+        let mut t = SweepTable::new("jitter vs load");
+        for i in 0..10 {
+            let x = i as f64 / 10.0;
+            t.push("biased", x, x * x);
+            t.push("fixed", x, x * 2.0);
+        }
+        t
+    }
+
+    #[test]
+    fn plot_contains_axes_and_legend() {
+        let art = ascii_plot(&table(), 40, 12);
+        assert!(art.contains("# jitter vs load"));
+        assert!(art.contains('|'), "y axis present");
+        assert!(art.contains('+'), "origin present");
+        assert!(art.contains("*=biased"));
+        assert!(art.contains("o=fixed"));
+    }
+
+    #[test]
+    fn plot_places_points_for_both_series() {
+        let art = ascii_plot(&table(), 40, 12);
+        assert!(art.chars().filter(|&c| c == '*').count() >= 5, "{art}");
+        assert!(art.chars().filter(|&c| c == 'o').count() >= 5, "{art}");
+    }
+
+    #[test]
+    fn empty_table_is_reported() {
+        let t = SweepTable::new("empty");
+        assert!(ascii_plot(&t, 40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut t = SweepTable::new("flat");
+        t.push("s", 0.5, 1.0);
+        let art = ascii_plot(&t, 20, 6);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn minimum_dimensions_are_enforced() {
+        let art = ascii_plot(&table(), 1, 1);
+        assert!(art.lines().count() >= 6, "clamped to usable size");
+    }
+}

@@ -1,0 +1,280 @@
+//! Deterministic random-number plumbing.
+//!
+//! Every experiment in the reproduction is seeded so that figures are
+//! bit-for-bit reproducible — across runs, platforms, and dependency
+//! upgrades. To guarantee the last of those, [`SeededRng`] implements its own
+//! fixed algorithm (xoshiro256++ seeded via splitmix64) rather than wrapping
+//! an external crate whose stream might change between versions. It offers
+//! the sampling primitives the workloads need, including the lognormal used
+//! by the synthetic MPEG GoP model (via Box–Muller).
+
+/// A deterministic random source with a fixed, documented algorithm
+/// (xoshiro256++).
+///
+/// # Example
+///
+/// ```
+/// use mmr_sim::SeededRng;
+///
+/// let mut a = SeededRng::new(42);
+/// let mut b = SeededRng::new(42);
+/// assert_eq!(a.index(10), b.index(10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededRng {
+    state: [u64; 4],
+    /// Cached second Box–Muller variate, stored as bits so `Eq` holds.
+    spare_gaussian: Option<u64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        SeededRng {
+            state: [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)],
+            spare_gaussian: None,
+        }
+    }
+
+    /// Next raw 64-bit value (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Derives an independent child generator; used to give each traffic
+    /// source its own stream so adding a source never perturbs the others.
+    pub fn fork(&mut self, stream: u64) -> SeededRng {
+        let base = self.next_u64();
+        SeededRng::new(base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+    }
+
+    /// Uniform index in `0..n` (Lemire's multiply-shift with rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample from an empty range");
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform range must be ordered");
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Exponential variate with the given mean (inter-arrival sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u = 1.0 - self.unit(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Standard normal variate via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(bits) = self.spare_gaussian.take() {
+            return f64::from_bits(bits);
+        }
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_gaussian = Some((r * theta.sin()).to_bits());
+        r * theta.cos()
+    }
+
+    /// Lognormal variate with the given *parameters* (mu, sigma of the
+    /// underlying normal).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.gaussian()).exp()
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = SeededRng::new(11);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut root1 = SeededRng::new(99);
+        let mut root2 = SeededRng::new(99);
+        let mut c1 = root1.fork(0);
+        let mut c2 = root2.fork(0);
+        assert_eq!(c1.index(1000), c2.index(1000));
+        // A different stream id yields a different sequence.
+        let mut c3 = SeededRng::new(99).fork(1);
+        let diff = (0..32).filter(|_| c1.next_u64() != c3.next_u64()).count();
+        assert!(diff > 28);
+    }
+
+    #[test]
+    fn index_stays_in_range_and_covers() {
+        let mut rng = SeededRng::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let i = rng.index(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..7 appear in 1000 draws");
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut rng = SeededRng::new(12);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SeededRng::new(13);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SeededRng::new(4);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(5.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments_are_close() {
+        let mut rng = SeededRng::new(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = SeededRng::new(6);
+        for _ in 0..1000 {
+            assert!(rng.lognormal(0.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SeededRng::new(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements almost surely move");
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut rng = SeededRng::new(9);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SeededRng::new(10);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

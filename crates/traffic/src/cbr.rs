@@ -1,0 +1,293 @@
+//! Constant-bit-rate sources and workload construction.
+//!
+//! A [`CbrSource`] paces one connection: it produces a flit every
+//! inter-arrival period (a real number of flit cycles, so slow connections
+//! are modelled exactly), with a random initial phase so connections do not
+//! arrive in lockstep. [`CbrWorkload`] builds the paper's experiment
+//! population: connections with rates drawn uniformly from a ladder,
+//! assigned to random input/output ports under admission control, until a
+//! target offered load is reached.
+
+use mmr_core::conn::{ConnectionRequest, QosClass};
+use mmr_core::ids::{ConnectionId, PortId};
+use mmr_core::router::{EstablishError, Router};
+use mmr_sim::{Bandwidth, Cycles, SeededRng};
+
+/// Paces flit arrivals for one established connection.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    conn: ConnectionId,
+    interarrival: f64,
+    next_arrival: f64,
+    /// Flits that were due but could not be injected (buffer full); they are
+    /// retried before new arrivals — the paper's source-interface
+    /// backpressure.
+    backlog: u32,
+}
+
+impl CbrSource {
+    /// Creates a source for `conn` with the given inter-arrival period in
+    /// flit cycles, starting at a random phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interarrival_cycles` is not positive and finite.
+    pub fn new(conn: ConnectionId, interarrival_cycles: f64, rng: &mut SeededRng) -> Self {
+        assert!(
+            interarrival_cycles.is_finite() && interarrival_cycles > 0.0,
+            "CBR inter-arrival must be positive"
+        );
+        CbrSource {
+            conn,
+            interarrival: interarrival_cycles,
+            next_arrival: rng.uniform(0.0, interarrival_cycles),
+            backlog: 0,
+        }
+    }
+
+    /// The connection this source feeds.
+    pub fn conn(&self) -> ConnectionId {
+        self.conn
+    }
+
+    /// Number of flits due at or before `now` (advances the arrival clock).
+    pub fn due(&mut self, now: Cycles) -> u32 {
+        let mut due = self.backlog;
+        self.backlog = 0;
+        while self.next_arrival <= now.as_f64() {
+            due += 1;
+            self.next_arrival += self.interarrival;
+        }
+        due
+    }
+
+    /// Records that `n` due flits could not be injected and must be retried.
+    pub fn defer(&mut self, n: u32) {
+        self.backlog += n;
+    }
+
+    /// Injects all due flits into `router`, deferring on backpressure.
+    /// Returns the number injected.
+    pub fn pump(&mut self, router: &mut Router, now: Cycles) -> u32 {
+        let due = self.due(now);
+        let mut injected = 0;
+        for _ in 0..due {
+            if router.inject(self.conn, now).is_ok() {
+                injected += 1;
+            } else {
+                self.defer(due - injected);
+                break;
+            }
+        }
+        injected
+    }
+}
+
+/// One admitted connection of a CBR workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CbrConnection {
+    /// The router's connection id.
+    pub id: ConnectionId,
+    /// The connection's data rate.
+    pub rate: Bandwidth,
+    /// Input port.
+    pub input: PortId,
+    /// Output port.
+    pub output: PortId,
+}
+
+/// A CBR connection population admitted to a router, plus its sources.
+#[derive(Debug, Clone)]
+pub struct CbrWorkload {
+    connections: Vec<CbrConnection>,
+    sources: Vec<CbrSource>,
+    offered: Bandwidth,
+    attempts_failed: u32,
+}
+
+impl CbrWorkload {
+    /// Builds a workload on `router` targeting `target_load` (fraction of
+    /// total switch bandwidth, the paper's offered-load axis).
+    ///
+    /// Rates are drawn uniformly from `ladder`; ports are drawn uniformly at
+    /// random, retrying a bounded number of times when a random pick fails
+    /// admission. Building stops when the target is reached or no further
+    /// connection can be admitted.
+    pub fn build(
+        router: &mut Router,
+        ladder: &[Bandwidth],
+        target_load: f64,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(!ladder.is_empty(), "rate ladder must be non-empty");
+        assert!((0.0..=1.0).contains(&target_load), "load is a fraction of switch bandwidth");
+        let dims = router.config();
+        let ports = dims.ports();
+        let capacity = dims.timing().link_rate() * ports as f64;
+        let mut offered = Bandwidth::ZERO;
+        let mut connections = Vec::new();
+        let mut sources = Vec::new();
+        let mut attempts_failed = 0u32;
+        // Each failed attempt leaves the router unchanged, so a bounded
+        // number of retries cannot leak resources.
+        let max_failures = 200 + ports as u32 * 64;
+
+        while offered.fraction_of(capacity) < target_load && attempts_failed < max_failures {
+            let rate = *rng.pick(ladder);
+            // Never overshoot the target by more than one rung: skip rates
+            // that would exceed it when smaller rungs exist.
+            if (offered + rate).fraction_of(capacity) > target_load + ladder[0].fraction_of(capacity)
+                && rate > ladder[0]
+            {
+                attempts_failed += 1;
+                continue;
+            }
+            let input = PortId(rng.index(ports) as u8);
+            let output = PortId(rng.index(ports) as u8);
+            match router.establish(ConnectionRequest {
+                input,
+                output,
+                class: QosClass::Cbr { rate },
+            }) {
+                Ok(id) => {
+                    offered += rate;
+                    let interarrival = dims.timing().interarrival_cycles(rate);
+                    sources.push(CbrSource::new(id, interarrival, rng));
+                    connections.push(CbrConnection { id, rate, input, output });
+                }
+                Err(
+                    EstablishError::Admission(_)
+                    | EstablishError::NoFreeInputVc
+                    | EstablishError::NoFreeOutputVc,
+                ) => {
+                    attempts_failed += 1;
+                }
+                Err(e @ EstablishError::InvalidPort { .. }) => {
+                    unreachable!("ports drawn in range: {e}")
+                }
+            }
+        }
+
+        CbrWorkload { connections, sources, offered, attempts_failed }
+    }
+
+    /// The admitted connections.
+    pub fn connections(&self) -> &[CbrConnection] {
+        &self.connections
+    }
+
+    /// Total offered bandwidth of admitted connections.
+    pub fn offered_bandwidth(&self) -> Bandwidth {
+        self.offered
+    }
+
+    /// Achieved offered load as a fraction of `ports × link_rate`.
+    pub fn offered_load(&self, router: &Router) -> f64 {
+        let dims = router.config();
+        self.offered.fraction_of(dims.timing().link_rate() * dims.ports() as f64)
+    }
+
+    /// Establishment attempts that failed (admission or VC exhaustion).
+    pub fn attempts_failed(&self) -> u32 {
+        self.attempts_failed
+    }
+
+    /// Injects all due flits of every source for cycle `now`.
+    /// Returns the number of flits injected.
+    pub fn pump(&mut self, router: &mut Router, now: Cycles) -> u32 {
+        self.sources.iter_mut().map(|s| s.pump(router, now)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::paper_rate_ladder;
+    use mmr_core::router::RouterConfig;
+
+    fn rng() -> SeededRng {
+        SeededRng::new(99)
+    }
+
+    #[test]
+    fn source_paces_at_interarrival() {
+        let mut r = rng();
+        let mut src = CbrSource::new(ConnectionId(0), 10.0, &mut r);
+        let mut total = 0;
+        for t in 0..100 {
+            total += src.due(Cycles(t));
+        }
+        assert_eq!(total, 10, "one flit per 10 cycles over 100 cycles");
+    }
+
+    #[test]
+    fn source_phase_is_randomised() {
+        let mut r = rng();
+        let firsts: Vec<u32> = (0..8)
+            .map(|_| {
+                let mut s = CbrSource::new(ConnectionId(0), 100.0, &mut r);
+                (0..100u64).find(|&t| s.due(Cycles(t)) > 0).expect("arrives within a period")
+                    as u32
+            })
+            .collect();
+        let distinct: std::collections::BTreeSet<_> = firsts.iter().collect();
+        assert!(distinct.len() > 4, "phases differ: {firsts:?}");
+    }
+
+    #[test]
+    fn deferred_flits_are_retried() {
+        let mut r = rng();
+        let mut src = CbrSource::new(ConnectionId(0), 5.0, &mut r);
+        let due = src.due(Cycles(20));
+        assert!(due >= 3);
+        src.defer(due);
+        assert_eq!(src.due(Cycles(20)), due, "backlog carried forward");
+    }
+
+    #[test]
+    fn fractional_interarrival_is_exact() {
+        let mut r = rng();
+        // 2.5-cycle period -> exactly 40 flits in 100 cycles.
+        let mut src = CbrSource::new(ConnectionId(0), 2.5, &mut r);
+        let total: u32 = (0..100).map(|t| src.due(Cycles(t))).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn workload_reaches_target_load() {
+        let mut router = RouterConfig::paper_default().seed(5).build();
+        let mut r = rng();
+        let w = CbrWorkload::build(&mut router, &paper_rate_ladder(), 0.5, &mut r);
+        let load = w.offered_load(&router);
+        assert!((load - 0.5).abs() < 0.05, "achieved {load}");
+        assert_eq!(w.connections().len(), router.connections());
+        assert!(w.connections().len() > 50, "many small connections expected");
+    }
+
+    #[test]
+    fn workload_high_load_is_achievable() {
+        let mut router = RouterConfig::paper_default().seed(6).build();
+        let mut r = rng();
+        let w = CbrWorkload::build(&mut router, &paper_rate_ladder(), 0.95, &mut r);
+        let load = w.offered_load(&router);
+        assert!(load > 0.90, "achieved {load} of 0.95 target");
+    }
+
+    #[test]
+    fn workload_pump_injects_flits() {
+        let mut router = RouterConfig::paper_default().seed(7).build();
+        let mut r = rng();
+        let mut w = CbrWorkload::build(&mut router, &paper_rate_ladder(), 0.3, &mut r);
+        let injected: u32 = (0..2000).map(|t| w.pump(&mut router, Cycles(t))).sum();
+        assert!(injected > 100, "flits flow: {injected}");
+    }
+
+    #[test]
+    fn zero_load_builds_empty_workload() {
+        let mut router = RouterConfig::paper_default().seed(8).build();
+        let mut r = rng();
+        let w = CbrWorkload::build(&mut router, &paper_rate_ladder(), 0.0, &mut r);
+        assert!(w.connections().is_empty());
+        assert_eq!(w.offered_bandwidth(), Bandwidth::ZERO);
+    }
+}

@@ -1,0 +1,257 @@
+//! `mmr-cli` — run MMR experiments from the command line.
+//!
+//! ```text
+//! mmr-cli router  [--load 0.8] [--arbiter biased|fixed|autonet|islip|rr|oldest|perfect]
+//!                 [--candidates 8] [--vcs 256] [--ports 8] [--warmup N] [--measure N]
+//!                 [--seed N] [--json]
+//! mmr-cli network [--topology mesh3x3|torus3x3|ring6|irregular10] [--load 0.4]
+//!                 [--warmup N] [--measure N] [--seed N] [--json]
+//! mmr-cli calls   [--arrival 0.01] [--holding 20000] [--cycles 400000] [--seed N] [--json]
+//! mmr-cli cost    [--candidates 8] [--vcs 256] [--ports 8] [--ns-per-gate 0.8]
+//! ```
+//!
+//! Every subcommand prints a human-readable report by default, or a flat
+//! JSON object with `--json` for scripting.
+
+use mmr::core::arbiter::ArbiterKind;
+use mmr::core::cost::CostModel;
+use mmr::core::router::RouterConfig;
+use mmr::net::{NetExperiment, Topology};
+use mmr::sim::SeededRng;
+use mmr::traffic::calls::{run_calls, CallWorkload};
+use mmr::traffic::driver::Experiment;
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .inspect(|_| {
+                        iter.next();
+                    });
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn f64_flag(&self, name: &str, default: f64) -> f64 {
+        self.flag(name).map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name}: not a number: {v}")))).unwrap_or(default)
+    }
+
+    fn u64_flag(&self, name: &str, default: u64) -> u64 {
+        self.flag(name).map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name}: not an integer: {v}")))).unwrap_or(default)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn arbiter_from(name: &str) -> ArbiterKind {
+    match name {
+        "biased" => ArbiterKind::BiasedPriority,
+        "fixed" => ArbiterKind::FixedPriority,
+        "autonet" | "dec" | "pim" => ArbiterKind::autonet_default(),
+        "islip" => ArbiterKind::Islip { iterations: 4 },
+        "rr" | "round-robin" => ArbiterKind::RoundRobin,
+        "oldest" | "fcfs" => ArbiterKind::OldestFirst,
+        "perfect" => ArbiterKind::Perfect,
+        other => die(&format!("unknown arbiter: {other}")),
+    }
+}
+
+fn topology_from(name: &str, seed: u64) -> Topology {
+    match name {
+        "mesh3x3" => Topology::mesh2d(3, 3, 8),
+        "mesh4x4" => Topology::mesh2d(4, 4, 8),
+        "torus3x3" => Topology::torus2d(3, 3, 8),
+        "ring6" => Topology::ring(6, 4),
+        "irregular10" => Topology::irregular(10, 6, 5, &mut SeededRng::new(seed)),
+        other => die(&format!(
+            "unknown topology: {other} (use mesh3x3|mesh4x4|torus3x3|ring6|irregular10)"
+        )),
+    }
+}
+
+fn json_object(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+fn cmd_router(args: &Args) {
+    let load = args.f64_flag("load", 0.8);
+    let config = RouterConfig::paper_default()
+        .ports(args.u64_flag("ports", 8) as u8)
+        .vcs_per_port(args.u64_flag("vcs", 256) as u16)
+        .candidates(args.u64_flag("candidates", 8) as usize)
+        .arbiter(arbiter_from(args.flag("arbiter").unwrap_or("biased")));
+    let result = Experiment::new(config, load)
+        .windows(args.u64_flag("warmup", 10_000), args.u64_flag("measure", 50_000))
+        .seed(args.u64_flag("seed", 1999))
+        .run();
+    if args.has("json") {
+        println!(
+            "{}",
+            json_object(&[
+                ("offered_load", format!("{:.4}", result.offered_load)),
+                ("connections", result.connections.to_string()),
+                ("mean_delay_cycles", format!("{:.4}", result.mean_delay_cycles)),
+                ("mean_delay_us", format!("{:.4}", result.mean_delay_us)),
+                ("mean_jitter_cycles", format!("{:.4}", result.mean_jitter_cycles)),
+                ("utilization", format!("{:.4}", result.utilization)),
+                ("flits_measured", result.flits_measured.to_string()),
+            ])
+        );
+    } else {
+        println!("single-router experiment @ {:.0}% offered load", result.offered_load * 100.0);
+        println!("  connections     {}", result.connections);
+        println!(
+            "  delay           {:.2} cycles ({:.3} us)",
+            result.mean_delay_cycles, result.mean_delay_us
+        );
+        println!("  jitter          {:.2} cycles", result.mean_jitter_cycles);
+        println!("  utilization     {:.1}%", result.utilization * 100.0);
+        println!("  per rate class:");
+        for c in &result.per_rate {
+            println!(
+                "    {:>12}: delay {:>8.2} cyc, jitter {:>8.2} cyc ({} flits)",
+                c.rate.to_string(),
+                c.mean_delay_cycles,
+                c.mean_jitter_cycles,
+                c.flits
+            );
+        }
+    }
+}
+
+fn cmd_network(args: &Args) {
+    let seed = args.u64_flag("seed", 2026);
+    let topology = topology_from(args.flag("topology").unwrap_or("mesh3x3"), seed);
+    let result = NetExperiment::new(
+        topology,
+        RouterConfig::paper_default().vcs_per_port(32).candidates(4),
+        args.f64_flag("load", 0.4),
+    )
+    .windows(args.u64_flag("warmup", 3_000), args.u64_flag("measure", 15_000))
+    .seed(seed)
+    .run();
+    if args.has("json") {
+        println!(
+            "{}",
+            json_object(&[
+                ("offered_load", format!("{:.4}", result.offered_load)),
+                ("streams", result.streams.to_string()),
+                ("mean_latency_cycles", format!("{:.4}", result.mean_latency_cycles)),
+                ("mean_latency_us", format!("{:.4}", result.mean_latency_us)),
+                ("mean_jitter_cycles", format!("{:.4}", result.mean_jitter_cycles)),
+                ("flits_delivered", result.flits_delivered.to_string()),
+                ("out_of_order", result.out_of_order.to_string()),
+            ])
+        );
+    } else {
+        println!("network experiment @ {:.0}% offered load", result.offered_load * 100.0);
+        println!("  streams            {}", result.streams);
+        println!(
+            "  end-to-end latency {:.2} cycles ({:.3} us)",
+            result.mean_latency_cycles, result.mean_latency_us
+        );
+        println!("  end-to-end jitter  {:.2} cycles", result.mean_jitter_cycles);
+        println!("  flits delivered    {}", result.flits_delivered);
+        println!("  out of order       {}", result.out_of_order);
+    }
+}
+
+fn cmd_calls(args: &Args) {
+    let workload = CallWorkload {
+        arrival_rate: args.f64_flag("arrival", 0.01),
+        mean_holding: args.f64_flag("holding", 20_000.0),
+        ladder: mmr::traffic::rates::paper_rate_ladder().to_vec(),
+        seed: args.u64_flag("seed", 55),
+    };
+    let mut router = RouterConfig::paper_default()
+        .vcs_per_port(args.u64_flag("vcs", 128) as u16)
+        .seed(workload.seed)
+        .build();
+    let stats = run_calls(&mut router, &workload, args.u64_flag("cycles", 400_000));
+    if args.has("json") {
+        println!(
+            "{}",
+            json_object(&[
+                ("offered_erlangs", format!("{:.2}", workload.offered_erlangs())),
+                ("offered_calls", stats.offered.to_string()),
+                ("admitted", stats.admitted.to_string()),
+                ("blocked_bandwidth", stats.blocked_bandwidth.to_string()),
+                ("blocked_vcs", stats.blocked_vcs.to_string()),
+                ("blocking_probability", format!("{:.4}", stats.blocking_probability())),
+                ("carried_erlangs", format!("{:.2}", stats.carried_erlangs)),
+            ])
+        );
+    } else {
+        println!("call-level admission @ {:.1} offered erlangs", workload.offered_erlangs());
+        println!("  calls offered        {}", stats.offered);
+        println!("  admitted             {}", stats.admitted);
+        println!("  blocked (bandwidth)  {}", stats.blocked_bandwidth);
+        println!("  blocked (VCs)        {}", stats.blocked_vcs);
+        println!("  blocking probability {:.2}%", stats.blocking_probability() * 100.0);
+        println!("  carried erlangs      {:.1}", stats.carried_erlangs);
+    }
+}
+
+fn cmd_cost(args: &Args) {
+    let model = CostModel {
+        ports: args.u64_flag("ports", 8) as usize,
+        vcs_per_port: args.u64_flag("vcs", 256) as usize,
+        candidates: args.u64_flag("candidates", 8) as usize,
+        datapath_bits: 128,
+        ns_per_gate: args.f64_flag("ns-per-gate", 0.8),
+    };
+    println!(
+        "hardware model: {} ports, {} VCs/port, {} candidates, {} ns/gate",
+        model.ports, model.vcs_per_port, model.candidates, model.ns_per_gate
+    );
+    println!("  candidate selection  {:.1} gates", model.candidate_select_delay());
+    println!("  switch arbitration   {:.1} gates", model.switch_arbitration_delay());
+    println!("  schedule time        {:.1} ns", model.schedule_time_ns());
+    println!(
+        "  max link rate        {:.2} Gbps (128-bit flits)",
+        model.max_link_rate(128).bits_per_sec() / 1e9
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    match args.positional.first().map(String::as_str) {
+        Some("router") => cmd_router(&args),
+        Some("network") => cmd_network(&args),
+        Some("calls") => cmd_calls(&args),
+        Some("cost") => cmd_cost(&args),
+        _ => {
+            eprintln!("usage: mmr-cli <router|network|calls|cost> [flags]");
+            eprintln!("       (see the module docs of this binary for the flag list)");
+            std::process::exit(2);
+        }
+    }
+}

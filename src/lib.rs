@@ -1,0 +1,40 @@
+//! # MMR — MultiMedia Router reproduction
+//!
+//! A full reproduction of Duato, Yalamanchili, Caminero, Love and Quiles,
+//! *"MMR: A High-Performance Multimedia Router — Architecture and Design
+//! Trade-Offs"* (HPCA 1999), as a Rust workspace:
+//!
+//! * [`core`] ([`mmr_core`]) — the router itself: virtual channel memory,
+//!   multiplexed crossbar, bandwidth allocation/admission control, link and
+//!   switch scheduling with biased priorities, VCT packet handling.
+//! * [`sim`] ([`mmr_sim`]) — the simulation substrate: units, deterministic
+//!   RNG, event queue, delay/jitter statistics.
+//! * [`bitvec`] ([`mmr_bitvec`]) — the hardware-style status bit vectors
+//!   the schedulers are built on.
+//! * [`traffic`] ([`mmr_traffic`]) — CBR/VBR/best-effort workloads and the
+//!   paper's experiment driver.
+//! * [`net`] ([`mmr_net`]) — multi-router networks: topologies, EPB
+//!   connection establishment, up*/down* adaptive routing, credit flow
+//!   control.
+//!
+//! See `examples/` for runnable scenarios and the `mmr-bench` crate for the
+//! harness that regenerates every figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mmr::core::router::RouterConfig;
+//! use mmr::traffic::driver::Experiment;
+//!
+//! // One point of the paper's delay-vs-load curve, scaled down for speed.
+//! let result = Experiment::new(RouterConfig::paper_default().vcs_per_port(32), 0.5)
+//!     .windows(500, 2_000)
+//!     .run();
+//! assert!(result.offered_load > 0.4);
+//! ```
+
+pub use mmr_bitvec as bitvec;
+pub use mmr_core as core;
+pub use mmr_net as net;
+pub use mmr_sim as sim;
+pub use mmr_traffic as traffic;

@@ -1,0 +1,166 @@
+//! Integration tests asserting the qualitative orderings of the paper's
+//! evaluation (Figures 3–5 and the §5.2 claims), on configurations small
+//! enough to run in debug mode.
+
+use mmr::core::arbiter::ArbiterKind;
+use mmr::core::router::RouterConfig;
+use mmr::traffic::driver::{Experiment, ExperimentResult};
+
+fn run(kind: ArbiterKind, candidates: usize, load: f64) -> ExperimentResult {
+    let config = RouterConfig::paper_default()
+        .vcs_per_port(64)
+        .candidates(candidates)
+        .arbiter(kind);
+    Experiment::new(config, load).windows(3_000, 15_000).seed(20_260_705).run()
+}
+
+#[test]
+fn biased_beats_fixed_on_delay_and_jitter_near_saturation() {
+    // The headline claim: "the use of biased priorities is consistently
+    // better below switch saturation."
+    let biased = run(ArbiterKind::BiasedPriority, 8, 0.85);
+    let fixed = run(ArbiterKind::FixedPriority, 8, 0.85);
+    assert!(
+        biased.mean_delay_cycles < fixed.mean_delay_cycles,
+        "delay: biased {:.2} < fixed {:.2}",
+        biased.mean_delay_cycles,
+        fixed.mean_delay_cycles
+    );
+    assert!(
+        biased.mean_jitter_cycles < fixed.mean_jitter_cycles,
+        "jitter: biased {:.2} < fixed {:.2}",
+        biased.mean_jitter_cycles,
+        fixed.mean_jitter_cycles
+    );
+}
+
+#[test]
+fn more_candidates_reduce_delay_for_biased() {
+    // Figure 4: delays with 4-8 candidates sit well below 1-2 candidates.
+    let c1 = run(ArbiterKind::BiasedPriority, 1, 0.8);
+    let c8 = run(ArbiterKind::BiasedPriority, 8, 0.8);
+    assert!(
+        c8.mean_delay_cycles < c1.mean_delay_cycles,
+        "8 candidates {:.2} < 1 candidate {:.2}",
+        c8.mean_delay_cycles,
+        c1.mean_delay_cycles
+    );
+}
+
+#[test]
+fn more_candidates_increase_utilization_at_high_load() {
+    // §5.2: "using a larger number of candidates is effective in increasing
+    // switch utilization and is not significantly affected by the priority
+    // scheme."
+    let c1 = run(ArbiterKind::BiasedPriority, 1, 0.95);
+    let c8 = run(ArbiterKind::BiasedPriority, 8, 0.95);
+    assert!(
+        c8.utilization > c1.utilization + 0.02,
+        "util: C8 {:.3} > C1 {:.3}",
+        c8.utilization,
+        c1.utilization
+    );
+    // ... and the priority scheme has little effect on utilization.
+    let fixed8 = run(ArbiterKind::FixedPriority, 8, 0.95);
+    assert!(
+        (c8.utilization - fixed8.utilization).abs() < 0.03,
+        "biased {:.3} vs fixed {:.3}",
+        c8.utilization,
+        fixed8.utilization
+    );
+}
+
+#[test]
+fn perfect_switch_lower_bounds_every_scheme() {
+    let perfect = run(ArbiterKind::Perfect, 8, 0.85);
+    for kind in [
+        ArbiterKind::BiasedPriority,
+        ArbiterKind::FixedPriority,
+        ArbiterKind::autonet_default(),
+        ArbiterKind::RoundRobin,
+    ] {
+        let other = run(kind, 8, 0.85);
+        assert!(
+            perfect.mean_delay_cycles <= other.mean_delay_cycles + 1e-9,
+            "{kind:?}: perfect {:.2} <= {:.2}",
+            perfect.mean_delay_cycles,
+            other.mean_delay_cycles
+        );
+    }
+}
+
+#[test]
+fn autonet_has_good_jitter_at_high_load() {
+    // §5.2: "the Autonet algorithm realizes very good jitter characteristics
+    // at high loads."
+    let autonet = run(ArbiterKind::autonet_default(), 8, 0.9);
+    let fixed = run(ArbiterKind::FixedPriority, 8, 0.9);
+    assert!(
+        autonet.mean_jitter_cycles < fixed.mean_jitter_cycles / 2.0,
+        "autonet {:.2} far below fixed {:.2}",
+        autonet.mean_jitter_cycles,
+        fixed.mean_jitter_cycles
+    );
+}
+
+#[test]
+fn no_saturation_collapse_at_high_load_with_8_candidates() {
+    // §5.2: "Saturation does not appear to occur before 95% load." Our
+    // reproduction saturates slightly earlier (~88%, see EXPERIMENTS.md),
+    // but with 8 candidates utilization must keep climbing into the 80s
+    // rather than collapsing.
+    let r = run(ArbiterKind::BiasedPriority, 8, 0.9);
+    assert!(
+        r.utilization > 0.80,
+        "util {:.3} stays high at load {:.3}",
+        r.utilization,
+        r.offered_load
+    );
+}
+
+#[test]
+fn delay_is_monotone_in_load() {
+    let mut last = -1.0;
+    for load in [0.3, 0.6, 0.9] {
+        let r = run(ArbiterKind::BiasedPriority, 4, load);
+        assert!(
+            r.mean_delay_cycles >= last - 0.2,
+            "delay roughly monotone: {:.2} after {last:.2} at load {load}",
+            r.mean_delay_cycles
+        );
+        last = r.mean_delay_cycles;
+    }
+}
+
+#[test]
+fn link_speed_is_qualitatively_irrelevant() {
+    // §5: "The behavior for slower link speeds, such as 622 Mbps and
+    // 155 Mbps, were qualitatively the same."
+    use mmr::sim::{Bandwidth, FlitTiming};
+    use mmr::traffic::rates::scaled_rate_ladder;
+    for (gbps, scale) in [(0.622, 0.5), (0.155, 0.125)] {
+        let timing = FlitTiming::new(128, Bandwidth::from_gbps(gbps));
+        let cfg = |kind| {
+            RouterConfig::paper_default()
+                .vcs_per_port(64)
+                .candidates(4)
+                .timing(timing)
+                .arbiter(kind)
+        };
+        let ladder = scaled_rate_ladder(scale).to_vec();
+        let biased = Experiment::new(cfg(ArbiterKind::BiasedPriority), 0.85)
+            .ladder(ladder.clone())
+            .windows(3_000, 15_000)
+            .run();
+        let fixed = Experiment::new(cfg(ArbiterKind::FixedPriority), 0.85)
+            .ladder(ladder)
+            .windows(3_000, 15_000)
+            .run();
+        assert!(
+            biased.mean_jitter_cycles < fixed.mean_jitter_cycles,
+            "at {gbps} Gbps: biased {:.2} < fixed {:.2}",
+            biased.mean_jitter_cycles,
+            fixed.mean_jitter_cycles
+        );
+    }
+}
