@@ -6,9 +6,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use mmr_bench::sweep::SweepOptions;
 use mmr_bench::{
     ablations, claims_table, extensions, fig3_jitter, fig4_delay, fig5, Fig5Metric, Quality,
 };
+
+fn serial() -> SweepOptions {
+    SweepOptions::serial()
+}
 
 fn smoke() -> Quality {
     Quality { warmup: 500, measure: 2_000, loads: vec![0.7] }
@@ -18,7 +23,7 @@ fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_jitter");
     group.sample_size(10);
     group.bench_function("panel_b_smoke", |b| {
-        b.iter(|| black_box(fig3_jitter(&[4, 8], &smoke())))
+        b.iter(|| black_box(fig3_jitter(&[4, 8], &smoke(), &serial())))
     });
     group.finish();
 }
@@ -27,7 +32,7 @@ fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_delay");
     group.sample_size(10);
     group.bench_function("panel_a_smoke", |b| {
-        b.iter(|| black_box(fig4_delay(&[1, 2], &smoke())))
+        b.iter(|| black_box(fig4_delay(&[1, 2], &smoke(), &serial())))
     });
     group.finish();
 }
@@ -36,7 +41,7 @@ fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_algorithms");
     group.sample_size(10);
     group.bench_function("delay_smoke", |b| {
-        b.iter(|| black_box(fig5(Fig5Metric::Delay, &smoke())))
+        b.iter(|| black_box(fig5(Fig5Metric::Delay, &smoke(), &serial())))
     });
     group.finish();
 }
@@ -44,7 +49,7 @@ fn bench_fig5(c: &mut Criterion) {
 fn bench_claims(c: &mut Criterion) {
     let mut group = c.benchmark_group("claims_table");
     group.sample_size(10);
-    group.bench_function("smoke", |b| b.iter(|| black_box(claims_table(&smoke()))));
+    group.bench_function("smoke", |b| b.iter(|| black_box(claims_table(&smoke(), &serial()))));
     group.finish();
 }
 
@@ -52,10 +57,10 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_suite");
     group.sample_size(10);
     group.bench_function("round_k_smoke", |b| {
-        b.iter(|| black_box(ablations::round_k(&smoke())))
+        b.iter(|| black_box(ablations::round_k(&smoke(), &serial())))
     });
     group.bench_function("candidate_policy_smoke", |b| {
-        b.iter(|| black_box(ablations::candidate_policy(&smoke())))
+        b.iter(|| black_box(ablations::candidate_policy(&smoke(), &serial())))
     });
     group.finish();
 }
@@ -64,7 +69,7 @@ fn bench_extensions(c: &mut Criterion) {
     let mut group = c.benchmark_group("extension_suite");
     group.sample_size(10);
     group.bench_function("epb_vs_greedy_smoke", |b| {
-        b.iter(|| black_box(extensions::epb_vs_greedy(2)))
+        b.iter(|| black_box(extensions::epb_vs_greedy(2, &serial())))
     });
     group.finish();
 }

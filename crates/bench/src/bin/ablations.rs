@@ -1,14 +1,17 @@
 //! Runs the design-trade-off ablations A1–A6 (see DESIGN.md).
 //!
 //! Usage:
-//! `cargo run --release -p mmr-bench --bin ablations -- [name ...] [--quick]`
+//! `cargo run --release -p mmr-bench --bin ablations -- [name ...] [--quick]
+//! [--jobs N | --serial]`
 //! where `name` ∈ {link-speed, candidates, round-k, vc-count, vcm-banks,
 //! candidate-policy, hardware-cost}; all run when none is given.
 
+use mmr_bench::sweep::SweepOptions;
 use mmr_bench::{ablations, Quality};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&mut args);
     let quality =
         if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
     let selected: Vec<&str> =
@@ -17,22 +20,22 @@ fn main() {
     let want = |name: &str| all || selected.contains(&name);
 
     if want("link-speed") {
-        println!("{}", ablations::link_speed(&quality));
+        println!("{}", ablations::link_speed(&quality, &opts));
     }
     if want("candidates") {
-        println!("{}", ablations::candidates(&quality));
+        println!("{}", ablations::candidates(&quality, &opts));
     }
     if want("round-k") {
-        println!("{}", ablations::round_k(&quality));
+        println!("{}", ablations::round_k(&quality, &opts));
     }
     if want("vc-count") {
-        println!("{}", ablations::vc_count(&quality));
+        println!("{}", ablations::vc_count(&quality, &opts));
     }
     if want("vcm-banks") {
-        println!("{}", ablations::vcm_banks(&quality));
+        println!("{}", ablations::vcm_banks(&quality, &opts));
     }
     if want("candidate-policy") {
-        println!("{}", ablations::candidate_policy(&quality));
+        println!("{}", ablations::candidate_policy(&quality, &opts));
     }
     if want("hardware-cost") {
         println!("{}", ablations::hardware_cost(&quality));

@@ -1,15 +1,19 @@
 //! Checks the in-text quantitative claims of §5.2 (the T1 "claims table").
 //!
-//! Usage: `cargo run --release -p mmr-bench --bin claims -- [--quick]`
+//! Usage: `cargo run --release -p mmr-bench --bin claims -- [--quick]
+//! [--jobs N | --serial]`
 //!
 //! Exits non-zero if any qualitative claim fails to hold.
 
+use mmr_bench::sweep::SweepOptions;
 use mmr_bench::{claims_table, render_claims, Quality};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&mut args);
+    let quick = args.iter().any(|a| a == "--quick");
     let quality = if quick { Quality::quick() } else { Quality::paper() };
-    let rows = claims_table(&quality);
+    let rows = claims_table(&quality, &opts);
     println!("{}", render_claims(&rows));
     let failures = rows.iter().filter(|r| !r.holds).count();
     if failures > 0 {

@@ -2,12 +2,15 @@
 //! service, hybrid traffic, and EPB vs greedy connection setup.
 //!
 //! Usage:
-//! `cargo run --release -p mmr-bench --bin extensions -- [vbr|hybrid|epb|setup-latency|calls|faults|network-load ...] [--quick]`
+//! `cargo run --release -p mmr-bench --bin extensions -- [vbr|hybrid|epb|setup-latency|calls|faults|network-load ...] [--quick]
+//! [--jobs N | --serial]`
 
+use mmr_bench::sweep::SweepOptions;
 use mmr_bench::{extensions, Quality};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let quality = if quick { Quality::quick() } else { Quality::paper() };
     let selected: Vec<&str> =
@@ -16,24 +19,24 @@ fn main() {
     let want = |name: &str| all || selected.contains(&name);
 
     if want("vbr") {
-        println!("{}", extensions::vbr_concurrency(&quality));
+        println!("{}", extensions::vbr_concurrency(&quality, &opts));
     }
     if want("hybrid") {
-        println!("{}", extensions::hybrid(&quality));
+        println!("{}", extensions::hybrid(&quality, &opts));
     }
     if want("epb") {
-        println!("{}", extensions::epb_vs_greedy(if quick { 6 } else { 24 }));
+        println!("{}", extensions::epb_vs_greedy(if quick { 6 } else { 24 }, &opts));
     }
     if want("setup-latency") {
-        println!("{}", extensions::setup_latency(if quick { 4 } else { 16 }));
+        println!("{}", extensions::setup_latency(if quick { 4 } else { 16 }, &opts));
     }
     if want("calls") {
-        println!("{}", extensions::call_blocking(&quality));
+        println!("{}", extensions::call_blocking(&quality, &opts));
     }
     if want("faults") {
-        println!("{}", extensions::fault_recovery(if quick { 6 } else { 24 }));
+        println!("{}", extensions::fault_recovery(if quick { 6 } else { 24 }, &opts));
     }
     if want("network-load") {
-        println!("{}", extensions::network_load(&quality));
+        println!("{}", extensions::network_load(&quality, &opts));
     }
 }

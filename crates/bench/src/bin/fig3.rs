@@ -1,21 +1,26 @@
 //! Regenerates Figure 3: jitter vs offered load, fixed vs biased priorities.
 //!
-//! Usage: `cargo run --release -p mmr-bench --bin fig3 -- [--panel a|b] [--quick] [--plot]`
+//! Usage: `cargo run --release -p mmr-bench --bin fig3 -- [--panel a|b]
+//! [--quick] [--plot] [--jobs N | --serial]`
 //! Panel a sweeps 1 and 2 candidates; panel b sweeps 4 and 8 (both without
-//! a flag).
+//! a flag). The sweep runs on all available cores (or `MMR_JOBS`) unless
+//! `--jobs`/`--serial` says otherwise; the output is identical either way.
 
+use mmr_bench::sweep::SweepOptions;
 use mmr_bench::{fig3_jitter, Quality};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quality = if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&mut args);
+    let quality =
+        if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
     let panel = args.iter().position(|a| a == "--panel").map(|i| args[i + 1].as_str());
     let candidates: &[usize] = match panel {
         Some("a") => &[1, 2],
         Some("b") => &[4, 8],
         _ => &[1, 2, 4, 8],
     };
-    let table = fig3_jitter(candidates, &quality);
+    let table = fig3_jitter(candidates, &quality, &opts);
     println!("{table}");
     if args.iter().any(|a| a == "--plot") {
         println!("{}", mmr_sim::plot::ascii_plot(&table, 64, 20));

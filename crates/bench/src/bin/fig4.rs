@@ -1,20 +1,24 @@
 //! Regenerates Figure 4: delay (microseconds) vs offered load, fixed vs
 //! biased priorities.
 //!
-//! Usage: `cargo run --release -p mmr-bench --bin fig4 -- [--panel a|b] [--quick] [--plot]`
+//! Usage: `cargo run --release -p mmr-bench --bin fig4 -- [--panel a|b]
+//! [--quick] [--plot] [--jobs N | --serial]`
 
+use mmr_bench::sweep::SweepOptions;
 use mmr_bench::{fig4_delay, Quality};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quality = if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&mut args);
+    let quality =
+        if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
     let panel = args.iter().position(|a| a == "--panel").map(|i| args[i + 1].as_str());
     let candidates: &[usize] = match panel {
         Some("a") => &[1, 2],
         Some("b") => &[4, 8],
         _ => &[1, 2, 4, 8],
     };
-    let table = fig4_delay(candidates, &quality);
+    let table = fig4_delay(candidates, &quality, &opts);
     println!("{table}");
     if args.iter().any(|a| a == "--plot") {
         println!("{}", mmr_sim::plot::ascii_plot(&table, 64, 20));

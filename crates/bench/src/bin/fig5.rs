@@ -1,13 +1,17 @@
 //! Regenerates Figure 5: delay and jitter vs offered load for
 //! biased(8C), fixed(8C), the Autonet/DEC scheduler and the perfect switch.
 //!
-//! Usage: `cargo run --release -p mmr-bench --bin fig5 -- [--metric delay|jitter] [--quick]`
+//! Usage: `cargo run --release -p mmr-bench --bin fig5 --
+//! [--metric delay|jitter] [--quick] [--plot] [--jobs N | --serial]`
 
+use mmr_bench::sweep::SweepOptions;
 use mmr_bench::{fig5, Fig5Metric, Quality};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quality = if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&mut args);
+    let quality =
+        if args.iter().any(|a| a == "--quick") { Quality::quick() } else { Quality::paper() };
     let metric = args.iter().position(|a| a == "--metric").map(|i| args[i + 1].as_str());
     let plot = args.iter().any(|a| a == "--plot");
     let emit = |table: mmr_sim::SweepTable| {
@@ -17,11 +21,11 @@ fn main() {
         }
     };
     match metric {
-        Some("delay") => emit(fig5(Fig5Metric::Delay, &quality)),
-        Some("jitter") => emit(fig5(Fig5Metric::Jitter, &quality)),
+        Some("delay") => emit(fig5(Fig5Metric::Delay, &quality, &opts)),
+        Some("jitter") => emit(fig5(Fig5Metric::Jitter, &quality, &opts)),
         _ => {
-            emit(fig5(Fig5Metric::Delay, &quality));
-            emit(fig5(Fig5Metric::Jitter, &quality));
+            emit(fig5(Fig5Metric::Delay, &quality, &opts));
+            emit(fig5(Fig5Metric::Jitter, &quality, &opts));
         }
     }
 }

@@ -1,0 +1,120 @@
+//! Benchmarks the figure-regeneration pipeline itself and emits a
+//! machine-readable baseline to `BENCH_sweep.json`: wall-clock per figure
+//! (serial vs parallel), simulated flit-cycles per second, and whether the
+//! parallel output is byte-identical to the serial run.
+//!
+//! Usage: `cargo run --release -p mmr-bench --bin sweepbench --
+//! [--full] [--jobs N] [--out PATH]`
+//!
+//! `--jobs` sets the parallel worker count (default: all cores); the serial
+//! leg always runs with one worker. `--full` uses the paper-quality windows
+//! (slow); the default quick windows are what the committed baseline uses.
+
+use std::time::Instant;
+
+use mmr_bench::sweep::SweepOptions;
+use mmr_bench::{claims_table, fig3_jitter, fig4_delay, fig5, render_claims, Fig5Metric, Quality};
+
+struct FigureBench {
+    name: &'static str,
+    /// Simulated cycles per sweep point (warmup + measure).
+    cycles_per_point: u64,
+    points: usize,
+    serial_secs: f64,
+    parallel_secs: f64,
+    identical: bool,
+}
+
+fn time<F: FnMut() -> String>(mut f: F) -> (f64, String) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn bench_figure<F>(name: &'static str, quality: &Quality, points: usize, jobs: usize, run: F) -> FigureBench
+where
+    F: Fn(&SweepOptions) -> String,
+{
+    let (serial_secs, serial_out) = time(|| run(&SweepOptions::serial()));
+    let (parallel_secs, parallel_out) = time(|| run(&SweepOptions { jobs }));
+    FigureBench {
+        name,
+        cycles_per_point: quality.warmup + quality.measure,
+        points,
+        serial_secs,
+        parallel_secs,
+        identical: serial_out == parallel_out,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let quality = if full { Quality::paper() } else { Quality::quick() };
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let n_loads = quality.loads.len();
+    let figures = [
+        bench_figure("fig3_panel_a", &quality, 2 * 2 * n_loads, jobs, |opts| {
+            format!("{}", fig3_jitter(&[1, 2], &quality, opts))
+        }),
+        bench_figure("fig4_panel_b", &quality, 2 * 2 * n_loads, jobs, |opts| {
+            format!("{}", fig4_delay(&[4, 8], &quality, opts))
+        }),
+        bench_figure("fig5_delay", &quality, 4 * n_loads, jobs, |opts| {
+            format!("{}", fig5(Fig5Metric::Delay, &quality, opts))
+        }),
+        bench_figure("claims", &quality, 11, jobs, |opts| {
+            render_claims(&claims_table(&quality, opts))
+        }),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"quality\": \"{}\",\n", if full { "paper" } else { "quick" }));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str("  \"figures\": [\n");
+    for (i, f) in figures.iter().enumerate() {
+        let cycles = f.cycles_per_point * f.points as u64;
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", f.name));
+        json.push_str(&format!("      \"points\": {},\n", f.points));
+        json.push_str(&format!("      \"simulated_flit_cycles\": {cycles},\n"));
+        json.push_str(&format!("      \"serial_secs\": {:.3},\n", f.serial_secs));
+        json.push_str(&format!("      \"parallel_secs\": {:.3},\n", f.parallel_secs));
+        json.push_str(&format!("      \"speedup\": {:.3},\n", f.serial_secs / f.parallel_secs));
+        json.push_str(&format!(
+            "      \"serial_flit_cycles_per_sec\": {:.0},\n",
+            cycles as f64 / f.serial_secs
+        ));
+        json.push_str(&format!(
+            "      \"parallel_flit_cycles_per_sec\": {:.0},\n",
+            cycles as f64 / f.parallel_secs
+        ));
+        json.push_str(&format!("      \"byte_identical\": {}\n", f.identical));
+        json.push_str(if i + 1 == figures.len() { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark baseline");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if figures.iter().any(|f| !f.identical) {
+        eprintln!("FAIL: parallel output diverged from serial output");
+        std::process::exit(1);
+    }
+}

@@ -1,6 +1,11 @@
 //! Extension experiments (E1–E3 in DESIGN.md): the directions the paper
 //! defers to future work — VBR traffic, hybrid traffic, and network-level
 //! connection establishment.
+//!
+//! Independent simulation points (factors, trials, loads) fan out through
+//! [`SweepOptions::run_indexed`]; per-point seeds are fixed up front and all
+//! floating-point aggregation happens serially over the collected results in
+//! point order, so every table is identical at any `--jobs` setting.
 
 use mmr_core::conn::{ConnectionRequest, QosClass};
 use mmr_core::flit::FlitKind;
@@ -13,16 +18,17 @@ use mmr_traffic::cbr::CbrWorkload;
 use mmr_traffic::rates::paper_rate_ladder;
 use mmr_traffic::vbr::{MpegGopModel, VbrSource};
 
+use crate::sweep::SweepOptions;
 use crate::Quality;
 
 /// E1 — VBR MPEG-2 streams under the §4.3 three-phase schedule, sweeping
 /// the concurrency factor: higher factors admit more streams but degrade
 /// the peak service each receives.
-pub fn vbr_concurrency(quality: &Quality) -> SweepTable {
-    let mut table =
-        SweepTable::new("E1 — VBR MPEG-2: admitted streams and delivery vs concurrency factor");
+pub fn vbr_concurrency(quality: &Quality, opts: &SweepOptions) -> SweepTable {
+    let factors = [1.0f64, 2.0, 4.0, 8.0];
     let model = MpegGopModel::sd_5mbps();
-    for factor in [1.0f64, 2.0, 4.0, 8.0] {
+    let results = opts.run_indexed(factors.len(), |i| {
+        let factor = factors[i];
         let mut router = RouterConfig::paper_default()
             .vcs_per_port(128)
             .candidates(8)
@@ -61,6 +67,11 @@ pub fn vbr_concurrency(quality: &Quality) -> SweepTable {
             }
             forwarded += router.step(now).transmitted.len() as u64;
         }
+        (admitted, injected, forwarded)
+    });
+    let mut table =
+        SweepTable::new("E1 — VBR MPEG-2: admitted streams and delivery vs concurrency factor");
+    for (&factor, &(admitted, injected, forwarded)) in factors.iter().zip(&results) {
         table.push("streams admitted", factor, admitted as f64);
         table.push("flits injected (k)", factor, injected as f64 / 1e3);
         table.push("flits forwarded (k)", factor, forwarded as f64 / 1e3);
@@ -76,9 +87,10 @@ pub fn vbr_concurrency(quality: &Quality) -> SweepTable {
 /// E2 — hybrid traffic (§3.4 priority rules): CBR streams at 60% load plus
 /// increasing best-effort pressure; stream jitter must stay flat while
 /// best-effort throughput rides the leftover bandwidth.
-pub fn hybrid(quality: &Quality) -> SweepTable {
-    let mut table = SweepTable::new("E2 — hybrid traffic vs best-effort offered rate");
-    for be_rate in [0.0f64, 0.05, 0.1, 0.2, 0.4] {
+pub fn hybrid(quality: &Quality, opts: &SweepOptions) -> SweepTable {
+    let be_rates = [0.0f64, 0.05, 0.1, 0.2, 0.4];
+    let results = opts.run_indexed(be_rates.len(), |i| {
+        let be_rate = be_rates[i];
         let mut router = RouterConfig::paper_default()
             .vcs_per_port(128)
             .candidates(8)
@@ -111,8 +123,12 @@ pub fn hybrid(quality: &Quality) -> SweepTable {
                 }
             }
         }
-        table.push("stream jitter (cyc)", be_rate, recorder.mean_jitter_cycles());
-        table.push("stream delay (cyc)", be_rate, recorder.mean_delay_cycles());
+        (recorder.mean_jitter_cycles(), recorder.mean_delay_cycles(), be_delivered)
+    });
+    let mut table = SweepTable::new("E2 — hybrid traffic vs best-effort offered rate");
+    for (&be_rate, &(jitter, delay, be_delivered)) in be_rates.iter().zip(&results) {
+        table.push("stream jitter (cyc)", be_rate, jitter);
+        table.push("stream delay (cyc)", be_rate, delay);
         table.push("BE delivered (k)", be_rate, be_delivered as f64 / 1e3);
     }
     table
@@ -120,50 +136,61 @@ pub fn hybrid(quality: &Quality) -> SweepTable {
 
 /// E3 — connection-setup success probability: EPB vs greedy probes over
 /// mesh / torus / irregular topologies with scarce virtual channels.
-pub fn epb_vs_greedy(trials: u64) -> SweepTable {
-    let mut table = SweepTable::new("E3 — setup success rate and probe cost, EPB vs greedy");
-    for (t_idx, name) in ["mesh 3x3", "torus 3x3", "irregular 10"].iter().enumerate() {
-        for (strategy, label) in
-            [(SetupStrategy::Epb, "EPB"), (SetupStrategy::Greedy, "greedy")]
-        {
-            let mut ok = 0u64;
-            let mut attempts = 0u64;
-            let mut probe_hops = 0u64;
+pub fn epb_vs_greedy(trials: u64, opts: &SweepOptions) -> SweepTable {
+    let strategies = [(SetupStrategy::Epb, "EPB"), (SetupStrategy::Greedy, "greedy")];
+    // One point per (topology, strategy, seed) trial; aggregation over
+    // seeds happens after the sweep, in point order.
+    let mut points = Vec::new();
+    for t_idx in 0..3usize {
+        for (strategy, _) in strategies {
             for seed in 0..trials {
-                let topology = match t_idx {
-                    0 => Topology::mesh2d(3, 3, 8),
-                    1 => Topology::torus2d(3, 3, 8),
-                    _ => Topology::irregular(10, 5, 4, &mut SeededRng::new(seed)),
-                };
-                let nodes = topology.nodes();
-                let mut net = NetworkSim::new(
-                    topology,
-                    RouterConfig::paper_default().vcs_per_port(4).candidates(2).seed(seed),
-                );
-                let mut rng = SeededRng::new(seed ^ 0xE3);
-                for _ in 0..30 {
-                    let a = NodeId(rng.index(nodes) as u16);
-                    let b = NodeId(rng.index(nodes) as u16);
-                    if a == b {
-                        continue;
-                    }
-                    attempts += 1;
-                    if let Ok(receipt) =
-                        net.establish_with_receipt(a, b, cbr_mbps(124.0), strategy)
-                    {
-                        ok += 1;
-                        probe_hops += u64::from(receipt.probe_hops);
-                    }
+                points.push((t_idx, strategy, seed));
+            }
+        }
+    }
+    let results = opts.run_indexed(points.len(), |i| {
+        let (t_idx, strategy, seed) = points[i];
+        let topology = match t_idx {
+            0 => Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
+            1 => Topology::torus2d(3, 3, 8).expect("topology wires within the port budget"),
+            _ => Topology::irregular(10, 5, 4, &mut SeededRng::new(seed))
+                .expect("topology wires within the port budget"),
+        };
+        let nodes = topology.nodes();
+        let mut net = NetworkSim::new(
+            topology,
+            RouterConfig::paper_default().vcs_per_port(4).candidates(2).seed(seed),
+        );
+        let mut rng = SeededRng::new(seed ^ 0xE3);
+        let (mut attempts, mut ok, mut probe_hops) = (0u64, 0u64, 0u64);
+        for _ in 0..30 {
+            let a = NodeId(rng.index(nodes) as u16);
+            let b = NodeId(rng.index(nodes) as u16);
+            if a == b {
+                continue;
+            }
+            attempts += 1;
+            if let Ok(receipt) = net.establish_with_receipt(a, b, cbr_mbps(124.0), strategy) {
+                ok += 1;
+                probe_hops += u64::from(receipt.probe_hops);
+            }
+        }
+        (attempts, ok, probe_hops)
+    });
+    let mut table = SweepTable::new("E3 — setup success rate and probe cost, EPB vs greedy");
+    for t_idx in 0..3usize {
+        for (strategy, label) in strategies {
+            let (mut attempts, mut ok, mut probe_hops) = (0u64, 0u64, 0u64);
+            for ((pt, ps, _), &(a, o, h)) in points.iter().zip(&results) {
+                if *pt == t_idx && *ps == strategy {
+                    attempts += a;
+                    ok += o;
+                    probe_hops += h;
                 }
             }
             let x = t_idx as f64;
             table.push(&format!("{label} success"), x, ok as f64 / attempts as f64);
-            table.push(
-                &format!("{label} hops/setup"),
-                x,
-                probe_hops as f64 / ok.max(1) as f64,
-            );
-            let _ = name;
+            table.push(&format!("{label} hops/setup"), x, probe_hops as f64 / ok.max(1) as f64);
         }
     }
     table
@@ -173,54 +200,59 @@ pub fn epb_vs_greedy(trials: u64) -> SweepTable {
 /// (one hop per flit cycle, acknowledgment returning along the reverse
 /// mappings) launched into a mesh carrying increasing background
 /// connection load.
-pub fn setup_latency(trials: u64) -> SweepTable {
-    let mut table = SweepTable::new("E4 — setup round-trip latency (cycles) vs background load");
-    for bg_connections in [0usize, 20, 40, 80] {
-        for (strategy, label) in
-            [(SetupStrategy::Epb, "EPB"), (SetupStrategy::Greedy, "greedy")]
-        {
-            let mut latency_sum = 0.0;
-            let mut ok = 0u64;
-            let mut failed = 0u64;
+pub fn setup_latency(trials: u64, opts: &SweepOptions) -> SweepTable {
+    let strategies = [(SetupStrategy::Epb, "EPB"), (SetupStrategy::Greedy, "greedy")];
+    let bg_levels = [0usize, 20, 40, 80];
+    let mut points = Vec::new();
+    for &bg_connections in &bg_levels {
+        for (strategy, _) in strategies {
             for seed in 0..trials {
-                // Scarce VCs so background connections crowd the minimal
-                // paths and force the probe to search.
-                let mut net = NetworkSim::new(
-                    Topology::mesh2d(3, 3, 8),
-                    RouterConfig::paper_default().vcs_per_port(6).candidates(2).seed(seed),
-                );
-                let mut rng = SeededRng::new(seed ^ 0xE4);
-                let mut placed = 0;
-                let mut attempts = 0;
-                while placed < bg_connections && attempts < bg_connections * 20 + 20 {
-                    attempts += 1;
-                    let a = NodeId(rng.index(9) as u16);
-                    let b = NodeId(rng.index(9) as u16);
-                    if a != b
-                        && net.establish(a, b, cbr_mbps(124.0), SetupStrategy::Epb).is_ok()
-                    {
-                        placed += 1;
+                points.push((bg_connections, strategy, seed));
+            }
+        }
+    }
+    let results = opts.run_indexed(points.len(), |i| {
+        let (bg_connections, strategy, seed) = points[i];
+        // Scarce VCs so background connections crowd the minimal paths and
+        // force the probe to search.
+        let mut net = NetworkSim::new(
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(6).candidates(2).seed(seed),
+        );
+        let mut rng = SeededRng::new(seed ^ 0xE4);
+        let mut placed = 0;
+        let mut attempts = 0;
+        while placed < bg_connections && attempts < bg_connections * 20 + 20 {
+            attempts += 1;
+            let a = NodeId(rng.index(9) as u16);
+            let b = NodeId(rng.index(9) as u16);
+            if a != b && net.establish(a, b, cbr_mbps(124.0), SetupStrategy::Epb).is_ok() {
+                placed += 1;
+            }
+        }
+        net.request_connection(NodeId(0), NodeId(8), cbr_mbps(62.0), strategy, Cycles(0));
+        for t in 0..500u64 {
+            let report = net.step(Cycles(t));
+            if let Some(e) = report.setups.first() {
+                return match e.result {
+                    Ok(_) => (Some(e.latency.as_f64()), 0u64),
+                    Err(_) => (None, 1u64),
+                };
+            }
+        }
+        (None, 0)
+    });
+    let mut table = SweepTable::new("E4 — setup round-trip latency (cycles) vs background load");
+    for &bg_connections in &bg_levels {
+        for (strategy, label) in strategies {
+            let (mut latency_sum, mut ok, mut failed) = (0.0f64, 0u64, 0u64);
+            for ((pb, ps, _), (latency, fail)) in points.iter().zip(&results) {
+                if *pb == bg_connections && *ps == strategy {
+                    if let Some(l) = latency {
+                        ok += 1;
+                        latency_sum += l;
                     }
-                }
-                net.request_connection(
-                    NodeId(0),
-                    NodeId(8),
-                    cbr_mbps(62.0),
-                    strategy,
-                    Cycles(0),
-                );
-                for t in 0..500u64 {
-                    let report = net.step(Cycles(t));
-                    if let Some(e) = report.setups.first() {
-                        match e.result {
-                            Ok(_) => {
-                                ok += 1;
-                                latency_sum += e.latency.as_f64();
-                            }
-                            Err(_) => failed += 1,
-                        }
-                        break;
-                    }
+                    failed += fail;
                 }
             }
             let x = bg_connections as f64;
@@ -235,21 +267,25 @@ pub fn setup_latency(trials: u64) -> SweepTable {
 
 /// E5 — call-level admission: blocking probability vs offered erlangs on
 /// the single router (the §4.2 registers as an Erlang loss system).
-pub fn call_blocking(quality: &Quality) -> SweepTable {
+pub fn call_blocking(quality: &Quality, opts: &SweepOptions) -> SweepTable {
     use mmr_traffic::calls::{run_calls, CallWorkload};
-    let mut table = SweepTable::new("E5 — call blocking probability vs offered erlangs");
+    let arrival_rates = [0.002f64, 0.005, 0.01, 0.02, 0.05, 0.1];
     let total_cycles = (quality.warmup + quality.measure) * 4;
-    for arrival_rate in [0.002f64, 0.005, 0.01, 0.02, 0.05, 0.1] {
+    let results = opts.run_indexed(arrival_rates.len(), |i| {
         let workload = CallWorkload {
-            arrival_rate,
+            arrival_rate: arrival_rates[i],
             mean_holding: 20_000.0,
             ladder: mmr_traffic::rates::paper_rate_ladder().to_vec(),
             seed: 55,
         };
         let mut router = RouterConfig::paper_default().vcs_per_port(128).seed(55).build();
         let stats = run_calls(&mut router, &workload, total_cycles);
-        table.push("blocking probability", workload.offered_erlangs(), stats.blocking_probability());
-        table.push("carried erlangs", workload.offered_erlangs(), stats.carried_erlangs);
+        (workload.offered_erlangs(), stats.blocking_probability(), stats.carried_erlangs)
+    });
+    let mut table = SweepTable::new("E5 — call blocking probability vs offered erlangs");
+    for &(erlangs, blocking, carried) in &results {
+        table.push("blocking probability", erlangs, blocking);
+        table.push("carried erlangs", erlangs, carried);
     }
     table
 }
@@ -259,56 +295,70 @@ pub fn call_blocking(quality: &Quality) -> SweepTable {
 /// pattern of the fault-tolerant routing family the MMR's EPB descends
 /// from). Reports how many streams break, how many recover, and the
 /// probe cost of recovery.
-pub fn fault_recovery(trials: u64) -> SweepTable {
-    let mut table = SweepTable::new("E6 — streams broken/recovered vs failed links (3x3 mesh)");
-    for failures in [1usize, 2, 3, 4] {
-        let mut broken_total = 0u64;
-        let mut recovered_total = 0u64;
-        let mut recovery_hops = 0u64;
+pub fn fault_recovery(trials: u64, opts: &SweepOptions) -> SweepTable {
+    let failure_levels = [1usize, 2, 3, 4];
+    let mut points = Vec::new();
+    for &failures in &failure_levels {
         for seed in 0..trials {
-            let mut net = NetworkSim::new(
-                Topology::mesh2d(3, 3, 8),
-                RouterConfig::paper_default().vcs_per_port(16).candidates(4).seed(seed),
-            );
-            let mut rng = SeededRng::new(seed ^ 0xE6);
-            // Populate with streams (id -> endpoints, updated on recovery).
-            let mut streams = std::collections::BTreeMap::new();
-            for _ in 0..20 {
-                let a = NodeId(rng.index(9) as u16);
-                let b = NodeId(rng.index(9) as u16);
-                if a != b {
-                    if let Ok(c) = net.establish(a, b, cbr_mbps(62.0), SetupStrategy::Epb) {
-                        streams.insert(c, (a, b));
-                    }
+            points.push((failures, seed));
+        }
+    }
+    let results = opts.run_indexed(points.len(), |i| {
+        let (failures, seed) = points[i];
+        let mut net = NetworkSim::new(
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(16).candidates(4).seed(seed),
+        );
+        let mut rng = SeededRng::new(seed ^ 0xE6);
+        // Populate with streams (id -> endpoints, updated on recovery).
+        let mut streams = std::collections::BTreeMap::new();
+        for _ in 0..20 {
+            let a = NodeId(rng.index(9) as u16);
+            let b = NodeId(rng.index(9) as u16);
+            if a != b {
+                if let Ok(c) = net.establish(a, b, cbr_mbps(62.0), SetupStrategy::Epb) {
+                    streams.insert(c, (a, b));
                 }
             }
-            // Fail random inter-router wires.
-            for _ in 0..failures {
-                let wires: Vec<_> = net
-                    .topology()
-                    .wires()
-                    .iter()
-                    .filter(|w| net.link_ok(w.a.0, w.a.1))
-                    .copied()
-                    .collect();
-                if wires.is_empty() {
-                    break;
+        }
+        let (mut broken_total, mut recovered_total, mut recovery_hops) = (0u64, 0u64, 0u64);
+        // Fail random inter-router wires.
+        for _ in 0..failures {
+            let wires: Vec<_> = net
+                .topology()
+                .wires()
+                .iter()
+                .filter(|w| net.link_ok(w.a.0, w.a.1))
+                .copied()
+                .collect();
+            if wires.is_empty() {
+                break;
+            }
+            let w = wires[rng.index(wires.len())];
+            let broken = net.fail_link(w.a.0, w.a.1);
+            broken_total += broken.len() as u64;
+            // Recover each broken stream by a fresh EPB setup.
+            for id in broken {
+                let (src, dst) = streams.remove(&id).expect("broken streams were registered");
+                if let Ok(receipt) =
+                    net.establish_with_receipt(src, dst, cbr_mbps(62.0), SetupStrategy::Epb)
+                {
+                    recovered_total += 1;
+                    recovery_hops += u64::from(receipt.probe_hops);
+                    streams.insert(receipt.conn, (src, dst));
                 }
-                let w = wires[rng.index(wires.len())];
-                let broken = net.fail_link(w.a.0, w.a.1);
-                broken_total += broken.len() as u64;
-                // Recover each broken stream by a fresh EPB setup.
-                for id in broken {
-                    let (src, dst) =
-                        streams.remove(&id).expect("broken streams were registered");
-                    if let Ok(receipt) =
-                        net.establish_with_receipt(src, dst, cbr_mbps(62.0), SetupStrategy::Epb)
-                    {
-                        recovered_total += 1;
-                        recovery_hops += u64::from(receipt.probe_hops);
-                        streams.insert(receipt.conn, (src, dst));
-                    }
-                }
+            }
+        }
+        (broken_total, recovered_total, recovery_hops)
+    });
+    let mut table = SweepTable::new("E6 — streams broken/recovered vs failed links (3x3 mesh)");
+    for &failures in &failure_levels {
+        let (mut broken_total, mut recovered_total, mut recovery_hops) = (0u64, 0u64, 0u64);
+        for ((pf, _), &(b, r, h)) in points.iter().zip(&results) {
+            if *pf == failures {
+                broken_total += b;
+                recovered_total += r;
+                recovery_hops += h;
             }
         }
         let x = failures as f64;
@@ -329,19 +379,21 @@ pub fn fault_recovery(trials: u64) -> SweepTable {
 
 /// E7 — network-level end-to-end latency and jitter vs offered load on a
 /// 3×3 mesh (the multi-router analogue of Figures 3–4).
-pub fn network_load(quality: &Quality) -> SweepTable {
+pub fn network_load(quality: &Quality, opts: &SweepOptions) -> SweepTable {
     use mmr_net::NetExperiment;
-    let mut table =
-        SweepTable::new("E7 — end-to-end latency (cycles) and jitter vs network load (3x3 mesh)");
-    for &load in &quality.loads {
-        let r = NetExperiment::new(
-            Topology::mesh2d(3, 3, 8),
+    let results = opts.run_indexed(quality.loads.len(), |i| {
+        NetExperiment::new(
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
             RouterConfig::paper_default().vcs_per_port(32).candidates(4),
-            load,
+            quality.loads[i],
         )
         .windows(quality.warmup / 2, quality.measure / 2)
         .seed(77)
-        .run();
+        .run()
+    });
+    let mut table =
+        SweepTable::new("E7 — end-to-end latency (cycles) and jitter vs network load (3x3 mesh)");
+    for r in &results {
         table.push("latency (cyc)", r.offered_load, r.mean_latency_cycles);
         table.push("jitter (cyc)", r.offered_load, r.mean_jitter_cycles);
         table.push("streams", r.offered_load, r.streams as f64);

@@ -14,8 +14,11 @@ use mmr_core::router::RouterConfig;
 use mmr_sim::SweepTable;
 use mmr_traffic::driver::{Experiment, ExperimentResult};
 
+use crate::sweep::{PointSpec, SweepOptions};
+
 pub mod ablations;
 pub mod extensions;
+pub mod sweep;
 
 /// Measurement effort for an experiment run.
 #[derive(Debug, Clone)]
@@ -105,40 +108,59 @@ pub fn replicate(
     (mean, (var / n).sqrt())
 }
 
-/// Figure 3: jitter (flit cycles) vs offered load for fixed and biased
-/// priorities. Panel "a" sweeps 1 and 2 candidates, panel "b" 4 and 8.
-pub fn fig3_jitter(panel_candidates: &[usize], quality: &Quality) -> SweepTable {
-    let mut table = SweepTable::new("Figure 3 — jitter (router cycles) vs offered load");
+/// The candidate × scheme × load grid shared by Figures 3 and 4, in the
+/// figures' series order. Point index — and therefore each point's derived
+/// seed — is a pure function of this ordering, never of execution schedule.
+fn fig34_points(panel_candidates: &[usize], quality: &Quality) -> Vec<PointSpec> {
+    let mut points = Vec::new();
     for &c in panel_candidates {
         for (label, kind) in
             [("C biased", ArbiterKind::BiasedPriority), ("C fixed", ArbiterKind::FixedPriority)]
         {
-            let series = format!("{c}{label}");
             for &load in &quality.loads {
-                let r = run_point(base_config().candidates(c).arbiter(kind), load, quality);
-                table.push(&series, r.offered_load, r.mean_jitter_cycles);
+                points.push(PointSpec {
+                    series: format!("{c}{label}"),
+                    config: base_config().candidates(c).arbiter(kind),
+                    load,
+                });
             }
         }
     }
-    table
+    points
+}
+
+/// Figure 3: jitter (flit cycles) vs offered load for fixed and biased
+/// priorities. Panel "a" sweeps 1 and 2 candidates, panel "b" 4 and 8.
+pub fn fig3_jitter(
+    panel_candidates: &[usize],
+    quality: &Quality,
+    opts: &SweepOptions,
+) -> SweepTable {
+    sweep::run_table(
+        "Figure 3 — jitter (router cycles) vs offered load",
+        &fig34_points(panel_candidates, quality),
+        quality,
+        FIGURE_SEED,
+        opts,
+        |r| r.mean_jitter_cycles,
+    )
 }
 
 /// Figure 4: mean delay (microseconds) vs offered load for fixed and biased
 /// priorities at the given candidate counts.
-pub fn fig4_delay(panel_candidates: &[usize], quality: &Quality) -> SweepTable {
-    let mut table = SweepTable::new("Figure 4 — delay (microseconds) vs offered load");
-    for &c in panel_candidates {
-        for (label, kind) in
-            [("C biased", ArbiterKind::BiasedPriority), ("C fixed", ArbiterKind::FixedPriority)]
-        {
-            let series = format!("{c}{label}");
-            for &load in &quality.loads {
-                let r = run_point(base_config().candidates(c).arbiter(kind), load, quality);
-                table.push(&series, r.offered_load, r.mean_delay_us);
-            }
-        }
-    }
-    table
+pub fn fig4_delay(
+    panel_candidates: &[usize],
+    quality: &Quality,
+    opts: &SweepOptions,
+) -> SweepTable {
+    sweep::run_table(
+        "Figure 4 — delay (microseconds) vs offered load",
+        &fig34_points(panel_candidates, quality),
+        quality,
+        FIGURE_SEED,
+        opts,
+        |r| r.mean_delay_us,
+    )
 }
 
 /// The four algorithms of Figure 5 with their paper labels (biased and
@@ -163,23 +185,21 @@ pub enum Fig5Metric {
 
 /// Figure 5: delay and jitter vs offered load for biased(8C), fixed(8C),
 /// the Autonet/DEC scheduler, and the perfect switch.
-pub fn fig5(metric: Fig5Metric, quality: &Quality) -> SweepTable {
+pub fn fig5(metric: Fig5Metric, quality: &Quality, opts: &SweepOptions) -> SweepTable {
     let title = match metric {
         Fig5Metric::Delay => "Figure 5 — delay (microseconds) vs offered load",
         Fig5Metric::Jitter => "Figure 5 — jitter (router cycles) vs offered load",
     };
-    let mut table = SweepTable::new(title);
+    let mut points = Vec::new();
     for (name, config) in fig5_algorithms() {
         for &load in &quality.loads {
-            let r = run_point(config.clone(), load, quality);
-            let y = match metric {
-                Fig5Metric::Delay => r.mean_delay_us,
-                Fig5Metric::Jitter => r.mean_jitter_cycles,
-            };
-            table.push(name, r.offered_load, y);
+            points.push(PointSpec { series: name.to_string(), config: config.clone(), load });
         }
     }
-    table
+    sweep::run_table(title, &points, quality, FIGURE_SEED, opts, |r| match metric {
+        Fig5Metric::Delay => r.mean_delay_us,
+        Fig5Metric::Jitter => r.mean_jitter_cycles,
+    })
 }
 
 /// One in-text claim of §5.2, checked against measured values.
@@ -196,18 +216,36 @@ pub struct ClaimRow {
 }
 
 /// Reproduces the T1 claims table (the quantitative statements of §5.2).
-pub fn claims_table(quality: &Quality) -> Vec<ClaimRow> {
-    let biased2_70 = run_point(base_config().candidates(2).arbiter(ArbiterKind::BiasedPriority), 0.7, quality);
-    let fixed2_70 = run_point(base_config().candidates(2).arbiter(ArbiterKind::FixedPriority), 0.7, quality);
-    let biased2_80 = run_point(base_config().candidates(2).arbiter(ArbiterKind::BiasedPriority), 0.8, quality);
-    let fixed2_80 = run_point(base_config().candidates(2).arbiter(ArbiterKind::FixedPriority), 0.8, quality);
-    let biased8_70 = run_point(base_config().candidates(8).arbiter(ArbiterKind::BiasedPriority), 0.7, quality);
-    let fixed8_70 = run_point(base_config().candidates(8).arbiter(ArbiterKind::FixedPriority), 0.7, quality);
-    let biased8_80 = run_point(base_config().candidates(8).arbiter(ArbiterKind::BiasedPriority), 0.8, quality);
-    let fixed8_80 = run_point(base_config().candidates(8).arbiter(ArbiterKind::FixedPriority), 0.8, quality);
-    let biased8_95 = run_point(base_config().candidates(8).arbiter(ArbiterKind::BiasedPriority), 0.95, quality);
-    let biased1_95 = run_point(base_config().candidates(1).arbiter(ArbiterKind::BiasedPriority), 0.95, quality);
-    let fixed8_95 = run_point(base_config().candidates(8).arbiter(ArbiterKind::FixedPriority), 0.95, quality);
+pub fn claims_table(quality: &Quality, opts: &SweepOptions) -> Vec<ClaimRow> {
+    // Fixed point order: each point's derived seed and the claims built from
+    // it depend only on this list, not on how the sweep is scheduled.
+    let specs = [
+        (2, ArbiterKind::BiasedPriority, 0.7),
+        (2, ArbiterKind::FixedPriority, 0.7),
+        (2, ArbiterKind::BiasedPriority, 0.8),
+        (2, ArbiterKind::FixedPriority, 0.8),
+        (8, ArbiterKind::BiasedPriority, 0.7),
+        (8, ArbiterKind::FixedPriority, 0.7),
+        (8, ArbiterKind::BiasedPriority, 0.8),
+        (8, ArbiterKind::FixedPriority, 0.8),
+        (8, ArbiterKind::BiasedPriority, 0.95),
+        (1, ArbiterKind::BiasedPriority, 0.95),
+        (8, ArbiterKind::FixedPriority, 0.95),
+    ];
+    let points: Vec<PointSpec> = specs
+        .iter()
+        .map(|&(c, kind, load)| PointSpec {
+            series: format!("{c}C {kind:?} @{load}"),
+            config: base_config().candidates(c).arbiter(kind),
+            load,
+        })
+        .collect();
+    let results = sweep::run_points(&points, quality, FIGURE_SEED, opts);
+    let (biased2_70, fixed2_70) = (&results[0], &results[1]);
+    let (biased2_80, fixed2_80) = (&results[2], &results[3]);
+    let (biased8_70, fixed8_70) = (&results[4], &results[5]);
+    let (biased8_80, fixed8_80) = (&results[6], &results[7]);
+    let (biased8_95, biased1_95, fixed8_95) = (&results[8], &results[9], &results[10]);
 
     vec![
         ClaimRow {

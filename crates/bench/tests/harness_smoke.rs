@@ -2,6 +2,7 @@
 //! produces structurally sound output (tiny windows; shape assertions live
 //! in the workspace integration tests).
 
+use mmr_bench::sweep::SweepOptions;
 use mmr_bench::{
     ablations, claims_table, extensions, fig3_jitter, fig4_delay, fig5, render_claims,
     Fig5Metric, Quality,
@@ -11,9 +12,13 @@ fn tiny() -> Quality {
     Quality { warmup: 200, measure: 1_000, loads: vec![0.5] }
 }
 
+fn serial() -> SweepOptions {
+    SweepOptions::serial()
+}
+
 #[test]
 fn fig3_produces_one_series_per_scheme_and_candidate() {
-    let table = fig3_jitter(&[1, 4], &tiny());
+    let table = fig3_jitter(&[1, 4], &tiny(), &serial());
     let names: Vec<&str> = table.series_names().collect();
     assert_eq!(names, vec!["1C biased", "1C fixed", "4C biased", "4C fixed"]);
     for name in names {
@@ -25,7 +30,7 @@ fn fig3_produces_one_series_per_scheme_and_candidate() {
 
 #[test]
 fn fig4_reports_microseconds() {
-    let table = fig4_delay(&[2], &tiny());
+    let table = fig4_delay(&[2], &tiny(), &serial());
     let pts = table.series("2C biased").expect("series exists");
     // At 50% load, delays are well under 10 us.
     assert!(pts[0].y < 10.0, "{}", pts[0].y);
@@ -33,14 +38,14 @@ fn fig4_reports_microseconds() {
 
 #[test]
 fn fig5_covers_all_four_algorithms() {
-    let table = fig5(Fig5Metric::Jitter, &tiny());
+    let table = fig5(Fig5Metric::Jitter, &tiny(), &serial());
     let names: Vec<&str> = table.series_names().collect();
     assert_eq!(names, vec!["biased", "fixed", "DEC", "perfect"]);
 }
 
 #[test]
 fn claims_table_has_six_rows_and_renders() {
-    let rows = claims_table(&tiny());
+    let rows = claims_table(&tiny(), &serial());
     assert_eq!(rows.len(), 6);
     let text = render_claims(&rows);
     for row in &rows {
@@ -50,19 +55,19 @@ fn claims_table_has_six_rows_and_renders() {
 
 #[test]
 fn ablations_run_on_tiny_windows() {
-    assert!(ablations::round_k(&tiny()).series_names().count() >= 3);
-    assert!(ablations::vcm_banks(&tiny()).series_names().count() >= 2);
+    assert!(ablations::round_k(&tiny(), &serial()).series_names().count() >= 3);
+    assert!(ablations::vcm_banks(&tiny(), &serial()).series_names().count() >= 2);
     assert!(ablations::hardware_cost(&tiny()).series_names().count() >= 4);
-    assert!(ablations::candidate_policy(&tiny()).series_names().count() == 4);
+    assert!(ablations::candidate_policy(&tiny(), &serial()).series_names().count() == 4);
 }
 
 #[test]
 fn extensions_run_on_tiny_inputs() {
-    let epb = extensions::epb_vs_greedy(2);
+    let epb = extensions::epb_vs_greedy(2, &serial());
     assert!(epb.series_names().count() >= 4);
-    let faults = extensions::fault_recovery(2);
+    let faults = extensions::fault_recovery(2, &serial());
     assert!(faults.series("recovery rate").is_some());
-    let latency = extensions::setup_latency(2);
+    let latency = extensions::setup_latency(2, &serial());
     assert!(latency.series_names().count() >= 2);
 }
 

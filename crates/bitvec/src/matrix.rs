@@ -116,6 +116,25 @@ impl StatusMatrix {
         acc
     }
 
+    /// In-place variant of [`StatusMatrix::all_of`]: writes the wide AND
+    /// into `out` without allocating, so per-cycle schedulers can reuse one
+    /// scratch vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have `vcs` bits.
+    pub fn all_of_into(&self, conds: &[Condition], out: &mut StatusBits) {
+        match conds.split_first() {
+            None => out.set_all(),
+            Some((&first, rest)) => {
+                out.copy_from(self.bank(first));
+                for &c in rest {
+                    *out &= self.bank(c);
+                }
+            }
+        }
+    }
+
     /// VCs satisfying *any* of `conds` (wide OR).
     pub fn any_of(&self, conds: &[Condition]) -> StatusBits {
         let mut acc = StatusBits::zeros(self.vcs);
@@ -164,6 +183,20 @@ mod tests {
         assert_eq!(both.iter_set().collect::<Vec<_>>(), vec![2]);
         // Empty condition list is the AND identity: everything matches.
         assert_eq!(m.all_of(&[]).count_ones(), 8);
+    }
+
+    #[test]
+    fn all_of_into_matches_all_of() {
+        let mut m = StatusMatrix::new(70);
+        m.set(Condition::FlitsAvailable, 1, true);
+        m.set(Condition::FlitsAvailable, 69, true);
+        m.set(Condition::CreditsAvailable, 69, true);
+        let conds = [Condition::FlitsAvailable, Condition::CreditsAvailable];
+        let mut out = StatusBits::zeros(70);
+        m.all_of_into(&conds, &mut out);
+        assert_eq!(out, m.all_of(&conds));
+        m.all_of_into(&[], &mut out);
+        assert_eq!(out.count_ones(), 70, "empty condition list is the AND identity");
     }
 
     #[test]

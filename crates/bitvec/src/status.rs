@@ -108,6 +108,23 @@ impl StatusBits {
         self.words.fill(0);
     }
 
+    /// Sets every bit (all-ones over the vector's length).
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        self.mask_tail();
+    }
+
+    /// Copies another vector of the same length into this one without
+    /// reallocating — the in-place analogue of `clone`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &StatusBits) {
+        self.zip_len(other);
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -330,6 +347,22 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn mismatched_lengths_panic() {
         let _ = &StatusBits::zeros(64) & &StatusBits::zeros(65);
+    }
+
+    #[test]
+    fn set_all_and_copy_from() {
+        let mut v = StatusBits::zeros(70);
+        v.set_all();
+        assert_eq!(v.count_ones(), 70);
+        let src = StatusBits::from_set_bits(70, [0, 69]);
+        v.copy_from(&src);
+        assert_eq!(v.iter_set().collect::<Vec<_>>(), vec![0, 69]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn copy_from_mismatched_lengths_panics() {
+        StatusBits::zeros(64).copy_from(&StatusBits::zeros(65));
     }
 
     #[test]

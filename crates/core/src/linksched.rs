@@ -111,180 +111,241 @@ const PHASES: [ServicePhase; 5] = [
     ServicePhase::BestEffort,
 ];
 
-/// Selects this cycle's candidates for one input port.
+/// The conditions whose intersection forms the eligible set (§4.4's example
+/// bit-vector query).
+const ELIGIBLE: [Condition; 3] =
+    [Condition::FlitsAvailable, Condition::CreditsAvailable, Condition::ConnectionActive];
+
+/// One input port's link scheduler with its reusable scratch state.
 ///
-/// The eligible set is the bit-vector intersection of `flits_available`,
-/// `credits_available` and `connection_active`. Each eligible VC is
-/// classified into its [`ServicePhase`]; a rotating scan then collects up to
-/// `max_candidates` VCs with distinct outputs, visiting phases in
-/// precedence order. The returned candidates carry the scheme's priority:
-///
-/// * [`ArbiterKind::BiasedPriority`] — waiting time ÷ inter-arrival period,
-///   recomputed every cycle;
-/// * [`ArbiterKind::Perfect`] — absolute waiting time (oldest-ready-first,
-///   the conflict-free lower bound);
-/// * [`ArbiterKind::FixedPriority`] — the static bandwidth-class priority
-///   drawn at establishment;
-/// * [`ArbiterKind::RoundRobin`] — proximity to the rotating pointer;
-/// * iterative schemes ([`ArbiterKind::Autonet`], [`ArbiterKind::Islip`]) —
-///   zero; they select randomly / by pointer in the switch scheduler.
-pub fn select_candidates(view: &LinkSchedView<'_>) -> LinkSchedOutcome {
-    let vcs = view.vcm.vcs();
-    let eligible = view.status.all_of(&[
-        Condition::FlitsAvailable,
-        Condition::CreditsAvailable,
-        Condition::ConnectionActive,
-    ]);
+/// The selection pass runs every flit cycle for every port, so all working
+/// storage (the eligible/classified bit vectors, the per-phase bit vectors
+/// and the classification table) lives here and is reused across cycles —
+/// [`LinkScheduler::select`] performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct LinkScheduler {
+    /// Scratch: the word-parallel AND of the eligibility conditions.
+    eligible: StatusBits,
+    /// Scratch: VCs classified this cycle (guards stale `info` entries).
+    classified: StatusBits,
+    /// Scratch: per-VC classification, valid where `classified` is set.
+    info: Vec<Option<Classified>>,
+    /// Scratch: one bit vector per service phase.
+    phase_bits: [StatusBits; 5],
+    /// Scratch: full sorted candidate list (PrioritySorted policy only).
+    sorted: Vec<Candidate>,
+}
 
-    // Classify every eligible VC and build one bit vector per phase.
-    let mut info: Vec<Option<Classified>> = vec![None; vcs];
-    let mut phase_bits: [StatusBits; 5] = std::array::from_fn(|_| StatusBits::zeros(vcs));
-    for vc_idx in eligible.iter_set() {
-        let vc = VcIndex(vc_idx as u16);
-        let vc_ref = VcRef { port: view.port, vc };
-        let Some(conn) = view.conns.by_input_vc(vc_ref) else {
-            debug_assert!(false, "connection_active bit set without a mapping for {vc_ref}");
-            continue;
-        };
-        let Some(head) = view.vcm.head(vc) else {
-            debug_assert!(false, "flits_available bit set for empty {vc_ref}");
-            continue;
-        };
-        let delay = view.vcm.head_delay(vc, view.now).map(|d| d.as_f64()).unwrap_or(0.0);
-
-        // Phase classification: head-flit kind first (VCT packets), then the
-        // connection's class and quota position.
-        let phase = match head.kind {
-            FlitKind::Control => Some(ServicePhase::Control),
-            FlitKind::BestEffort => Some(ServicePhase::BestEffort),
-            FlitKind::Data | FlitKind::Command(_) => match conn.class {
-                QosClass::Cbr { .. } | QosClass::Vbr { .. }
-                    if !view
-                        .guaranteed_open
-                        .get(conn.output_vc.port.index())
-                        .copied()
-                        .unwrap_or(true) =>
-                {
-                    // The output's best-effort reserve is exhausted for this
-                    // round; guaranteed traffic waits for the next round.
-                    None
-                }
-                QosClass::Cbr { .. } => {
-                    if view.enforce_quota && conn.quota_exhausted() {
-                        None
-                    } else {
-                        Some(ServicePhase::CbrGuaranteed)
-                    }
-                }
-                QosClass::Vbr { .. } => {
-                    let perm_quota = conn.vbr_permanent_cycles.ceil().max(1.0) as u32;
-                    let peak_quota = conn.vbr_peak_cycles.ceil().max(1.0) as u32;
-                    if conn.serviced_this_round < perm_quota {
-                        Some(ServicePhase::VbrPermanent)
-                    } else if !view.enforce_quota || conn.serviced_this_round < peak_quota {
-                        Some(ServicePhase::VbrExcess)
-                    } else {
-                        None
-                    }
-                }
-                QosClass::Control => Some(ServicePhase::Control),
-                QosClass::BestEffort => Some(ServicePhase::BestEffort),
-            },
-        };
-        let Some(phase) = phase else { continue };
-
-        let priority = match (phase, view.kind) {
-            // §4.3: excess bandwidth is serviced one connection at a time in
-            // priority order — a per-connection constant makes the ordering
-            // stable across cycles, so the leader drains before the next.
-            (ServicePhase::VbrExcess, _) => {
-                f64::from(conn.dynamic_priority) * 1e6 - f64::from(conn.id.raw() % 1_000_000u32)
-            }
-            (_, ArbiterKind::BiasedPriority) => biased_priority(delay, conn.interarrival_cycles),
-            // The perfect switch is the paper's lower bound: with no port
-            // conflicts the ideal input policy is oldest-ready-first, which
-            // minimises both waiting and delay variation. OldestFirst is the
-            // same rule under real switch conflicts.
-            (_, ArbiterKind::Perfect | ArbiterKind::OldestFirst) => delay,
-            (_, ArbiterKind::FixedPriority) => conn.fixed_priority,
-            (_, ArbiterKind::RoundRobin) => {
-                let dist = (vc_idx + vcs - view.rr_pointer % vcs) % vcs;
-                -(dist as f64)
-            }
-            (_, ArbiterKind::Autonet { .. } | ArbiterKind::Islip { .. }) => 0.0,
-            #[allow(unreachable_patterns)]
-            _ => 0.0,
-        };
-
-        info[vc_idx] = Some(Classified { phase, priority, output: conn.output_vc.port, conn: conn.id });
-        phase_bits[phase_index(phase)].set(vc_idx, true);
-    }
-
-    let mut candidates: Vec<Candidate> = Vec::new();
-    let mut next_pointer = view.rr_pointer;
-
-    match view.kind {
-        // Iterative schemes consume the full eligible set (their selection
-        // rule lives in the switch scheduler).
-        ArbiterKind::Autonet { .. } | ArbiterKind::Islip { .. } => {
-            for (vc_idx, c) in info.iter().enumerate() {
-                if let Some(c) = c {
-                    candidates.push(to_candidate(view.port, vc_idx, c));
-                }
-            }
+impl LinkScheduler {
+    /// Creates a scheduler for a port with `vcs` virtual channels.
+    pub fn new(vcs: usize) -> Self {
+        LinkScheduler {
+            eligible: StatusBits::zeros(vcs),
+            classified: StatusBits::zeros(vcs),
+            info: vec![None; vcs],
+            phase_bits: std::array::from_fn(|_| StatusBits::zeros(vcs)),
+            sorted: Vec::new(),
         }
-        // Candidate-set schemes: pick up to C candidates with distinct
-        // outputs (an input can use at most one output per cycle), either by
-        // priority order or by rotating scan.
-        ArbiterKind::FixedPriority
-        | ArbiterKind::BiasedPriority
-        | ArbiterKind::RoundRobin
-        | ArbiterKind::OldestFirst
-        | ArbiterKind::Perfect => match view.policy {
-            CandidatePolicy::PrioritySorted => {
-                let mut all: Vec<Candidate> = info
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(vc_idx, c)| c.map(|c| to_candidate(view.port, vc_idx, &c)))
-                    .collect();
-                sort_candidates(&mut all);
-                let mut outputs_seen = [false; 64];
-                for c in all {
-                    if candidates.len() >= view.max_candidates {
-                        break;
-                    }
-                    if !std::mem::replace(&mut outputs_seen[c.output.index()], true) {
-                        candidates.push(c);
-                    }
-                }
-            }
-            CandidatePolicy::RotatingScan => {
-                let mut outputs_seen = [false; 64];
-                'phases: for phase in PHASES {
-                    let bits = &phase_bits[phase_index(phase)];
-                    let population = bits.count_ones();
-                    let mut start = view.rr_pointer % vcs.max(1);
-                    for _ in 0..population {
-                        if candidates.len() >= view.max_candidates {
-                            break 'phases;
-                        }
-                        let Some(vc_idx) = bits.next_set_wrapping(start) else { break };
-                        // Stop once the scan has wrapped past every set bit.
-                        start = (vc_idx + 1) % vcs;
-                        let c = info[vc_idx].expect("phase bit implies classification");
-                        if !std::mem::replace(&mut outputs_seen[c.output.index()], true) {
-                            candidates.push(to_candidate(view.port, vc_idx, &c));
-                            next_pointer = (vc_idx + 1) % vcs;
-                        }
-                    }
-                }
-            }
-        },
     }
 
-    // Proposal order: most urgent first. The switch scheduler resolves
-    // output conflicts with the same ordering.
-    sort_candidates(&mut candidates);
+    /// Selects this cycle's candidates for one input port, writing them in
+    /// proposal order into `out` (cleared first) and returning where next
+    /// cycle's rotating scan should start.
+    ///
+    /// The eligible set is the bit-vector intersection of `flits_available`,
+    /// `credits_available` and `connection_active`. Each eligible VC is
+    /// classified into its [`ServicePhase`]; a rotating scan then collects up
+    /// to `max_candidates` VCs with distinct outputs, visiting phases in
+    /// precedence order. The returned candidates carry the scheme's priority:
+    ///
+    /// * [`ArbiterKind::BiasedPriority`] — waiting time ÷ inter-arrival
+    ///   period, recomputed every cycle;
+    /// * [`ArbiterKind::Perfect`] — absolute waiting time
+    ///   (oldest-ready-first, the conflict-free lower bound);
+    /// * [`ArbiterKind::FixedPriority`] — the static bandwidth-class
+    ///   priority drawn at establishment;
+    /// * [`ArbiterKind::RoundRobin`] — proximity to the rotating pointer;
+    /// * iterative schemes ([`ArbiterKind::Autonet`], [`ArbiterKind::Islip`])
+    ///   — zero; they select randomly / by pointer in the switch scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's VC count disagrees with the scheduler's.
+    pub fn select(&mut self, view: &LinkSchedView<'_>, out: &mut Vec<Candidate>) -> usize {
+        let vcs = view.vcm.vcs();
+        assert_eq!(self.info.len(), vcs, "scheduler sized for a different VC count");
+        out.clear();
+        view.status.all_of_into(&ELIGIBLE, &mut self.eligible);
+        self.classified.clear();
+        for bits in &mut self.phase_bits {
+            bits.clear();
+        }
+
+        // Classify every eligible VC and build one bit vector per phase.
+        for vc_idx in self.eligible.iter_set() {
+            let vc = VcIndex(vc_idx as u16);
+            let vc_ref = VcRef { port: view.port, vc };
+            let Some(conn) = view.conns.by_input_vc(vc_ref) else {
+                debug_assert!(false, "connection_active bit set without a mapping for {vc_ref}");
+                continue;
+            };
+            let Some(head) = view.vcm.head(vc) else {
+                debug_assert!(false, "flits_available bit set for empty {vc_ref}");
+                continue;
+            };
+            let delay = view.vcm.head_delay(vc, view.now).map(|d| d.as_f64()).unwrap_or(0.0);
+
+            // Phase classification: head-flit kind first (VCT packets), then
+            // the connection's class and quota position.
+            let phase = match head.kind {
+                FlitKind::Control => Some(ServicePhase::Control),
+                FlitKind::BestEffort => Some(ServicePhase::BestEffort),
+                FlitKind::Data | FlitKind::Command(_) => match conn.class {
+                    QosClass::Cbr { .. } | QosClass::Vbr { .. }
+                        if !view
+                            .guaranteed_open
+                            .get(conn.output_vc.port.index())
+                            .copied()
+                            .unwrap_or(true) =>
+                    {
+                        // The output's best-effort reserve is exhausted for
+                        // this round; guaranteed traffic waits for the next
+                        // round.
+                        None
+                    }
+                    QosClass::Cbr { .. } => {
+                        if view.enforce_quota && conn.quota_exhausted() {
+                            None
+                        } else {
+                            Some(ServicePhase::CbrGuaranteed)
+                        }
+                    }
+                    QosClass::Vbr { .. } => {
+                        let perm_quota = conn.vbr_permanent_cycles.ceil().max(1.0) as u32;
+                        let peak_quota = conn.vbr_peak_cycles.ceil().max(1.0) as u32;
+                        if conn.serviced_this_round < perm_quota {
+                            Some(ServicePhase::VbrPermanent)
+                        } else if !view.enforce_quota || conn.serviced_this_round < peak_quota {
+                            Some(ServicePhase::VbrExcess)
+                        } else {
+                            None
+                        }
+                    }
+                    QosClass::Control => Some(ServicePhase::Control),
+                    QosClass::BestEffort => Some(ServicePhase::BestEffort),
+                },
+            };
+            let Some(phase) = phase else { continue };
+
+            let priority = match (phase, view.kind) {
+                // §4.3: excess bandwidth is serviced one connection at a
+                // time in priority order — a per-connection constant makes
+                // the ordering stable across cycles, so the leader drains
+                // before the next.
+                (ServicePhase::VbrExcess, _) => {
+                    f64::from(conn.dynamic_priority) * 1e6
+                        - f64::from(conn.id.raw() % 1_000_000u32)
+                }
+                (_, ArbiterKind::BiasedPriority) => {
+                    biased_priority(delay, conn.interarrival_cycles)
+                }
+                // The perfect switch is the paper's lower bound: with no
+                // port conflicts the ideal input policy is
+                // oldest-ready-first, which minimises both waiting and delay
+                // variation. OldestFirst is the same rule under real switch
+                // conflicts.
+                (_, ArbiterKind::Perfect | ArbiterKind::OldestFirst) => delay,
+                (_, ArbiterKind::FixedPriority) => conn.fixed_priority,
+                (_, ArbiterKind::RoundRobin) => {
+                    let dist = (vc_idx + vcs - view.rr_pointer % vcs) % vcs;
+                    -(dist as f64)
+                }
+                (_, ArbiterKind::Autonet { .. } | ArbiterKind::Islip { .. }) => 0.0,
+                #[allow(unreachable_patterns)]
+                _ => 0.0,
+            };
+
+            self.info[vc_idx] =
+                Some(Classified { phase, priority, output: conn.output_vc.port, conn: conn.id });
+            self.classified.set(vc_idx, true);
+            self.phase_bits[phase_index(phase)].set(vc_idx, true);
+        }
+
+        let mut next_pointer = view.rr_pointer;
+
+        match view.kind {
+            // Iterative schemes consume the full eligible set (their
+            // selection rule lives in the switch scheduler).
+            ArbiterKind::Autonet { .. } | ArbiterKind::Islip { .. } => {
+                for vc_idx in self.classified.iter_set() {
+                    let c = self.info[vc_idx].expect("classified bit implies classification");
+                    out.push(to_candidate(view.port, vc_idx, &c));
+                }
+            }
+            // Candidate-set schemes: pick up to C candidates with distinct
+            // outputs (an input can use at most one output per cycle),
+            // either by priority order or by rotating scan.
+            ArbiterKind::FixedPriority
+            | ArbiterKind::BiasedPriority
+            | ArbiterKind::RoundRobin
+            | ArbiterKind::OldestFirst
+            | ArbiterKind::Perfect => match view.policy {
+                CandidatePolicy::PrioritySorted => {
+                    self.sorted.clear();
+                    for vc_idx in self.classified.iter_set() {
+                        let c = self.info[vc_idx].expect("classified bit implies classification");
+                        self.sorted.push(to_candidate(view.port, vc_idx, &c));
+                    }
+                    sort_candidates(&mut self.sorted);
+                    let mut outputs_seen = [false; 64];
+                    for &c in &self.sorted {
+                        if out.len() >= view.max_candidates {
+                            break;
+                        }
+                        if !std::mem::replace(&mut outputs_seen[c.output.index()], true) {
+                            out.push(c);
+                        }
+                    }
+                }
+                CandidatePolicy::RotatingScan => {
+                    let mut outputs_seen = [false; 64];
+                    'phases: for phase in PHASES {
+                        let bits = &self.phase_bits[phase_index(phase)];
+                        let population = bits.count_ones();
+                        let mut start = view.rr_pointer % vcs.max(1);
+                        for _ in 0..population {
+                            if out.len() >= view.max_candidates {
+                                break 'phases;
+                            }
+                            let Some(vc_idx) = bits.next_set_wrapping(start) else { break };
+                            // Stop once the scan has wrapped past every set
+                            // bit.
+                            start = (vc_idx + 1) % vcs;
+                            let c = self.info[vc_idx].expect("phase bit implies classification");
+                            if !std::mem::replace(&mut outputs_seen[c.output.index()], true) {
+                                out.push(to_candidate(view.port, vc_idx, &c));
+                                next_pointer = (vc_idx + 1) % vcs;
+                            }
+                        }
+                    }
+                }
+            },
+        }
+
+        // Proposal order: most urgent first. The switch scheduler resolves
+        // output conflicts with the same ordering.
+        sort_candidates(out);
+        next_pointer
+    }
+}
+
+/// One-shot convenience wrapper around [`LinkScheduler::select`] for tests
+/// and callers outside the per-cycle hot path: allocates a fresh scheduler
+/// and returns the selection as a [`LinkSchedOutcome`].
+pub fn select_candidates(view: &LinkSchedView<'_>) -> LinkSchedOutcome {
+    let mut scheduler = LinkScheduler::new(view.vcm.vcs());
+    let mut candidates = Vec::new();
+    let next_pointer = scheduler.select(view, &mut candidates);
     LinkSchedOutcome { candidates, next_pointer }
 }
 

@@ -20,7 +20,7 @@ use crate::conn::{ConnState, ConnectionRequest, ConnectionTable, QosClass};
 use crate::crossbar::Crossbar;
 use crate::flit::{CommandWord, Flit, FlitKind};
 use crate::ids::{ConnectionId, PortId, VcIndex, VcRef};
-use crate::linksched::{select_candidates, CandidatePolicy, LinkSchedView};
+use crate::linksched::{CandidatePolicy, LinkSchedView, LinkScheduler};
 use crate::switchsched::{MatchedPair, SwitchScheduler};
 use crate::vcm::{VcmError, VirtualChannelMemory};
 
@@ -417,6 +417,14 @@ pub struct Router {
     flits_transmitted: u64,
     cycles_run: u64,
     cut_throughs: u64,
+    /// Per-input link schedulers with their reusable classification state.
+    link_scheds: Vec<LinkScheduler>,
+    /// Reusable per-cycle scratch buffers — the per-flit-cycle hot path must
+    /// not allocate (§4.1 motivates single-cycle scheduling decisions).
+    candidate_bufs: Vec<Vec<crate::arbiter::Candidate>>,
+    pairs_buf: Vec<MatchedPair>,
+    guaranteed_open: Vec<bool>,
+    completed_buf: Vec<ConnectionId>,
 }
 
 impl Router {
@@ -476,6 +484,11 @@ impl Router {
             flits_transmitted: 0,
             cycles_run: 0,
             cut_throughs: 0,
+            link_scheds: (0..ports).map(|_| LinkScheduler::new(vcs)).collect(),
+            candidate_bufs: vec![Vec::new(); ports],
+            pairs_buf: Vec::new(),
+            guaranteed_open: vec![true; ports],
+            completed_buf: Vec::new(),
             round,
             cfg,
         }
@@ -879,55 +892,66 @@ impl Router {
         let guaranteed_cap = ((1.0 - self.cfg.best_effort_reserve)
             * self.round.cycles_per_round() as f64)
             .ceil() as u32;
-        let guaranteed_open: Vec<bool> =
-            self.guaranteed_serviced.iter().map(|&s| s < guaranteed_cap).collect();
+        for (open, &serviced) in self.guaranteed_open.iter_mut().zip(&self.guaranteed_serviced) {
+            *open = serviced < guaranteed_cap;
+        }
 
-        let mut candidates: Vec<Vec<crate::arbiter::Candidate>> = Vec::with_capacity(ports);
         for p in 0..ports {
-            let outcome = select_candidates(&LinkSchedView {
-                port: PortId(p as u8),
-                vcm: &self.vcms[p],
-                status: &self.status[p],
-                conns: &self.conns,
-                kind: self.cfg.arbiter,
-                max_candidates,
-                enforce_quota: self.cfg.enforce_round_quota,
-                policy: self.cfg.candidate_policy,
-                guaranteed_open: &guaranteed_open,
-                rr_pointer: self.rr_pointers[p],
-                now,
-            });
-            self.rr_pointers[p] = outcome.next_pointer;
-            candidates.push(outcome.candidates);
+            let next_pointer = self.link_scheds[p].select(
+                &LinkSchedView {
+                    port: PortId(p as u8),
+                    vcm: &self.vcms[p],
+                    status: &self.status[p],
+                    conns: &self.conns,
+                    kind: self.cfg.arbiter,
+                    max_candidates,
+                    enforce_quota: self.cfg.enforce_round_quota,
+                    policy: self.cfg.candidate_policy,
+                    guaranteed_open: &self.guaranteed_open,
+                    rr_pointer: self.rr_pointers[p],
+                    now,
+                },
+                &mut self.candidate_bufs[p],
+            );
+            self.rr_pointers[p] = next_pointer;
         }
 
         // Switch scheduling.
-        let pairs = self.scheduler.schedule(&candidates, &self.cut_through_outputs, &mut self.rng);
+        self.scheduler.schedule_into(
+            &self.candidate_bufs,
+            &self.cut_through_outputs,
+            &mut self.rng,
+            &mut self.pairs_buf,
+        );
 
-        // Transmission.
+        // Transmission. The pair/completion buffers move out of `self` for
+        // the duration of the loop so `transmit` can borrow the router.
+        let pairs = std::mem::take(&mut self.pairs_buf);
+        let mut completed_packets = std::mem::take(&mut self.completed_buf);
         let mut report = StepReport::default();
-        let mut outputs_used = vec![false; ports];
-        let mut completed_packets: Vec<ConnectionId> = Vec::new();
+        let mut outputs_used: u64 = 0;
         for pair in &pairs {
             if let Some(t) = self.transmit(pair, now, &mut completed_packets) {
-                outputs_used[t.output_vc.port.index()] = true;
+                outputs_used |= 1 << t.output_vc.port.index();
                 report.transmitted.push(t);
             }
         }
-        for id in completed_packets {
+        for id in completed_packets.drain(..) {
             self.teardown(id).expect("packet connection exists");
         }
 
         // Crossbar reconfiguration for the cycle that just ran.
         self.crossbar.apply(&pairs);
+        self.pairs_buf = pairs;
+        self.completed_buf = completed_packets;
 
         // Output-busy bookkeeping for next cycle's cut-through decisions.
-        for (o, used) in outputs_used.iter().enumerate() {
-            self.output_busy_last_cycle[o] = *used || self.cut_through_outputs[o];
+        for (o, busy) in self.output_busy_last_cycle.iter_mut().enumerate() {
+            *busy = outputs_used & (1 << o) != 0 || self.cut_through_outputs[o];
         }
         self.cut_through_outputs.fill(false);
 
-        report.outputs_used = outputs_used.iter().filter(|&&u| u).count();
+        report.outputs_used = outputs_used.count_ones() as usize;
         self.flits_transmitted += report.transmitted.len() as u64;
         report
     }

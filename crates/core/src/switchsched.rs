@@ -52,6 +52,12 @@ pub struct SwitchScheduler {
     grant_ptr: Vec<usize>,
     /// Per-input accept pointer over output ports (iSLIP).
     accept_ptr: Vec<usize>,
+    /// Reusable per-output winner slots for priority matching.
+    winners: Vec<Option<Candidate>>,
+    /// Reusable request lists for PIM/iSLIP (per output: requesting inputs).
+    requests: Vec<Vec<usize>>,
+    /// Reusable grant lists for PIM/iSLIP (per input: granting outputs).
+    grants: Vec<Vec<usize>>,
 }
 
 impl SwitchScheduler {
@@ -63,7 +69,15 @@ impl SwitchScheduler {
     pub fn new(kind: ArbiterKind, ports: usize) -> Self {
         assert!(ports > 0, "a router needs at least one port");
         assert!(ports <= 64, "the scheduler's request bitmaps support up to 64 ports");
-        SwitchScheduler { kind, ports, grant_ptr: vec![0; ports], accept_ptr: vec![0; ports] }
+        SwitchScheduler {
+            kind,
+            ports,
+            grant_ptr: vec![0; ports],
+            accept_ptr: vec![0; ports],
+            winners: vec![None; ports],
+            requests: vec![Vec::new(); ports],
+            grants: vec![Vec::new(); ports],
+        }
     }
 
     /// The active arbitration scheme.
@@ -88,20 +102,42 @@ impl SwitchScheduler {
         output_blocked: &[bool],
         rng: &mut SeededRng,
     ) -> Vec<MatchedPair> {
+        let mut pairs = Vec::new();
+        self.schedule_into(candidates, output_blocked, rng, &mut pairs);
+        pairs
+    }
+
+    /// In-place variant of [`SwitchScheduler::schedule`]: clears `pairs` and
+    /// writes the matching into it, so the per-cycle router loop can reuse
+    /// one buffer instead of allocating a fresh `Vec` every flit cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the port count.
+    pub fn schedule_into(
+        &mut self,
+        candidates: &[Vec<Candidate>],
+        output_blocked: &[bool],
+        rng: &mut SeededRng,
+        pairs: &mut Vec<MatchedPair>,
+    ) {
         assert_eq!(candidates.len(), self.ports, "one candidate list per input port");
         assert_eq!(output_blocked.len(), self.ports, "one blocked flag per output port");
+        pairs.clear();
         match self.kind {
             ArbiterKind::FixedPriority
             | ArbiterKind::BiasedPriority
-            | ArbiterKind::OldestFirst => self.priority_match(candidates, output_blocked, false),
-            ArbiterKind::RoundRobin => self.priority_match(candidates, output_blocked, true),
+            | ArbiterKind::OldestFirst => {
+                self.priority_match(candidates, output_blocked, false, pairs)
+            }
+            ArbiterKind::RoundRobin => self.priority_match(candidates, output_blocked, true, pairs),
             ArbiterKind::Autonet { iterations } => {
-                self.pim_match(candidates, output_blocked, iterations, rng)
+                self.pim_match(candidates, output_blocked, iterations, rng, pairs)
             }
             ArbiterKind::Islip { iterations } => {
-                self.islip_match(candidates, output_blocked, iterations)
+                self.islip_match(candidates, output_blocked, iterations, pairs)
             }
-            ArbiterKind::Perfect => Self::perfect_match(candidates),
+            ArbiterKind::Perfect => Self::perfect_match(candidates, pairs),
         }
     }
 
@@ -113,69 +149,63 @@ impl SwitchScheduler {
         candidates: &[Vec<Candidate>],
         output_blocked: &[bool],
         rotating_outputs: bool,
-    ) -> Vec<MatchedPair> {
+        pairs: &mut Vec<MatchedPair>,
+    ) {
         let ports = self.ports;
-        let mut input_matched = vec![false; ports];
-        let mut output_matched = output_blocked.to_vec();
-        let mut pairs = Vec::new();
+        let mut input_matched: u64 = 0;
+        let mut output_matched = blocked_mask(output_blocked);
 
         loop {
             // Each unmatched input proposes its best candidate whose output
-            // is still free.
-            let mut proposals: Vec<&Candidate> = Vec::new();
+            // is still free; contested outputs keep only the best-ranked
+            // proposal (or, for round-robin, the one nearest the output's
+            // rotating pointer). Streaming in ascending input order keeps
+            // the earliest input on ties, exactly like the old
+            // collect-then-reduce pass, without building proposal lists.
+            let mut proposed = false;
+            for w in &mut self.winners {
+                *w = None;
+            }
             for (p, list) in candidates.iter().enumerate() {
-                if input_matched[p] {
+                if input_matched & (1 << p) != 0 {
                     continue;
                 }
-                if let Some(c) = list.iter().find(|c| !output_matched[c.output.index()]) {
-                    proposals.push(c);
+                let Some(c) = list.iter().find(|c| output_matched & (1 << c.output.index()) == 0)
+                else {
+                    continue;
+                };
+                proposed = true;
+                let o = c.output.index();
+                let better = match &self.winners[o] {
+                    None => true,
+                    Some(best) if rotating_outputs => {
+                        let ptr = self.grant_ptr[o] % ports;
+                        (c.input.index() + ports - ptr) % ports
+                            < (best.input.index() + ports - ptr) % ports
+                    }
+                    Some(best) => c.rank_before(best),
+                };
+                if better {
+                    self.winners[o] = Some(*c);
                 }
             }
-            if proposals.is_empty() {
+            if !proposed {
                 break;
             }
 
-            // Resolve each contested output.
-            let mut granted = false;
+            // Grant phase: match every output that received a proposal.
             #[allow(clippy::needless_range_loop)]
             for o in 0..ports {
-                let contenders: Vec<&Candidate> =
-                    proposals.iter().copied().filter(|c| c.output.index() == o).collect();
-                let winner = if rotating_outputs {
-                    Self::nearest_from(&contenders, self.grant_ptr[o], ports, |c| c.input.index())
-                        .copied()
-                } else {
-                    contenders
-                        .iter()
-                        .copied()
-                        .reduce(|best, c| if c.rank_before(best) { c } else { best })
-                };
-                if let Some(w) = winner {
+                if let Some(w) = self.winners[o] {
                     if rotating_outputs {
                         self.grant_ptr[o] = (w.input.index() + 1) % ports;
                     }
-                    input_matched[w.input.index()] = true;
-                    output_matched[o] = true;
-                    pairs.push(MatchedPair::from(w));
-                    granted = true;
+                    input_matched |= 1 << w.input.index();
+                    output_matched |= 1 << o;
+                    pairs.push(MatchedPair::from(&w));
                 }
             }
-            if !granted {
-                break;
-            }
         }
-        pairs
-    }
-
-    /// Finds the contender whose key is nearest at/after `ptr`, wrapping in
-    /// a ring of `ports` positions.
-    fn nearest_from<T>(
-        contenders: &[T],
-        ptr: usize,
-        ports: usize,
-        key: impl Fn(&T) -> usize,
-    ) -> Option<&T> {
-        contenders.iter().min_by_key(|c| (key(c) + ports - ptr % ports) % ports)
     }
 
     /// Parallel iterative matching (Anderson et al.): in each iteration,
@@ -187,31 +217,36 @@ impl SwitchScheduler {
         output_blocked: &[bool],
         iterations: u32,
         rng: &mut SeededRng,
-    ) -> Vec<MatchedPair> {
-        let ports = self.ports;
-        let mut input_matched = vec![false; ports];
-        let mut output_matched = output_blocked.to_vec();
-        let mut pairs = Vec::new();
+        pairs: &mut Vec<MatchedPair>,
+    ) {
+        let mut input_matched: u64 = 0;
+        let mut output_matched = blocked_mask(output_blocked);
+        let mut requests = std::mem::take(&mut self.requests);
+        let mut grants = std::mem::take(&mut self.grants);
 
         for _ in 0..iterations.max(1) {
             // Request phase: which unmatched inputs request which unmatched
             // outputs?
-            let mut requests: Vec<Vec<usize>> = vec![Vec::new(); ports]; // per output: inputs
+            for reqs in &mut requests {
+                reqs.clear(); // per output: inputs
+            }
             for (p, list) in candidates.iter().enumerate() {
-                if input_matched[p] {
+                if input_matched & (1 << p) != 0 {
                     continue;
                 }
-                let mut seen = [false; 64];
+                let mut seen: u64 = 0;
                 for c in list {
                     let o = c.output.index();
-                    if !output_matched[o] && !seen[o] {
-                        seen[o] = true;
+                    if (output_matched | seen) & (1 << o) == 0 {
+                        seen |= 1 << o;
                         requests[o].push(p);
                     }
                 }
             }
             // Grant phase: each output picks a random requester.
-            let mut grants: Vec<Vec<usize>> = vec![Vec::new(); ports]; // per input: outputs
+            for gs in &mut grants {
+                gs.clear(); // per input: outputs
+            }
             for (o, reqs) in requests.iter().enumerate() {
                 if !reqs.is_empty() {
                     let pick = reqs[rng.index(reqs.len())];
@@ -226,11 +261,11 @@ impl SwitchScheduler {
                 }
                 let o = gs[rng.index(gs.len())];
                 // The flit transmitted is a random candidate of (p, o).
-                let choices: Vec<&Candidate> =
-                    candidates[p].iter().filter(|c| c.output.index() == o).collect();
-                let c = choices[rng.index(choices.len())];
-                input_matched[p] = true;
-                output_matched[o] = true;
+                let matching = || candidates[p].iter().filter(|c| c.output.index() == o);
+                let count = matching().count();
+                let c = matching().nth(rng.index(count)).expect("grant implies a candidate");
+                input_matched |= 1 << p;
+                output_matched |= 1 << o;
                 pairs.push(MatchedPair::from(c));
                 progress = true;
             }
@@ -238,7 +273,8 @@ impl SwitchScheduler {
                 break;
             }
         }
-        pairs
+        self.requests = requests;
+        self.grants = grants;
     }
 
     /// iSLIP-style matching: grant/accept by rotating pointers, pointers
@@ -249,28 +285,34 @@ impl SwitchScheduler {
         candidates: &[Vec<Candidate>],
         output_blocked: &[bool],
         iterations: u32,
-    ) -> Vec<MatchedPair> {
+        pairs: &mut Vec<MatchedPair>,
+    ) {
         let ports = self.ports;
-        let mut input_matched = vec![false; ports];
-        let mut output_matched = output_blocked.to_vec();
-        let mut pairs = Vec::new();
+        let mut input_matched: u64 = 0;
+        let mut output_matched = blocked_mask(output_blocked);
+        let mut requests = std::mem::take(&mut self.requests);
+        let mut grants = std::mem::take(&mut self.grants);
 
         for it in 0..iterations.max(1) {
-            let mut requests: Vec<Vec<usize>> = vec![Vec::new(); ports];
+            for reqs in &mut requests {
+                reqs.clear();
+            }
             for (p, list) in candidates.iter().enumerate() {
-                if input_matched[p] {
+                if input_matched & (1 << p) != 0 {
                     continue;
                 }
-                let mut seen = [false; 64];
+                let mut seen: u64 = 0;
                 for c in list {
                     let o = c.output.index();
-                    if !output_matched[o] && !seen[o] {
-                        seen[o] = true;
+                    if (output_matched | seen) & (1 << o) == 0 {
+                        seen |= 1 << o;
                         requests[o].push(p);
                     }
                 }
             }
-            let mut grants: Vec<Vec<usize>> = vec![Vec::new(); ports];
+            for gs in &mut grants {
+                gs.clear();
+            }
             for (o, reqs) in requests.iter().enumerate() {
                 if reqs.is_empty() {
                     continue;
@@ -296,8 +338,8 @@ impl SwitchScheduler {
                     .iter()
                     .find(|c| c.output.index() == o)
                     .expect("granted output came from a candidate");
-                input_matched[p] = true;
-                output_matched[o] = true;
+                input_matched |= 1 << p;
+                output_matched |= 1 << o;
                 pairs.push(MatchedPair::from(c));
                 progress = true;
                 if it == 0 {
@@ -309,14 +351,23 @@ impl SwitchScheduler {
                 break;
             }
         }
-        pairs
+        self.requests = requests;
+        self.grants = grants;
     }
 
     /// The perfect switch: every input transmits its top-ranked candidate;
     /// outputs accept any number of flits in the same cycle.
-    fn perfect_match(candidates: &[Vec<Candidate>]) -> Vec<MatchedPair> {
-        candidates.iter().filter_map(|list| list.first().map(MatchedPair::from)).collect()
+    fn perfect_match(candidates: &[Vec<Candidate>], pairs: &mut Vec<MatchedPair>) {
+        pairs.extend(candidates.iter().filter_map(|list| list.first().map(MatchedPair::from)));
     }
+}
+
+/// Packs the blocked-output flags into a 64-bit occupancy mask.
+fn blocked_mask(output_blocked: &[bool]) -> u64 {
+    output_blocked
+        .iter()
+        .enumerate()
+        .fold(0u64, |mask, (o, &blocked)| if blocked { mask | (1 << o) } else { mask })
 }
 
 /// Checks that a matching is feasible for a multiplexed crossbar: at most

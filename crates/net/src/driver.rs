@@ -180,7 +180,7 @@ mod tests {
 
     fn quick(load: f64) -> NetExperimentResult {
         NetExperiment::new(
-            Topology::mesh2d(3, 3, 8),
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
             RouterConfig::paper_default().vcs_per_port(16).candidates(4),
             load,
         )

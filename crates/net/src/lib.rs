@@ -29,7 +29,7 @@
 //! use mmr_sim::Cycles;
 //!
 //! let mut net = NetworkSim::new(
-//!     Topology::mesh2d(3, 3, 8),
+//!     Topology::mesh2d(3, 3, 8)?,
 //!     RouterConfig::paper_default().vcs_per_port(16),
 //! );
 //! let conn = net.establish(NodeId(0), NodeId(8), cbr_mbps(55.0), SetupStrategy::Epb)?;
@@ -53,5 +53,5 @@ pub use network::{
     NetworkSim, PacketId, ProbeToken, SetupEvent,
 };
 pub use setup::{ProbeMachine, ProbeStep, SetupError, SetupReceipt, SetupStrategy};
-pub use topology::{NodeId, Topology, Wire};
+pub use topology::{NodeId, Topology, TopologyError, Wire};
 pub use updown::{LinkDir, UpDownRouting};

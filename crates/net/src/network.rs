@@ -370,7 +370,7 @@ impl NetworkSim {
 
         // Flits and probe packets on the wire are lost.
         self.in_flight.retain(|f| {
-            !(f.to == peer && f.port == peer_port) && !(f.to == node && f.port == port)
+            !((f.to == peer && f.port == peer_port) || (f.to == node && f.port == port))
         });
         self.arrivals.retain(|a| {
             let lost = (a.node == peer && a.entry == peer_port)
@@ -694,7 +694,7 @@ mod tests {
     use mmr_sim::Bandwidth;
 
     fn mesh_net() -> NetworkSim {
-        let topology = Topology::mesh2d(3, 3, 8);
+        let topology = Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget");
         let cfg = RouterConfig::paper_default().vcs_per_port(16).vc_depth(4).candidates(4);
         NetworkSim::new(topology, cfg)
     }
@@ -805,7 +805,7 @@ mod tests {
 
     #[test]
     fn many_packets_with_small_vc_pool_eventually_deliver() {
-        let topology = Topology::mesh2d(2, 2, 6);
+        let topology = Topology::mesh2d(2, 2, 6).expect("topology wires within the port budget");
         let cfg = RouterConfig::paper_default().vcs_per_port(4).candidates(2).vc_depth(2);
         let mut net = NetworkSim::new(topology, cfg);
         for i in 0..20 {
@@ -826,7 +826,7 @@ mod async_setup_tests {
 
     fn mesh_net() -> NetworkSim {
         NetworkSim::new(
-            Topology::mesh2d(3, 3, 8),
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
             RouterConfig::paper_default().vcs_per_port(16).candidates(4),
         )
     }
@@ -887,7 +887,7 @@ mod async_setup_tests {
     #[test]
     fn concurrent_probes_compete_for_resources() {
         let mut net = NetworkSim::new(
-            Topology::mesh2d(3, 3, 8),
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
             RouterConfig::paper_default().vcs_per_port(4).candidates(2),
         );
         // Launch many probes at once; they race for VCs.
@@ -946,7 +946,7 @@ mod failure_tests {
 
     fn mesh_net() -> NetworkSim {
         NetworkSim::new(
-            Topology::mesh2d(3, 3, 8),
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
             RouterConfig::paper_default().vcs_per_port(16).candidates(4),
         )
     }
@@ -1026,7 +1026,7 @@ mod failure_tests {
     fn disconnection_is_reported_as_unreachable() {
         // Ring of 4: failing two opposite wires splits the ring.
         let mut net = NetworkSim::new(
-            Topology::ring(4, 4),
+            Topology::ring(4, 4).expect("topology wires within the port budget"),
             RouterConfig::paper_default().vcs_per_port(8).candidates(2),
         );
         let p01 = port_toward(&net, NodeId(0), NodeId(1));

@@ -346,7 +346,7 @@ mod tests {
     use mmr_core::router::RouterConfig;
 
     fn net(vcs: u16) -> NetworkSim {
-        let topology = Topology::mesh2d(3, 3, 8);
+        let topology = Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget");
         NetworkSim::new(topology, RouterConfig::paper_default().vcs_per_port(vcs).candidates(4))
     }
 
@@ -433,7 +433,7 @@ mod tests {
             for (strategy, counter) in
                 [(SetupStrategy::Epb, &mut epb_ok), (SetupStrategy::Greedy, &mut greedy_ok)]
             {
-                let topology = Topology::mesh2d(3, 3, 8);
+                let topology = Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget");
                 let mut n = NetworkSim::new(
                     topology,
                     RouterConfig::paper_default().vcs_per_port(4).candidates(2).seed(seed),

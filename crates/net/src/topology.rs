@@ -28,6 +28,29 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// Errors from wiring a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Every port of the node is already wired — the requested shape needs
+    /// more ports per router.
+    NoFreePort {
+        /// The saturated node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NoFreePort { node } => {
+                write!(f, "node {node} has no free port; increase ports_per_node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 /// One endpoint-to-endpoint wire between two router ports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Wire {
@@ -163,26 +186,43 @@ impl Topology {
         dist
     }
 
-    fn next_free_port(&self, node: NodeId) -> PortId {
+    /// The lowest-numbered unwired port of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoFreePort`] if every port is wired.
+    pub fn next_free_port(&self, node: NodeId) -> Result<PortId, TopologyError> {
         (0..self.ports_per_node)
             .map(PortId)
             .find(|&p| self.peer_of(node, p).is_none())
-            .unwrap_or_else(|| panic!("node {node} has no free port"))
+            .ok_or(TopologyError::NoFreePort { node })
     }
 
-    fn connect_next_free(&mut self, a: NodeId, b: NodeId) {
-        let pa = self.next_free_port(a);
-        let pb = self.next_free_port(b);
+    /// Wires the next free port of `a` to the next free port of `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoFreePort`] if either node has no port
+    /// left; the topology is unchanged in that case.
+    pub fn connect_next_free(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        let pa = self.next_free_port(a)?;
+        let pb = self.next_free_port(b)?;
         self.connect((a, pa), (b, pb));
+        Ok(())
     }
 
     /// A `width × height` 2D mesh. Each router needs at least 4 + 1 ports
     /// (4 directions plus a terminal).
     ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoFreePort`] if a router runs out of ports
+    /// while wiring.
+    ///
     /// # Panics
     ///
     /// Panics if the dimensions are zero or `ports_per_node < 5`.
-    pub fn mesh2d(width: usize, height: usize, ports_per_node: u8) -> Self {
+    pub fn mesh2d(width: usize, height: usize, ports_per_node: u8) -> Result<Self, TopologyError> {
         assert!(width > 0 && height > 0, "mesh dimensions must be positive");
         assert!(ports_per_node >= 5, "a 2D mesh router needs >= 5 ports");
         let mut t = Topology::new(width * height, ports_per_node);
@@ -190,23 +230,28 @@ impl Topology {
         for y in 0..height {
             for x in 0..width {
                 if x + 1 < width {
-                    t.connect_next_free(id(x, y), id(x + 1, y));
+                    t.connect_next_free(id(x, y), id(x + 1, y))?;
                 }
                 if y + 1 < height {
-                    t.connect_next_free(id(x, y), id(x, y + 1));
+                    t.connect_next_free(id(x, y), id(x, y + 1))?;
                 }
             }
         }
-        t
+        Ok(t)
     }
 
     /// A `width × height` 2D torus (wrap-around mesh). Degenerate dimensions
     /// of size 1 or 2 fall back to single links instead of double wires.
     ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoFreePort`] if a router runs out of ports
+    /// while wiring.
+    ///
     /// # Panics
     ///
     /// Panics if the dimensions are zero or `ports_per_node < 5`.
-    pub fn torus2d(width: usize, height: usize, ports_per_node: u8) -> Self {
+    pub fn torus2d(width: usize, height: usize, ports_per_node: u8) -> Result<Self, TopologyError> {
         assert!(width > 0 && height > 0, "torus dimensions must be positive");
         assert!(ports_per_node >= 5, "a 2D torus router needs >= 5 ports");
         let mut t = Topology::new(width * height, ports_per_node);
@@ -214,39 +259,54 @@ impl Topology {
         for y in 0..height {
             for x in 0..width {
                 if width > 1 && (x + 1 < width || width > 2) {
-                    t.connect_next_free(id(x, y), id((x + 1) % width, y));
+                    t.connect_next_free(id(x, y), id((x + 1) % width, y))?;
                 }
                 if height > 1 && (y + 1 < height || height > 2) {
-                    t.connect_next_free(id(x, y), id(x, (y + 1) % height));
+                    t.connect_next_free(id(x, y), id(x, (y + 1) % height))?;
                 }
             }
         }
-        t
+        Ok(t)
     }
 
     /// A ring of `nodes` routers.
     ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoFreePort`] if a router runs out of ports
+    /// while wiring.
+    ///
     /// # Panics
     ///
     /// Panics if `nodes < 3` or `ports_per_node < 3`.
-    pub fn ring(nodes: usize, ports_per_node: u8) -> Self {
+    pub fn ring(nodes: usize, ports_per_node: u8) -> Result<Self, TopologyError> {
         assert!(nodes >= 3, "a ring needs at least three nodes");
         assert!(ports_per_node >= 3, "a ring router needs >= 3 ports");
         let mut t = Topology::new(nodes, ports_per_node);
         for n in 0..nodes {
-            t.connect_next_free(NodeId(n as u16), NodeId(((n + 1) % nodes) as u16));
+            t.connect_next_free(NodeId(n as u16), NodeId(((n + 1) % nodes) as u16))?;
         }
-        t
+        Ok(t)
     }
 
     /// A connected random irregular topology: a random spanning tree plus
     /// `extra_links` random additional links, degree-bounded so every node
     /// keeps at least one terminal port.
     ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoFreePort`] if a router runs out of ports
+    /// while wiring (the degree bound makes this unreachable in practice).
+    ///
     /// # Panics
     ///
     /// Panics if `nodes` is zero or `ports_per_node < 3`.
-    pub fn irregular(nodes: usize, ports_per_node: u8, extra_links: usize, rng: &mut SeededRng) -> Self {
+    pub fn irregular(
+        nodes: usize,
+        ports_per_node: u8,
+        extra_links: usize,
+        rng: &mut SeededRng,
+    ) -> Result<Self, TopologyError> {
         assert!(nodes > 0, "need at least one node");
         assert!(ports_per_node >= 3, "irregular routers need >= 3 ports");
         let mut t = Topology::new(nodes, ports_per_node);
@@ -262,7 +322,7 @@ impl Topology {
             loop {
                 let parent = NodeId(order[rng.index(i)] as u16);
                 if t.degree(parent) < max_degree {
-                    t.connect_next_free(parent, new);
+                    t.connect_next_free(parent, new)?;
                     break;
                 }
                 tries += 1;
@@ -272,7 +332,7 @@ impl Topology {
                         .map(|j| NodeId(order[j] as u16))
                         .find(|&n| t.degree(n) < max_degree)
                         .expect("tree attachment always exists under the degree bound");
-                    t.connect_next_free(parent, new);
+                    t.connect_next_free(parent, new)?;
                     break;
                 }
             }
@@ -291,10 +351,10 @@ impl Topology {
             if t.neighbors(a).iter().any(|&(_, n, _)| n == b) {
                 continue;
             }
-            t.connect_next_free(a, b);
+            t.connect_next_free(a, b)?;
             added += 1;
         }
-        t
+        Ok(t)
     }
 }
 
@@ -304,7 +364,7 @@ mod tests {
 
     #[test]
     fn mesh_shape() {
-        let t = Topology::mesh2d(3, 3, 8);
+        let t = Topology::mesh2d(3, 3, 8).expect("wires fit");
         assert_eq!(t.nodes(), 9);
         assert_eq!(t.wires().len(), 12); // 2*3*2 horizontal+vertical
         assert!(t.is_connected());
@@ -319,7 +379,7 @@ mod tests {
 
     #[test]
     fn torus_is_regular() {
-        let t = Topology::torus2d(3, 3, 8);
+        let t = Topology::torus2d(3, 3, 8).expect("wires fit");
         assert!(t.is_connected());
         for n in 0..9 {
             assert_eq!(t.degree(NodeId(n)), 4, "torus nodes all have degree 4");
@@ -330,14 +390,14 @@ mod tests {
     #[test]
     fn torus_degenerate_dimensions() {
         // 2-wide torus must not double-wire.
-        let t = Topology::torus2d(2, 3, 8);
+        let t = Topology::torus2d(2, 3, 8).expect("wires fit");
         assert!(t.is_connected());
         assert_eq!(t.degree(NodeId(0)), 3); // 1 horizontal + 2 vertical
     }
 
     #[test]
     fn ring_shape() {
-        let t = Topology::ring(5, 4);
+        let t = Topology::ring(5, 4).expect("wires fit");
         assert!(t.is_connected());
         for n in 0..5 {
             assert_eq!(t.degree(NodeId(n)), 2);
@@ -346,7 +406,7 @@ mod tests {
 
     #[test]
     fn wires_are_symmetric() {
-        let t = Topology::mesh2d(2, 2, 8);
+        let t = Topology::mesh2d(2, 2, 8).expect("wires fit");
         for w in t.wires() {
             assert_eq!(t.peer_of(w.a.0, w.a.1), Some(w.b));
             assert_eq!(t.peer_of(w.b.0, w.b.1), Some(w.a));
@@ -365,7 +425,7 @@ mod tests {
     fn irregular_is_connected_and_degree_bounded() {
         for seed in 0..10 {
             let mut rng = SeededRng::new(seed);
-            let t = Topology::irregular(12, 5, 6, &mut rng);
+            let t = Topology::irregular(12, 5, 6, &mut rng).expect("wires fit");
             assert!(t.is_connected(), "seed {seed}");
             for n in 0..12 {
                 let node = NodeId(n);
@@ -377,10 +437,24 @@ mod tests {
 
     #[test]
     fn distances_bfs() {
-        let t = Topology::mesh2d(3, 3, 8);
+        let t = Topology::mesh2d(3, 3, 8).expect("wires fit");
         let d = t.distances_from(NodeId(0));
         assert_eq!(d[0], 0);
         assert_eq!(d[8], 4, "opposite corner of a 3x3 mesh");
+    }
+
+    #[test]
+    fn exhausted_ports_surface_as_an_error() {
+        let mut t = Topology::new(3, 1);
+        t.connect_next_free(NodeId(0), NodeId(1)).expect("both nodes have a free port");
+        assert_eq!(
+            t.connect_next_free(NodeId(0), NodeId(2)),
+            Err(TopologyError::NoFreePort { node: NodeId(0) }),
+        );
+        assert_eq!(t.wires().len(), 1, "failed wiring leaves the topology unchanged");
+        assert_eq!(t.next_free_port(NodeId(2)), Ok(PortId(0)));
+        let msg = TopologyError::NoFreePort { node: NodeId(0) }.to_string();
+        assert!(msg.contains("n0 has no free port"), "{msg}");
     }
 
     #[test]

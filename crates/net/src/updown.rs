@@ -197,7 +197,7 @@ mod tests {
 
     #[test]
     fn directions_are_antisymmetric() {
-        let t = Topology::mesh2d(3, 3, 8);
+        let t = Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget");
         let r = UpDownRouting::new(&t);
         for w in t.wires() {
             let d1 = r.direction(w.a.0, w.b.0);
@@ -208,7 +208,7 @@ mod tests {
 
     #[test]
     fn routes_reach_destination_on_mesh() {
-        let t = Topology::mesh2d(4, 4, 8);
+        let t = Topology::mesh2d(4, 4, 8).expect("topology wires within the port budget");
         let r = UpDownRouting::new(&t);
         for src in 0..16 {
             for dst in 0..16 {
@@ -224,7 +224,7 @@ mod tests {
 
     #[test]
     fn routes_never_go_up_after_down() {
-        let t = Topology::mesh2d(4, 4, 8);
+        let t = Topology::mesh2d(4, 4, 8).expect("topology wires within the port budget");
         let r = UpDownRouting::new(&t);
         for src in 0..16u16 {
             for dst in 0..16u16 {
@@ -247,7 +247,7 @@ mod tests {
     fn routes_work_on_irregular_graphs() {
         for seed in 0..10 {
             let mut rng = SeededRng::new(seed);
-            let t = Topology::irregular(12, 5, 6, &mut rng);
+            let t = Topology::irregular(12, 5, 6, &mut rng).expect("topology wires within the port budget");
             let r = UpDownRouting::new(&t);
             for src in 0..12u16 {
                 for dst in 0..12u16 {
@@ -264,7 +264,7 @@ mod tests {
     #[test]
     fn legal_distance_at_least_plain_distance() {
         let mut rng = SeededRng::new(3);
-        let t = Topology::irregular(10, 5, 4, &mut rng);
+        let t = Topology::irregular(10, 5, 4, &mut rng).expect("topology wires within the port budget");
         let r = UpDownRouting::new(&t);
         for src in 0..10u16 {
             for dst in 0..10u16 {
@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn next_hops_always_progress() {
-        let t = Topology::mesh2d(3, 3, 8);
+        let t = Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget");
         let r = UpDownRouting::new(&t);
         for src in 0..9u16 {
             for dst in 0..9u16 {
@@ -298,7 +298,7 @@ mod tests {
 
     #[test]
     fn adaptivity_offers_multiple_hops() {
-        let t = Topology::torus2d(4, 4, 8);
+        let t = Topology::torus2d(4, 4, 8).expect("topology wires within the port budget");
         let r = UpDownRouting::new(&t);
         let multi = (0..16u16)
             .flat_map(|s| (0..16u16).map(move |d| (s, d)))
@@ -310,7 +310,7 @@ mod tests {
 
     #[test]
     fn down_only_phase_restricts_hops() {
-        let t = Topology::mesh2d(3, 3, 8);
+        let t = Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget");
         let r = UpDownRouting::new(&t);
         for src in 0..9u16 {
             for dst in 0..9u16 {

@@ -14,7 +14,7 @@ proptest! {
     #[test]
     fn irregular_topologies_are_sound(seed in any::<u64>(), nodes in 4usize..14, extra in 0usize..8) {
         let mut rng = SeededRng::new(seed);
-        let t = Topology::irregular(nodes, 6, extra, &mut rng);
+        let t = Topology::irregular(nodes, 6, extra, &mut rng).expect("topology wires within the port budget");
         prop_assert!(t.is_connected());
         let routing = UpDownRouting::new(&t);
         for a in 0..nodes as u16 {
@@ -37,7 +37,7 @@ proptest! {
         ops in prop::collection::vec((0u16..9, 0u16..9, any::<bool>()), 1..60)
     ) {
         let mut net = NetworkSim::new(
-            Topology::mesh2d(3, 3, 8),
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
             RouterConfig::paper_default().vcs_per_port(6).candidates(2).seed(seed),
         );
         let mut live = Vec::new();
@@ -68,7 +68,7 @@ proptest! {
         cycles in 200u64..600
     ) {
         let mut rng = SeededRng::new(seed);
-        let t = Topology::irregular(8, 6, 4, &mut rng);
+        let t = Topology::irregular(8, 6, 4, &mut rng).expect("topology wires within the port budget");
         let far = (0..8u16)
             .max_by_key(|&n| t.distances_from(NodeId(0))[usize::from(n)])
             .expect("non-empty");

@@ -17,7 +17,7 @@ use mmr::sim::{Cycles, SeededRng};
 
 fn setup_batch(strategy: SetupStrategy, seed: u64) -> (usize, usize, u32) {
     let mut rng = SeededRng::new(seed);
-    let topology = Topology::irregular(12, 6, 6, &mut rng);
+    let topology = Topology::irregular(12, 6, 6, &mut rng).expect("topology wires within the port budget");
     let mut net = NetworkSim::new(
         topology,
         RouterConfig::paper_default().vcs_per_port(8).candidates(4).seed(seed),
@@ -68,7 +68,7 @@ fn main() {
     // background packets.
     println!();
     let mut rng = SeededRng::new(11);
-    let topology = Topology::irregular(12, 6, 6, &mut rng);
+    let topology = Topology::irregular(12, 6, 6, &mut rng).expect("topology wires within the port budget");
     let far = (0..12u16)
         .max_by_key(|&n| topology.distances_from(NodeId(0))[usize::from(n)])
         .expect("non-empty");

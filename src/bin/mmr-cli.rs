@@ -85,11 +85,11 @@ fn arbiter_from(name: &str) -> ArbiterKind {
 
 fn topology_from(name: &str, seed: u64) -> Topology {
     match name {
-        "mesh3x3" => Topology::mesh2d(3, 3, 8),
-        "mesh4x4" => Topology::mesh2d(4, 4, 8),
-        "torus3x3" => Topology::torus2d(3, 3, 8),
-        "ring6" => Topology::ring(6, 4),
-        "irregular10" => Topology::irregular(10, 6, 5, &mut SeededRng::new(seed)),
+        "mesh3x3" => Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
+        "mesh4x4" => Topology::mesh2d(4, 4, 8).expect("topology wires within the port budget"),
+        "torus3x3" => Topology::torus2d(3, 3, 8).expect("topology wires within the port budget"),
+        "ring6" => Topology::ring(6, 4).expect("topology wires within the port budget"),
+        "irregular10" => Topology::irregular(10, 6, 5, &mut SeededRng::new(seed)).expect("topology wires within the port budget"),
         other => die(&format!(
             "unknown topology: {other} (use mesh3x3|mesh4x4|torus3x3|ring6|irregular10)"
         )),

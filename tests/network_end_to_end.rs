@@ -34,10 +34,10 @@ fn drive_stream(net: &mut NetworkSim, topology_name: &str, src: u16, dst: u16) {
 #[test]
 fn streams_flow_on_every_topology() {
     for (name, topology) in [
-        ("mesh", Topology::mesh2d(3, 3, 8)),
-        ("torus", Topology::torus2d(3, 3, 8)),
-        ("ring", Topology::ring(6, 4)),
-        ("irregular", Topology::irregular(9, 5, 4, &mut SeededRng::new(5))),
+        ("mesh", Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget")),
+        ("torus", Topology::torus2d(3, 3, 8).expect("topology wires within the port budget")),
+        ("ring", Topology::ring(6, 4).expect("topology wires within the port budget")),
+        ("irregular", Topology::irregular(9, 5, 4, &mut SeededRng::new(5)).expect("topology wires within the port budget")),
     ] {
         let far = (topology.nodes() - 1) as u16;
         let mut net = NetworkSim::new(topology, router_cfg(1));
@@ -47,7 +47,7 @@ fn streams_flow_on_every_topology() {
 
 #[test]
 fn concurrent_streams_share_the_network() {
-    let mut net = NetworkSim::new(Topology::mesh2d(3, 3, 8), router_cfg(2));
+    let mut net = NetworkSim::new(Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"), router_cfg(2));
     let pairs = [(0u16, 8u16), (2, 6), (6, 2), (8, 0), (1, 7), (3, 5)];
     let conns: Vec<_> = pairs
         .iter()
@@ -79,7 +79,7 @@ fn concurrent_streams_share_the_network() {
 
 #[test]
 fn connection_churn_never_leaks_resources() {
-    let mut net = NetworkSim::new(Topology::mesh2d(2, 3, 8), router_cfg(3));
+    let mut net = NetworkSim::new(Topology::mesh2d(2, 3, 8).expect("topology wires within the port budget"), router_cfg(3));
     let mut rng = SeededRng::new(9);
     let baseline: usize = (0..6).map(|n| net.router(NodeId(n)).connections()).sum();
     assert_eq!(baseline, 0);
@@ -121,7 +121,7 @@ fn epb_succeeds_at_least_as_often_as_greedy_under_scarcity() {
         for (strategy, counter) in
             [(SetupStrategy::Epb, &mut epb_ok), (SetupStrategy::Greedy, &mut greedy_ok)]
         {
-            let topology = Topology::irregular(10, 5, 4, &mut SeededRng::new(seed));
+            let topology = Topology::irregular(10, 5, 4, &mut SeededRng::new(seed)).expect("topology wires within the port budget");
             let mut net = NetworkSim::new(
                 topology,
                 RouterConfig::paper_default().vcs_per_port(4).candidates(2).seed(seed),
@@ -146,7 +146,7 @@ fn epb_succeeds_at_least_as_often_as_greedy_under_scarcity() {
 
 #[test]
 fn packets_and_streams_coexist() {
-    let mut net = NetworkSim::new(Topology::torus2d(3, 3, 8), router_cfg(4));
+    let mut net = NetworkSim::new(Topology::torus2d(3, 3, 8).expect("topology wires within the port budget"), router_cfg(4));
     let conn = net
         .establish(NodeId(0), NodeId(4), cbr_mbps(620.0), SetupStrategy::Epb)
         .expect("capacity available");
@@ -185,7 +185,7 @@ fn packets_and_streams_coexist() {
 
 #[test]
 fn failed_setup_under_saturation_releases_everything() {
-    let mut net = NetworkSim::new(Topology::ring(4, 4), router_cfg(5));
+    let mut net = NetworkSim::new(Topology::ring(4, 4).expect("topology wires within the port budget"), router_cfg(5));
     // Saturate both directions around the ring.
     let mut held = Vec::new();
     while let Ok(c) = net.establish(NodeId(0), NodeId(2), cbr_mbps(1240.0), SetupStrategy::Epb) {
