@@ -335,7 +335,7 @@ pub fn fault_recovery(trials: u64, opts: &SweepOptions) -> SweepTable {
                 break;
             }
             let w = wires[rng.index(wires.len())];
-            let broken = net.fail_link(w.a.0, w.a.1);
+            let broken = net.fail_link(w.a.0, w.a.1).expect("chosen from live wires");
             broken_total += broken.len() as u64;
             // Recover each broken stream by a fresh EPB setup.
             for id in broken {

@@ -1,0 +1,418 @@
+//! Seeded fault campaigns: network resilience under link failure + repair.
+//!
+//! Each campaign point builds a multi-router fabric, opens a population of
+//! CBR sessions under a [`RecoveryManager`], and drives a seeded
+//! [`FaultPlan`] of link failures and repairs through the run while the
+//! manager re-establishes broken sessions via EPB (retry/backoff, graceful
+//! rate degradation). Points fan across the deterministic sweep harness
+//! ([`SweepOptions`]), so the emitted table and JSON are byte-identical at
+//! any `--jobs` value: every number is a pure function of
+//! `(topology, fault count, trial seed)` — no wall-clock content.
+
+use mmr_core::conn::QosClass;
+use mmr_net::{
+    FaultInjector, FaultPlan, NetworkSim, NodeId, RecoveryManager, RecoveryPolicy, SessionId,
+    Topology,
+};
+use mmr_sim::{Cycles, SeededRng};
+
+use crate::sweep::{point_seed, SweepOptions};
+use crate::FIGURE_SEED;
+
+/// Base seed of the fault campaigns (decorrelated from the figure sweeps).
+pub const FAULT_SEED: u64 = FIGURE_SEED ^ 0xFA17_0CA4;
+
+/// Fabrics the campaign sweeps over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignTopology {
+    /// 3×3 mesh.
+    Mesh3x3,
+    /// 3×3 torus.
+    Torus3x3,
+    /// 12-node connected irregular graph (seed-dependent wiring).
+    Irregular12,
+}
+
+impl CampaignTopology {
+    /// All swept fabrics, in emission order.
+    pub const ALL: [CampaignTopology; 3] =
+        [CampaignTopology::Mesh3x3, CampaignTopology::Torus3x3, CampaignTopology::Irregular12];
+
+    /// Stable series name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignTopology::Mesh3x3 => "mesh3x3",
+            CampaignTopology::Torus3x3 => "torus3x3",
+            CampaignTopology::Irregular12 => "irregular12",
+        }
+    }
+
+    /// Node count of the fabric.
+    pub fn nodes(&self) -> usize {
+        match self {
+            CampaignTopology::Mesh3x3 | CampaignTopology::Torus3x3 => 9,
+            CampaignTopology::Irregular12 => 12,
+        }
+    }
+
+    /// Builds the fabric (irregular wiring is a pure function of `seed`).
+    pub fn build(&self, seed: u64) -> Topology {
+        match self {
+            CampaignTopology::Mesh3x3 => Topology::mesh2d(3, 3, 8),
+            CampaignTopology::Torus3x3 => Topology::torus2d(3, 3, 8),
+            CampaignTopology::Irregular12 => {
+                Topology::irregular(12, 8, 4, &mut SeededRng::new(seed ^ 0x1220))
+            }
+        }
+        .expect("campaign fabrics fit the port budget")
+    }
+}
+
+/// One cell of the campaign grid.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Fabric under test.
+    pub topology: CampaignTopology,
+    /// Link faults injected per trial.
+    pub faults: usize,
+    /// Independent seeded trials aggregated into the cell.
+    pub trials: usize,
+    /// Cycles before the fault window opens.
+    pub warmup: u64,
+    /// Cycles of the fault + recovery window.
+    pub measure: u64,
+}
+
+/// Aggregated outcome of one campaign cell (sums over its trials).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CampaignResult {
+    /// Connection-breaking incidents observed.
+    pub faults: u64,
+    /// Incidents recovered.
+    pub recovered: u64,
+    /// Sessions that died permanently.
+    pub permanently_failed: u64,
+    /// Rate-ladder rungs surrendered by graceful degradation.
+    pub degraded: u64,
+    /// Re-establish attempts launched.
+    pub retries: u64,
+    /// Attempts abandoned on setup timeout.
+    pub timeouts: u64,
+    /// Cycles spent in exponential backoff.
+    pub backoff_cycles: u64,
+    /// Sum of per-incident time-to-recover (cycles); divide by `recovered`.
+    pub ttr_total: f64,
+    /// Flits lost in transit to link failures.
+    pub flits_lost: u64,
+    /// Stream flits delivered end to end.
+    pub flits_delivered: u64,
+    /// Links failed / repaired by the injector.
+    pub links_failed: u64,
+    /// Links spliced back by the injector.
+    pub links_repaired: u64,
+}
+
+impl CampaignResult {
+    /// Mean time-to-recover in cycles (0 when nothing recovered).
+    pub fn mean_ttr(&self) -> f64 {
+        if self.recovered == 0 {
+            0.0
+        } else {
+            self.ttr_total / self.recovered as f64
+        }
+    }
+
+    /// Fraction of incidents recovered (1 when nothing broke).
+    pub fn recovery_rate(&self) -> f64 {
+        if self.faults == 0 {
+            1.0
+        } else {
+            self.recovered as f64 / self.faults as f64
+        }
+    }
+
+    fn absorb(&mut self, other: &CampaignResult) {
+        self.faults += other.faults;
+        self.recovered += other.recovered;
+        self.permanently_failed += other.permanently_failed;
+        self.degraded += other.degraded;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.backoff_cycles += other.backoff_cycles;
+        self.ttr_total += other.ttr_total;
+        self.flits_lost += other.flits_lost;
+        self.flits_delivered += other.flits_delivered;
+        self.links_failed += other.links_failed;
+        self.links_repaired += other.links_repaired;
+    }
+}
+
+/// CBR sessions opened per trial.
+const SESSIONS: usize = 10;
+
+/// Runs one seeded trial of a campaign cell.
+pub fn run_trial(spec: &CampaignSpec, seed: u64) -> CampaignResult {
+    let router = mmr_core::router::RouterConfig::paper_default()
+        .vcs_per_port(16)
+        .candidates(4)
+        .seed(seed ^ 0xD06);
+    let timing = router.clone().build().config().timing();
+    let topo = spec.topology.build(seed);
+    let mut net = NetworkSim::new(topo, router);
+    let mut rng = SeededRng::new(seed);
+    let nodes = spec.topology.nodes() as u16;
+    let ladder = mmr_traffic::rates::paper_rate_ladder();
+    let policy = RecoveryPolicy::default()
+        .max_retries(6)
+        .backoff(Cycles(8), Cycles(256))
+        .setup_timeout(Cycles(200));
+    let mut mgr = RecoveryManager::new(policy);
+
+    // Stream population: CBR pairs at mid-ladder rates, paced by their own
+    // interarrival schedules.
+    struct Pacer {
+        session: SessionId,
+        next: f64,
+        interarrival: f64,
+    }
+    let mut pacers: Vec<Pacer> = Vec::new();
+    let mut attempts = 0;
+    while pacers.len() < SESSIONS && attempts < 200 {
+        attempts += 1;
+        let src = NodeId(rng.index(nodes as usize) as u16);
+        let dst = NodeId(rng.index(nodes as usize) as u16);
+        if src == dst {
+            continue;
+        }
+        // Mid-to-upper ladder rungs so degradation has room to step down.
+        let rate = ladder[3 + rng.index(ladder.len() - 3)];
+        if let Ok(session) = mgr.open(&mut net, src, dst, QosClass::Cbr { rate }) {
+            let interarrival = timing.interarrival_cycles(rate);
+            pacers.push(Pacer { session, next: rng.uniform(0.0, interarrival), interarrival });
+        }
+    }
+
+    // Faults strike in the first half of the window; outages last an eighth
+    // of it, so repairs land in-run and recoveries have room to finish.
+    let window = spec.warmup..spec.warmup + spec.measure / 2;
+    let outage = Cycles((spec.measure / 8).max(50));
+    let plan = FaultPlan::seeded_campaign(net.topology(), seed, spec.faults, window, outage);
+    let mut injector = FaultInjector::new(plan);
+
+    let total = spec.warmup + spec.measure;
+    for t in 0..total {
+        let now = Cycles(t);
+        let tick = injector.poll(&mut net, now);
+        if !tick.broken.is_empty() {
+            mgr.on_faults(&tick.broken, now);
+        }
+        for p in &mut pacers {
+            let Some(conn) = mgr.conn(p.session) else {
+                // Recovering or failed: pause the pacer at `now` so the
+                // stream resumes cleanly once the session is back.
+                p.next = p.next.max(now.as_f64());
+                continue;
+            };
+            while p.next <= now.as_f64() {
+                let _ = net.inject(conn, now);
+                p.next += p.interarrival;
+            }
+        }
+        let report = net.step(now);
+        for event in mgr.service(&mut net, &report, now) {
+            // Degradation changes the session's rate; repace its stream.
+            if let mmr_net::RecoveryEvent::Degraded { session, to, .. } = event {
+                if let Some(p) = pacers.iter_mut().find(|p| p.session == session) {
+                    p.interarrival = timing.interarrival_cycles(to);
+                }
+            }
+        }
+    }
+
+    let stats = mgr.stats();
+    let net_stats = net.stats();
+    CampaignResult {
+        faults: stats.faults,
+        recovered: stats.recovered,
+        permanently_failed: stats.permanently_failed,
+        degraded: stats.degraded,
+        retries: stats.retries,
+        timeouts: stats.timeouts,
+        backoff_cycles: stats.backoff_cycles,
+        ttr_total: stats.time_to_recover.mean() * stats.recovered as f64,
+        flits_lost: net_stats.flits_lost,
+        flits_delivered: net_stats.flits_delivered,
+        links_failed: net_stats.links_failed,
+        links_repaired: net_stats.links_repaired,
+    }
+}
+
+/// The campaign grid: every fabric × every fault count.
+pub fn campaign_grid(quick: bool) -> Vec<CampaignSpec> {
+    let (fault_counts, trials, warmup, measure): (&[usize], usize, u64, u64) = if quick {
+        (&[1, 3], 2, 400, 2_400)
+    } else {
+        (&[1, 3, 6], 3, 1_000, 8_000)
+    };
+    let mut grid = Vec::new();
+    for topology in CampaignTopology::ALL {
+        for &faults in fault_counts {
+            grid.push(CampaignSpec { topology, faults, trials, warmup, measure });
+        }
+    }
+    grid
+}
+
+/// Runs the whole grid through the deterministic sweep harness: one sweep
+/// point per `(cell, trial)`, each seeded by its *position*
+/// ([`point_seed`]`(FAULT_SEED, index)`), then folds trials into their
+/// cells. Byte-identical output at any job count.
+pub fn run_campaigns(
+    grid: &[CampaignSpec],
+    opts: &SweepOptions,
+) -> Vec<(CampaignSpec, CampaignResult)> {
+    let points: Vec<(usize, &CampaignSpec)> = grid
+        .iter()
+        .enumerate()
+        .flat_map(|(c, spec)| std::iter::repeat_n((c, spec), spec.trials))
+        .collect();
+    let results = opts.run_indexed(points.len(), |i| {
+        let (cell, spec) = points[i];
+        (cell, run_trial(spec, point_seed(FAULT_SEED, i)))
+    });
+    let mut cells: Vec<(CampaignSpec, CampaignResult)> =
+        grid.iter().map(|s| (s.clone(), CampaignResult::default())).collect();
+    for (cell, trial) in &results {
+        cells[*cell].1.absorb(trial);
+    }
+    cells
+}
+
+/// Renders the human-readable campaign table (`results/faults.txt`).
+pub fn render_table(cells: &[(CampaignSpec, CampaignResult)]) -> String {
+    let mut out = String::new();
+    out.push_str("fault campaigns: seeded link failure + repair with automatic recovery\n");
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>7} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>10}\n",
+        "topology",
+        "faults",
+        "broken",
+        "recovered",
+        "perm-fail",
+        "degraded",
+        "retries",
+        "mean-ttr",
+        "lost",
+        "delivered"
+    ));
+    for (spec, r) in cells {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>7} {:>9} {:>9} {:>8} {:>8} {:>9.2} {:>9} {:>10}\n",
+            spec.topology.name(),
+            spec.faults,
+            r.faults,
+            r.recovered,
+            r.permanently_failed,
+            r.degraded,
+            r.retries,
+            r.mean_ttr(),
+            r.flits_lost,
+            r.flits_delivered,
+        ));
+    }
+    out
+}
+
+/// Renders the machine-readable campaign series (`BENCH_faults.json`).
+/// Deliberately contains **no wall-clock content**, so the file is
+/// byte-identical across job counts and machines.
+pub fn render_json(cells: &[(CampaignSpec, CampaignResult)]) -> String {
+    let mut rows = Vec::new();
+    for (spec, r) in cells {
+        rows.push(format!(
+            concat!(
+                "    {{\"topology\": \"{}\", \"faults_planned\": {}, \"trials\": {}, ",
+                "\"sessions_broken\": {}, \"recovered\": {}, \"permanently_failed\": {}, ",
+                "\"degraded\": {}, \"retries\": {}, \"timeouts\": {}, ",
+                "\"backoff_cycles\": {}, \"mean_ttr_cycles\": {:.4}, ",
+                "\"recovery_rate\": {:.4}, \"flits_lost\": {}, \"flits_delivered\": {}, ",
+                "\"links_failed\": {}, \"links_repaired\": {}}}"
+            ),
+            spec.topology.name(),
+            spec.faults,
+            spec.trials,
+            r.faults,
+            r.recovered,
+            r.permanently_failed,
+            r.degraded,
+            r.retries,
+            r.timeouts,
+            r.backoff_cycles,
+            r.mean_ttr(),
+            r.recovery_rate(),
+            r.flits_lost,
+            r.flits_delivered,
+            r.links_failed,
+            r.links_repaired,
+        ));
+    }
+    format!(
+        "{{\n  \"seed\": {},\n  \"campaigns\": [\n{}\n  ]\n}}\n",
+        FAULT_SEED,
+        rows.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_are_pure_functions_of_their_seed() {
+        let spec = CampaignSpec {
+            topology: CampaignTopology::Mesh3x3,
+            faults: 2,
+            trials: 1,
+            warmup: 200,
+            measure: 1_200,
+        };
+        let a = run_trial(&spec, 11);
+        let b = run_trial(&spec, 11);
+        assert_eq!(a, b);
+        let c = run_trial(&spec, 12);
+        assert_ne!(a, c, "different seeds give different campaigns");
+    }
+
+    #[test]
+    fn campaigns_observe_faults_and_recover() {
+        let spec = CampaignSpec {
+            topology: CampaignTopology::Torus3x3,
+            faults: 3,
+            trials: 1,
+            warmup: 300,
+            measure: 2_400,
+        };
+        let r = run_trial(&spec, 5);
+        assert!(r.links_failed > 0, "faults were injected");
+        assert_eq!(r.links_failed, r.links_repaired, "every outage ends in repair");
+        assert!(r.flits_delivered > 100, "traffic flowed: {}", r.flits_delivered);
+        if r.faults > 0 {
+            assert!(r.recovered + r.permanently_failed > 0, "incidents were resolved");
+        }
+    }
+
+    #[test]
+    fn grid_renderings_are_reproducible_across_job_counts() {
+        let grid = vec![CampaignSpec {
+            topology: CampaignTopology::Mesh3x3,
+            faults: 2,
+            trials: 2,
+            warmup: 200,
+            measure: 1_200,
+        }];
+        let serial = run_campaigns(&grid, &SweepOptions::serial());
+        let parallel = run_campaigns(&grid, &SweepOptions { jobs: 4 });
+        assert_eq!(render_json(&serial), render_json(&parallel));
+        assert_eq!(render_table(&serial), render_table(&parallel));
+    }
+}

@@ -18,6 +18,7 @@ use crate::sweep::{PointSpec, SweepOptions};
 
 pub mod ablations;
 pub mod extensions;
+pub mod faults;
 pub mod sweep;
 
 /// Measurement effort for an experiment run.

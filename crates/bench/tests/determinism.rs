@@ -3,6 +3,7 @@
 //! every sweep point derives its RNG seed from (base seed, point index),
 //! never from execution order.
 
+use mmr_bench::faults::{render_json, render_table, run_campaigns, CampaignSpec, CampaignTopology};
 use mmr_bench::sweep::{point_seed, SweepOptions};
 use mmr_bench::{claims_table, fig3_jitter, render_claims, Quality};
 
@@ -38,6 +39,24 @@ fn claims_are_byte_identical_across_job_counts() {
     let serial = render_claims(&claims_table(&quality, &SweepOptions { jobs: 1 }));
     let parallel = render_claims(&claims_table(&quality, &SweepOptions { jobs: 3 }));
     assert_eq!(serial, parallel);
+}
+
+/// A seeded fault campaign — fault injection, link repair, and automatic
+/// connection recovery — emits byte-identical JSON and table output at any
+/// job count: the acceptance bar for `BENCH_faults.json`.
+#[test]
+fn fault_campaigns_are_byte_identical_across_job_counts() {
+    let grid: Vec<CampaignSpec> = CampaignTopology::ALL
+        .into_iter()
+        .map(|topology| CampaignSpec { topology, faults: 2, trials: 2, warmup: 200, measure: 1_600 })
+        .collect();
+    let serial = run_campaigns(&grid, &SweepOptions { jobs: 1 });
+    let parallel = run_campaigns(&grid, &SweepOptions { jobs: 4 });
+    assert_eq!(render_json(&serial), render_json(&parallel));
+    assert_eq!(render_table(&serial), render_table(&parallel));
+    // And the serial leg itself is reproducible run to run.
+    let again = run_campaigns(&grid, &SweepOptions::serial());
+    assert_eq!(render_json(&serial), render_json(&again));
 }
 
 /// Point seeds depend only on (base, index): permuting execution order

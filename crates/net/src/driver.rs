@@ -32,6 +32,9 @@ pub struct NetExperiment {
     pub measure_cycles: u64,
     /// Workload seed.
     pub seed: u64,
+    /// Admission attempts abandoned after this many EPB rejections while
+    /// building the stream population.
+    pub admission_attempts: u32,
 }
 
 impl NetExperiment {
@@ -46,7 +49,15 @@ impl NetExperiment {
             warmup_cycles: 5_000,
             measure_cycles: 20_000,
             seed: 2_026,
+            admission_attempts: 400,
         }
+    }
+
+    /// Overrides the admission retry budget: population building stops after
+    /// this many rejected EPB admissions (default 400).
+    pub fn admission_attempts(mut self, attempts: u32) -> Self {
+        self.admission_attempts = attempts;
+        self
     }
 
     /// Overrides the measurement windows.
@@ -81,7 +92,8 @@ impl NetExperiment {
         let mut offered = Bandwidth::ZERO;
         let mut failures = 0u32;
         let timing = self.router.clone().build().config().timing();
-        while offered.fraction_of(capacity) < self.target_load && failures < 400 {
+        while offered.fraction_of(capacity) < self.target_load && failures < self.admission_attempts
+        {
             let rate = *rng.pick(&self.ladder);
             let src = NodeId(rng.index(nodes) as u16);
             let dst = NodeId(rng.index(nodes) as u16);
@@ -148,6 +160,7 @@ impl NetExperiment {
             mean_jitter_cycles: recorder.mean_jitter_cycles(),
             flits_delivered: measured,
             out_of_order: net.stats().out_of_order,
+            admission_rejected: failures,
             _hop_weighted: hop_weighted_latency,
         }
     }
@@ -171,6 +184,8 @@ pub struct NetExperimentResult {
     pub flits_delivered: u64,
     /// Out-of-order deliveries (must be zero).
     pub out_of_order: u64,
+    /// EPB admissions rejected while building the stream population.
+    pub admission_rejected: u32,
     _hop_weighted: f64,
 }
 
@@ -209,6 +224,36 @@ mod tests {
             low.mean_latency_cycles,
             high.mean_latency_cycles
         );
+    }
+
+    #[test]
+    fn admission_budget_bounds_population_building() {
+        // A zero budget admits nothing: the loop stops at the first possible
+        // rejection point without ever offering load.
+        let r = NetExperiment::new(
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(16).candidates(4),
+            0.9,
+        )
+        .windows(100, 200)
+        .admission_attempts(0)
+        .run();
+        assert_eq!(r.streams, 0);
+        assert_eq!(r.admission_rejected, 0);
+        // A small budget stops population building at exactly that many
+        // rejections, and the result reports the count.
+        let tight = NetExperiment::new(
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(16).candidates(4),
+            0.9,
+        )
+        .windows(100, 200)
+        .admission_attempts(5)
+        .run();
+        assert_eq!(tight.admission_rejected, 5);
+        // The default budget is never exceeded.
+        let ok = quick(0.3);
+        assert!(ok.admission_rejected <= 400, "{}", ok.admission_rejected);
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Deterministic fault-injection campaigns.
+//!
+//! A [`FaultPlan`] is a schedule of link failures *and repairs* at
+//! flit-cycle granularity. Plans are plain data — built by hand for
+//! targeted tests or generated from a seed by
+//! [`FaultPlan::seeded_campaign`] — so a campaign is reproducible from
+//! `(topology, seed, parameters)` alone, independent of execution order.
+//! A [`FaultInjector`] walks the plan against a live [`NetworkSim`],
+//! applying every event that has come due and reporting which established
+//! connections each fault tore down (feed those to a
+//! [`crate::recovery::RecoveryManager`] to close the loop).
+
+use mmr_core::ids::PortId;
+use mmr_sim::{Cycles, SeededRng};
+
+use crate::network::{NetConnectionId, NetError, NetworkSim};
+use crate::topology::{NodeId, Topology};
+
+/// What a scheduled fault event does to its wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Take the wire down ([`NetworkSim::fail_link`]).
+    Fail,
+    /// Splice the wire back ([`NetworkSim::repair_link`]).
+    Repair,
+}
+
+/// One scheduled link fault or repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Flit cycle the event fires at.
+    pub at: Cycles,
+    /// Fail or repair.
+    pub action: FaultAction,
+    /// Node owning the addressed endpoint.
+    pub node: NodeId,
+    /// Port of the addressed endpoint (either end of the wire works).
+    pub port: PortId,
+}
+
+/// A deterministic schedule of link failures and repairs.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a link failure at `at`.
+    pub fn fail_at(mut self, at: Cycles, node: NodeId, port: PortId) -> Self {
+        self.events.push(FaultEvent { at, action: FaultAction::Fail, node, port });
+        self
+    }
+
+    /// Schedules a link repair at `at`.
+    pub fn repair_at(mut self, at: Cycles, node: NodeId, port: PortId) -> Self {
+        self.events.push(FaultEvent { at, action: FaultAction::Repair, node, port });
+        self
+    }
+
+    /// The scheduled events in firing order (ties keep insertion order).
+    pub fn events(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generates a seeded random campaign over `topology`: `faults` wire
+    /// failures at cycles drawn uniformly from `window`, each repaired
+    /// `outage` cycles after it strikes. A wire that is scheduled down is
+    /// never double-failed — the generator tracks planned outages and draws
+    /// another wire — so every generated event applies cleanly. The result
+    /// is a pure function of the arguments (one private RNG stream).
+    pub fn seeded_campaign(
+        topology: &Topology,
+        seed: u64,
+        faults: usize,
+        window: std::ops::Range<u64>,
+        outage: Cycles,
+    ) -> Self {
+        assert!(window.start < window.end, "empty campaign window");
+        let mut rng = SeededRng::new(seed ^ 0xFA17_CA4F);
+        let wires = topology.wires();
+        let mut plan = FaultPlan::new();
+        if wires.is_empty() {
+            return plan;
+        }
+        // (wire index, fail cycle, repair cycle) intervals already planned.
+        let mut planned: Vec<(usize, u64, u64)> = Vec::with_capacity(faults);
+        let mut strikes: Vec<u64> = (0..faults)
+            .map(|_| window.start + rng.index((window.end - window.start) as usize) as u64)
+            .collect();
+        strikes.sort_unstable();
+        for at in strikes {
+            let down = at + outage.0;
+            // Up to |wires| attempts to find a wire not already down at `at`.
+            let mut choice = None;
+            for _ in 0..wires.len().max(4) {
+                let w = rng.index(wires.len());
+                let overlaps =
+                    planned.iter().any(|&(pw, f, r)| pw == w && at < r && down > f);
+                if !overlaps {
+                    choice = Some(w);
+                    break;
+                }
+            }
+            let Some(w) = choice else { continue };
+            planned.push((w, at, down));
+            let (node, port) = wires[w].a;
+            plan = plan.fail_at(Cycles(at), node, port).repair_at(Cycles(down), node, port);
+        }
+        plan.events.sort_by_key(|e| e.at);
+        plan
+    }
+}
+
+/// What one [`FaultInjector::poll`] call did to the network.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTick {
+    /// Wires taken down this cycle.
+    pub failed: Vec<(NodeId, PortId)>,
+    /// Wires spliced back this cycle.
+    pub repaired: Vec<(NodeId, PortId)>,
+    /// Connections torn down by this cycle's failures.
+    pub broken: Vec<NetConnectionId>,
+}
+
+impl FaultTick {
+    /// Whether anything happened.
+    pub fn is_quiet(&self) -> bool {
+        self.failed.is_empty() && self.repaired.is_empty() && self.broken.is_empty()
+    }
+}
+
+/// Walks a [`FaultPlan`] against a live network, one poll per flit cycle.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    cursor: usize,
+    skipped: u64,
+}
+
+impl FaultInjector {
+    /// An injector at the start of `plan`. The plan's events must be sorted
+    /// by cycle (guaranteed by the builders and the campaign generator).
+    pub fn new(plan: FaultPlan) -> Self {
+        debug_assert!(plan.events.windows(2).all(|w| w[0].at <= w[1].at), "plan must be sorted");
+        FaultInjector { plan, cursor: 0, skipped: 0 }
+    }
+
+    /// Events not yet applied.
+    pub fn pending(&self) -> usize {
+        self.plan.events.len() - self.cursor
+    }
+
+    /// Events that could not be applied (e.g. failing an already-failed
+    /// wire in a hand-built plan) and were skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Applies every event due at or before `now`. Inapplicable events
+    /// (double failure, repairing a live wire) are counted in
+    /// [`FaultInjector::skipped`] rather than aborting the campaign.
+    pub fn poll(&mut self, net: &mut NetworkSim, now: Cycles) -> FaultTick {
+        let mut tick = FaultTick::default();
+        while let Some(ev) = self.plan.events.get(self.cursor) {
+            if ev.at > now {
+                break;
+            }
+            let ev = *ev;
+            self.cursor += 1;
+            match ev.action {
+                FaultAction::Fail => match net.fail_link(ev.node, ev.port) {
+                    Ok(broken) => {
+                        tick.failed.push((ev.node, ev.port));
+                        tick.broken.extend(broken);
+                    }
+                    Err(NetError::LinkAlreadyFailed { .. }) => self.skipped += 1,
+                    Err(e) => panic!("fault plan addresses a non-wire: {e}"),
+                },
+                FaultAction::Repair => match net.repair_link(ev.node, ev.port) {
+                    Ok(()) => tick.repaired.push((ev.node, ev.port)),
+                    Err(NetError::LinkNotFailed { .. }) => self.skipped += 1,
+                    Err(e) => panic!("fault plan addresses a non-wire: {e}"),
+                },
+            }
+        }
+        tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmr_core::router::RouterConfig;
+
+    fn mesh_net() -> NetworkSim {
+        NetworkSim::new(
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(16).candidates(4),
+        )
+    }
+
+    #[test]
+    fn injector_applies_fail_then_repair_on_schedule() {
+        let mut net = mesh_net();
+        let wire = net.topology().wires()[0];
+        let plan = FaultPlan::new()
+            .fail_at(Cycles(5), wire.a.0, wire.a.1)
+            .repair_at(Cycles(12), wire.a.0, wire.a.1);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.pending(), 2);
+        for t in 0..20u64 {
+            let tick = inj.poll(&mut net, Cycles(t));
+            match t {
+                5 => assert_eq!(tick.failed, vec![wire.a]),
+                12 => assert_eq!(tick.repaired, vec![wire.a]),
+                _ => assert!(tick.is_quiet(), "t={t}: {tick:?}"),
+            }
+            let expect_ok = !(5..12).contains(&t);
+            assert_eq!(net.link_ok(wire.a.0, wire.a.1), expect_ok, "t={t}");
+            net.step(Cycles(t));
+        }
+        assert_eq!(inj.pending(), 0);
+        assert_eq!(inj.skipped(), 0);
+        assert_eq!(net.stats().links_failed, 1);
+        assert_eq!(net.stats().links_repaired, 1);
+    }
+
+    #[test]
+    fn inapplicable_events_are_skipped_not_fatal() {
+        let mut net = mesh_net();
+        let wire = net.topology().wires()[0];
+        // Double failure and a repair of a live wire.
+        let plan = FaultPlan::new()
+            .fail_at(Cycles(1), wire.a.0, wire.a.1)
+            .fail_at(Cycles(2), wire.a.0, wire.a.1)
+            .repair_at(Cycles(3), wire.a.0, wire.a.1)
+            .repair_at(Cycles(4), wire.a.0, wire.a.1);
+        let mut inj = FaultInjector::new(plan);
+        for t in 0..6u64 {
+            inj.poll(&mut net, Cycles(t));
+        }
+        assert_eq!(inj.skipped(), 2);
+        assert!(net.link_ok(wire.a.0, wire.a.1));
+    }
+
+    #[test]
+    fn seeded_campaigns_are_reproducible_and_self_consistent() {
+        let topo = Topology::torus2d(3, 3, 8).expect("topology wires within the port budget");
+        let a = FaultPlan::seeded_campaign(&topo, 77, 6, 100..2_000, Cycles(300));
+        let b = FaultPlan::seeded_campaign(&topo, 77, 6, 100..2_000, Cycles(300));
+        assert_eq!(a.events().count(), b.events().count());
+        for (x, y) in a.events().zip(b.events()) {
+            assert_eq!(x, y, "same seed, same plan");
+        }
+        let c = FaultPlan::seeded_campaign(&topo, 78, 6, 100..2_000, Cycles(300));
+        assert!(
+            a.events().zip(c.events()).any(|(x, y)| x != y) || a.len() != c.len(),
+            "different seeds diverge"
+        );
+        // Every generated event applies cleanly.
+        let mut net = NetworkSim::new(
+            topo,
+            RouterConfig::paper_default().vcs_per_port(8).candidates(2),
+        );
+        let mut inj = FaultInjector::new(a);
+        for t in 0..2_500u64 {
+            inj.poll(&mut net, Cycles(t));
+        }
+        assert_eq!(inj.pending(), 0);
+        assert_eq!(inj.skipped(), 0, "campaign generator never plans a double failure");
+        assert_eq!(net.stats().links_failed, net.stats().links_repaired);
+    }
+}

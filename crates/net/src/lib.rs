@@ -15,8 +15,15 @@
 //!   establishment with history stores, plus a greedy baseline.
 //! * [`network`] — the cycle-driven multi-router simulator: one
 //!   [`mmr_core::Router`] per node, credit flow control across wires,
-//!   end-to-end stream delivery, packet hopping, and link-failure
-//!   injection.
+//!   end-to-end stream delivery, packet hopping, and link failure/repair
+//!   with up*/down* recomputation.
+//! * [`fault`] — deterministic seeded fault campaigns: [`FaultPlan`]
+//!   schedules link failures and repairs at flit-cycle granularity,
+//!   [`FaultInjector`] applies them.
+//! * [`recovery`] — the automatic-recovery session layer:
+//!   [`RecoveryManager`] re-establishes faulted connections via EPB with
+//!   retry budgets, exponential backoff, setup timeouts, and graceful CBR
+//!   rate degradation.
 //! * [`driver`] — network-level experiments (end-to-end latency/jitter vs
 //!   load).
 //!
@@ -42,15 +49,21 @@
 //! ```
 
 pub mod driver;
+pub mod fault;
 pub mod network;
+pub mod recovery;
 pub mod setup;
 pub mod topology;
 pub mod updown;
 
 pub use driver::{NetExperiment, NetExperimentResult};
+pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, FaultTick};
 pub use network::{
-    DeliveredFlit, DeliveredPacket, NetConnection, NetConnectionId, NetStats, NetStepReport,
-    NetworkSim, PacketId, ProbeToken, SetupEvent,
+    DeliveredFlit, DeliveredPacket, NetConnection, NetConnectionId, NetError, NetStats,
+    NetStepReport, NetworkSim, PacketId, ProbeToken, SetupEvent,
+};
+pub use recovery::{
+    RecoveryEvent, RecoveryManager, RecoveryPolicy, RecoveryStats, SessionId, SessionStatus,
 };
 pub use setup::{ProbeMachine, ProbeStep, SetupError, SetupReceipt, SetupStrategy};
 pub use topology::{NodeId, Topology, TopologyError, Wire};

@@ -21,6 +21,76 @@ use crate::setup::{ProbeMachine, ProbeStep, SetupError, SetupStrategy};
 use crate::topology::{NodeId, Topology};
 use crate::updown::{LinkDir, UpDownRouting};
 
+/// Errors from the fallible [`NetworkSim`] entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The node index is out of range for this topology.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The port index is out of range for this topology.
+    InvalidPort {
+        /// The node the port was addressed on.
+        node: NodeId,
+        /// The offending port.
+        port: PortId,
+    },
+    /// The port is a terminal (network-interface) port — NIs cannot fail or
+    /// be repaired; only inter-router wires can.
+    TerminalPort {
+        /// The node owning the port.
+        node: NodeId,
+        /// The terminal port.
+        port: PortId,
+    },
+    /// The wire is already failed (double [`NetworkSim::fail_link`]).
+    LinkAlreadyFailed {
+        /// The node owning the port.
+        node: NodeId,
+        /// The port whose wire is already down.
+        port: PortId,
+    },
+    /// The wire is operational ([`NetworkSim::repair_link`] of a live link).
+    LinkNotFailed {
+        /// The node owning the port.
+        node: NodeId,
+        /// The port whose wire is up.
+        port: PortId,
+    },
+    /// The connection id is not live in this network.
+    UnknownConnection(NetConnectionId),
+    /// [`NetworkSim::send_packet`] with a stream flit kind — VCT packets are
+    /// control or best-effort only.
+    NotAPacketKind(FlitKind),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownNode { node } => write!(f, "node {node} does not exist"),
+            NetError::InvalidPort { node, port } => {
+                write!(f, "port {port} does not exist on node {node}")
+            }
+            NetError::TerminalPort { node, port } => {
+                write!(f, "{node}.{port} is a terminal port; only inter-router wires can fail")
+            }
+            NetError::LinkAlreadyFailed { node, port } => {
+                write!(f, "the wire at {node}.{port} is already failed")
+            }
+            NetError::LinkNotFailed { node, port } => {
+                write!(f, "the wire at {node}.{port} is operational; nothing to repair")
+            }
+            NetError::UnknownConnection(id) => write!(f, "connection {id} is not live"),
+            NetError::NotAPacketKind(kind) => {
+                write!(f, "{kind:?} flits are not VCT packets (control/best-effort only)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
 /// A network-wide connection identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetConnectionId(pub u32);
@@ -133,6 +203,14 @@ pub struct NetStats {
     pub packets_delivered: u64,
     /// Out-of-order stream deliveries (must stay zero).
     pub out_of_order: u64,
+    /// Stream flits and packets destroyed by link failures: flits on the
+    /// failed wire plus flits still buffered inside routers on paths torn
+    /// down by the fault.
+    pub flits_lost: u64,
+    /// Inter-router wires failed so far ([`NetworkSim::fail_link`]).
+    pub links_failed: u64,
+    /// Failed wires spliced back so far ([`NetworkSim::repair_link`]).
+    pub links_repaired: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -309,16 +387,23 @@ impl NetworkSim {
     ///
     /// # Errors
     ///
-    /// Returns the id back if it is unknown.
-    pub fn teardown(&mut self, id: NetConnectionId) -> Result<(), NetConnectionId> {
-        let conn = self.conns.remove(&id).ok_or(id)?;
+    /// [`NetError::UnknownConnection`] if the id is not live.
+    pub fn teardown(&mut self, id: NetConnectionId) -> Result<(), NetError> {
+        self.teardown_counting(id).map(|_| ())
+    }
+
+    /// [`NetworkSim::teardown`] returning the number of flits still queued
+    /// inside routers on the path (dropped with the connection).
+    fn teardown_counting(&mut self, id: NetConnectionId) -> Result<u64, NetError> {
+        let conn = self.conns.remove(&id).ok_or(NetError::UnknownConnection(id))?;
+        let mut dropped = 0u64;
         for hop in &conn.hops {
             self.local_index.remove(&(hop.node, hop.local));
-            self.routers[hop.node.index()]
+            dropped += self.routers[hop.node.index()]
                 .teardown(hop.local)
-                .expect("hop connections exist until network teardown");
+                .expect("hop connections exist until network teardown") as u64;
         }
-        Ok(())
+        Ok(dropped)
     }
 
     /// Injects the next flit of `conn` at its source NI.
@@ -348,40 +433,21 @@ impl NetworkSim {
         !self.failed_ports.contains(&(node, port))
     }
 
-    /// Fails the wire attached to `(node, port)` — the fault-injection hook
-    /// behind experiment E6. Both endpoints stop carrying traffic, flits
-    /// currently on the wire are lost, routing recomputes around the break,
-    /// and every established connection crossing it is torn down.
-    ///
-    /// Returns the torn-down connections so callers can re-establish them
-    /// (the recovery pattern of the fault-tolerant protocols the MMR's EPB
-    /// descends from).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `(node, port)` is a terminal port (NIs cannot fail here).
-    pub fn fail_link(&mut self, node: NodeId, port: PortId) -> Vec<NetConnectionId> {
-        let (peer, peer_port) = self
-            .topology
-            .peer_of(node, port)
-            .expect("only inter-router wires can fail");
-        self.failed_ports.insert((node, port));
-        self.failed_ports.insert((peer, peer_port));
+    /// Validates that `(node, port)` addresses an inter-router wire and
+    /// returns its far endpoint.
+    fn wire_endpoint(&self, node: NodeId, port: PortId) -> Result<(NodeId, PortId), NetError> {
+        if node.index() >= self.topology.nodes() {
+            return Err(NetError::UnknownNode { node });
+        }
+        if port.index() >= usize::from(self.topology.ports_per_node()) {
+            return Err(NetError::InvalidPort { node, port });
+        }
+        self.topology.peer_of(node, port).ok_or(NetError::TerminalPort { node, port })
+    }
 
-        // Flits and probe packets on the wire are lost.
-        self.in_flight.retain(|f| {
-            !((f.to == peer && f.port == peer_port) || (f.to == node && f.port == port))
-        });
-        self.arrivals.retain(|a| {
-            let lost = (a.node == peer && a.entry == peer_port)
-                || (a.node == node && a.entry == port);
-            if lost {
-                self.packets.remove(&a.packet);
-            }
-            !lost
-        });
-
-        // Routing recomputes on the surviving graph.
+    /// Rebuilds the operational topology and the up*/down* routing relation
+    /// from the physical topology minus the currently failed wires.
+    fn rebuild_routing(&mut self) {
         let mut survivor = Topology::new(self.topology.nodes(), self.topology.ports_per_node());
         for w in self.topology.wires() {
             let dead = self.failed_ports.contains(&w.a) || self.failed_ports.contains(&w.b);
@@ -391,8 +457,61 @@ impl NetworkSim {
         }
         self.routing = UpDownRouting::new(&survivor);
         self.live_topology = survivor;
+    }
 
-        // Tear down every connection crossing the failed wire.
+    /// Fails the wire attached to `(node, port)` — the fault-injection hook
+    /// behind the fault campaigns. Both endpoints stop carrying traffic,
+    /// flits currently on the wire are lost, routing recomputes around the
+    /// break, and every established connection crossing it is torn down.
+    ///
+    /// Returns the torn-down connections so callers (such as
+    /// [`crate::recovery::RecoveryManager`]) can re-establish them — the
+    /// recovery pattern of the fault-tolerant protocols the MMR's EPB
+    /// descends from.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::TerminalPort`] for NI ports (they cannot fail here),
+    /// [`NetError::LinkAlreadyFailed`] for a wire that is already down, and
+    /// [`NetError::UnknownNode`]/[`NetError::InvalidPort`] for out-of-range
+    /// addresses. The network is unchanged on error.
+    pub fn fail_link(
+        &mut self,
+        node: NodeId,
+        port: PortId,
+    ) -> Result<Vec<NetConnectionId>, NetError> {
+        let (peer, peer_port) = self.wire_endpoint(node, port)?;
+        if !self.link_ok(node, port) {
+            return Err(NetError::LinkAlreadyFailed { node, port });
+        }
+        self.failed_ports.insert((node, port));
+        self.failed_ports.insert((peer, peer_port));
+        self.stats.links_failed += 1;
+
+        // Flits and probe packets on the wire are lost.
+        let mut lost = 0u64;
+        self.in_flight.retain(|f| {
+            let dead = (f.to == peer && f.port == peer_port) || (f.to == node && f.port == port);
+            if dead {
+                lost += 1;
+            }
+            !dead
+        });
+        self.arrivals.retain(|a| {
+            let dead = (a.node == peer && a.entry == peer_port)
+                || (a.node == node && a.entry == port);
+            if dead {
+                self.packets.remove(&a.packet);
+                lost += 1;
+            }
+            !dead
+        });
+
+        // Routing recomputes on the surviving graph.
+        self.rebuild_routing();
+
+        // Tear down every connection crossing the failed wire; flits still
+        // buffered along those paths are lost with them.
         let broken: Vec<NetConnectionId> = self
             .conns
             .values()
@@ -411,9 +530,34 @@ impl NetworkSim {
             .map(|c| c.id)
             .collect();
         for id in &broken {
-            self.teardown(*id).expect("listed connections are live");
+            lost += self.teardown_counting(*id).expect("listed connections are live");
         }
-        broken
+        self.stats.flits_lost += lost;
+        Ok(broken)
+    }
+
+    /// Repairs the wire attached to `(node, port)`: both endpoints are
+    /// spliced back into the operational topology and the up*/down* routing
+    /// relation is recomputed over the restored graph. Connections torn
+    /// down by the failure are *not* resurrected — re-establish them (or
+    /// let a [`crate::recovery::RecoveryManager`] do it).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::LinkNotFailed`] when the wire is operational,
+    /// [`NetError::TerminalPort`] for NI ports, and
+    /// [`NetError::UnknownNode`]/[`NetError::InvalidPort`] for out-of-range
+    /// addresses. The network is unchanged on error.
+    pub fn repair_link(&mut self, node: NodeId, port: PortId) -> Result<(), NetError> {
+        let (peer, peer_port) = self.wire_endpoint(node, port)?;
+        if self.link_ok(node, port) {
+            return Err(NetError::LinkNotFailed { node, port });
+        }
+        self.failed_ports.remove(&(node, port));
+        self.failed_ports.remove(&(peer, peer_port));
+        self.stats.links_repaired += 1;
+        self.rebuild_routing();
+        Ok(())
     }
 
     /// Starts an *asynchronous* connection setup: the routing probe departs
@@ -494,11 +638,27 @@ impl NetworkSim {
     ///
     /// Control packets may cut through idle routers; blocked packets wait at
     /// their current node and are retried every cycle, per §3.4.
-    pub fn send_packet(&mut self, src: NodeId, dst: NodeId, kind: FlitKind, now: Cycles) -> PacketId {
-        assert!(
-            matches!(kind, FlitKind::Control | FlitKind::BestEffort),
-            "VCT packets are control or best-effort"
-        );
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NotAPacketKind`] for stream flit kinds (only control and
+    /// best-effort flits travel as VCT packets), [`NetError::UnknownNode`]
+    /// for out-of-range endpoints.
+    pub fn send_packet(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        kind: FlitKind,
+        now: Cycles,
+    ) -> Result<PacketId, NetError> {
+        if !matches!(kind, FlitKind::Control | FlitKind::BestEffort) {
+            return Err(NetError::NotAPacketKind(kind));
+        }
+        for node in [src, dst] {
+            if node.index() >= self.topology.nodes() {
+                return Err(NetError::UnknownNode { node });
+            }
+        }
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
         self.packets.insert(
@@ -510,7 +670,7 @@ impl NetworkSim {
             .terminal_port(src)
             .expect("every node keeps a terminal port");
         self.offer_packet(src, entry, id, now);
-        id
+        Ok(id)
     }
 
     /// Offers a packet to a node; on `Blocked` it queues for retry.
@@ -764,15 +924,15 @@ mod tests {
         net.teardown(id).expect("live");
         let after: usize = (0..9).map(|n| net.router(NodeId(n)).connections()).sum();
         assert_eq!(after, before);
-        assert_eq!(net.teardown(id), Err(id));
+        assert_eq!(net.teardown(id), Err(NetError::UnknownConnection(id)));
     }
 
     #[test]
     fn packets_reach_their_destination() {
         let mut net = mesh_net();
         let mut got = Vec::new();
-        net.send_packet(NodeId(0), NodeId(8), FlitKind::Control, Cycles(0));
-        net.send_packet(NodeId(3), NodeId(5), FlitKind::BestEffort, Cycles(0));
+        net.send_packet(NodeId(0), NodeId(8), FlitKind::Control, Cycles(0)).expect("valid");
+        net.send_packet(NodeId(3), NodeId(5), FlitKind::BestEffort, Cycles(0)).expect("valid");
         for t in 0..100u64 {
             let rep = net.step(Cycles(t));
             got.extend(rep.packets);
@@ -787,7 +947,7 @@ mod tests {
     #[test]
     fn control_packets_cut_through_an_idle_network() {
         let mut net = mesh_net();
-        net.send_packet(NodeId(0), NodeId(2), FlitKind::Control, Cycles(0));
+        net.send_packet(NodeId(0), NodeId(2), FlitKind::Control, Cycles(0)).expect("valid");
         let mut latency = None;
         for t in 0..50u64 {
             if let Some(p) = net.step(Cycles(t)).packets.first() {
@@ -809,7 +969,8 @@ mod tests {
         let cfg = RouterConfig::paper_default().vcs_per_port(4).candidates(2).vc_depth(2);
         let mut net = NetworkSim::new(topology, cfg);
         for i in 0..20 {
-            net.send_packet(NodeId(i % 4), NodeId((i + 1) % 4), FlitKind::BestEffort, Cycles(0));
+            net.send_packet(NodeId(i % 4), NodeId((i + 1) % 4), FlitKind::BestEffort, Cycles(0))
+                .expect("valid");
         }
         for t in 0..500u64 {
             net.step(Cycles(t));
@@ -980,7 +1141,7 @@ mod failure_tests {
             .expect("live")
             .output_vc
             .port;
-        let broken = net.fail_link(first_hop.node, out_port);
+        let broken = net.fail_link(first_hop.node, out_port).expect("inter-router wire");
         assert_eq!(broken, vec![through], "only the crossing connection breaks");
         assert!(net.connection(through).is_none());
         assert!(net.connection(elsewhere).is_some(), "unrelated connection survives");
@@ -994,7 +1155,7 @@ mod failure_tests {
         let mut net = mesh_net();
         // Fail the 0-1 wire; 0 -> 2 must go around (0-3-4-1-2 or similar).
         let p = port_toward(&net, NodeId(0), NodeId(1));
-        net.fail_link(NodeId(0), p);
+        net.fail_link(NodeId(0), p).expect("inter-router wire");
         let conn = net
             .establish(NodeId(0), NodeId(2), cbr_mbps(10.0), SetupStrategy::Epb)
             .expect("alternative path exists");
@@ -1013,8 +1174,8 @@ mod failure_tests {
     fn packets_route_around_failures() {
         let mut net = mesh_net();
         let p = port_toward(&net, NodeId(0), NodeId(1));
-        net.fail_link(NodeId(0), p);
-        net.send_packet(NodeId(0), NodeId(2), FlitKind::BestEffort, Cycles(0));
+        net.fail_link(NodeId(0), p).expect("inter-router wire");
+        net.send_packet(NodeId(0), NodeId(2), FlitKind::BestEffort, Cycles(0)).expect("valid");
         let mut delivered = 0;
         for t in 0..100u64 {
             delivered += net.step(Cycles(t)).packets.len();
@@ -1031,8 +1192,8 @@ mod failure_tests {
         );
         let p01 = port_toward(&net, NodeId(0), NodeId(1));
         let p23 = port_toward(&net, NodeId(2), NodeId(3));
-        net.fail_link(NodeId(0), p01);
-        net.fail_link(NodeId(2), p23);
+        net.fail_link(NodeId(0), p01).expect("inter-router wire");
+        net.fail_link(NodeId(2), p23).expect("inter-router wire");
         let err = net
             .establish(NodeId(0), NodeId(2), cbr_mbps(1.0), SetupStrategy::Epb)
             .expect_err("0 and 2 are in different fragments");
@@ -1049,7 +1210,7 @@ mod failure_tests {
         let hops = net.connection(conn).expect("live").hops.clone();
         let mid = &hops[1];
         let out = net.router(mid.node).connection(mid.local).expect("live").output_vc.port;
-        let broken = net.fail_link(mid.node, out);
+        let broken = net.fail_link(mid.node, out).expect("inter-router wire");
         assert_eq!(broken, vec![conn]);
         // The fault-tolerant recovery pattern: re-establish with EPB.
         let recovered = net

@@ -1,0 +1,681 @@
+//! Automatic connection recovery: the session layer over [`NetworkSim`].
+//!
+//! The MMR paper's EPB setup protocol exists so multimedia connections can
+//! route *around* trouble (§3.5, §4.2). This module closes the loop: a
+//! [`RecoveryManager`] owns long-lived *sessions* (source, destination,
+//! QoS class) and keeps each one carried by a live network connection.
+//! When a link failure tears the connection down, the manager re-establishes
+//! it through the cycle-accurate EPB probe
+//! ([`NetworkSim::request_connection`]) under a [`RecoveryPolicy`]:
+//!
+//! * a bounded **retry budget** per incident,
+//! * **exponential backoff** between attempts, measured in flit cycles,
+//! * a per-attempt **setup timeout** (an acknowledgment that never returns
+//!   abandons the attempt; a late success is torn down, not leaked),
+//! * optional **graceful rate degradation**: when the budget at the current
+//!   rate is exhausted, a CBR session steps one rung down the paper's rate
+//!   ladder and tries again instead of dying.
+//!
+//! Everything the recovery machinery does is observable through
+//! [`RecoveryStats`] (time-to-recover, retries, backoff waits, degradations,
+//! permanent failures) and the per-cycle [`RecoveryEvent`] stream.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mmr_core::conn::QosClass;
+use mmr_sim::{Accumulator, Bandwidth, Cycles};
+
+use crate::network::{NetConnectionId, NetStepReport, NetworkSim, ProbeToken};
+use crate::setup::{SetupError, SetupStrategy};
+use crate::topology::NodeId;
+
+/// A long-lived session tracked by a [`RecoveryManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u32);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Recovery behaviour knobs (all horizons in flit cycles).
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Setup attempts per incident before giving up (or degrading).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `base_backoff << (k - 1)`, capped at
+    /// [`RecoveryPolicy::max_backoff`]. The first attempt after a fault
+    /// launches immediately.
+    pub base_backoff: Cycles,
+    /// Upper bound on a single backoff wait.
+    pub max_backoff: Cycles,
+    /// An attempt whose setup has not completed after this many cycles is
+    /// abandoned (counts against the retry budget).
+    pub setup_timeout: Cycles,
+    /// When the retry budget at the current rate is exhausted, step CBR
+    /// sessions one rung down the rate ladder and start a fresh budget
+    /// instead of failing permanently.
+    pub degrade: bool,
+    /// The rate ladder degradation steps down (ascending). Defaults to the
+    /// paper's nine-rate ladder.
+    pub ladder: Vec<Bandwidth>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 5,
+            base_backoff: Cycles(8),
+            max_backoff: Cycles(1_024),
+            setup_timeout: Cycles(256),
+            degrade: true,
+            ladder: mmr_traffic::rates::paper_rate_ladder().to_vec(),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Overrides the per-incident retry budget.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Overrides the backoff schedule.
+    pub fn backoff(mut self, base: Cycles, max: Cycles) -> Self {
+        self.base_backoff = base;
+        self.max_backoff = max;
+        self
+    }
+
+    /// Overrides the per-attempt setup timeout.
+    pub fn setup_timeout(mut self, timeout: Cycles) -> Self {
+        self.setup_timeout = timeout;
+        self
+    }
+
+    /// Enables or disables graceful rate degradation.
+    pub fn degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Overrides the degradation ladder (must be ascending).
+    pub fn ladder(mut self, ladder: Vec<Bandwidth>) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// The backoff wait before attempt `attempt` (1-based; attempt 1 is
+    /// immediate).
+    fn backoff_for(&self, attempt: u32) -> Cycles {
+        if attempt <= 1 {
+            return Cycles::ZERO;
+        }
+        let shifted =
+            self.base_backoff.0.checked_shl(attempt - 2).unwrap_or(u64::MAX);
+        Cycles(shifted.min(self.max_backoff.0))
+    }
+
+    /// One rung below `rate` on the ladder, if any.
+    fn step_down(&self, rate: Bandwidth) -> Option<Bandwidth> {
+        self.ladder.iter().copied().rfind(|&r| r < rate)
+    }
+}
+
+/// Where a session currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Carried by a live connection.
+    Active,
+    /// Between attempts or waiting on an in-flight setup probe.
+    Recovering,
+    /// The retry budget (and the rate ladder, if degradation was on) is
+    /// exhausted; the session is dead.
+    Failed,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SessionState {
+    Active { conn: NetConnectionId },
+    /// Backing off; the next attempt launches at `resume_at`.
+    Waiting { resume_at: Cycles },
+    /// A setup probe is in flight; abandoned after `deadline`.
+    Probing { token: ProbeToken, deadline: Cycles },
+    Failed,
+}
+
+#[derive(Debug, Clone)]
+struct Session {
+    src: NodeId,
+    dst: NodeId,
+    class: QosClass,
+    state: SessionState,
+    /// When the current incident's fault struck (time-to-recover origin).
+    fault_at: Cycles,
+    /// Attempts launched for the current incident at the current rate.
+    attempts: u32,
+    /// Rate-ladder rungs surrendered over the session's lifetime.
+    degraded_steps: u32,
+}
+
+/// Aggregate recovery statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStats {
+    /// Connection-breaking incidents observed.
+    pub faults: u64,
+    /// Incidents recovered (a replacement connection was established).
+    pub recovered: u64,
+    /// Sessions that exhausted retries (and the ladder) and died.
+    pub permanently_failed: u64,
+    /// Re-establish attempts launched.
+    pub retries: u64,
+    /// Attempts abandoned because the setup exceeded the timeout.
+    pub timeouts: u64,
+    /// Rate-ladder rungs surrendered by graceful degradation.
+    pub degraded: u64,
+    /// Total flit cycles spent waiting in exponential backoff.
+    pub backoff_cycles: u64,
+    /// Fault-to-recovery latency (flit cycles) per recovered incident.
+    pub time_to_recover: Accumulator,
+}
+
+/// One observable recovery state transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryEvent {
+    /// A session's connection was re-established.
+    Recovered {
+        /// The recovered session.
+        session: SessionId,
+        /// Its replacement connection.
+        conn: NetConnectionId,
+        /// Cycles from the fault to this recovery.
+        after: Cycles,
+        /// Setup attempts the incident consumed.
+        attempts: u32,
+    },
+    /// A CBR session surrendered one rate-ladder rung.
+    Degraded {
+        /// The degraded session.
+        session: SessionId,
+        /// Rate before the step.
+        from: Bandwidth,
+        /// Rate after the step.
+        to: Bandwidth,
+    },
+    /// A session exhausted its options and died.
+    Abandoned {
+        /// The dead session.
+        session: SessionId,
+        /// Cycles from the fault to the abandonment.
+        after: Cycles,
+    },
+}
+
+/// The automatic-recovery session layer (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryManager {
+    policy: RecoveryPolicy,
+    sessions: BTreeMap<SessionId, Session>,
+    by_conn: BTreeMap<NetConnectionId, SessionId>,
+    /// Timed-out probes still in flight: a late success is torn down.
+    orphaned: BTreeSet<ProbeToken>,
+    next: u32,
+    stats: RecoveryStats,
+}
+
+impl RecoveryManager {
+    /// A manager with the given policy.
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        RecoveryManager {
+            policy,
+            sessions: BTreeMap::new(),
+            by_conn: BTreeMap::new(),
+            orphaned: BTreeSet::new(),
+            next: 0,
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// Opens a session: establishes the connection atomically (the initial
+    /// placement is not an incident) and tracks it for recovery.
+    ///
+    /// # Errors
+    ///
+    /// The [`SetupError`] of the initial establishment; no session is
+    /// created then.
+    pub fn open(
+        &mut self,
+        net: &mut NetworkSim,
+        src: NodeId,
+        dst: NodeId,
+        class: QosClass,
+    ) -> Result<SessionId, SetupError> {
+        let conn = net.establish(src, dst, class, SetupStrategy::Epb)?;
+        let id = SessionId(self.next);
+        self.next += 1;
+        self.sessions.insert(
+            id,
+            Session {
+                src,
+                dst,
+                class,
+                state: SessionState::Active { conn },
+                fault_at: Cycles::ZERO,
+                attempts: 0,
+                degraded_steps: 0,
+            },
+        );
+        self.by_conn.insert(conn, id);
+        Ok(id)
+    }
+
+    /// The recovery policy in force.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &RecoveryStats {
+        &self.stats
+    }
+
+    /// Number of tracked sessions.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// A session's current status.
+    pub fn status(&self, id: SessionId) -> Option<SessionStatus> {
+        self.sessions.get(&id).map(|s| match s.state {
+            SessionState::Active { .. } => SessionStatus::Active,
+            SessionState::Waiting { .. } | SessionState::Probing { .. } => {
+                SessionStatus::Recovering
+            }
+            SessionState::Failed => SessionStatus::Failed,
+        })
+    }
+
+    /// The connection currently carrying a session, if it is active.
+    pub fn conn(&self, id: SessionId) -> Option<NetConnectionId> {
+        match self.sessions.get(&id)?.state {
+            SessionState::Active { conn } => Some(conn),
+            _ => None,
+        }
+    }
+
+    /// The session's current QoS class (reflects degradation steps).
+    pub fn class(&self, id: SessionId) -> Option<QosClass> {
+        self.sessions.get(&id).map(|s| s.class)
+    }
+
+    /// Rate-ladder rungs a session has surrendered.
+    pub fn degraded_steps(&self, id: SessionId) -> Option<u32> {
+        self.sessions.get(&id).map(|s| s.degraded_steps)
+    }
+
+    /// Active `(session, connection)` pairs in session order — the
+    /// deterministic iteration a traffic driver injects from.
+    pub fn active(&self) -> impl Iterator<Item = (SessionId, NetConnectionId)> + '_ {
+        self.sessions.iter().filter_map(|(&id, s)| match s.state {
+            SessionState::Active { conn } => Some((id, conn)),
+            _ => None,
+        })
+    }
+
+    /// Whether every tracked session is currently carried by a live
+    /// connection (no recovery in progress, nothing failed).
+    pub fn all_active(&self) -> bool {
+        self.sessions
+            .values()
+            .all(|s| matches!(s.state, SessionState::Active { .. }))
+    }
+
+    /// Notifies the manager that a fault tore down connections (the
+    /// [`crate::fault::FaultTick::broken`] list, or the result of a manual
+    /// [`NetworkSim::fail_link`]). Affected sessions enter recovery; their
+    /// first attempt launches on the next [`RecoveryManager::service`] call.
+    pub fn on_faults(&mut self, broken: &[NetConnectionId], now: Cycles) {
+        for conn in broken {
+            let Some(id) = self.by_conn.remove(conn) else { continue };
+            let session = self.sessions.get_mut(&id).expect("indexed sessions exist");
+            session.state = SessionState::Waiting { resume_at: now };
+            session.fault_at = now;
+            session.attempts = 0;
+            self.stats.faults += 1;
+        }
+    }
+
+    /// Runs one cycle of the recovery state machine: consumes this cycle's
+    /// setup completions, abandons timed-out attempts, and launches due
+    /// retries. Call after [`NetworkSim::step`] with that step's report.
+    pub fn service(
+        &mut self,
+        net: &mut NetworkSim,
+        report: &NetStepReport,
+        now: Cycles,
+    ) -> Vec<RecoveryEvent> {
+        let mut events = Vec::new();
+
+        // 1. Setup completions.
+        for setup in &report.setups {
+            if self.orphaned.remove(&setup.token) {
+                // Timed out before the ack returned; a late success must
+                // release its path.
+                if let Ok(conn) = setup.result {
+                    net.teardown(conn).expect("late setups reserve live paths");
+                }
+                continue;
+            }
+            let Some((&id, _)) = self.sessions.iter().find(|(_, s)| {
+                matches!(s.state, SessionState::Probing { token, .. } if token == setup.token)
+            }) else {
+                continue; // Not one of ours.
+            };
+            match setup.result {
+                Ok(conn) => {
+                    let session = self.sessions.get_mut(&id).expect("found above");
+                    session.state = SessionState::Active { conn };
+                    self.by_conn.insert(conn, id);
+                    let after = now.since(session.fault_at);
+                    self.stats.recovered += 1;
+                    self.stats.time_to_recover.record(after.as_f64());
+                    events.push(RecoveryEvent::Recovered {
+                        session: id,
+                        conn,
+                        after,
+                        attempts: session.attempts,
+                    });
+                }
+                Err(_) => self.after_failed_attempt(id, now, &mut events),
+            }
+        }
+
+        // 2. Attempt timeouts.
+        let timed_out: Vec<(SessionId, ProbeToken)> = self
+            .sessions
+            .iter()
+            .filter_map(|(&id, s)| match s.state {
+                SessionState::Probing { token, deadline } if deadline < now => {
+                    Some((id, token))
+                }
+                _ => None,
+            })
+            .collect();
+        for (id, token) in timed_out {
+            self.orphaned.insert(token);
+            self.stats.timeouts += 1;
+            self.after_failed_attempt(id, now, &mut events);
+        }
+
+        // 3. Launch due attempts.
+        let due: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter_map(|(&id, s)| match s.state {
+                SessionState::Waiting { resume_at } if resume_at <= now => Some(id),
+                _ => None,
+            })
+            .collect();
+        for id in due {
+            let (src, dst, class) = {
+                let s = &self.sessions[&id];
+                (s.src, s.dst, s.class)
+            };
+            let token = net.request_connection(src, dst, class, SetupStrategy::Epb, now);
+            let session = self.sessions.get_mut(&id).expect("due sessions exist");
+            session.attempts += 1;
+            session.state = SessionState::Probing {
+                token,
+                deadline: now + self.policy.setup_timeout,
+            };
+            self.stats.retries += 1;
+        }
+
+        events
+    }
+
+    /// Books the outcome of a failed (or timed-out) attempt: schedule the
+    /// next retry with exponential backoff, degrade one rate rung when the
+    /// budget is spent, or give up.
+    fn after_failed_attempt(
+        &mut self,
+        id: SessionId,
+        now: Cycles,
+        events: &mut Vec<RecoveryEvent>,
+    ) {
+        let session = self.sessions.get_mut(&id).expect("session exists");
+        if session.attempts < self.policy.max_retries {
+            let wait = self.policy.backoff_for(session.attempts + 1);
+            session.state = SessionState::Waiting { resume_at: now + wait };
+            self.stats.backoff_cycles += wait.0;
+            return;
+        }
+        // Budget exhausted at this rate: degrade or die.
+        let degraded_to = if self.policy.degrade {
+            match session.class {
+                QosClass::Cbr { rate } => {
+                    self.policy.step_down(rate).map(|lower| (rate, lower))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        match degraded_to {
+            Some((from, to)) => {
+                session.class = QosClass::Cbr { rate: to };
+                session.degraded_steps += 1;
+                session.attempts = 0;
+                session.state = SessionState::Waiting { resume_at: now + Cycles(1) };
+                self.stats.degraded += 1;
+                events.push(RecoveryEvent::Degraded { session: id, from, to });
+            }
+            None => {
+                session.state = SessionState::Failed;
+                self.stats.permanently_failed += 1;
+                events.push(RecoveryEvent::Abandoned {
+                    session: id,
+                    after: now.since(session.fault_at),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::cbr_mbps;
+    use crate::topology::Topology;
+    use mmr_core::router::RouterConfig;
+
+    fn mesh_net() -> NetworkSim {
+        NetworkSim::new(
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(16).candidates(4),
+        )
+    }
+
+    fn run_recovery(
+        net: &mut NetworkSim,
+        mgr: &mut RecoveryManager,
+        from: u64,
+        to: u64,
+    ) -> Vec<RecoveryEvent> {
+        let mut events = Vec::new();
+        for t in from..to {
+            let report = net.step(Cycles(t));
+            events.extend(mgr.service(net, &report, Cycles(t)));
+        }
+        events
+    }
+
+    #[test]
+    fn a_broken_session_recovers_without_manual_intervention() {
+        let mut net = mesh_net();
+        let mut mgr = RecoveryManager::new(RecoveryPolicy::default());
+        let sid = mgr.open(&mut net, NodeId(0), NodeId(8), cbr_mbps(124.0)).expect("placed");
+        let conn = mgr.conn(sid).expect("active");
+        // Fail the first wire the stream crosses.
+        let hop = net.connection(conn).expect("live").hops[0];
+        let out = net.router(hop.node).connection(hop.local).expect("live").output_vc.port;
+        let broken = net.fail_link(hop.node, out).expect("inter-router wire");
+        assert_eq!(broken, vec![conn]);
+        mgr.on_faults(&broken, Cycles(10));
+        assert_eq!(mgr.status(sid), Some(SessionStatus::Recovering));
+        let events = run_recovery(&mut net, &mut mgr, 10, 80);
+        assert!(
+            matches!(events.first(), Some(RecoveryEvent::Recovered { session, .. }) if *session == sid),
+            "{events:?}"
+        );
+        assert_eq!(mgr.status(sid), Some(SessionStatus::Active));
+        let stats = mgr.stats();
+        assert_eq!(stats.faults, 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.permanently_failed, 0);
+        assert!(stats.time_to_recover.mean() > 0.0, "ttr is finite and positive");
+        // The replacement carries traffic.
+        let conn2 = mgr.conn(sid).expect("active again");
+        net.inject(conn2, Cycles(100)).expect("live");
+        let mut delivered = 0;
+        for t in 100..140u64 {
+            delivered += net.step(Cycles(t)).delivered.len();
+        }
+        assert_eq!(delivered, 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let policy = RecoveryPolicy::default().backoff(Cycles(8), Cycles(64));
+        assert_eq!(policy.backoff_for(1), Cycles(0), "first attempt is immediate");
+        assert_eq!(policy.backoff_for(2), Cycles(8));
+        assert_eq!(policy.backoff_for(3), Cycles(16));
+        assert_eq!(policy.backoff_for(4), Cycles(32));
+        assert_eq!(policy.backoff_for(5), Cycles(64));
+        assert_eq!(policy.backoff_for(6), Cycles(64), "capped");
+        assert_eq!(policy.backoff_for(40), Cycles(64), "capped far out");
+    }
+
+    #[test]
+    fn unreachable_destination_degrades_then_fails_permanently() {
+        // Ring of 4 split in two: node 0 can never reach node 2 again.
+        let mut net = NetworkSim::new(
+            Topology::ring(4, 4).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(8).candidates(2),
+        );
+        let mut mgr = RecoveryManager::new(
+            RecoveryPolicy::default()
+                .max_retries(2)
+                .backoff(Cycles(2), Cycles(4))
+                .ladder(vec![Bandwidth::from_mbps(5.0), Bandwidth::from_mbps(10.0)]),
+        );
+        let sid = mgr.open(&mut net, NodeId(0), NodeId(2), cbr_mbps(10.0)).expect("placed");
+        let p01 = net
+            .topology()
+            .neighbors(NodeId(0))
+            .into_iter()
+            .find(|&(_, peer, _)| peer == NodeId(1))
+            .map(|(port, _, _)| port)
+            .expect("adjacent");
+        let p23 = net
+            .topology()
+            .neighbors(NodeId(2))
+            .into_iter()
+            .find(|&(_, peer, _)| peer == NodeId(3))
+            .map(|(port, _, _)| port)
+            .expect("adjacent");
+        let mut broken = net.fail_link(NodeId(0), p01).expect("wire");
+        broken.extend(net.fail_link(NodeId(2), p23).expect("wire"));
+        mgr.on_faults(&broken, Cycles(0));
+        let events = run_recovery(&mut net, &mut mgr, 0, 400);
+        assert!(
+            events.iter().any(|e| matches!(e, RecoveryEvent::Degraded { session, .. } if *session == sid)),
+            "degrades 10 -> 5 Mbps before dying: {events:?}"
+        );
+        assert!(
+            matches!(events.last(), Some(RecoveryEvent::Abandoned { session, .. }) if *session == sid),
+            "{events:?}"
+        );
+        assert_eq!(mgr.status(sid), Some(SessionStatus::Failed));
+        let stats = mgr.stats();
+        assert_eq!(stats.permanently_failed, 1);
+        assert_eq!(stats.degraded, 1);
+        assert!(stats.backoff_cycles > 0, "waited between attempts");
+        // Nothing leaked while retrying against a dead partition.
+        let total: usize = (0..4).map(|n| net.router(NodeId(n)).connections()).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn degradation_disabled_fails_at_the_original_rate() {
+        let mut net = NetworkSim::new(
+            Topology::ring(4, 4).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(8).candidates(2),
+        );
+        let mut mgr = RecoveryManager::new(
+            RecoveryPolicy::default().max_retries(2).degrade(false).backoff(Cycles(2), Cycles(4)),
+        );
+        let sid = mgr.open(&mut net, NodeId(0), NodeId(2), cbr_mbps(10.0)).expect("placed");
+        let ports: Vec<_> = [(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]
+            .into_iter()
+            .map(|(a, b)| {
+                net.topology()
+                    .neighbors(a)
+                    .into_iter()
+                    .find(|&(_, peer, _)| peer == b)
+                    .map(|(port, _, _)| (a, port))
+                    .expect("adjacent")
+            })
+            .collect();
+        let mut broken = Vec::new();
+        for (node, port) in ports {
+            broken.extend(net.fail_link(node, port).expect("wire"));
+        }
+        mgr.on_faults(&broken, Cycles(0));
+        let events = run_recovery(&mut net, &mut mgr, 0, 200);
+        assert!(events.iter().all(|e| !matches!(e, RecoveryEvent::Degraded { .. })));
+        assert_eq!(mgr.stats().degraded, 0);
+        assert_eq!(mgr.stats().permanently_failed, 1);
+        assert_eq!(mgr.class(sid), Some(cbr_mbps(10.0)), "rate untouched");
+    }
+
+    #[test]
+    fn repair_lets_a_partitioned_session_recover() {
+        // Fail both ring cuts, then repair one before the budget runs out:
+        // the session must come back instead of failing.
+        let mut net = NetworkSim::new(
+            Topology::ring(4, 4).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(8).candidates(2),
+        );
+        let mut mgr = RecoveryManager::new(
+            RecoveryPolicy::default().max_retries(8).backoff(Cycles(4), Cycles(64)),
+        );
+        let sid = mgr.open(&mut net, NodeId(0), NodeId(2), cbr_mbps(10.0)).expect("placed");
+        let cut = |net: &NetworkSim, a: NodeId, b: NodeId| {
+            net.topology()
+                .neighbors(a)
+                .into_iter()
+                .find(|&(_, peer, _)| peer == b)
+                .map(|(port, _, _)| port)
+                .expect("adjacent")
+        };
+        let p01 = cut(&net, NodeId(0), NodeId(1));
+        let p23 = cut(&net, NodeId(2), NodeId(3));
+        let mut broken = net.fail_link(NodeId(0), p01).expect("wire");
+        broken.extend(net.fail_link(NodeId(2), p23).expect("wire"));
+        mgr.on_faults(&broken, Cycles(0));
+        // Let a few attempts fail against the partition, then repair.
+        let _ = run_recovery(&mut net, &mut mgr, 0, 60);
+        assert_eq!(mgr.status(sid), Some(SessionStatus::Recovering));
+        net.repair_link(NodeId(0), p01).expect("was failed");
+        let events = run_recovery(&mut net, &mut mgr, 60, 400);
+        assert!(
+            events.iter().any(|e| matches!(e, RecoveryEvent::Recovered { session, .. } if *session == sid)),
+            "{events:?}"
+        );
+        assert_eq!(mgr.status(sid), Some(SessionStatus::Active));
+        assert_eq!(mgr.stats().permanently_failed, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests over fault injection, repair, and recovery invariants.
+
+use mmr_core::ids::PortId;
+use mmr_core::router::RouterConfig;
+use mmr_net::setup::cbr_mbps;
+use mmr_net::{NetworkSim, NodeId, SetupStrategy, Topology, UpDownRouting};
+use proptest::prelude::*;
+
+/// Sum of router-local connection slots across the fabric.
+fn total_reservations(net: &NetworkSim, nodes: u16) -> usize {
+    (0..nodes).map(|n| net.router(NodeId(n)).connections()).sum()
+}
+
+/// Largest guaranteed-bandwidth load factor on any book in the fabric.
+fn max_load_factor(net: &NetworkSim, nodes: u16, ports: u8) -> f64 {
+    let mut max = 0.0f64;
+    for n in 0..nodes {
+        let router = net.router(NodeId(n));
+        for p in 0..ports {
+            let port = PortId(p);
+            max = max.max(router.bandwidth_book(port).load_factor());
+            max = max.max(router.input_bandwidth_book(port).load_factor());
+        }
+    }
+    max
+}
+
+/// All router-to-router wires of the topology as failable endpoints.
+fn wire_endpoints(net: &NetworkSim) -> Vec<(NodeId, PortId)> {
+    net.topology().wires().iter().map(|w| w.a).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary interleavings of fail/repair/establish/teardown leak no VC
+    /// slots and no bandwidth reservations: once every surviving connection
+    /// is closed and all links repaired, every router and every
+    /// `BandwidthBook` is back to its pre-campaign state.
+    #[test]
+    fn fault_campaigns_leak_nothing(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<u8>(), 0u16..9, 0u16..9, any::<u16>()), 1..80)
+    ) {
+        let mut net = NetworkSim::new(
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(6).candidates(2).seed(seed),
+        );
+        prop_assert_eq!(total_reservations(&net, 9), 0);
+        prop_assert_eq!(max_load_factor(&net, 9, 8), 0.0);
+        let wires = wire_endpoints(&net);
+        let baseline_wires = net.topology().wires().len();
+
+        let mut live: Vec<mmr_net::NetConnectionId> = Vec::new();
+        for (op, a, b, pick) in ops {
+            match op % 4 {
+                0 => {
+                    // Establish (may fail under load or partition — fine).
+                    if a != b {
+                        if let Ok(conn) =
+                            net.establish(NodeId(a), NodeId(b), cbr_mbps(124.0), SetupStrategy::Epb)
+                        {
+                            live.push(conn);
+                        }
+                    }
+                }
+                1 => {
+                    // Teardown one live connection.
+                    if !live.is_empty() {
+                        let conn = live.swap_remove(usize::from(pick) % live.len());
+                        net.teardown(conn).expect("was live");
+                    }
+                }
+                2 => {
+                    // Fail a wire; drop the connections it tore down.
+                    let (node, port) = wires[usize::from(pick) % wires.len()];
+                    if let Ok(broken) = net.fail_link(node, port) {
+                        live.retain(|c| !broken.contains(c));
+                    }
+                }
+                _ => {
+                    // Repair a wire (no-op error if it is up).
+                    let (node, port) = wires[usize::from(pick) % wires.len()];
+                    let _ = net.repair_link(node, port);
+                }
+            }
+        }
+
+        // Drain the campaign: close every survivor, repair every link.
+        for conn in live {
+            net.teardown(conn).expect("was live");
+        }
+        for &(node, port) in &wires {
+            let _ = net.repair_link(node, port);
+        }
+        prop_assert_eq!(total_reservations(&net, 9), 0, "VC slots leaked");
+        let residue = max_load_factor(&net, 9, 8);
+        prop_assert!(residue.abs() < 1e-9, "bandwidth reservation leaked: {residue}");
+        prop_assert_eq!(net.live_topology().wires().len(), baseline_wires, "wires restored");
+    }
+
+    /// `repair_link` after `fail_link` restores full reachability on mesh
+    /// and torus fabrics: the live topology regains every wire and the
+    /// recomputed up*/down* routing reaches every pair again.
+    #[test]
+    fn repair_restores_reachability(
+        seed in any::<u64>(),
+        torus in any::<bool>(),
+        cuts in prop::collection::vec(any::<u16>(), 1..6)
+    ) {
+        let topo = if torus {
+            Topology::torus2d(3, 3, 8).expect("topology wires within the port budget")
+        } else {
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget")
+        };
+        let baseline_wires = topo.wires().len();
+        let mut net = NetworkSim::new(
+            topo,
+            RouterConfig::paper_default().vcs_per_port(6).candidates(2).seed(seed),
+        );
+        let wires = wire_endpoints(&net);
+        let mut downed: Vec<(NodeId, PortId)> = Vec::new();
+        for pick in cuts {
+            let (node, port) = wires[usize::from(pick) % wires.len()];
+            if net.fail_link(node, port).is_ok() {
+                downed.push((node, port));
+            }
+        }
+        prop_assert!(!downed.is_empty());
+        prop_assert_eq!(net.live_topology().wires().len(), baseline_wires - downed.len());
+        for (node, port) in downed {
+            net.repair_link(node, port).expect("was failed");
+        }
+        prop_assert_eq!(net.live_topology().wires().len(), baseline_wires);
+        let routing = UpDownRouting::new(net.live_topology());
+        for a in 0..9u16 {
+            for b in 0..9u16 {
+                prop_assert!(
+                    routing.legal_distance(NodeId(a), NodeId(b), None) != usize::MAX,
+                    "{a}->{b} unroutable after full repair"
+                );
+            }
+        }
+        // The repaired fabric admits connections again end to end.
+        let conn = net
+            .establish(NodeId(0), NodeId(8), cbr_mbps(124.0), SetupStrategy::Epb)
+            .expect("repaired fabric has capacity");
+        net.teardown(conn).expect("was live");
+    }
+}

@@ -91,7 +91,8 @@ fn main() {
             let a = NodeId(rng.index(12) as u16);
             let b = NodeId(rng.index(12) as u16);
             if a != b {
-                net.send_packet(a, b, FlitKind::BestEffort, now);
+                net.send_packet(a, b, FlitKind::BestEffort, now)
+                    .expect("valid endpoints and packet kind");
             }
         }
         net.step(now);

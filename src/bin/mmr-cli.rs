@@ -157,6 +157,7 @@ fn cmd_network(args: &Args) {
     )
     .windows(args.u64_flag("warmup", 3_000), args.u64_flag("measure", 15_000))
     .seed(seed)
+    .admission_attempts(args.u64_flag("admission-attempts", 400) as u32)
     .run();
     if args.has("json") {
         println!(
@@ -169,6 +170,7 @@ fn cmd_network(args: &Args) {
                 ("mean_jitter_cycles", format!("{:.4}", result.mean_jitter_cycles)),
                 ("flits_delivered", result.flits_delivered.to_string()),
                 ("out_of_order", result.out_of_order.to_string()),
+                ("admission_rejected", result.admission_rejected.to_string()),
             ])
         );
     } else {
@@ -181,6 +183,7 @@ fn cmd_network(args: &Args) {
         println!("  end-to-end jitter  {:.2} cycles", result.mean_jitter_cycles);
         println!("  flits delivered    {}", result.flits_delivered);
         println!("  out of order       {}", result.out_of_order);
+        println!("  admission rejected {}", result.admission_rejected);
     }
 }
 

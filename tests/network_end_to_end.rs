@@ -165,7 +165,8 @@ fn packets_and_streams_coexist() {
                     b,
                     if rng.chance(0.2) { FlitKind::Control } else { FlitKind::BestEffort },
                     Cycles(t),
-                );
+                )
+                .expect("valid endpoints and packet kind");
                 sent_packets += 1;
             }
         }
