@@ -1,0 +1,371 @@
+//! Seeded chaos campaigns: permanent link outages **plus** transient wire
+//! faults (flit corruption and drops), with the invariant auditor watching
+//! every cycle.
+//!
+//! Each grid cell runs the same mixed fault schedule twice — once with the
+//! link-level retry layer (LLR) enabled and once without — so the emitted
+//! series doubles as the robustness claim of DESIGN.md: with LLR on, every
+//! corrupted flit is caught at a link CRC check and replayed
+//! (`undetected_corruptions == 0`, auditor clean); with LLR off, damaged
+//! flits reach their destination NIs silently and dropped flits leak
+//! credits that the auditor's conservation equation flags.
+//!
+//! Points fan across the deterministic sweep harness ([`SweepOptions`]), so
+//! `BENCH_chaos.json` and `results/chaos.txt` are byte-identical at any
+//! `--jobs` value: every number is a pure function of
+//! `(topology, fault mix, llr, trial seed)` — no wall-clock content.
+
+use mmr_core::conn::QosClass;
+use mmr_core::{AuditConfig, LlrConfig};
+use mmr_net::{
+    FaultInjector, FaultPlan, NetworkSim, NodeId, RecoveryManager, RecoveryPolicy, SessionId,
+};
+use mmr_sim::{Cycles, SeededRng};
+
+use crate::faults::CampaignTopology;
+use crate::sweep::{point_seed, SweepOptions};
+use crate::FIGURE_SEED;
+
+/// Base seed of the chaos campaigns (decorrelated from figures and the
+/// permanent-fault campaigns).
+pub const CHAOS_SEED: u64 = FIGURE_SEED ^ 0xC4A0_50FA;
+
+/// One cell of the chaos grid.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Fabric under test.
+    pub topology: CampaignTopology,
+    /// Permanent link faults (fail + repair) per trial.
+    pub faults: usize,
+    /// Transient wire faults (corrupt/drop, 50/50 seeded) per trial.
+    pub transients: usize,
+    /// Whether the link-level retry layer protects the wires.
+    pub llr: bool,
+    /// Independent seeded trials aggregated into the cell.
+    pub trials: usize,
+    /// Cycles before the fault window opens.
+    pub warmup: u64,
+    /// Cycles of the fault window.
+    pub measure: u64,
+}
+
+/// Aggregated outcome of one chaos cell (sums over its trials).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChaosResult {
+    /// Flits damaged on a wire by a transient fault.
+    pub corrupted: u64,
+    /// Flits dropped on a wire by a transient fault.
+    pub dropped: u64,
+    /// Flits replayed by the retry layer (0 with LLR off).
+    pub retransmitted: u64,
+    /// Damaged flits that reached an NI undetected (0 with LLR on).
+    pub undetected: u64,
+    /// Invariant violations recorded by the auditor.
+    pub violations: u64,
+    /// Auditor passes executed (proof the auditor ran).
+    pub audit_checks: u64,
+    /// Stream flits delivered end to end.
+    pub flits_delivered: u64,
+    /// Flits lost for good (failures, unprotected drops, stale replays).
+    pub flits_lost: u64,
+    /// Out-of-order stream deliveries (must stay 0).
+    pub out_of_order: u64,
+    /// Connection-breaking incidents observed by the recovery manager.
+    pub broken: u64,
+    /// Incidents recovered.
+    pub recovered: u64,
+    /// Links failed / repaired by the injector.
+    pub links_failed: u64,
+    /// Links spliced back by the injector.
+    pub links_repaired: u64,
+}
+
+impl ChaosResult {
+    fn absorb(&mut self, other: &ChaosResult) {
+        self.corrupted += other.corrupted;
+        self.dropped += other.dropped;
+        self.retransmitted += other.retransmitted;
+        self.undetected += other.undetected;
+        self.violations += other.violations;
+        self.audit_checks += other.audit_checks;
+        self.flits_delivered += other.flits_delivered;
+        self.flits_lost += other.flits_lost;
+        self.out_of_order += other.out_of_order;
+        self.broken += other.broken;
+        self.recovered += other.recovered;
+        self.links_failed += other.links_failed;
+        self.links_repaired += other.links_repaired;
+    }
+}
+
+/// CBR sessions opened per trial.
+const SESSIONS: usize = 10;
+
+/// Runs one seeded trial of a chaos cell: mixed permanent + transient
+/// faults under recovery, auditor always on (record mode).
+pub fn run_trial(spec: &ChaosSpec, seed: u64) -> ChaosResult {
+    let router = mmr_core::router::RouterConfig::paper_default()
+        .vcs_per_port(16)
+        .candidates(4)
+        .seed(seed ^ 0xD06);
+    let timing = router.clone().build().config().timing();
+    let topo = spec.topology.build(seed);
+    let mut net = NetworkSim::new(topo, router);
+    net.enable_audit(AuditConfig::default());
+    if spec.llr {
+        net.enable_llr(LlrConfig::default());
+    }
+    let mut rng = SeededRng::new(seed);
+    let nodes = spec.topology.nodes();
+    let ladder = mmr_traffic::rates::paper_rate_ladder();
+    let policy = RecoveryPolicy::default()
+        .max_retries(6)
+        .backoff(Cycles(8), Cycles(256))
+        .setup_timeout(Cycles(200));
+    let mut mgr = RecoveryManager::new(policy);
+
+    struct Pacer {
+        session: SessionId,
+        next: f64,
+        interarrival: f64,
+    }
+    let mut pacers: Vec<Pacer> = Vec::new();
+    let mut attempts = 0;
+    while pacers.len() < SESSIONS && attempts < 200 {
+        attempts += 1;
+        let src = NodeId(rng.index(nodes) as u16);
+        let dst = NodeId(rng.index(nodes) as u16);
+        if src == dst {
+            continue;
+        }
+        let rate = ladder[3 + rng.index(ladder.len() - 3)];
+        if let Ok(session) = mgr.open(&mut net, src, dst, QosClass::Cbr { rate }) {
+            let interarrival = timing.interarrival_cycles(rate);
+            pacers.push(Pacer { session, next: rng.uniform(0.0, interarrival), interarrival });
+        }
+    }
+
+    // Permanent faults strike in the first half of the window (as in the
+    // pure-failure campaigns); transients land across the whole window.
+    let window = spec.warmup..spec.warmup + spec.measure / 2;
+    let outage = Cycles((spec.measure / 8).max(50));
+    let plan = FaultPlan::seeded_chaos_campaign(
+        net.topology(),
+        seed,
+        spec.faults,
+        spec.transients,
+        window,
+        outage,
+    );
+    let mut injector = FaultInjector::new(plan).expect("seeded campaigns are consistent");
+
+    let total = spec.warmup + spec.measure;
+    for t in 0..total {
+        let now = Cycles(t);
+        let tick = injector.poll(&mut net, now);
+        if !tick.broken.is_empty() {
+            mgr.on_faults(&tick.broken, now);
+        }
+        for p in &mut pacers {
+            let Some(conn) = mgr.conn(p.session) else {
+                p.next = p.next.max(now.as_f64());
+                continue;
+            };
+            while p.next <= now.as_f64() {
+                let _ = net.inject(conn, now);
+                p.next += p.interarrival;
+            }
+        }
+        let report = net.step(now);
+        for event in mgr.service(&mut net, &report, now) {
+            if let mmr_net::RecoveryEvent::Degraded { session, to, .. } = event {
+                if let Some(p) = pacers.iter_mut().find(|p| p.session == session) {
+                    p.interarrival = timing.interarrival_cycles(to);
+                }
+            }
+        }
+    }
+
+    let stats = mgr.stats();
+    let net_stats = net.stats();
+    let aud = net.auditor().expect("auditor enabled for every chaos trial");
+    ChaosResult {
+        corrupted: net_stats.flits_corrupted,
+        dropped: net_stats.flits_dropped,
+        retransmitted: net_stats.flits_retransmitted,
+        undetected: net_stats.undetected_corruptions,
+        violations: aud.violation_count(),
+        audit_checks: aud.checks(),
+        flits_delivered: net_stats.flits_delivered,
+        flits_lost: net_stats.flits_lost,
+        out_of_order: net_stats.out_of_order,
+        broken: stats.faults,
+        recovered: stats.recovered,
+        links_failed: net_stats.links_failed,
+        links_repaired: net_stats.links_repaired,
+    }
+}
+
+/// The chaos grid: every fabric × LLR off/on, same mixed fault schedule.
+pub fn chaos_grid(quick: bool) -> Vec<ChaosSpec> {
+    let (faults, transients, trials, warmup, measure) =
+        if quick { (2, 8, 2, 400, 2_400) } else { (3, 16, 3, 1_000, 8_000) };
+    let mut grid = Vec::new();
+    for topology in CampaignTopology::ALL {
+        for llr in [false, true] {
+            grid.push(ChaosSpec { topology, faults, transients, llr, trials, warmup, measure });
+        }
+    }
+    grid
+}
+
+/// Runs the whole grid through the deterministic sweep harness: one sweep
+/// point per `(cell, trial)`, seeded by position
+/// ([`point_seed`]`(CHAOS_SEED, index)`). Byte-identical at any job count.
+pub fn run_chaos(grid: &[ChaosSpec], opts: &SweepOptions) -> Vec<(ChaosSpec, ChaosResult)> {
+    let points: Vec<(usize, &ChaosSpec)> = grid
+        .iter()
+        .enumerate()
+        .flat_map(|(c, spec)| std::iter::repeat_n((c, spec), spec.trials))
+        .collect();
+    let results = opts.run_indexed(points.len(), |i| {
+        let (cell, spec) = points[i];
+        // Trial seeds depend on (cell, trial ordinal), not on the LLR
+        // switch, so the off/on rows of one fabric face the same storms.
+        (cell, run_trial(spec, point_seed(CHAOS_SEED, i)))
+    });
+    let mut cells: Vec<(ChaosSpec, ChaosResult)> =
+        grid.iter().map(|s| (s.clone(), ChaosResult::default())).collect();
+    for (cell, trial) in &results {
+        cells[*cell].1.absorb(trial);
+    }
+    cells
+}
+
+/// Renders the human-readable chaos table (`results/chaos.txt`).
+pub fn render_table(cells: &[(ChaosSpec, ChaosResult)]) -> String {
+    let mut out = String::new();
+    out.push_str("chaos campaigns: permanent outages + transient wire faults, auditor on\n");
+    out.push_str(&format!(
+        "{:<12} {:>4} {:>7} {:>9} {:>8} {:>6} {:>11} {:>11} {:>6} {:>10}\n",
+        "topology",
+        "llr",
+        "corrupt",
+        "dropped",
+        "retrans",
+        "silent",
+        "violations",
+        "delivered",
+        "lost",
+        "recovered"
+    ));
+    for (spec, r) in cells {
+        out.push_str(&format!(
+            "{:<12} {:>4} {:>7} {:>9} {:>8} {:>6} {:>11} {:>11} {:>6} {:>10}\n",
+            spec.topology.name(),
+            if spec.llr { "on" } else { "off" },
+            r.corrupted,
+            r.dropped,
+            r.retransmitted,
+            r.undetected,
+            r.violations,
+            r.flits_delivered,
+            r.flits_lost,
+            r.recovered,
+        ));
+    }
+    out
+}
+
+/// Renders the machine-readable chaos series (`BENCH_chaos.json`).
+/// Deliberately contains **no wall-clock content**, so the file is
+/// byte-identical across job counts and machines.
+pub fn render_json(cells: &[(ChaosSpec, ChaosResult)]) -> String {
+    let mut rows = Vec::new();
+    for (spec, r) in cells {
+        rows.push(format!(
+            concat!(
+                "    {{\"topology\": \"{}\", \"llr\": {}, \"faults_planned\": {}, ",
+                "\"transients_planned\": {}, \"trials\": {}, \"flits_corrupted\": {}, ",
+                "\"flits_dropped\": {}, \"flits_retransmitted\": {}, ",
+                "\"undetected_corruptions\": {}, \"audit_violations\": {}, ",
+                "\"audit_checks\": {}, \"flits_delivered\": {}, \"flits_lost\": {}, ",
+                "\"out_of_order\": {}, \"sessions_broken\": {}, \"recovered\": {}, ",
+                "\"links_failed\": {}, \"links_repaired\": {}}}"
+            ),
+            spec.topology.name(),
+            spec.llr,
+            spec.faults,
+            spec.transients,
+            spec.trials,
+            r.corrupted,
+            r.dropped,
+            r.retransmitted,
+            r.undetected,
+            r.violations,
+            r.audit_checks,
+            r.flits_delivered,
+            r.flits_lost,
+            r.out_of_order,
+            r.broken,
+            r.recovered,
+            r.links_failed,
+            r.links_repaired,
+        ));
+    }
+    format!(
+        "{{\n  \"seed\": {},\n  \"campaigns\": [\n{}\n  ]\n}}\n",
+        CHAOS_SEED,
+        rows.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(llr: bool) -> ChaosSpec {
+        ChaosSpec {
+            topology: CampaignTopology::Mesh3x3,
+            faults: 1,
+            transients: 10,
+            llr,
+            trials: 1,
+            warmup: 300,
+            measure: 2_000,
+        }
+    }
+
+    #[test]
+    fn trials_are_pure_functions_of_their_seed() {
+        let a = run_trial(&spec(true), 11);
+        let b = run_trial(&spec(true), 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn llr_masks_the_storm_and_its_absence_is_visible() {
+        // The acceptance claim: the same seeded storm, protected vs bare.
+        let on = run_trial(&spec(true), 1);
+        assert!(on.corrupted + on.dropped > 0, "the storm actually struck: {on:?}");
+        assert_eq!(on.undetected, 0, "LLR caught every corruption: {on:?}");
+        assert_eq!(on.violations, 0, "auditor clean under LLR: {on:?}");
+        assert_eq!(on.out_of_order, 0, "go-back-N preserves order");
+        assert!(on.audit_checks > 0, "the auditor ran");
+
+        let off = run_trial(&spec(false), 1);
+        assert!(off.corrupted > 0, "bare wires take corruption hits: {off:?}");
+        assert!(off.undetected > 0, "silent corruption reaches the NIs: {off:?}");
+        assert!(off.violations > 0, "dropped flits leak credits the auditor flags: {off:?}");
+    }
+
+    #[test]
+    fn grid_renderings_are_reproducible_across_job_counts() {
+        let grid = vec![spec(false), spec(true)];
+        let serial = run_chaos(&grid, &SweepOptions::serial());
+        let parallel = run_chaos(&grid, &SweepOptions { jobs: 4 });
+        assert_eq!(render_json(&serial), render_json(&parallel));
+        assert_eq!(render_table(&serial), render_table(&parallel));
+    }
+}
+

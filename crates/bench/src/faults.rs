@@ -197,7 +197,7 @@ pub fn run_trial(spec: &CampaignSpec, seed: u64) -> CampaignResult {
     let window = spec.warmup..spec.warmup + spec.measure / 2;
     let outage = Cycles((spec.measure / 8).max(50));
     let plan = FaultPlan::seeded_campaign(net.topology(), seed, spec.faults, window, outage);
-    let mut injector = FaultInjector::new(plan);
+    let mut injector = FaultInjector::new(plan).expect("seeded campaigns are consistent");
 
     let total = spec.warmup + spec.measure;
     for t in 0..total {

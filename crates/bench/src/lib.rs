@@ -17,6 +17,7 @@ use mmr_traffic::driver::{Experiment, ExperimentResult};
 use crate::sweep::{PointSpec, SweepOptions};
 
 pub mod ablations;
+pub mod chaos;
 pub mod extensions;
 pub mod faults;
 pub mod sweep;

@@ -12,6 +12,29 @@ use mmr_sim::Cycles;
 
 use crate::ids::ConnectionId;
 
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over a byte stream.
+///
+/// The polynomial has Hamming distance 4 for payloads far beyond a flit, so
+/// every 1-bit and 2-bit corruption of a flit body is detected — the
+/// property the link-level retransmission layer ([`crate::llr`]) relies on.
+pub fn crc16_ccitt(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in bytes {
+        crc ^= u16::from(b) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// The role of a flit within its stream or packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlitKind {
@@ -56,12 +79,51 @@ pub struct Flit {
     /// Cycle at which the flit was created at its source (end-to-end latency
     /// accounting in the network simulator).
     pub injected_at: Cycles,
+    /// Synthetic payload word standing in for the 128-bit flit body. Derived
+    /// deterministically from the flit's identity at the source, so any later
+    /// bit flip is a detectable deviation.
+    pub payload: u64,
+    /// CRC-16/CCITT over the payload and stream sequence number, computed at
+    /// the source. Checked per hop by the LLR receiver and end-to-end at the
+    /// destination NI. Deliberately excludes `conn` — flits are retagged with
+    /// a router-local connection id at every hop.
+    pub crc: u16,
+    /// Per-link sequence number stamped by the LLR sender on each wire
+    /// crossing; 0 (and unused) when link-level retransmission is off.
+    pub link_seq: u32,
 }
 
 impl Flit {
+    /// Creates a flit of an arbitrary kind with a derived payload word and a
+    /// valid CRC.
+    pub fn new(conn: ConnectionId, kind: FlitKind, seq: u64, injected_at: Cycles) -> Self {
+        let payload = mix64(u64::from(conn.raw()) ^ seq.rotate_left(17) ^ injected_at.count());
+        let crc = Self::checksum(payload, seq);
+        Flit { conn, kind, seq, injected_at, payload, crc, link_seq: 0 }
+    }
+
     /// Creates a data flit.
     pub fn data(conn: ConnectionId, seq: u64, injected_at: Cycles) -> Self {
-        Flit { conn, kind: FlitKind::Data, seq, injected_at }
+        Flit::new(conn, FlitKind::Data, seq, injected_at)
+    }
+
+    /// The CRC protecting a `(payload, seq)` pair.
+    pub fn checksum(payload: u64, seq: u64) -> u16 {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&payload.to_le_bytes());
+        bytes[8..].copy_from_slice(&seq.to_le_bytes());
+        crc16_ccitt(&bytes)
+    }
+
+    /// Whether the stored CRC matches the payload (no transmission damage).
+    pub fn crc_ok(&self) -> bool {
+        self.crc == Self::checksum(self.payload, self.seq)
+    }
+
+    /// Flips one payload bit *without* updating the CRC — the transient-fault
+    /// injector's model of wire corruption.
+    pub fn corrupt_payload_bit(&mut self, bit: u32) {
+        self.payload ^= 1u64 << (bit % 64);
     }
 }
 
@@ -187,6 +249,36 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_capacity_panics() {
         let _ = PhitBuffer::new(0);
+    }
+
+    #[test]
+    fn fresh_flits_carry_a_valid_crc() {
+        let f = Flit::data(ConnectionId(7), 12, Cycles(3));
+        assert!(f.crc_ok());
+        let g = Flit::new(ConnectionId(7), FlitKind::Control, 12, Cycles(3));
+        assert!(g.crc_ok());
+    }
+
+    #[test]
+    fn payload_corruption_is_detected() {
+        let mut f = Flit::data(ConnectionId(1), 0, Cycles(0));
+        f.corrupt_payload_bit(13);
+        assert!(!f.crc_ok());
+        f.corrupt_payload_bit(13); // undo
+        assert!(f.crc_ok());
+    }
+
+    #[test]
+    fn crc_is_independent_of_retagging() {
+        let f = Flit::data(ConnectionId(1), 5, Cycles(9));
+        let retagged = Flit { conn: ConnectionId(42), ..f };
+        assert!(retagged.crc_ok(), "per-hop retagging must not invalidate the CRC");
+    }
+
+    #[test]
+    fn crc16_reference_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
     }
 
     #[test]

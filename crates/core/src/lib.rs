@@ -54,6 +54,7 @@
 //! ```
 
 pub mod arbiter;
+pub mod audit;
 pub mod bandwidth;
 pub mod conn;
 pub mod cost;
@@ -61,12 +62,14 @@ pub mod crossbar;
 pub mod flit;
 pub mod ids;
 pub mod linksched;
+pub mod llr;
 pub mod phitlink;
 pub mod router;
 pub mod switchsched;
 pub mod vcm;
 
 pub use arbiter::{ArbiterKind, Candidate, ServicePhase};
+pub use audit::{AuditConfig, AuditViolation, Auditor, VcSide};
 pub use bandwidth::{AdmissionError, Allocation, LinkBandwidthBook, Policer, RoundConfig};
 pub use conn::{ConnState, ConnectionRequest, ConnectionTable, QosClass};
 pub use cost::CostModel;
@@ -74,6 +77,10 @@ pub use crossbar::{Crossbar, CrossbarOrganization};
 pub use flit::{CommandWord, Flit, FlitKind, Phit, PhitBuffer};
 pub use ids::{ConnectionId, PortId, VcIndex, VcRef};
 pub use linksched::CandidatePolicy;
+pub use llr::{
+    LlrConfig, LlrFrame, LlrReceiver, LlrRecvStats, LlrSendStats, LlrSender, LlrSignal, RxDiscard,
+    RxOutcome,
+};
 pub use phitlink::{PhitEvent, PhitLink, PhitTimingModel};
 pub use router::{
     EstablishError, InjectError, PacketError, PacketOutcome, Router, RouterConfig, RouterStats,

@@ -592,7 +592,7 @@ mod tests {
         f.vcm
             .push(
                 VcIndex(3),
-                Flit { conn: id, kind: FlitKind::Control, seq: 0, injected_at: Cycles(50) },
+                Flit::new(id, FlitKind::Control, 0, Cycles(50)),
                 Cycles(50),
             )
             .expect("room");

@@ -376,6 +376,11 @@ pub struct RouterStats {
     pub reconfigurations: u64,
     /// VCM bank-budget violations (should be zero when sized correctly).
     pub bank_conflicts: u64,
+    /// Scheduler matchings or packet completions that named a connection no
+    /// longer in the table (stale state after a teardown). These were
+    /// previously hot-path panics; now they are counted and the flit is
+    /// dropped, leaving the invariant auditor to flag the stream.
+    pub ghost_matches: u64,
 }
 
 impl RouterStats {
@@ -417,6 +422,7 @@ pub struct Router {
     flits_transmitted: u64,
     cycles_run: u64,
     cut_throughs: u64,
+    ghost_matches: u64,
     /// Per-input link schedulers with their reusable classification state.
     link_scheds: Vec<LinkScheduler>,
     /// Reusable per-cycle scratch buffers — the per-flit-cycle hot path must
@@ -484,6 +490,7 @@ impl Router {
             flits_transmitted: 0,
             cycles_run: 0,
             cut_throughs: 0,
+            ghost_matches: 0,
             link_scheds: (0..ports).map(|_| LinkScheduler::new(vcs)).collect(),
             candidate_bufs: vec![Vec::new(); ports],
             pairs_buf: Vec::new(),
@@ -514,6 +521,7 @@ impl Router {
             cut_throughs: self.cut_throughs,
             reconfigurations: self.crossbar.reconfigurations(),
             bank_conflicts: self.vcms.iter().map(VirtualChannelMemory::bank_conflicts).sum(),
+            ghost_matches: self.ghost_matches,
         }
     }
 
@@ -544,6 +552,66 @@ impl Router {
     /// Looks up a connection's state.
     pub fn connection(&self, id: ConnectionId) -> Option<&ConnState> {
         self.conns.get(id)
+    }
+
+    /// The virtual channel memory of an input port (invariant-auditor
+    /// introspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn vcm(&self, port: PortId) -> &VirtualChannelMemory {
+        &self.vcms[port.index()]
+    }
+
+    /// Credits currently available on an output VC. Meaningful only when
+    /// [`RouterConfig::track_output_credits`] is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC reference is out of range.
+    pub fn output_credit(&self, vc: VcRef) -> u32 {
+        self.credits[vc.port.index()][vc.vc.index()]
+    }
+
+    /// Whether downstream output credits are tracked.
+    pub fn credits_tracked(&self) -> bool {
+        self.cfg.track_output_credits
+    }
+
+    /// Whether per-round quotas are enforced by the link schedulers.
+    pub fn quota_enforced(&self) -> bool {
+        self.cfg.enforce_round_quota
+    }
+
+    /// Per-VC buffer depth in flits.
+    pub fn vc_depth(&self) -> usize {
+        self.cfg.vc_depth
+    }
+
+    /// Unmapped VC counts on a port as `(input_free, output_free)`
+    /// (invariant-auditor introspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn free_vc_counts(&self, port: PortId) -> (usize, usize) {
+        (self.free_input_vcs[port.index()].len(), self.free_output_vcs[port.index()].len())
+    }
+
+    /// Guaranteed-class flits serviced on an output this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn guaranteed_serviced_on(&self, output: PortId) -> u32 {
+        self.guaranteed_serviced[output.index()]
+    }
+
+    /// Iterates the live connections in id order (invariant-auditor
+    /// introspection).
+    pub fn connections_iter(&self) -> impl Iterator<Item = &ConnState> {
+        self.conns.iter()
     }
 
     /// Direct channel mapping: the connection owning an *input* VC, if any.
@@ -732,7 +800,7 @@ impl Router {
     ) -> Result<(), InjectError> {
         let state = self.conns.get_mut(conn).ok_or(InjectError::UnknownConnection(conn))?;
         let vc_ref = state.input_vc;
-        let flit = Flit { conn, kind, seq: state.flits_injected, injected_at: now };
+        let flit = Flit::new(conn, kind, state.flits_injected, now);
         match self.vcms[vc_ref.port.index()].push(vc_ref.vc, flit, now) {
             Ok(()) => {
                 state.flits_injected += 1;
@@ -840,7 +908,11 @@ impl Router {
         if !self.cfg.track_output_credits {
             return;
         }
-        self.credits[output_vc.port.index()][output_vc.vc.index()] += 1;
+        // Saturate at the buffer depth: a credit returning after its
+        // connection tore down (late return onto a re-leased VC) must not
+        // mint capacity the downstream buffer does not have.
+        let c = &mut self.credits[output_vc.port.index()][output_vc.vc.index()];
+        *c = (*c + 1).min(self.cfg.vc_depth as u32);
         if let Some(conn) = self.conns.by_output_vc(output_vc) {
             let in_vc = conn.input_vc;
             self.status[in_vc.port.index()].set(
@@ -937,7 +1009,9 @@ impl Router {
             }
         }
         for id in completed_packets.drain(..) {
-            self.teardown(id).expect("packet connection exists");
+            if self.teardown(id).is_err() {
+                self.ghost_matches += 1;
+            }
         }
 
         // Crossbar reconfiguration for the cycle that just ran.
@@ -972,7 +1046,13 @@ impl Router {
         );
 
         let track_credits = self.cfg.track_output_credits;
-        let state = self.conns.get_mut(pair.conn).expect("matched connection exists");
+        let Some(state) = self.conns.get_mut(pair.conn) else {
+            // A matching can name a vanished connection only if a teardown
+            // raced the scheduler; the flit's VC was flushed with it, so this
+            // stray copy is dropped and counted rather than panicking.
+            self.ghost_matches += 1;
+            return None;
+        };
         state.serviced_this_round += 1;
         state.flits_forwarded += 1;
         if matches!(state.class, QosClass::Cbr { .. } | QosClass::Vbr { .. }) {

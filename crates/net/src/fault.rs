@@ -1,19 +1,27 @@
 //! Deterministic fault-injection campaigns.
 //!
-//! A [`FaultPlan`] is a schedule of link failures *and repairs* at
+//! A [`FaultPlan`] is a schedule of *permanent* link faults (failures and
+//! repairs) and *transient* wire faults (a corrupted or dropped flit) at
 //! flit-cycle granularity. Plans are plain data — built by hand for
 //! targeted tests or generated from a seed by
-//! [`FaultPlan::seeded_campaign`] — so a campaign is reproducible from
-//! `(topology, seed, parameters)` alone, independent of execution order.
+//! [`FaultPlan::seeded_campaign`] / [`FaultPlan::seeded_chaos_campaign`] —
+//! so a campaign is reproducible from `(topology, seed, parameters)` alone,
+//! independent of execution order. Construction is validated:
+//! [`FaultPlan::normalized`] sorts events into firing order and rejects
+//! contradictory schedules (a fail *and* a repair of the same wire in the
+//! same cycle) instead of silently relying on insertion order.
+//!
 //! A [`FaultInjector`] walks the plan against a live [`NetworkSim`],
 //! applying every event that has come due and reporting which established
-//! connections each fault tore down (feed those to a
-//! [`crate::recovery::RecoveryManager`] to close the loop).
+//! connections each permanent fault tore down (feed those to a
+//! [`crate::recovery::RecoveryManager`] to close the loop). Transient
+//! events arm the addressed wire endpoint: the next flit delivered into it
+//! is corrupted or dropped (see [`NetworkSim::arm_transient`]).
 
 use mmr_core::ids::PortId;
 use mmr_sim::{Cycles, SeededRng};
 
-use crate::network::{NetConnectionId, NetError, NetworkSim};
+use crate::network::{NetConnectionId, NetError, NetworkSim, TransientKind};
 use crate::topology::{NodeId, Topology};
 
 /// What a scheduled fault event does to its wire.
@@ -23,22 +31,66 @@ pub enum FaultAction {
     Fail,
     /// Splice the wire back ([`NetworkSim::repair_link`]).
     Repair,
+    /// Transient: flip a payload bit of the next flit delivered into the
+    /// addressed endpoint (CRC-detectable wire corruption).
+    CorruptFlit,
+    /// Transient: drop the next flit delivered into the addressed endpoint.
+    DropFlit,
 }
 
-/// One scheduled link fault or repair.
+impl FaultAction {
+    /// Whether the action changes wire topology (fail/repair) rather than
+    /// damaging a single flit.
+    pub fn is_permanent(self) -> bool {
+        matches!(self, FaultAction::Fail | FaultAction::Repair)
+    }
+}
+
+/// One scheduled fault event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
     /// Flit cycle the event fires at.
     pub at: Cycles,
-    /// Fail or repair.
+    /// What happens.
     pub action: FaultAction,
     /// Node owning the addressed endpoint.
     pub node: NodeId,
-    /// Port of the addressed endpoint (either end of the wire works).
+    /// Port of the addressed endpoint. For permanent faults either end of
+    /// the wire works; transients strike flits arriving *into* this
+    /// endpoint.
     pub port: PortId,
 }
 
-/// A deterministic schedule of link failures and repairs.
+/// Why a [`FaultPlan`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// The plan schedules both a failure and a repair of the same endpoint
+    /// in the same cycle — the outcome would depend on insertion order.
+    Conflict {
+        /// Cycle of the contradiction.
+        at: Cycles,
+        /// Node of the twice-addressed endpoint.
+        node: NodeId,
+        /// Port of the twice-addressed endpoint.
+        port: PortId,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::Conflict { at, node, port } => write!(
+                f,
+                "fault plan schedules both fail and repair of {node}.{port} at cycle {}",
+                at.count()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A deterministic schedule of permanent and transient wire faults.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
@@ -62,6 +114,20 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a transient corruption: the next flit delivered into
+    /// `(node, port)` at or after `at` has a payload bit flipped.
+    pub fn corrupt_at(mut self, at: Cycles, node: NodeId, port: PortId) -> Self {
+        self.events.push(FaultEvent { at, action: FaultAction::CorruptFlit, node, port });
+        self
+    }
+
+    /// Schedules a transient drop: the next flit delivered into
+    /// `(node, port)` at or after `at` vanishes on the wire.
+    pub fn drop_at(mut self, at: Cycles, node: NodeId, port: PortId) -> Self {
+        self.events.push(FaultEvent { at, action: FaultAction::DropFlit, node, port });
+        self
+    }
+
     /// The scheduled events in firing order (ties keep insertion order).
     pub fn events(&self) -> impl Iterator<Item = &FaultEvent> {
         self.events.iter()
@@ -77,12 +143,50 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
-    /// Generates a seeded random campaign over `topology`: `faults` wire
-    /// failures at cycles drawn uniformly from `window`, each repaired
-    /// `outage` cycles after it strikes. A wire that is scheduled down is
-    /// never double-failed — the generator tracks planned outages and draws
-    /// another wire — so every generated event applies cleanly. The result
-    /// is a pure function of the arguments (one private RNG stream).
+    /// Sorts events into firing order (stable, so same-cycle events keep
+    /// insertion order), drops *identical* duplicate permanent events, and
+    /// rejects contradictory schedules.
+    ///
+    /// Duplicate transients at the same endpoint are kept — each one arms
+    /// the wire for one more flit.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::Conflict`] when the same endpoint is both failed
+    /// and repaired in the same cycle.
+    pub fn normalized(mut self) -> Result<Self, FaultPlanError> {
+        self.events.sort_by_key(|e| e.at);
+        let mut out: Vec<FaultEvent> = Vec::with_capacity(self.events.len());
+        for ev in self.events {
+            if ev.action.is_permanent() {
+                let same_slot = out
+                    .iter()
+                    .rev()
+                    .take_while(|p| p.at == ev.at)
+                    .find(|p| p.node == ev.node && p.port == ev.port && p.action.is_permanent());
+                if let Some(prev) = same_slot {
+                    if prev.action == ev.action {
+                        continue; // identical duplicate: keep one
+                    }
+                    return Err(FaultPlanError::Conflict {
+                        at: ev.at,
+                        node: ev.node,
+                        port: ev.port,
+                    });
+                }
+            }
+            out.push(ev);
+        }
+        Ok(FaultPlan { events: out })
+    }
+
+    /// Generates a seeded random campaign of *permanent* faults over
+    /// `topology`: `faults` wire failures at cycles drawn uniformly from
+    /// `window`, each repaired `outage` cycles after it strikes. A wire that
+    /// is scheduled down is never double-failed — the generator tracks
+    /// planned outages and draws another wire — so every generated event
+    /// applies cleanly. The result is a pure function of the arguments (one
+    /// private RNG stream).
     pub fn seeded_campaign(
         topology: &Topology,
         seed: u64,
@@ -124,6 +228,40 @@ impl FaultPlan {
         plan.events.sort_by_key(|e| e.at);
         plan
     }
+
+    /// Generates a seeded *mixed* campaign: the permanent schedule of
+    /// [`FaultPlan::seeded_campaign`] plus `transients` corrupt/drop events
+    /// (50/50, on a uniformly drawn wire endpoint, at a cycle drawn from
+    /// `window`). Transient cycles avoid none of the outages — a transient
+    /// armed on a downed wire simply waits for traffic to resume. The
+    /// result is a pure function of the arguments.
+    pub fn seeded_chaos_campaign(
+        topology: &Topology,
+        seed: u64,
+        faults: usize,
+        transients: usize,
+        window: std::ops::Range<u64>,
+        outage: Cycles,
+    ) -> Self {
+        let mut plan =
+            FaultPlan::seeded_campaign(topology, seed, faults, window.clone(), outage);
+        let wires = topology.wires();
+        if wires.is_empty() {
+            return plan;
+        }
+        let mut rng = SeededRng::new(seed ^ 0x7A4E_51E7);
+        for _ in 0..transients {
+            let at = window.start + rng.index((window.end - window.start) as usize) as u64;
+            let wire = wires[rng.index(wires.len())];
+            // Either direction of the wire: transients strike arriving flits.
+            let (node, port) = if rng.index(2) == 0 { wire.a } else { wire.b };
+            let action =
+                if rng.index(2) == 0 { FaultAction::CorruptFlit } else { FaultAction::DropFlit };
+            plan.events.push(FaultEvent { at: Cycles(at), action, node, port });
+        }
+        plan.events.sort_by_key(|e| e.at);
+        plan
+    }
 }
 
 /// What one [`FaultInjector::poll`] call did to the network.
@@ -135,12 +273,17 @@ pub struct FaultTick {
     pub repaired: Vec<(NodeId, PortId)>,
     /// Connections torn down by this cycle's failures.
     pub broken: Vec<NetConnectionId>,
+    /// Transient events armed this cycle (corrupts + drops).
+    pub transients_armed: usize,
 }
 
 impl FaultTick {
     /// Whether anything happened.
     pub fn is_quiet(&self) -> bool {
-        self.failed.is_empty() && self.repaired.is_empty() && self.broken.is_empty()
+        self.failed.is_empty()
+            && self.repaired.is_empty()
+            && self.broken.is_empty()
+            && self.transients_armed == 0
     }
 }
 
@@ -153,11 +296,15 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
-    /// An injector at the start of `plan`. The plan's events must be sorted
-    /// by cycle (guaranteed by the builders and the campaign generator).
-    pub fn new(plan: FaultPlan) -> Self {
-        debug_assert!(plan.events.windows(2).all(|w| w[0].at <= w[1].at), "plan must be sorted");
-        FaultInjector { plan, cursor: 0, skipped: 0 }
+    /// An injector at the start of `plan`, normalizing it first (see
+    /// [`FaultPlan::normalized`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError`] when the plan is contradictory.
+    pub fn new(plan: FaultPlan) -> Result<Self, FaultPlanError> {
+        let plan = plan.normalized()?;
+        Ok(FaultInjector { plan, cursor: 0, skipped: 0 })
     }
 
     /// Events not yet applied.
@@ -196,6 +343,17 @@ impl FaultInjector {
                     Err(NetError::LinkNotFailed { .. }) => self.skipped += 1,
                     Err(e) => panic!("fault plan addresses a non-wire: {e}"),
                 },
+                FaultAction::CorruptFlit | FaultAction::DropFlit => {
+                    let kind = if ev.action == FaultAction::CorruptFlit {
+                        TransientKind::Corrupt
+                    } else {
+                        TransientKind::Drop
+                    };
+                    match net.arm_transient(ev.node, ev.port, kind) {
+                        Ok(()) => tick.transients_armed += 1,
+                        Err(e) => panic!("fault plan addresses a non-wire: {e}"),
+                    }
+                }
             }
         }
         tick
@@ -221,7 +379,7 @@ mod tests {
         let plan = FaultPlan::new()
             .fail_at(Cycles(5), wire.a.0, wire.a.1)
             .repair_at(Cycles(12), wire.a.0, wire.a.1);
-        let mut inj = FaultInjector::new(plan);
+        let mut inj = FaultInjector::new(plan).expect("consistent plan");
         assert_eq!(inj.pending(), 2);
         for t in 0..20u64 {
             let tick = inj.poll(&mut net, Cycles(t));
@@ -244,18 +402,76 @@ mod tests {
     fn inapplicable_events_are_skipped_not_fatal() {
         let mut net = mesh_net();
         let wire = net.topology().wires()[0];
-        // Double failure and a repair of a live wire.
+        // Double failure (in different cycles) and a repair of a live wire.
         let plan = FaultPlan::new()
             .fail_at(Cycles(1), wire.a.0, wire.a.1)
             .fail_at(Cycles(2), wire.a.0, wire.a.1)
             .repair_at(Cycles(3), wire.a.0, wire.a.1)
             .repair_at(Cycles(4), wire.a.0, wire.a.1);
-        let mut inj = FaultInjector::new(plan);
+        let mut inj = FaultInjector::new(plan).expect("consistent plan");
         for t in 0..6u64 {
             inj.poll(&mut net, Cycles(t));
         }
         assert_eq!(inj.skipped(), 2);
         assert!(net.link_ok(wire.a.0, wire.a.1));
+    }
+
+    #[test]
+    fn normalization_sorts_out_of_order_events() {
+        let wire_node = NodeId(0);
+        let plan = FaultPlan::new()
+            .repair_at(Cycles(9), wire_node, PortId(0))
+            .fail_at(Cycles(2), wire_node, PortId(0))
+            .normalized()
+            .expect("consistent plan");
+        let cycles: Vec<u64> = plan.events().map(|e| e.at.count()).collect();
+        assert_eq!(cycles, vec![2, 9], "events sorted into firing order");
+    }
+
+    #[test]
+    fn normalization_drops_identical_duplicates() {
+        let plan = FaultPlan::new()
+            .fail_at(Cycles(5), NodeId(1), PortId(2))
+            .fail_at(Cycles(5), NodeId(1), PortId(2))
+            .normalized()
+            .expect("duplicates are not a contradiction");
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn normalization_rejects_same_cycle_fail_and_repair() {
+        let err = FaultPlan::new()
+            .fail_at(Cycles(7), NodeId(3), PortId(1))
+            .repair_at(Cycles(7), NodeId(3), PortId(1))
+            .normalized()
+            .expect_err("contradiction");
+        assert_eq!(
+            err,
+            FaultPlanError::Conflict { at: Cycles(7), node: NodeId(3), port: PortId(1) }
+        );
+        assert!(err.to_string().contains("cycle 7"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_transients_are_kept_one_per_flit() {
+        let plan = FaultPlan::new()
+            .corrupt_at(Cycles(4), NodeId(0), PortId(0))
+            .corrupt_at(Cycles(4), NodeId(0), PortId(0))
+            .drop_at(Cycles(4), NodeId(0), PortId(0))
+            .normalized()
+            .expect("transient duplicates are legal");
+        assert_eq!(plan.len(), 3, "each transient arms one more flit");
+    }
+
+    #[test]
+    fn transient_events_arm_the_wire() {
+        let mut net = mesh_net();
+        let wire = net.topology().wires()[0];
+        let plan = FaultPlan::new().corrupt_at(Cycles(2), wire.a.0, wire.a.1);
+        let mut inj = FaultInjector::new(plan).expect("consistent plan");
+        let tick = inj.poll(&mut net, Cycles(2));
+        assert_eq!(tick.transients_armed, 1);
+        assert!(!tick.is_quiet());
     }
 
     #[test]
@@ -277,12 +493,32 @@ mod tests {
             topo,
             RouterConfig::paper_default().vcs_per_port(8).candidates(2),
         );
-        let mut inj = FaultInjector::new(a);
+        let mut inj = FaultInjector::new(a).expect("generated plans are consistent");
         for t in 0..2_500u64 {
             inj.poll(&mut net, Cycles(t));
         }
         assert_eq!(inj.pending(), 0);
         assert_eq!(inj.skipped(), 0, "campaign generator never plans a double failure");
         assert_eq!(net.stats().links_failed, net.stats().links_repaired);
+    }
+
+    #[test]
+    fn chaos_campaigns_extend_the_permanent_schedule() {
+        let topo = Topology::torus2d(3, 3, 8).expect("topology wires within the port budget");
+        let base = FaultPlan::seeded_campaign(&topo, 77, 4, 100..2_000, Cycles(300));
+        let chaos = FaultPlan::seeded_chaos_campaign(&topo, 77, 4, 10, 100..2_000, Cycles(300));
+        assert_eq!(chaos.len(), base.len() + 10);
+        let transients =
+            chaos.events().filter(|e| !e.action.is_permanent()).count();
+        assert_eq!(transients, 10);
+        // Same permanent sub-schedule, in order.
+        let perm: Vec<&FaultEvent> =
+            chaos.events().filter(|e| e.action.is_permanent()).collect();
+        for (x, y) in base.events().zip(perm) {
+            assert_eq!(x, y, "permanent schedule unchanged by the transient overlay");
+        }
+        // Reproducible.
+        let again = FaultPlan::seeded_chaos_campaign(&topo, 77, 4, 10, 100..2_000, Cycles(300));
+        assert!(chaos.events().zip(again.events()).all(|(x, y)| x == y));
     }
 }

@@ -57,10 +57,10 @@ pub mod topology;
 pub mod updown;
 
 pub use driver::{NetExperiment, NetExperimentResult};
-pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, FaultTick};
+pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, FaultPlanError, FaultTick};
 pub use network::{
     DeliveredFlit, DeliveredPacket, NetConnection, NetConnectionId, NetError, NetStats,
-    NetStepReport, NetworkSim, PacketId, ProbeToken, SetupEvent,
+    NetStepReport, NetworkSim, PacketId, ProbeToken, SetupEvent, TransientKind,
 };
 pub use recovery::{
     RecoveryEvent, RecoveryManager, RecoveryPolicy, RecoveryStats, SessionId, SessionStatus,

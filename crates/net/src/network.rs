@@ -9,11 +9,13 @@
 //! and single-flit VCT packets (control / best-effort) hop through the
 //! network under up*/down* adaptive routing (§3.4–§3.5).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
+use mmr_core::audit::{AuditConfig, AuditViolation, Auditor};
 use mmr_core::conn::QosClass;
 use mmr_core::flit::{Flit, FlitKind};
 use mmr_core::ids::{ConnectionId, PortId, VcIndex, VcRef};
+use mmr_core::llr::{LlrConfig, LlrFrame, LlrReceiver, LlrSender, LlrSignal, RxOutcome};
 use mmr_core::router::{InjectError, PacketError, PacketOutcome, Router, RouterConfig};
 use mmr_sim::{Accumulator, Cycles, SeededRng};
 
@@ -211,6 +213,115 @@ pub struct NetStats {
     pub links_failed: u64,
     /// Failed wires spliced back so far ([`NetworkSim::repair_link`]).
     pub links_repaired: u64,
+    /// Stream flits damaged on a wire by a transient fault (payload bit
+    /// flip; the CRC no longer matches).
+    pub flits_corrupted: u64,
+    /// Stream flits dropped on a wire by a transient fault.
+    pub flits_dropped: u64,
+    /// Flits retransmitted by the link-level retry layer (go-back-N rewinds
+    /// and timeout replays). Zero when LLR is off.
+    pub flits_retransmitted: u64,
+    /// Corrupted flits that reached their destination NI with a bad CRC —
+    /// the silent-corruption count. Zero when LLR is on (every damaged flit
+    /// is caught and replayed at the link); nonzero under corruption
+    /// campaigns when LLR is off.
+    pub undetected_corruptions: u64,
+}
+
+/// What a transient wire fault does to the one flit it strikes (see
+/// [`NetworkSim::arm_transient`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientKind {
+    /// Flip a payload bit; the flit keeps moving with a stale CRC.
+    Corrupt,
+    /// The flit vanishes on the wire.
+    Drop,
+}
+
+/// A flit crossing one wire, as the link-level retry layer sees it: the
+/// [`Flit`] plus the wire-local metadata that must survive a replay.
+#[derive(Debug, Clone)]
+struct WireFrame {
+    /// Target VC on the receiving port.
+    vc: VcIndex,
+    /// The end-to-end connection the flit belonged to when it was queued —
+    /// replayed frames whose connection has since been torn down are
+    /// discarded at delivery rather than injected into a reused VC.
+    net_conn: Option<NetConnectionId>,
+    flit: Flit,
+}
+
+impl LlrFrame for WireFrame {
+    fn link_seq(&self) -> u32 {
+        self.flit.link_seq
+    }
+
+    fn stamp(&mut self, seq: u32) {
+        self.flit.link_seq = seq;
+    }
+
+    fn intact(&self) -> bool {
+        self.flit.crc_ok()
+    }
+}
+
+/// Both protocol ends of one directed wire (keyed by receiver endpoint).
+#[derive(Debug)]
+struct LlrLink {
+    sender: LlrSender<WireFrame>,
+    receiver: LlrReceiver,
+}
+
+impl LlrLink {
+    fn new(cfg: LlrConfig) -> Self {
+        LlrLink { sender: LlrSender::new(cfg), receiver: LlrReceiver::new() }
+    }
+
+    /// Frames handed to the sender that the receiver has not delivered:
+    /// backlog plus unacknowledged replay entries at or past the receiver's
+    /// expected sequence number.
+    fn undelivered(&self) -> usize {
+        let expected = self.receiver.expected();
+        self.sender.backlog_len()
+            + self
+                .sender
+                .iter_unacked()
+                .filter(|f| f.flit.link_seq.wrapping_sub(expected) < 1 << 31)
+                .count()
+    }
+}
+
+/// Link-level retransmission state for the whole network: one protocol pair
+/// per directed wire (created lazily), plus the reverse-channel signal
+/// queue.
+#[derive(Debug)]
+struct LlrState {
+    cfg: LlrConfig,
+    /// Directed links keyed by their *receiving* endpoint.
+    links: BTreeMap<(NodeId, PortId), LlrLink>,
+    /// In-flight ack/nack feedback: `(deliver_at, receiver key, signal)`.
+    signals: Vec<(Cycles, (NodeId, PortId), LlrSignal)>,
+}
+
+impl LlrState {
+    /// Frames the retry layer still owes the receiver at `key` on behalf of
+    /// `conn`: enqueued backlog plus unacknowledged replay copies the
+    /// receiver has not delivered. Frames below the receiver's expected
+    /// sequence are already buffered downstream and must not be counted
+    /// twice in the conservation equation.
+    fn pending_for(&self, key: (NodeId, PortId), conn: NetConnectionId) -> usize {
+        let Some(link) = self.links.get(&key) else { return 0 };
+        let expected = link.receiver.expected();
+        link.sender.iter_backlog().filter(|f| f.net_conn == Some(conn)).count()
+            + link
+                .sender
+                .iter_unacked()
+                .filter(|f| {
+                    f.net_conn == Some(conn)
+                        && f.flit.link_seq.wrapping_sub(expected) < 1 << 31
+                })
+                .count()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -219,6 +330,8 @@ struct InFlightFlit {
     to: NodeId,
     port: PortId,
     vc: VcIndex,
+    /// The end-to-end connection at transmit time (stale-delivery guard).
+    net_conn: Option<NetConnectionId>,
     flit: Flit,
 }
 
@@ -286,6 +399,17 @@ pub struct NetworkSim {
     next_probe: u64,
     pub(crate) rng: SeededRng,
     stats: NetStats,
+    /// Link-level retransmission, when enabled ([`NetworkSim::enable_llr`]).
+    llr: Option<LlrState>,
+    /// Armed transient wire faults, keyed by receiving endpoint; each entry
+    /// strikes one arriving flit, in arming order.
+    armed_transients: BTreeMap<(NodeId, PortId), VecDeque<TransientKind>>,
+    /// The invariant auditor, when enabled ([`NetworkSim::enable_audit`] or
+    /// the `MMR_AUDIT=1` environment switch).
+    auditor: Option<Auditor>,
+    /// Escalate any violation to a panic (set by `MMR_AUDIT=1`; cleared by
+    /// an explicit [`NetworkSim::enable_audit`], which records instead).
+    audit_enforce: bool,
 }
 
 impl NetworkSim {
@@ -297,6 +421,8 @@ impl NetworkSim {
     ///
     /// Panics if the topology needs more ports than the configuration has.
     pub fn new(topology: Topology, router_cfg: RouterConfig) -> Self {
+        let audit_env =
+            std::env::var("MMR_AUDIT").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
         let mut seed_rng = SeededRng::new(0x4E45_5457 ^ 0x1999);
         let routers: Vec<Router> = (0..topology.nodes())
             .map(|n| {
@@ -329,7 +455,68 @@ impl NetworkSim {
             rng: SeededRng::new(0x4E45_5457),
             topology,
             stats: NetStats::default(),
+            llr: None,
+            armed_transients: BTreeMap::new(),
+            // MMR_AUDIT=1 turns every simulation self-checking: the auditor
+            // runs in enforce mode and panics on the first broken invariant
+            // (the CI tier-1 suite runs once this way).
+            auditor: audit_env.then(Auditor::default),
+            audit_enforce: audit_env,
         }
+    }
+
+    /// Turns on link-level retransmission for every wire: per-flit CRC
+    /// checking at the receiver, per-link sequence numbers, and a bounded
+    /// go-back-N replay buffer per directed link. Fault-free traffic is
+    /// byte-identical with LLR on or off (the wire still carries at most
+    /// one flit per cycle per link, delivered on the same cycle); the layer
+    /// earns its keep under transient faults (see
+    /// [`NetworkSim::arm_transient`]).
+    pub fn enable_llr(&mut self, cfg: LlrConfig) {
+        self.llr =
+            Some(LlrState { cfg, links: BTreeMap::new(), signals: Vec::new() });
+    }
+
+    /// Whether link-level retransmission is on.
+    pub fn llr_enabled(&self) -> bool {
+        self.llr.is_some()
+    }
+
+    /// Turns on the cycle-accurate invariant auditor in *record* mode:
+    /// violations accumulate in [`NetworkSim::auditor`] instead of
+    /// panicking. (The `MMR_AUDIT=1` environment switch enables *enforce*
+    /// mode instead, which panics on the first violation; an explicit call
+    /// here overrides it.)
+    pub fn enable_audit(&mut self, cfg: AuditConfig) {
+        self.auditor = Some(Auditor::new(cfg));
+        self.audit_enforce = false;
+    }
+
+    /// The invariant auditor, when enabled.
+    pub fn auditor(&self) -> Option<&Auditor> {
+        self.auditor.as_ref()
+    }
+
+    /// Arms a transient wire fault: the next stream flit delivered into
+    /// `(node, port)` is corrupted or dropped. Multiple armed transients on
+    /// the same endpoint strike successive flits in arming order; an armed
+    /// transient persists until a flit consumes it. VCT packets and probes
+    /// are not affected (transients model data-plane wire noise).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::TerminalPort`] for NI ports and
+    /// [`NetError::UnknownNode`]/[`NetError::InvalidPort`] for out-of-range
+    /// addresses.
+    pub fn arm_transient(
+        &mut self,
+        node: NodeId,
+        port: PortId,
+        kind: TransientKind,
+    ) -> Result<(), NetError> {
+        self.wire_endpoint(node, port)?;
+        self.armed_transients.entry((node, port)).or_default().push_back(kind);
+        Ok(())
     }
 
     /// The physical topology (as built, including failed wires).
@@ -402,6 +589,10 @@ impl NetworkSim {
             dropped += self.routers[hop.node.index()]
                 .teardown(hop.local)
                 .expect("hop connections exist until network teardown") as u64;
+        }
+        // The stream ends here by design; the auditor must not flag the cut.
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.stream_closed(u64::from(id.0));
         }
         Ok(dropped)
     }
@@ -490,6 +681,20 @@ impl NetworkSim {
 
         // Flits and probe packets on the wire are lost.
         let mut lost = 0u64;
+
+        // The wire's link-level retry state dies with it: frames the
+        // receiver never delivered are lost, and a repaired wire starts a
+        // fresh protocol instance at sequence 0 on both sides. Armed
+        // transients on the wire are discarded too.
+        for key in [(node, port), (peer, peer_port)] {
+            if let Some(llr) = self.llr.as_mut() {
+                if let Some(link) = llr.links.remove(&key) {
+                    lost += link.undelivered() as u64;
+                }
+                llr.signals.retain(|(_, k, _)| *k != key);
+            }
+            self.armed_transients.remove(&key);
+        }
         self.in_flight.retain(|f| {
             let dead = (f.to == peer && f.port == peer_port) || (f.to == node && f.port == port);
             if dead {
@@ -749,6 +954,20 @@ impl NetworkSim {
     pub fn step(&mut self, now: Cycles) -> NetStepReport {
         let mut report = NetStepReport::default();
 
+        // Deliver link-level ack/nack feedback that finished crossing its
+        // reverse channel (generated during last cycle's wire deliveries).
+        if let Some(llr) = self.llr.as_mut() {
+            let mut still_flying = Vec::new();
+            for (at, key, sig) in llr.signals.drain(..) {
+                if at > now {
+                    still_flying.push((at, key, sig));
+                } else if let Some(link) = llr.links.get_mut(&key) {
+                    link.sender.on_signal(sig, now);
+                }
+            }
+            llr.signals = still_flying;
+        }
+
         // Move in-flight setup probes and acknowledgments.
         self.advance_probes(now, &mut report);
 
@@ -779,13 +998,31 @@ impl NetworkSim {
 
                 match self.topology.peer_of(node, t.output_vc.port) {
                     Some((peer, peer_port)) => {
-                        self.in_flight.push(InFlightFlit {
-                            deliver_at: now + Cycles(1),
-                            to: peer,
-                            port: peer_port,
-                            vc: t.output_vc.vc,
-                            flit: t.flit,
-                        });
+                        let net_conn = self.local_index.get(&(node, t.conn)).copied();
+                        if let Some(llr) = self.llr.as_mut() {
+                            // The retry layer owns the wire: the frame waits
+                            // in the sender until pumped (normally the same
+                            // cycle) and stays replayable until acked.
+                            let cfg = llr.cfg;
+                            llr.links
+                                .entry((peer, peer_port))
+                                .or_insert_with(|| LlrLink::new(cfg))
+                                .sender
+                                .enqueue(WireFrame {
+                                    vc: t.output_vc.vc,
+                                    net_conn,
+                                    flit: t.flit,
+                                });
+                        } else {
+                            self.in_flight.push(InFlightFlit {
+                                deliver_at: now + Cycles(1),
+                                to: peer,
+                                port: peer_port,
+                                vc: t.output_vc.vc,
+                                net_conn,
+                                flit: t.flit,
+                            });
+                        }
                     }
                     None => {
                         // Terminal port: the NI consumes the flit at once and
@@ -802,6 +1039,15 @@ impl NetworkSim {
                             if !in_order {
                                 self.stats.out_of_order += 1;
                             }
+                            // End-to-end integrity: a flit corrupted on some
+                            // wire and never caught at a link check exits
+                            // here with a stale CRC.
+                            if !t.flit.crc_ok() {
+                                self.stats.undetected_corruptions += 1;
+                            }
+                            if let Some(aud) = self.auditor.as_mut() {
+                                aud.observe_delivery(u64::from(net_id.0), t.flit.seq);
+                            }
                             report.delivered.push(DeliveredFlit {
                                 conn: net_id,
                                 flit: t.flit,
@@ -814,20 +1060,109 @@ impl NetworkSim {
             }
         }
 
+        // Pump each link-level sender: one frame per directed wire per
+        // cycle. In the fault-free case the frame enqueued above leaves at
+        // once, so baseline timing is identical with or without LLR.
+        if let Some(llr) = self.llr.as_mut() {
+            for (&(to, port), link) in llr.links.iter_mut() {
+                if let Some((frame, is_retx)) = link.sender.pump(now) {
+                    if is_retx {
+                        self.stats.flits_retransmitted += 1;
+                    }
+                    self.in_flight.push(InFlightFlit {
+                        deliver_at: now + Cycles(1),
+                        to,
+                        port,
+                        vc: frame.vc,
+                        net_conn: frame.net_conn,
+                        flit: frame.flit,
+                    });
+                }
+            }
+        }
+
         // Deliver stream flits that finished crossing a wire.
         let mut still_flying = Vec::with_capacity(self.in_flight.len());
-        for f in std::mem::take(&mut self.in_flight) {
+        for mut f in std::mem::take(&mut self.in_flight) {
             if f.deliver_at > now + Cycles(1) {
                 still_flying.push(f);
                 continue;
             }
+            let key = (f.to, f.port);
+
+            // An armed transient fault strikes the next flit crossing this
+            // wire endpoint, in arming order.
+            if let Some(kind) = self.armed_transients.get_mut(&key).and_then(|q| q.pop_front()) {
+                if self.armed_transients.get(&key).is_some_and(|q| q.is_empty()) {
+                    self.armed_transients.remove(&key);
+                }
+                match kind {
+                    TransientKind::Drop => {
+                        self.stats.flits_dropped += 1;
+                        if self.llr.is_none() {
+                            // No retry layer: the flit (and its credit)
+                            // are gone for good.
+                            self.stats.flits_lost += 1;
+                        }
+                        continue;
+                    }
+                    TransientKind::Corrupt => {
+                        self.stats.flits_corrupted += 1;
+                        // Deterministic bit choice: derived from the
+                        // corruption count, never from wall clock.
+                        let bit = (self.stats.flits_corrupted as u32).wrapping_mul(13) % 64;
+                        f.flit.corrupt_payload_bit(bit);
+                    }
+                }
+            }
+
+            // The link-level receiver checks CRC + sequence; only clean,
+            // in-order frames pass through. Feedback crosses the reverse
+            // channel and reaches the sender next cycle.
+            if let Some(llr) = self.llr.as_mut() {
+                let cfg = llr.cfg;
+                let link = llr.links.entry(key).or_insert_with(|| LlrLink::new(cfg));
+                let (outcome, signal) = link.receiver.receive(WireFrame {
+                    vc: f.vc,
+                    net_conn: f.net_conn,
+                    flit: f.flit,
+                });
+                if let Some(sig) = signal {
+                    llr.signals.push((f.deliver_at, key, sig));
+                }
+                match outcome {
+                    RxOutcome::Deliver(frame) => {
+                        f.vc = frame.vc;
+                        f.net_conn = frame.net_conn;
+                        f.flit = frame.flit;
+                    }
+                    RxOutcome::Discard(_) => continue,
+                }
+            }
+
+            // Stale-delivery guard: a replayed frame can outlive its
+            // connection (recovery tears the circuit down while copies sit
+            // in the replay buffer). Discard it here rather than injecting
+            // it into a VC the slot may since have been re-leased to.
+            if let Some(id) = f.net_conn {
+                if !self.conns.contains_key(&id) {
+                    self.stats.flits_lost += 1;
+                    continue;
+                }
+            }
+
             let node = f.to;
-            let local = self.routers[node.index()]
-                .connection_by_input_vc(VcRef { port: f.port, vc: f.vc })
-                .expect("flits arrive only on mapped VCs (credits guarantee a connection)");
-            self.routers[node.index()]
-                .accept(local, f.flit, f.deliver_at)
-                .expect("credits guarantee buffer space");
+            let Some(local) =
+                self.routers[node.index()].connection_by_input_vc(VcRef { port: f.port, vc: f.vc })
+            else {
+                // The VC mapping disappeared mid-flight (teardown raced the
+                // wire). Under faults this is survivable, not fatal.
+                self.stats.flits_lost += 1;
+                continue;
+            };
+            if self.routers[node.index()].accept(local, f.flit, f.deliver_at).is_err() {
+                self.stats.flits_lost += 1;
+            }
         }
         self.in_flight = still_flying;
 
@@ -843,7 +1178,67 @@ impl NetworkSim {
         }
 
         report.packets.append(&mut self.pending_packet_deliveries);
+
+        // Cycle-accurate invariant pass over the settled end-of-cycle state.
+        if self.auditor.is_some() {
+            self.run_audit(now);
+        }
         report
+    }
+
+    /// The end-of-cycle invariant pass: per-router structural checks plus
+    /// the cross-router credit-conservation equation for every live stream
+    /// hop (credits held upstream + flits buffered downstream + frames owed
+    /// by the retry layer must equal the VC depth).
+    fn run_audit(&mut self, now: Cycles) {
+        let Some(mut aud) = self.auditor.take() else { return };
+        for (n, r) in self.routers.iter().enumerate() {
+            aud.check_router(n as u16, r, now);
+        }
+        for conn in self.conns.values() {
+            for pair in conn.hops.windows(2) {
+                let (up, down) = (&pair[0], &pair[1]);
+                let up_router = &self.routers[up.node.index()];
+                if !up_router.credits_tracked() {
+                    continue;
+                }
+                let (Some(up_state), Some(down_state)) = (
+                    up_router.connection(up.local),
+                    self.routers[down.node.index()].connection(down.local),
+                ) else {
+                    continue;
+                };
+                let credits = up_router.output_credit(up_state.output_vc);
+                let input = down_state.input_vc;
+                let buffered =
+                    self.routers[down.node.index()].vcm(input.port).occupancy(input.vc);
+                let key = (down.node, input.port);
+                let mut in_layer =
+                    self.llr.as_ref().map_or(0, |llr| llr.pending_for(key, conn.id));
+                // Wires with multi-cycle latency would hold flits here;
+                // with the 1-cycle wires this is empty between steps.
+                in_layer += self
+                    .in_flight
+                    .iter()
+                    .filter(|f| f.to == down.node && f.port == input.port && f.vc == input.vc)
+                    .count();
+                let depth = up_router.vc_depth();
+                if credits as usize + buffered + in_layer != depth {
+                    aud.report(AuditViolation::CreditConservation {
+                        router: up.node.0,
+                        conn: up.local,
+                        credits,
+                        buffered,
+                        in_flight: in_layer,
+                        depth,
+                    });
+                }
+            }
+        }
+        if self.audit_enforce && !aud.is_clean() {
+            panic!("MMR_AUDIT: invariant violated at cycle {}: {}", now.count(), aud.summary());
+        }
+        self.auditor = Some(aud);
     }
 }
 
@@ -976,6 +1371,182 @@ mod tests {
             net.step(Cycles(t));
         }
         assert_eq!(net.stats().packets_delivered, 20, "blocked packets retry until done");
+    }
+}
+
+#[cfg(test)]
+mod fault_plane_tests {
+    use super::*;
+    use crate::setup::SetupStrategy;
+    use mmr_core::{AuditConfig, LlrConfig};
+    use mmr_sim::Bandwidth;
+
+    fn mesh_net() -> NetworkSim {
+        let topology = Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget");
+        let cfg = RouterConfig::paper_default().vcs_per_port(16).vc_depth(4).candidates(4);
+        NetworkSim::new(topology, cfg)
+    }
+
+    fn cbr(mbps: f64) -> QosClass {
+        QosClass::Cbr { rate: Bandwidth::from_mbps(mbps) }
+    }
+
+    /// The receiving wire endpoint of the connection's `hop`-th router
+    /// (hop 0 is the source, so pass 1+ to land on an inter-router wire).
+    fn wire_endpoint(net: &NetworkSim, id: NetConnectionId, hop: usize) -> (NodeId, PortId) {
+        let conn = net.connection(id).expect("live connection");
+        let h = &conn.hops[hop];
+        let state = net.router(h.node).connection(h.local).expect("hop is mapped");
+        (h.node, state.input_vc.port)
+    }
+
+    /// Drives `net` for `cycles`, injecting one flit every 4 cycles on `id`;
+    /// returns (injected, delivered, out-of-order observed).
+    fn drive(net: &mut NetworkSim, id: NetConnectionId, cycles: u64) -> (u64, u64) {
+        let mut injected = 0;
+        let mut delivered = 0;
+        for t in 0..cycles {
+            if t % 4 == 0 && net.can_inject(id) {
+                net.inject(id, Cycles(t)).expect("room");
+                injected += 1;
+            }
+            delivered += net.step(Cycles(t)).delivered.len() as u64;
+        }
+        (injected, delivered)
+    }
+
+    #[test]
+    fn llr_leaves_fault_free_timing_untouched() {
+        let run = |llr: bool| {
+            let mut net = mesh_net();
+            if llr {
+                net.enable_llr(LlrConfig::default());
+            }
+            let id = net
+                .establish(NodeId(0), NodeId(8), cbr(620.0), SetupStrategy::Epb)
+                .expect("path exists");
+            let mut log = Vec::new();
+            for t in 0..300u64 {
+                if t % 4 == 0 && net.can_inject(id) {
+                    net.inject(id, Cycles(t)).expect("room");
+                }
+                for d in net.step(Cycles(t)).delivered {
+                    log.push((d.flit.seq, d.latency));
+                }
+            }
+            log
+        };
+        assert_eq!(run(false), run(true), "LLR is timing-transparent without faults");
+    }
+
+    #[test]
+    fn unprotected_corruption_reaches_the_destination() {
+        let mut net = mesh_net();
+        let id = net
+            .establish(NodeId(0), NodeId(2), cbr(620.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let (node, port) = wire_endpoint(&net, id, 1);
+        for _ in 0..3 {
+            net.arm_transient(node, port, TransientKind::Corrupt).expect("wire endpoint");
+        }
+        let (injected, delivered) = drive(&mut net, id, 200);
+        assert_eq!(injected, delivered, "corrupt flits still arrive, just damaged");
+        assert_eq!(net.stats().flits_corrupted, 3);
+        assert_eq!(net.stats().undetected_corruptions, 3, "no LLR: silent corruption");
+    }
+
+    #[test]
+    fn llr_catches_and_replays_corrupted_flits() {
+        let mut net = mesh_net();
+        net.enable_llr(LlrConfig::default());
+        let id = net
+            .establish(NodeId(0), NodeId(2), cbr(620.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let (node, port) = wire_endpoint(&net, id, 1);
+        for _ in 0..3 {
+            net.arm_transient(node, port, TransientKind::Corrupt).expect("wire endpoint");
+        }
+        let (injected, delivered) = drive(&mut net, id, 240);
+        assert_eq!(injected, delivered, "every flit eventually delivered");
+        assert_eq!(net.stats().undetected_corruptions, 0, "link CRC caught every hit");
+        assert_eq!(net.stats().out_of_order, 0, "go-back-N preserves order");
+        assert!(net.stats().flits_retransmitted >= 3, "each hit forced a replay");
+    }
+
+    #[test]
+    fn llr_recovers_dropped_flits() {
+        let mut net = mesh_net();
+        net.enable_llr(LlrConfig::default());
+        let id = net
+            .establish(NodeId(0), NodeId(2), cbr(620.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let (node, port) = wire_endpoint(&net, id, 1);
+        for _ in 0..4 {
+            net.arm_transient(node, port, TransientKind::Drop).expect("wire endpoint");
+        }
+        let (injected, delivered) = drive(&mut net, id, 300);
+        assert_eq!(injected, delivered, "drops are replayed, nothing lost");
+        assert_eq!(net.stats().flits_dropped, 4);
+        assert_eq!(net.stats().flits_lost, 0);
+        assert_eq!(net.stats().out_of_order, 0);
+    }
+
+    #[test]
+    fn auditor_stays_clean_on_a_healthy_run() {
+        let mut net = mesh_net();
+        net.enable_audit(AuditConfig::default());
+        let id = net
+            .establish(NodeId(0), NodeId(8), cbr(620.0), SetupStrategy::Epb)
+            .expect("path exists");
+        drive(&mut net, id, 300);
+        let aud = net.auditor().expect("enabled");
+        assert!(aud.checks() > 0, "the auditor actually ran");
+        assert!(aud.is_clean(), "healthy run: {}", aud.summary());
+    }
+
+    #[test]
+    fn auditor_flags_the_credit_leak_of_an_unprotected_drop() {
+        let mut net = mesh_net();
+        net.enable_audit(AuditConfig::default());
+        let id = net
+            .establish(NodeId(0), NodeId(2), cbr(620.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let (node, port) = wire_endpoint(&net, id, 1);
+        net.arm_transient(node, port, TransientKind::Drop).expect("wire endpoint");
+        drive(&mut net, id, 200);
+        let aud = net.auditor().expect("enabled");
+        assert!(!aud.is_clean(), "a dropped flit without LLR leaks a credit forever");
+        assert!(
+            aud.violations()
+                .iter()
+                .any(|v| matches!(v, AuditViolation::CreditConservation { .. })),
+            "the leak shows up as a conservation break: {}",
+            aud.summary()
+        );
+    }
+
+    #[test]
+    fn llr_keeps_the_conservation_audit_clean_under_faults() {
+        let mut net = mesh_net();
+        net.enable_llr(LlrConfig::default());
+        net.enable_audit(AuditConfig::default());
+        let id = net
+            .establish(NodeId(0), NodeId(2), cbr(620.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let (node, port) = wire_endpoint(&net, id, 1);
+        net.arm_transient(node, port, TransientKind::Drop).expect("wire endpoint");
+        net.arm_transient(node, port, TransientKind::Corrupt).expect("wire endpoint");
+        drive(&mut net, id, 300);
+        let aud = net.auditor().expect("enabled");
+        assert!(aud.is_clean(), "the retry layer conserves credits: {}", aud.summary());
+        assert_eq!(net.stats().undetected_corruptions, 0);
+    }
+
+    #[test]
+    fn transients_on_a_terminal_port_are_rejected() {
+        let mut net = mesh_net();
+        let terminal = net.topology().terminal_port(NodeId(0)).expect("terminal exists");
+        assert!(net.arm_transient(NodeId(0), terminal, TransientKind::Drop).is_err());
     }
 }
 
