@@ -47,6 +47,24 @@ where
     }
 }
 
+/// Times a full `mmr-lint` pass over the workspace (the same analysis the
+/// CI lint wall runs). The linter is part of the edit-compile-test loop, so
+/// its wall-clock is tracked alongside the figure pipeline; the committed
+/// baseline stays well under the 2 s budget DESIGN.md §7 promises.
+fn bench_lint() -> (f64, usize, bool) {
+    // sweepbench may be invoked from any directory; the workspace root is
+    // two levels above this crate's manifest.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the workspace root")
+        .to_path_buf();
+    let manifest = mmr_lint::load_manifest(&root.join("lint.toml")).expect("lint.toml parses");
+    let start = Instant::now();
+    let diags = mmr_lint::check_workspace(&root, &manifest).expect("workspace walk succeeds");
+    (start.elapsed().as_secs_f64(), diags.len(), diags.is_empty())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -107,7 +125,14 @@ fn main() {
         json.push_str(&format!("      \"byte_identical\": {}\n", f.identical));
         json.push_str(if i + 1 == figures.len() { "    }\n" } else { "    },\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    let (lint_secs, lint_diags, lint_clean) = bench_lint();
+    json.push_str("  \"lint\": {\n");
+    json.push_str(&format!("    \"secs\": {lint_secs:.3},\n"));
+    json.push_str(&format!("    \"diagnostics\": {lint_diags},\n"));
+    json.push_str(&format!("    \"clean\": {lint_clean}\n"));
+    json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("write benchmark baseline");
     print!("{json}");
@@ -115,6 +140,10 @@ fn main() {
 
     if figures.iter().any(|f| !f.identical) {
         eprintln!("FAIL: parallel output diverged from serial output");
+        std::process::exit(1);
+    }
+    if !lint_clean {
+        eprintln!("FAIL: mmr-lint found {lint_diags} diagnostic(s); run `cargo run -p mmr-lint`");
         std::process::exit(1);
     }
 }

@@ -120,9 +120,12 @@ impl Candidate {
 /// Sorts candidates into scheduling order (see [`Candidate::rank_before`]).
 pub fn sort_candidates(cands: &mut [Candidate]) {
     cands.sort_by(|a, b| {
+        // total_cmp gives a total order even for non-finite priorities, so
+        // the sort can never panic; NaN sorts above +inf and keeps the
+        // (phase, vc) tie-breaks deterministic either way.
         a.phase
             .cmp(&b.phase)
-            .then(b.priority.partial_cmp(&a.priority).expect("priorities are finite"))
+            .then(b.priority.total_cmp(&a.priority))
             .then(a.vc.cmp(&b.vc))
     });
 }

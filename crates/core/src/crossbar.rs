@@ -60,7 +60,9 @@ impl Crossbar {
     ///
     /// Panics if `ports` or `phits_per_flit` is zero.
     pub fn new(ports: usize, phits_per_flit: u16) -> Self {
+        // mmr-lint: allow(P-PANIC, reason="construction-time config validation (documented # Panics contract), not on the flit-cycle path")
         assert!(ports > 0, "crossbar needs at least one port");
+        // mmr-lint: allow(P-PANIC, reason="construction-time config validation (documented # Panics contract), not on the flit-cycle path")
         assert!(phits_per_flit > 0, "a flit is at least one phit");
         Crossbar {
             ports,

@@ -60,7 +60,12 @@ pub enum CommandWord {
     SetPriority(u8),
     /// Scale the connection's inter-arrival period by `num/den`
     /// (data-rate change requested by the source interface).
-    ScaleRate { num: u16, den: u16 },
+    ScaleRate {
+        /// Numerator of the period scale factor.
+        num: u16,
+        /// Denominator of the period scale factor (nonzero).
+        den: u16,
+    },
     /// Abort the current frame: drop any queued flits of this connection
     /// ("the network interface may decide to abort the transmission of that
     /// frame").

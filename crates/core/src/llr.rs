@@ -86,6 +86,7 @@ impl Default for LlrConfig {
 impl LlrConfig {
     /// Overrides the replay window.
     pub fn window(mut self, window: usize) -> Self {
+        // mmr-lint: allow(P-PANIC, reason="construction-time config validation, not on the flit-cycle path")
         assert!(window > 0, "LLR window must hold at least one frame");
         self.window = window;
         self
@@ -223,8 +224,7 @@ impl<F: LlrFrame> LlrSender<F> {
             self.last_progress = now;
         }
         if let Some(c) = self.cursor {
-            if c < self.replay.len() {
-                let frame = self.replay[c].clone();
+            if let Some(frame) = self.replay.get(c).cloned() {
                 self.cursor = if c + 1 < self.replay.len() { Some(c + 1) } else { None };
                 self.stats.retransmitted += 1;
                 return Some((frame, true));

@@ -289,6 +289,10 @@ pub enum InjectError {
     UnknownConnection(ConnectionId),
     /// The input VC buffer is full — link-level flow control backpressure.
     BufferFull(ConnectionId),
+    /// The connection's input VC is not present in the VC memory: the
+    /// connection table and the VCM disagree. An internal inconsistency,
+    /// surfaced as a typed error rather than a hot-path panic.
+    InvalidVc(ConnectionId),
 }
 
 impl std::fmt::Display for InjectError {
@@ -296,6 +300,7 @@ impl std::fmt::Display for InjectError {
         match self {
             InjectError::UnknownConnection(c) => write!(f, "{c} is not established"),
             InjectError::BufferFull(c) => write!(f, "input buffer of {c} is full"),
+            InjectError::InvalidVc(c) => write!(f, "input VC of {c} is not in the VC memory"),
         }
     }
 }
@@ -376,10 +381,11 @@ pub struct RouterStats {
     pub reconfigurations: u64,
     /// VCM bank-budget violations (should be zero when sized correctly).
     pub bank_conflicts: u64,
-    /// Scheduler matchings or packet completions that named a connection no
-    /// longer in the table (stale state after a teardown). These were
-    /// previously hot-path panics; now they are counted and the flit is
-    /// dropped, leaving the invariant auditor to flag the stream.
+    /// Scheduler matchings, packet completions, or fresh reservations that
+    /// named a connection or VC no longer consistent with the table (stale
+    /// state after a teardown). These were previously hot-path panics; now
+    /// they are counted and the flit is dropped, leaving the invariant
+    /// auditor to flag the stream.
     pub ghost_matches: u64,
 }
 
@@ -441,9 +447,13 @@ impl Router {
     ///
     /// Panics if any dimension is zero or inconsistent.
     pub fn new(cfg: RouterConfig) -> Self {
+        // mmr-lint: allow(P-PANIC, reason="construction-time config validation (documented # Panics contract), not on the flit-cycle path")
         assert!(cfg.ports > 0, "router needs at least one port");
+        // mmr-lint: allow(P-PANIC, reason="construction-time config validation (documented # Panics contract), not on the flit-cycle path")
         assert!(cfg.vcs_per_port > 0, "router needs at least one VC per port");
+        // mmr-lint: allow(P-PANIC, reason="construction-time config validation (documented # Panics contract), not on the flit-cycle path")
         assert!(cfg.candidates > 0, "candidate set must be non-empty");
+        // mmr-lint: allow(P-PANIC, reason="construction-time config validation (documented # Panics contract), not on the flit-cycle path")
         assert!(
             cfg.candidates <= usize::from(cfg.vcs_per_port),
             "cannot offer more candidates than virtual channels"
@@ -812,9 +822,7 @@ impl Router {
                 Ok(())
             }
             Err(VcmError::BufferFull { .. }) => Err(InjectError::BufferFull(conn)),
-            Err(VcmError::NoSuchVc { .. }) => {
-                unreachable!("established connections always map to valid VCs")
-            }
+            Err(VcmError::NoSuchVc { .. }) => Err(InjectError::InvalidVc(conn)),
         }
     }
 
@@ -846,9 +854,7 @@ impl Router {
                 Ok(())
             }
             Err(VcmError::BufferFull { .. }) => Err(InjectError::BufferFull(conn)),
-            Err(VcmError::NoSuchVc { .. }) => {
-                unreachable!("established connections always map to valid VCs")
-            }
+            Err(VcmError::NoSuchVc { .. }) => Err(InjectError::InvalidVc(conn)),
         }
     }
 
@@ -898,7 +904,14 @@ impl Router {
         let id = self
             .establish(ConnectionRequest { input, output, class })
             .map_err(|_| PacketError::Blocked)?;
-        self.inject_kind(id, kind, now).expect("freshly reserved VC has room");
+        if self.inject_kind(id, kind, now).is_err() {
+            // A freshly reserved VC should have room; if the first flit
+            // bounces, the table and VCM disagree. Release the reservation,
+            // count the ghost, and report backpressure instead of panicking.
+            let _ = self.teardown(id);
+            self.ghost_matches += 1;
+            return Err(PacketError::Blocked);
+        }
         Ok(PacketOutcome::Buffered(id))
     }
 
@@ -927,6 +940,7 @@ impl Router {
     ///
     /// Callers advance `now` by one cycle per call; the round boundary and
     /// all per-cycle state derive from it.
+    // mmr-lint: hot
     pub fn step(&mut self, now: Cycles) -> StepReport {
         let ports = usize::from(self.cfg.ports);
         self.cycles_run += 1;
@@ -1005,6 +1019,7 @@ impl Router {
         for pair in &pairs {
             if let Some(t) = self.transmit(pair, now, &mut completed_packets) {
                 outputs_used |= 1 << t.output_vc.port.index();
+                // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
                 report.transmitted.push(t);
             }
         }
@@ -1030,6 +1045,7 @@ impl Router {
         report
     }
 
+    // mmr-lint: hot
     fn transmit(
         &mut self,
         pair: &MatchedPair,
@@ -1093,6 +1109,7 @@ impl Router {
         }
 
         if is_packet {
+            // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
             completed_packets.push(pair.conn);
         }
 

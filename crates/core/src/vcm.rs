@@ -98,8 +98,11 @@ impl VirtualChannelMemory {
     ///
     /// Panics if `vcs`, `depth` or `banks` is zero.
     pub fn new(vcs: usize, depth: usize, banks: usize) -> Self {
+        // mmr-lint: allow(P-PANIC, reason="construction-time config validation (documented # Panics contract), not on the flit-cycle path")
         assert!(vcs > 0, "need at least one virtual channel");
+        // mmr-lint: allow(P-PANIC, reason="construction-time config validation (documented # Panics contract), not on the flit-cycle path")
         assert!(depth > 0, "virtual channel depth must be positive");
+        // mmr-lint: allow(P-PANIC, reason="construction-time config validation (documented # Panics contract), not on the flit-cycle path")
         assert!(banks > 0, "need at least one memory bank");
         VirtualChannelMemory {
             queues: vec![VcQueue::default(); vcs],

@@ -1,0 +1,536 @@
+//! The analysis engine: applies every rule to one lexed file, honoring
+//! `#[cfg(test)]` regions, `// mmr-lint: hot` function annotations, and
+//! `// mmr-lint: allow(...)` escape hatches.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use crate::manifest::Manifest;
+
+/// Parsed `mmr-lint: allow(RULE, reason="...")` annotation.
+#[derive(Debug)]
+struct Allow {
+    rule: Rule,
+    /// Source line the annotation suppresses diagnostics on.
+    target_line: u32,
+    /// Line the annotation itself sits on (for L-UNUSED reporting).
+    own_line: u32,
+    used: bool,
+}
+
+/// Half-open token-index range.
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    start: usize,
+    end: usize,
+}
+
+impl Region {
+    fn contains(&self, i: usize) -> bool {
+        i >= self.start && i < self.end
+    }
+}
+
+/// Lints one file. `path` is the workspace-relative `/`-separated path used
+/// for designation lookups and in diagnostics.
+pub fn check_file(path: &str, src: &str, manifest: &Manifest) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut hot_lines: Vec<u32> = Vec::new();
+
+    // Pass 1: interpret annotation comments.
+    for c in &lexed.comments {
+        parse_annotations(c, tokens, &mut allows, &mut hot_lines, &mut diags, path);
+    }
+
+    let test_regions = find_test_regions(tokens);
+    let hot_regions = find_hot_regions(tokens, &hot_lines);
+    let in_test = |i: usize| test_regions.iter().any(|r| r.contains(i));
+    let in_hot = |i: usize| hot_regions.iter().any(|r| r.contains(i));
+
+    // Pass 2: token-pattern rules.
+    let panic_free = manifest.is_panic_free(path);
+    let index_free = manifest.is_index_free(path);
+    let accounting = manifest.is_accounting(path);
+    let time_exempt = manifest.is_time_exempt(path);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut push = |line: u32, rule: Rule, message: String| {
+        raw.push(Diagnostic { file: path.to_string(), line, rule, message });
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident && !(t.kind == TokenKind::Float && accounting) {
+            // The only non-ident trigger besides floats is `[` (P-INDEX).
+            if index_free && !in_test(i) && t.is_punct('[') && is_index_expr(tokens, i) {
+                push(t.line, Rule::PIndex, "bare slice indexing; use get()/get_mut()".into());
+            }
+            continue;
+        }
+        if in_test(i) {
+            continue;
+        }
+        let next = tokens.get(i + 1);
+        let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
+
+        // --- D-lints -----------------------------------------------------
+        if t.kind == TokenKind::Float && accounting {
+            push(
+                t.line,
+                Rule::DFloat,
+                format!("float literal `{}` in integer-ledger accounting module", t.text),
+            );
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => {
+                push(t.line, Rule::DHash, format!("use of `{}` (nondeterministic iteration order)", t.text));
+            }
+            "SystemTime" | "Instant" if !time_exempt => {
+                push(t.line, Rule::DTime, format!("use of `std::time::{}` in simulation code", t.text));
+            }
+            "time" if !time_exempt && is_path_seg(tokens, i, "std") && !next_seg_is(tokens, i, "Duration") => {
+                push(t.line, Rule::DTime, "use of `std::time` in simulation code".into());
+            }
+            "from_entropy" | "thread_rng" | "ThreadRng" | "OsRng" | "getrandom" => {
+                push(
+                    t.line,
+                    Rule::DRng,
+                    format!("seed-free RNG construction `{}`; derive seeds via point_seed", t.text),
+                );
+            }
+            "f32" | "f64" if accounting && !is_cast_suffix_context(tokens, i) => {
+                push(t.line, Rule::DFloat, format!("`{}` type in integer-ledger accounting module", t.text));
+            }
+            _ => {}
+        }
+
+        // --- P-lints -----------------------------------------------------
+        if panic_free {
+            let is_call = next.is_some_and(|n| n.is_punct('('));
+            let after_dot = prev.is_some_and(|p| p.is_punct('.'));
+            match t.text.as_str() {
+                "unwrap" if after_dot && is_call => {
+                    push(t.line, Rule::PUnwrap, "call to `.unwrap()` in panic-free module".into());
+                }
+                "expect" if after_dot && is_call => {
+                    push(t.line, Rule::PExpect, "call to `.expect(..)` in panic-free module".into());
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" | "assert" | "assert_eq"
+                | "assert_ne"
+                    if next.is_some_and(|n| n.is_punct('!')) && !after_dot =>
+                {
+                    push(t.line, Rule::PPanic, format!("`{}!` in panic-free module", t.text));
+                }
+                _ => {}
+            }
+        }
+
+        // --- A-lints -----------------------------------------------------
+        if in_hot(i) {
+            let is_call = next.is_some_and(|n| n.is_punct('('));
+            let after_dot = prev.is_some_and(|p| p.is_punct('.'));
+            let is_macro = next.is_some_and(|n| n.is_punct('!'));
+            match t.text.as_str() {
+                "new" | "from" | "with_capacity"
+                    if is_call && is_alloc_type_path(tokens, i) =>
+                {
+                    let ty = tokens[i - 2].text.clone();
+                    push(t.line, Rule::AAlloc, format!("`{}::{}(..)` allocates in hot function", ty, t.text));
+                }
+                "to_vec" | "to_string" | "to_owned" | "collect" | "with_capacity"
+                    if is_call && after_dot =>
+                {
+                    push(t.line, Rule::AAlloc, format!("`.{}()` allocates in hot function", t.text));
+                }
+                "format" | "vec" if is_macro => {
+                    push(t.line, Rule::AAlloc, format!("`{}!` allocates in hot function", t.text));
+                }
+                "push" | "push_back" | "push_front" | "insert" | "extend" | "resize"
+                | "append"
+                    if is_call && after_dot =>
+                {
+                    push(
+                        t.line,
+                        Rule::APush,
+                        format!("`.{}(..)` may grow/reallocate in hot function", t.text),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Pass 3: apply allow-annotations; leftover allows become L-UNUSED.
+    for d in raw {
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.rule == d.rule && a.target_line == d.line {
+                a.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            diags.push(d);
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line: a.own_line,
+                rule: Rule::LUnused,
+                message: format!("allow({}) suppressed no diagnostic; remove it", a.rule.id()),
+            });
+        }
+    }
+
+    diags.sort();
+    diags
+}
+
+/// Parses `mmr-lint:` annotations out of one comment. Malformed annotations
+/// become L-REASON diagnostics immediately.
+fn parse_annotations(
+    c: &Comment,
+    tokens: &[Token],
+    allows: &mut Vec<Allow>,
+    hot_lines: &mut Vec<u32>,
+    diags: &mut Vec<Diagnostic>,
+    path: &str,
+) {
+    // Only comments that BEGIN with the marker are annotations; prose that
+    // mentions `mmr-lint:` mid-sentence (docs, this linter's own source) is
+    // not. The grammar is documented in DESIGN.md §7.
+    let Some(rest) = c.text.strip_prefix("mmr-lint:") else { return };
+    let body = rest.trim();
+    if body == "hot" || body.starts_with("hot ") {
+        // Marks the next `fn` (same line for trailing comments).
+        hot_lines.push(c.line);
+        return;
+    }
+    if let Some(rest) = body.strip_prefix("allow") {
+        match parse_allow(rest.trim()) {
+            Ok(rule) => {
+                let target_line = if c.trailing {
+                    c.line
+                } else {
+                    // Standalone comment: covers the next line holding code.
+                    tokens
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .unwrap_or(c.line)
+                };
+                allows.push(Allow { rule, target_line, own_line: c.line, used: false });
+            }
+            Err(why) => diags.push(Diagnostic {
+                file: path.to_string(),
+                line: c.line,
+                rule: Rule::LReason,
+                message: why,
+            }),
+        }
+    } else {
+        diags.push(Diagnostic {
+            file: path.to_string(),
+            line: c.line,
+            rule: Rule::LReason,
+            message: format!("unrecognized mmr-lint annotation `{body}`; expected `hot` or `allow(RULE, reason=\"...\")`"),
+        });
+    }
+}
+
+/// Parses `(RULE-ID, reason="non-empty")`. Returns the rule or a message
+/// explaining the malformation.
+fn parse_allow(s: &str) -> Result<Rule, String> {
+    let inner = s
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| "allow annotation must be `allow(RULE, reason=\"...\")`".to_string())?;
+    let (rule_part, reason_part) = inner
+        .split_once(',')
+        .ok_or_else(|| "allow annotation missing `, reason=\"...\"`".to_string())?;
+    let rule = Rule::from_id(rule_part.trim())
+        .ok_or_else(|| format!("unknown rule `{}` in allow annotation", rule_part.trim()))?;
+    let reason = reason_part
+        .trim()
+        .strip_prefix("reason=")
+        .ok_or_else(|| "allow annotation missing `reason=` key".to_string())?
+        .trim();
+    let quoted = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "allow reason must be a quoted string".to_string())?;
+    if quoted.trim().is_empty() {
+        return Err("allow reason must be non-empty".to_string());
+    }
+    Ok(rule)
+}
+
+/// Finds token regions covered by `#[cfg(test)]` / `#[test]` attributes:
+/// the attribute plus the item it annotates (brace-matched, or up to `;`
+/// for brace-less items).
+fn find_test_regions(tokens: &[Token]) -> Vec<Region> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Scan the attribute body for `test` / `cfg(..test..)`.
+            let mut j = i + 2;
+            let mut depth = 1u32;
+            let mut is_test_attr = false;
+            while j < tokens.len() && depth > 0 {
+                let t = &tokens[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_ident("test") || t.is_ident("tests") {
+                    is_test_attr = true;
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // Skip any further attributes, then the item itself.
+                let mut k = j;
+                while k < tokens.len()
+                    && tokens[k].is_punct('#')
+                    && tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let mut d = 1u32;
+                    k += 2;
+                    while k < tokens.len() && d > 0 {
+                        if tokens[k].is_punct('[') {
+                            d += 1;
+                        } else if tokens[k].is_punct(']') {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                }
+                let end = skip_item(tokens, k);
+                regions.push(Region { start: i, end });
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Given the first token of an item, returns the index one past its end:
+/// past the matching `}` of its first brace at depth 0, or past the first
+/// top-level `;` for brace-less items (`use`, `type`, …).
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    let mut paren = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct(';') && paren <= 0 {
+            return i + 1;
+        } else if t.is_punct('{') && paren <= 0 {
+            let mut depth = 1i32;
+            i += 1;
+            while i < tokens.len() && depth > 0 {
+                if tokens[i].is_punct('{') {
+                    depth += 1;
+                } else if tokens[i].is_punct('}') {
+                    depth -= 1;
+                }
+                i += 1;
+            }
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Finds body regions of functions marked with `// mmr-lint: hot`: for each
+/// annotation line, the next `fn` token at or after it, then its
+/// brace-matched body.
+fn find_hot_regions(tokens: &[Token], hot_lines: &[u32]) -> Vec<Region> {
+    let mut regions = Vec::new();
+    for &line in hot_lines {
+        let Some(fn_idx) = tokens
+            .iter()
+            .position(|t| t.is_ident("fn") && t.line >= line)
+        else {
+            continue;
+        };
+        let end = skip_item(tokens, fn_idx);
+        regions.push(Region { start: fn_idx, end });
+    }
+    regions
+}
+
+/// Whether the `[` at index `i` opens an index expression: the previous
+/// significant token is an identifier, `)`, or `]` (a value), not a type or
+/// attribute position.
+fn is_index_expr(tokens: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|j| tokens.get(j)) else { return false };
+    match prev.kind {
+        TokenKind::Ident => !matches!(
+            prev.text.as_str(),
+            // Keyword before `[` means array/slice literal position.
+            "return" | "in" | "if" | "while" | "match" | "else" | "mut" | "ref" | "as" | "dyn"
+        ),
+        TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+        _ => false,
+    }
+}
+
+/// Whether token `i` (`new`/`from`/`with_capacity`) completes an allocating
+/// `Type::ctor` path: tokens `i-2`/`i-1` are an allocating type name and
+/// `::`.
+fn is_alloc_type_path(tokens: &[Token], i: usize) -> bool {
+    let Some(colons) = i.checked_sub(1).and_then(|j| tokens.get(j)) else { return false };
+    let Some(ty) = i.checked_sub(2).and_then(|j| tokens.get(j)) else { return false };
+    colons.text == "::"
+        && matches!(
+            ty.text.as_str(),
+            "Vec" | "VecDeque" | "Box" | "String" | "BTreeMap" | "BTreeSet" | "HashMap"
+                | "HashSet" | "Rc" | "Arc"
+        )
+}
+
+/// Whether the `std` two tokens back makes `t` part of a `std::time` path.
+fn is_path_seg(tokens: &[Token], i: usize, root: &str) -> bool {
+    i >= 2 && tokens[i - 1].text == "::" && tokens[i - 2].is_ident(root)
+}
+
+/// Whether the path continues `::<seg>` after token `i`.
+fn next_seg_is(tokens: &[Token], i: usize, seg: &str) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.text == "::")
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident(seg))
+}
+
+/// Whether an `f32`/`f64` ident is an `as` cast target or generic turbofish
+/// used for *display-only* conversion — still flagged in accounting modules;
+/// this hook exists so the policy is explicit and testable. Currently only
+/// exempts `size_of::<f64>()`-style metadata queries.
+fn is_cast_suffix_context(tokens: &[Token], i: usize) -> bool {
+    // `size_of::<f64>` / `align_of::<f64>`
+    i >= 3
+        && tokens[i - 1].text == "<"
+        && tokens[i - 2].text == "::"
+        && tokens
+            .get(i - 3)
+            .is_some_and(|t| t.is_ident("size_of") || t.is_ident("align_of"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest_all(path: &str) -> Manifest {
+        Manifest::parse(&format!(
+            "[panic_free]\nmodules = [\"{path}\"]\n[index_free]\nmodules = [\"{path}\"]\n[accounting]\nmodules = [\"{path}\"]\n"
+        ))
+        .expect("manifest parses")
+    }
+
+    fn run(src: &str) -> Vec<String> {
+        let m = manifest_all("a.rs");
+        check_file("a.rs", src, &m).iter().map(|d| d.render()).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_only_outside_tests() {
+        let out = run("fn f(x: Option<u8>) -> u8 { x.unwrap() }\n#[cfg(test)]\nmod t { fn g(x: Option<u8>) { x.unwrap(); } }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("P-UNWRAP"));
+        assert!(out[0].starts_with("a.rs:1:"));
+    }
+
+    #[test]
+    fn unwrap_or_not_flagged() {
+        assert!(run("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }").is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let out = run("fn f(x: Option<u8>) -> u8 { x.unwrap() } // mmr-lint: allow(P-UNWRAP, reason=\"test scaffold\")");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let out = run("// mmr-lint: allow(P-UNWRAP, reason=\"demo\")\nfn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_l_reason() {
+        let out = run("fn f(x: Option<u8>) -> u8 { x.unwrap() } // mmr-lint: allow(P-UNWRAP)");
+        assert!(out.iter().any(|d| d.contains("L-REASON")), "{out:?}");
+        assert!(out.iter().any(|d| d.contains("P-UNWRAP")), "{out:?}");
+    }
+
+    #[test]
+    fn stale_allow_is_l_unused() {
+        let out = run("fn f() {} // mmr-lint: allow(P-UNWRAP, reason=\"gone\")");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("L-UNUSED"));
+    }
+
+    #[test]
+    fn hot_function_allocation_flagged() {
+        let src = "// mmr-lint: hot\nfn step(&mut self) { let v = Vec::new(); self.buf.push(1); }\nfn cold(&mut self) { let v = Vec::new(); }";
+        let out = run(src);
+        assert!(out.iter().any(|d| d.contains("A-ALLOC") && d.contains(":2:")), "{out:?}");
+        assert!(out.iter().any(|d| d.contains("A-PUSH") && d.contains(":2:")), "{out:?}");
+        assert!(!out.iter().any(|d| d.contains(":3:")), "{out:?}");
+    }
+
+    #[test]
+    fn indexing_heuristic() {
+        let out = run("fn f(xs: &[u8], i: usize) -> u8 { xs[i] }");
+        assert!(out.iter().any(|d| d.contains("P-INDEX")), "{out:?}");
+        // Attribute and array-type brackets are not index expressions.
+        let out = run("#[derive(Clone)]\nstruct S { a: [u8; 4] }");
+        assert!(!out.iter().any(|d| d.contains("P-INDEX")), "{out:?}");
+    }
+
+    #[test]
+    fn float_in_accounting() {
+        let out = run("fn f() -> f64 { 1.5 }");
+        assert!(out.iter().any(|d| d.contains("D-FLOAT") && d.contains("f64")), "{out:?}");
+        assert!(out.iter().any(|d| d.contains("D-FLOAT") && d.contains("1.5")), "{out:?}");
+    }
+
+    #[test]
+    fn hash_and_time_and_rng() {
+        let out = run("use std::collections::HashMap;\nfn f() { let t = std::time::Instant::now(); }\nfn g() { let r = thread_rng(); }");
+        assert!(out.iter().any(|d| d.contains("D-HASH")), "{out:?}");
+        assert!(out.iter().any(|d| d.contains("D-TIME")), "{out:?}");
+        assert!(out.iter().any(|d| d.contains("D-RNG")), "{out:?}");
+    }
+
+    #[test]
+    fn duration_alone_is_not_flagged() {
+        let out = run("use std::time::Duration;\nfn f(d: Duration) {}");
+        assert!(!out.iter().any(|d| d.contains("D-TIME")), "{out:?}");
+    }
+
+    #[test]
+    fn debug_assert_is_fine_but_assert_is_not() {
+        let out = run("fn f(x: u8) { debug_assert!(x > 0); assert!(x > 0); }");
+        let panics: Vec<_> = out.iter().filter(|d| d.contains("P-PANIC")).collect();
+        assert_eq!(panics.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn trigger_words_in_strings_and_comments_ignored() {
+        let out = run("// HashMap unwrap panic!\nfn f() { let s = \"Instant::now() .unwrap()\"; }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,473 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! lint rules.
+//!
+//! The linter must never be confused by rule trigger words appearing inside
+//! comments, doc examples, or string literals, so the lexer handles the full
+//! lexical grammar for those forms: nested block comments, raw strings with
+//! arbitrarily many `#`s, byte/char literals, and lifetimes. Everything else
+//! (identifiers, numbers, punctuation) is tokenized shallowly; the rules
+//! work on token sequences, not on a parse tree. This keeps the tool
+//! dependency-free and fast (<2 s over the workspace), consistent with the
+//! vendored-deps policy: no `syn`, no `proc-macro2`, no registry crates.
+
+/// What a token is, lexically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000`).
+    Int,
+    /// Floating-point literal (`1.0`, `2e9`, `0.5f64`).
+    Float,
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One punctuation character (`.`, `(`, `[`, `!`, …).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The token text (owned; files are small and lexed once).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment with its source position (line `//` and block `/* */` alike,
+/// including doc comments). Comments carry the lint annotations
+/// (`mmr-lint: hot`, `mmr-lint: allow(...)`), so the lexer surfaces them as
+/// a side channel instead of discarding them.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//`/`/*` framing, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether any non-whitespace code precedes the comment on its line
+    /// (trailing comments annotate their own line; standalone comments
+    /// annotate the next code line).
+    pub trailing: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes Rust source. Never fails: unterminated forms run to the end of
+/// the file (the compiler proper reports those; the linter only needs to not
+/// mis-scan).
+pub fn lex(src: &str) -> Lexed {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, line_had_code: false, out: Lexed::default() }
+        .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Whether a code token has been emitted on the current line.
+    line_had_code: bool,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_had_code = false;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b':' if self.peek(1) == Some(b':') => {
+                    // Merge `::` into one token so path patterns
+                    // (`Vec::new`, `std::time`) match on adjacent tokens.
+                    let start = self.pos;
+                    self.pos += 2;
+                    self.emit(TokenKind::Punct, start);
+                }
+                b'0'..=b'9' => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ => {
+                    // Multi-byte UTF-8 inside code is only legal in idents
+                    // and literals (both handled above); treat anything else
+                    // byte-wise as punctuation.
+                    let start = self.pos;
+                    self.pos += utf8_len(c);
+                    self.emit(TokenKind::Punct, start);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.tokens.push(Token { kind, text, line: self.line });
+        self.line_had_code = true;
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let trailing = self.line_had_code;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let body = String::from_utf8_lossy(&self.src[start..self.pos]);
+        let text = body.trim_start_matches('/').trim_start_matches('!').trim().to_string();
+        self.out.comments.push(Comment { text, line: start_line, trailing });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let trailing = self.line_had_code;
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.src.len() && depth > 0 {
+            match (self.src[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let body = String::from_utf8_lossy(&self.src[start..self.pos]);
+        let text = body
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start_matches('!')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .trim()
+            .to_string();
+        self.out.comments.push(Comment { text, line: start_line, trailing });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns false
+    /// when the `r`/`b` starts a plain identifier instead.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let start = self.pos;
+        let mut i = self.pos;
+        if self.src[i] == b'b' {
+            i += 1;
+        }
+        if self.src.get(i) == Some(&b'r') {
+            i += 1;
+        }
+        let mut hashes = 0usize;
+        while self.src.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        let raw = self.src.get(self.pos) == Some(&b'r')
+            || (self.src.get(self.pos) == Some(&b'b') && self.src.get(self.pos + 1) == Some(&b'r'));
+        match self.src.get(i) {
+            Some(b'"') if raw || hashes == 0 => {
+                if !raw && hashes > 0 {
+                    return false; // `b#...` is not a string start
+                }
+                self.pos = i + 1;
+                if raw {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    loop {
+                        match self.src.get(self.pos) {
+                            None => break,
+                            Some(b'\n') => {
+                                self.line += 1;
+                                self.pos += 1;
+                            }
+                            Some(b'"') => {
+                                self.pos += 1;
+                                let mut h = 0;
+                                while h < hashes && self.src.get(self.pos + h) == Some(&b'#') {
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    self.pos += hashes;
+                                    break;
+                                }
+                            }
+                            _ => self.pos += 1,
+                        }
+                    }
+                } else {
+                    self.cooked_string_tail();
+                }
+                self.emit(TokenKind::Literal, start);
+                true
+            }
+            Some(b'\'') if self.src.get(self.pos) == Some(&b'b') && hashes == 0 && !raw => {
+                // Byte char literal b'x'.
+                self.pos = i;
+                self.char_or_lifetime();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn string(&mut self) {
+        let start = self.pos;
+        self.pos += 1;
+        self.cooked_string_tail();
+        self.emit(TokenKind::Literal, start);
+    }
+
+    /// Consumes a cooked (escaped) string body up to and including the
+    /// closing quote.
+    fn cooked_string_tail(&mut self) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        // `'a` / `'static` are lifetimes unless followed by a closing quote
+        // (`'a'` is a char). `'\n'` and friends are always chars.
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => self.peek(2) != Some(b'\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            self.emit(TokenKind::Lifetime, start);
+            return;
+        }
+        // Char literal: skip escapes up to the closing quote.
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => break, // stray quote, bail
+                _ => self.pos += 1,
+            }
+        }
+        self.emit(TokenKind::Literal, start);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut float = false;
+        if self.src[self.pos] == b'0' && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.pos += 1;
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                self.pos += 1;
+            }
+            // Fractional part: a dot followed by a digit (so `x.0` tuple
+            // access and `1..n` ranges stay integers).
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                self.pos += 1;
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                    self.pos += 1;
+                }
+            }
+            // Exponent.
+            if self.peek(0).is_some_and(|c| c == b'e' || c == b'E') {
+                let mut j = 1;
+                if self.peek(1).is_some_and(|c| c == b'+' || c == b'-') {
+                    j = 2;
+                }
+                if self.peek(j).is_some_and(|c| c.is_ascii_digit()) {
+                    float = true;
+                    self.pos += j;
+                    while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                        self.pos += 1;
+                    }
+                }
+            }
+            // Type suffix (`1.0f64`, `1u32`).
+            if self.peek(0).is_some_and(|c| c.is_ascii_alphabetic()) {
+                let suffix_start = self.pos;
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    self.pos += 1;
+                }
+                let suffix = &self.src[suffix_start..self.pos];
+                if suffix.starts_with(b"f32") || suffix.starts_with(b"f64") {
+                    float = true;
+                }
+            }
+        }
+        self.emit(if float { TokenKind::Float } else { TokenKind::Int }, start);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+        {
+            self.pos += utf8_len(self.src[self.pos]);
+        }
+        self.emit(TokenKind::Ident, start);
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let l = lex("// HashMap in a comment\nfn f() {} /* SystemTime */");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("SystemTime")));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert!(!l.comments[0].trailing);
+        assert!(l.comments[1].trailing);
+    }
+
+    #[test]
+    fn nested_block_comments_close_properly() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_hide_trigger_words() {
+        assert!(!idents(r#"let s = "unwrap() HashMap";"#).contains(&"unwrap".to_string()));
+        assert!(!idents(r##"let s = r#"panic!"#;"##).contains(&"panic".to_string()));
+        assert!(!idents("let b = b\"expect(\";").contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> =
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokenKind::Literal).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn float_classification() {
+        let kinds: Vec<(String, TokenKind)> = lex("1.5 2e9 1.0f64 3f32 7 0xFF x.0 1..4")
+            .tokens
+            .into_iter()
+            .map(|t| (t.text, t.kind))
+            .collect();
+        let kind_of = |s: &str| kinds.iter().find(|(t, _)| t == s).map(|(_, k)| *k);
+        assert_eq!(kind_of("1.5"), Some(TokenKind::Float));
+        assert_eq!(kind_of("2e9"), Some(TokenKind::Float));
+        assert_eq!(kind_of("1.0f64"), Some(TokenKind::Float));
+        assert_eq!(kind_of("3f32"), Some(TokenKind::Float));
+        assert_eq!(kind_of("7"), Some(TokenKind::Int));
+        assert_eq!(kind_of("0xFF"), Some(TokenKind::Int));
+        // `x.0` lexes as ident, dot, integer — tuple access is not a float.
+        assert_eq!(kind_of("0"), Some(TokenKind::Int));
+        assert_eq!(kind_of("1"), Some(TokenKind::Int));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_forms() {
+        let src = "let a = \"line\n1\";\nlet b = 2; /* c\nc2 */\nlet d = 4;";
+        let l = lex(src);
+        let d = l.tokens.iter().find(|t| t.is_ident("d")).expect("d");
+        assert_eq!(d.line, 5);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let s = r##"quote " and "# inside"## ; let t = 1;"###);
+        assert!(l.tokens.iter().any(|t| t.is_ident("t")));
+    }
+}

@@ -1,0 +1,114 @@
+//! `mmr-lint` — workspace static analysis for the MMR simulator.
+//!
+//! Enforces, at CI time, the three properties the simulator's correctness
+//! story rests on:
+//!
+//! - **Determinism (D-lints)**: byte-identical sweeps at any `--jobs`
+//!   require no hash-order iteration, no wall-clock reads, no seed-free
+//!   RNGs, and exact integer arithmetic in credit/quota ledgers.
+//! - **Panic-freedom (P-lints)**: the per-flit-cycle data path (router,
+//!   schedulers, VC memory, LLR, the network delivery path) must degrade
+//!   via typed errors or audited counters, never by panicking mid-campaign.
+//! - **No hot-path allocation (A-lints)**: functions annotated
+//!   `// mmr-lint: hot` must not allocate; scheduler inner loops are
+//!   fixed-work, fixed-time structures (cf. Tiny Tera's scheduler design).
+//!
+//! The tool is self-contained: its own tokenizer ([`lexer`]), a tiny
+//! TOML-subset manifest parser ([`manifest`]), and hand-rolled JSON output.
+//! See `DESIGN.md` §7 for the rule table and annotation grammar.
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+
+pub use diag::{Diagnostic, Rule, ALL_RULES};
+pub use manifest::Manifest;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints one file's source text. `rel_path` must be the workspace-relative
+/// `/`-separated path (used for designation lookups and diagnostics).
+pub fn check_source(rel_path: &str, src: &str, manifest: &Manifest) -> Vec<Diagnostic> {
+    engine::check_file(rel_path, src, manifest)
+}
+
+/// Walks `root` for `.rs` files, skipping manifest-excluded prefixes plus
+/// the built-in `target` / `.git` / hidden directories, and lints each.
+/// Returns diagnostics sorted by (file, line, rule).
+pub fn check_workspace(root: &Path, manifest: &Manifest) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, manifest, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        diags.extend(engine::check_file(&rel, &src, manifest));
+    }
+    diags.sort();
+    Ok(diags)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    manifest: &Manifest,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => manifest::normalize(r),
+            Err(_) => continue,
+        };
+        if manifest.is_excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, manifest, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Loads the manifest at `path`, or the empty manifest when the file does
+/// not exist (every path-scoped rule then applies nowhere; global rules
+/// still run).
+pub fn load_manifest(path: &Path) -> Result<Manifest, String> {
+    match fs::read_to_string(path) {
+        Ok(src) => Manifest::parse(&src).map_err(|e| e.to_string()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Manifest::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_walk_skips_excluded_dirs() {
+        let tmp = std::env::temp_dir().join(format!("mmr-lint-walk-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        fs::create_dir_all(tmp.join("src")).expect("mkdir");
+        fs::create_dir_all(tmp.join("vendor/dep/src")).expect("mkdir");
+        fs::write(tmp.join("src/a.rs"), "use std::collections::HashMap;\n").expect("write");
+        fs::write(tmp.join("vendor/dep/src/b.rs"), "use std::collections::HashMap;\n")
+            .expect("write");
+        let m = Manifest::parse("[paths]\nexclude = [\"vendor\"]").expect("manifest");
+        let diags = check_workspace(&tmp, &m).expect("walk");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].file, "src/a.rs");
+        let _ = fs::remove_dir_all(&tmp);
+    }
+}

@@ -1,0 +1,135 @@
+//! `mmr-lint` CLI.
+//!
+//! ```text
+//! mmr-lint [--deny-all] [--root DIR] [--manifest FILE] [--json]
+//!          [--list-rules] [FILE ...]
+//! ```
+//!
+//! With no FILE arguments, lints every `.rs` file under `--root` (default:
+//! current directory) honoring the manifest's `[paths] exclude`. With FILE
+//! arguments, lints exactly those files (paths relative to `--root`) — this
+//! is how CI exercises the committed fixture violations one at a time.
+//!
+//! Exit codes: 0 = clean (or findings without `--deny-all`), 1 = findings
+//! under `--deny-all`, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mmr_lint::{check_source, check_workspace, load_manifest, Diagnostic, ALL_RULES};
+
+struct Options {
+    deny_all: bool,
+    json: bool,
+    list_rules: bool,
+    root: PathBuf,
+    manifest: Option<PathBuf>,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny_all: false,
+        json: false,
+        list_rules: false,
+        root: PathBuf::from("."),
+        manifest: None,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-all" => opts.deny_all = true,
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?)
+            }
+            "--manifest" => {
+                opts.manifest = Some(PathBuf::from(args.next().ok_or("--manifest needs a file")?))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "mmr-lint [--deny-all] [--root DIR] [--manifest FILE] [--json] [--list-rules] [FILE ...]"
+                );
+                std::process::exit(0);
+            }
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mmr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in ALL_RULES {
+            println!("{:<10} {}", r.id(), r.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let manifest_path = opts.manifest.clone().unwrap_or_else(|| opts.root.join("lint.toml"));
+    let manifest = match load_manifest(&manifest_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("mmr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags: Vec<Diagnostic> = if opts.files.is_empty() {
+        match check_workspace(&opts.root, &manifest) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("mmr-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut all = Vec::new();
+        for rel in &opts.files {
+            let rel = rel.trim_start_matches("./").to_string();
+            let src = match std::fs::read_to_string(opts.root.join(&rel)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("mmr-lint: {rel}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            all.extend(check_source(&rel, &src, &manifest));
+        }
+        all.sort();
+        all
+    };
+
+    if opts.json {
+        println!("[");
+        for (i, d) in diags.iter().enumerate() {
+            let comma = if i + 1 < diags.len() { "," } else { "" };
+            println!("  {}{}", d.render_json(), comma);
+        }
+        println!("]");
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        if !diags.is_empty() {
+            eprintln!("mmr-lint: {} diagnostic(s)", diags.len());
+        }
+    }
+
+    if opts.deny_all && !diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: D-HASH, D-TIME, D-RNG violations.
+//!
+//! Never compiled — linted by `tests/golden.rs` and by the CI fixture loop.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn tally(events: &[u32]) -> HashMap<u32, u32> {
+    let mut seen = HashSet::new();
+    let mut counts = HashMap::new();
+    for &e in events {
+        if seen.insert(e) {
+            counts.insert(e, 1);
+        }
+    }
+    counts
+}
+
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+fn seeded_ok(point_seed: u64) -> u64 {
+    // Deriving from the sweep point's seed is the sanctioned pattern.
+    point_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

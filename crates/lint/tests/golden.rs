@@ -1,0 +1,106 @@
+//! Golden tests: each fixture under `tests/fixtures/` must produce exactly
+//! the diagnostics recorded in its `.expected` file, and together the
+//! fixtures must exercise every rule the linter knows about.
+//!
+//! Regenerate an `.expected` file after an intentional rule change with:
+//!
+//! ```text
+//! cargo run -p mmr-lint -- --root crates/lint/tests/fixtures \
+//!     --manifest crates/lint/tests/fixtures/lint.toml <fixture>.rs \
+//!     > crates/lint/tests/fixtures/<fixture>.expected
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use mmr_lint::{check_source, load_manifest, Manifest, ALL_RULES};
+
+const FIXTURES: &[&str] = &[
+    "determinism",
+    "accounting",
+    "panic_free",
+    "indexing",
+    "hot_alloc",
+    "annotations",
+];
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_manifest() -> Manifest {
+    load_manifest(&fixtures_dir().join("lint.toml")).expect("fixture lint.toml parses")
+}
+
+#[test]
+fn fixtures_match_golden_output() {
+    let dir = fixtures_dir();
+    let manifest = fixture_manifest();
+    for name in FIXTURES {
+        let src = fs::read_to_string(dir.join(format!("{name}.rs"))).expect("fixture readable");
+        let expected =
+            fs::read_to_string(dir.join(format!("{name}.expected"))).expect("golden readable");
+        let got: String = check_source(&format!("{name}.rs"), &src, &manifest)
+            .iter()
+            .map(|d| format!("{}\n", d.render()))
+            .collect();
+        assert_eq!(got, expected, "diagnostics drifted for fixture `{name}.rs`");
+    }
+}
+
+#[test]
+fn every_fixture_violates_something() {
+    // CI asserts `--deny-all` exits nonzero per fixture; this is the
+    // in-process equivalent, so a fixture emptied by accident fails fast.
+    let dir = fixtures_dir();
+    let manifest = fixture_manifest();
+    for name in FIXTURES {
+        let src = fs::read_to_string(dir.join(format!("{name}.rs"))).expect("fixture readable");
+        let diags = check_source(&format!("{name}.rs"), &src, &manifest);
+        assert!(!diags.is_empty(), "fixture `{name}.rs` produced no diagnostics");
+    }
+}
+
+#[test]
+fn every_rule_has_fixture_coverage() {
+    // Meta-test: adding a rule without a fixture demonstrating it fails here.
+    let dir = fixtures_dir();
+    let all_expected: String = FIXTURES
+        .iter()
+        .map(|name| {
+            fs::read_to_string(dir.join(format!("{name}.expected"))).expect("golden readable")
+        })
+        .collect();
+    for rule in ALL_RULES {
+        assert!(
+            all_expected.contains(&format!(" {}: ", rule.id())),
+            "rule {} appears in no fixture's golden output",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn workspace_manifest_designations_resolve() {
+    // The real lint.toml must parse, and the paths it designates must exist:
+    // a renamed module must not silently fall out of the lint wall.
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint has a workspace root")
+        .to_path_buf();
+    let manifest = load_manifest(&repo_root.join("lint.toml")).expect("workspace lint.toml parses");
+    for group in [
+        &manifest.time_exempt,
+        &manifest.accounting,
+        &manifest.panic_free,
+        &manifest.index_free,
+    ] {
+        for path in group {
+            assert!(
+                repo_root.join(path).exists(),
+                "lint.toml designates `{path}`, which does not exist"
+            );
+        }
+    }
+}

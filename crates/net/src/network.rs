@@ -65,6 +65,12 @@ pub enum NetError {
     /// [`NetworkSim::send_packet`] with a stream flit kind — VCT packets are
     /// control or best-effort only.
     NotAPacketKind(FlitKind),
+    /// The node has no terminal (network-interface) port, so it cannot
+    /// source or sink end-to-end traffic.
+    NoTerminalPort {
+        /// The node lacking an NI.
+        node: NodeId,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -86,6 +92,9 @@ impl std::fmt::Display for NetError {
             NetError::UnknownConnection(id) => write!(f, "connection {id} is not live"),
             NetError::NotAPacketKind(kind) => {
                 write!(f, "{kind:?} flits are not VCT packets (control/best-effort only)")
+            }
+            NetError::NoTerminalPort { node } => {
+                write!(f, "node {node} has no terminal port; it cannot source or sink traffic")
             }
         }
     }
@@ -226,6 +235,11 @@ pub struct NetStats {
     /// is caught and replayed at the link); nonzero under corruption
     /// campaigns when LLR is off.
     pub undetected_corruptions: u64,
+    /// Release or routing operations that named state no longer present (a
+    /// hop torn down twice, a probe reservation that vanished, a packet
+    /// offered to an invalid port). Previously hot-path panics; now counted
+    /// and skipped, leaving the invariant auditor to flag real damage.
+    pub ghost_releases: u64,
 }
 
 /// What a transient wire fault does to the one flit it strikes (see
@@ -559,6 +573,12 @@ impl NetworkSim {
         &self.stats
     }
 
+    /// Records a release that named state no longer present (see
+    /// [`NetStats::ghost_releases`]); used by the probe machinery.
+    pub(crate) fn note_ghost_release(&mut self) {
+        self.stats.ghost_releases += 1;
+    }
+
     pub(crate) fn register_connection(&mut self, mut conn: NetConnection) -> NetConnectionId {
         let id = NetConnectionId(self.next_conn);
         self.next_conn += 1;
@@ -586,9 +606,12 @@ impl NetworkSim {
         let mut dropped = 0u64;
         for hop in &conn.hops {
             self.local_index.remove(&(hop.node, hop.local));
-            dropped += self.routers[hop.node.index()]
-                .teardown(hop.local)
-                .expect("hop connections exist until network teardown") as u64;
+            match self.routers[hop.node.index()].teardown(hop.local) {
+                Ok(n) => dropped += n as u64,
+                // A hop released twice (e.g. the router side already torn
+                // down by a fault) is counted, not fatal.
+                Err(_) => self.stats.ghost_releases += 1,
+            }
         }
         // The stream ends here by design; the auditor must not flag the cut.
         if let Some(aud) = self.auditor.as_mut() {
@@ -607,16 +630,21 @@ impl NetworkSim {
             .conns
             .get(&id)
             .ok_or(InjectError::UnknownConnection(ConnectionId(id.0)))?;
-        let first = conn.hops.first().expect("connections have at least one hop");
+        // A registered connection always holds at least one hop; an empty
+        // path would make the id as unusable as an unknown one.
+        let first = conn
+            .hops
+            .first()
+            .ok_or(InjectError::UnknownConnection(ConnectionId(id.0)))?;
         self.routers[first.node.index()].inject(first.local, now)
     }
 
     /// Whether the source NI can inject another flit this cycle.
     pub fn can_inject(&self, id: NetConnectionId) -> bool {
-        self.conns.get(&id).is_some_and(|c| {
-            let first = c.hops.first().expect("non-empty path");
-            self.routers[first.node.index()].can_inject(first.local)
-        })
+        self.conns
+            .get(&id)
+            .and_then(|c| c.hops.first())
+            .is_some_and(|first| self.routers[first.node.index()].can_inject(first.local))
     }
 
     /// Whether the wire attached to `(node, port)` is operational.
@@ -735,7 +763,12 @@ impl NetworkSim {
             .map(|c| c.id)
             .collect();
         for id in &broken {
-            lost += self.teardown_counting(*id).expect("listed connections are live");
+            match self.teardown_counting(*id) {
+                Ok(n) => lost += n,
+                // The id came from the live table above; a miss here means
+                // a duplicate in `broken` — count it rather than panic.
+                Err(_) => self.stats.ghost_releases += 1,
+            }
         }
         self.stats.flits_lost += lost;
         Ok(broken)
@@ -798,23 +831,32 @@ impl NetworkSim {
     fn advance_probes(&mut self, now: Cycles, report: &mut NetStepReport) {
         let mut probes = std::mem::take(&mut self.active_probes);
         let mut still_active = Vec::with_capacity(probes.len());
-        for mut probe in probes.drain(..) {
-            match probe.phase {
-                ProbePhase::Searching(ref mut machine) => match machine.advance(self) {
-                    ProbeStep::Advanced | ProbeStep::Backtracked => still_active.push(probe),
+        for probe in probes.drain(..) {
+            // Destructure so each phase owns its machine by value; the
+            // probe is rebuilt when it stays active.
+            let ActiveProbe { token, phase, started_at } = probe;
+            match phase {
+                ProbePhase::Searching(mut machine) => match machine.advance(self) {
+                    ProbeStep::Advanced | ProbeStep::Backtracked => still_active.push(ActiveProbe {
+                        token,
+                        phase: ProbePhase::Searching(machine),
+                        started_at,
+                    }),
                     ProbeStep::Reserved => {
                         // The ack crosses every inter-router link on the
                         // reserved path, one per cycle.
                         let remaining = machine.path_len().saturating_sub(1);
-                        let ProbePhase::Searching(machine) = probe.phase else { unreachable!() };
-                        probe.phase = ProbePhase::Acking { machine, remaining };
-                        still_active.push(probe);
+                        still_active.push(ActiveProbe {
+                            token,
+                            phase: ProbePhase::Acking { machine, remaining },
+                            started_at,
+                        });
                     }
                     ProbeStep::Failed(e) => {
                         report.setups.push(SetupEvent {
-                            token: probe.token,
+                            token,
                             result: Err(e),
-                            latency: now.since(probe.started_at),
+                            latency: now.since(started_at),
                             probe_hops: machine.probe_hops(),
                         });
                     }
@@ -822,16 +864,19 @@ impl NetworkSim {
                 ProbePhase::Acking { machine, remaining } => {
                     if remaining == 0 {
                         let probe_hops = machine.probe_hops();
-                        let receipt = machine.commit(self);
+                        let result = machine.commit(self).map(|receipt| receipt.conn);
                         report.setups.push(SetupEvent {
-                            token: probe.token,
-                            result: Ok(receipt.conn),
-                            latency: now.since(probe.started_at),
+                            token,
+                            result,
+                            latency: now.since(started_at),
                             probe_hops,
                         });
                     } else {
-                        probe.phase = ProbePhase::Acking { machine, remaining: remaining - 1 };
-                        still_active.push(probe);
+                        still_active.push(ActiveProbe {
+                            token,
+                            phase: ProbePhase::Acking { machine, remaining: remaining - 1 },
+                            started_at,
+                        });
                     }
                 }
             }
@@ -870,21 +915,29 @@ impl NetworkSim {
             id,
             PacketState { dst, kind, hops: 0, injected_at: now, last_dir: None },
         );
-        let entry = self
-            .topology
-            .terminal_port(src)
-            .expect("every node keeps a terminal port");
+        let Some(entry) = self.topology.terminal_port(src) else {
+            self.packets.remove(&id);
+            return Err(NetError::NoTerminalPort { node: src });
+        };
         self.offer_packet(src, entry, id, now);
         Ok(id)
     }
 
     /// Offers a packet to a node; on `Blocked` it queues for retry.
     fn offer_packet(&mut self, node: NodeId, entry: PortId, packet: PacketId, now: Cycles) {
-        let state = self.packets.get(&packet).expect("live packet").clone();
+        // A packet that vanished (torn down by a fault mid-retry) has
+        // nothing left to offer.
+        let Some(state) = self.packets.get(&packet).cloned() else { return };
         // Next output: terminal port when at the destination, else the best
         // adaptive up*/down* hop (the packet's descent phase is sticky).
         let (output, dir) = if node == state.dst {
-            (self.topology.terminal_port(node).expect("terminal exists"), None)
+            let Some(ni) = self.topology.terminal_port(node) else {
+                // No NI to deliver into: the packet cannot exit; drop it.
+                self.packets.remove(&packet);
+                self.stats.ghost_releases += 1;
+                return;
+            };
+            (ni, None)
         } else {
             let hops =
                 self.routing.next_hops(&self.live_topology, node, state.dst, state.last_dir);
@@ -915,7 +968,13 @@ impl NetworkSim {
             Err(PacketError::Blocked) => {
                 self.blocked_packets.push((node, entry, packet));
             }
-            Err(e @ PacketError::InvalidPort { .. }) => unreachable!("{e}"),
+            Err(PacketError::InvalidPort { .. }) => {
+                // Ports came from the topology/routing tables; a mismatch
+                // means those tables and the router disagree. Drop the
+                // packet and count it rather than panic mid-campaign.
+                self.packets.remove(&packet);
+                self.stats.ghost_releases += 1;
+            }
         }
     }
 
@@ -935,7 +994,7 @@ impl NetworkSim {
                 });
             }
             None => {
-                let state = self.packets.remove(&packet).expect("live packet");
+                let Some(state) = self.packets.remove(&packet) else { return };
                 debug_assert_eq!(node, state.dst, "packets exit only at their destination");
                 let latency = now.since(state.injected_at);
                 self.stats.packet_latency.record(latency.as_f64());
@@ -1029,7 +1088,12 @@ impl NetworkSim {
                         // returns the credit.
                         self.routers[n].return_credit(t.output_vc);
                         if let Some(&net_id) = self.local_index.get(&(node, t.conn)) {
-                            let conn = self.conns.get_mut(&net_id).expect("indexed");
+                            let Some(conn) = self.conns.get_mut(&net_id) else {
+                                // Index and table disagree (stale index
+                                // entry): count and drop the delivery.
+                                self.stats.ghost_releases += 1;
+                                continue;
+                            };
                             let in_order = t.flit.seq == conn.next_seq;
                             conn.next_seq = t.flit.seq + 1;
                             conn.delivered += 1;
@@ -1236,6 +1300,7 @@ impl NetworkSim {
             }
         }
         if self.audit_enforce && !aud.is_clean() {
+            // mmr-lint: allow(P-PANIC, reason="MMR_AUDIT=1 opt-in enforcement: aborting the campaign on an invariant breach is the auditor's contract")
             panic!("MMR_AUDIT: invariant violated at cycle {}: {}", now.count(), aud.summary());
         }
         self.auditor = Some(aud);

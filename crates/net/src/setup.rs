@@ -56,6 +56,9 @@ pub enum SetupError {
         /// the setup-cost proxy reported by experiment E3.
         probe_hops: u32,
     },
+    /// [`ProbeMachine::commit`] was called before the probe reserved a
+    /// complete path; every partial reservation has been released.
+    Incomplete,
 }
 
 impl std::fmt::Display for SetupError {
@@ -64,6 +67,9 @@ impl std::fmt::Display for SetupError {
             SetupError::Unreachable => write!(f, "destination unreachable"),
             SetupError::Exhausted { probe_hops } => {
                 write!(f, "all minimal paths exhausted after {probe_hops} probe hops")
+            }
+            SetupError::Incomplete => {
+                write!(f, "commit before the probe reserved a complete path")
             }
         }
     }
@@ -122,15 +128,21 @@ pub struct ProbeMachine {
 }
 
 impl ProbeMachine {
-    /// Creates a probe at the source NI, ready to advance.
+    /// Creates a probe at the source NI, ready to advance. A source without
+    /// a terminal port yields a probe whose first [`ProbeMachine::advance`]
+    /// fails with [`SetupError::Unreachable`].
     pub fn new(net: &NetworkSim, src: NodeId, dst: NodeId, class: QosClass, strategy: SetupStrategy) -> Self {
-        let src_ni = net.topology().terminal_port(src).expect("terminal port exists");
+        let stack = match net.topology().terminal_port(src) {
+            Some(src_ni) => vec![Frame { node: src, entry: (src_ni, None), reserved: None }],
+            // No NI to probe from: the empty stack makes advance() fail.
+            None => Vec::new(),
+        };
         ProbeMachine {
             src,
             dst,
             class,
             strategy,
-            stack: vec![Frame { node: src, entry: (src_ni, None), reserved: None }],
+            stack,
             history: BTreeMap::new(),
             probe_hops: 0,
             backtracks: 0,
@@ -159,13 +171,21 @@ impl ProbeMachine {
         if net.routing().distance(self.src, self.dst) == usize::MAX {
             return ProbeStep::Failed(SetupError::Unreachable);
         }
-        let top = self.stack.len() - 1;
+        // An empty stack means the source had no NI (or the probe already
+        // failed); there is nowhere to probe from.
+        let Some(top) = self.stack.len().checked_sub(1) else {
+            return ProbeStep::Failed(SetupError::Unreachable);
+        };
         let node = self.stack[top].node;
 
         if node == self.dst {
             // Reserve the final hop to the destination NI.
             let (entry_port, pinned) = self.stack[top].entry;
-            let ni = net.topology().terminal_port(self.dst).expect("terminal port exists");
+            let Some(ni) = net.topology().terminal_port(self.dst) else {
+                // The destination cannot sink traffic: release everything.
+                self.unwind(net);
+                return ProbeStep::Failed(SetupError::Unreachable);
+            };
             match net.router_mut(self.dst).establish_pinned(
                 ConnectionRequest { input: entry_port, output: ni, class: self.class },
                 pinned,
@@ -211,8 +231,16 @@ impl ProbeMachine {
                 pinned,
             ) {
                 Ok(local) => {
-                    let out_vc =
-                        net.router(node).connection(local).expect("just established").output_vc.vc;
+                    let Some(out_vc) =
+                        net.router(node).connection(local).map(|c| c.output_vc.vc)
+                    else {
+                        // The reservation vanished between establish and
+                        // query; release it and try the next output.
+                        if net.router_mut(node).teardown(local).is_err() {
+                            net.note_ghost_release();
+                        }
+                        continue;
+                    };
                     self.stack[top].reserved = Some((local, port, out_vc));
                     self.stack.push(Frame {
                         node: peer,
@@ -239,18 +267,20 @@ impl ProbeMachine {
 
     /// Commits the fully reserved path as a network connection.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless [`ProbeMachine::advance`] returned
-    /// [`ProbeStep::Reserved`].
-    pub fn commit(self, net: &mut NetworkSim) -> SetupReceipt {
+    /// [`SetupError::Incomplete`] unless the preceding
+    /// [`ProbeMachine::advance`] returned [`ProbeStep::Reserved`]; every
+    /// partial reservation is released before returning.
+    pub fn commit(mut self, net: &mut NetworkSim) -> Result<SetupReceipt, SetupError> {
+        if self.stack.is_empty() || self.stack.iter().any(|f| f.reserved.is_none()) {
+            self.unwind(net);
+            return Err(SetupError::Incomplete);
+        }
         let hops: Vec<Hop> = self
             .stack
             .iter()
-            .map(|f| Hop {
-                node: f.node,
-                local: f.reserved.expect("committed frames hold reservations").0,
-            })
+            .filter_map(|f| f.reserved.map(|(local, _, _)| Hop { node: f.node, local }))
             .collect();
         let conn = net.register_connection(NetConnection {
             id: NetConnectionId(0), // overwritten on registration
@@ -261,7 +291,7 @@ impl ProbeMachine {
             delivered: 0,
             next_seq: 0,
         });
-        SetupReceipt { conn, probe_hops: self.probe_hops, backtracks: self.backtracks }
+        Ok(SetupReceipt { conn, probe_hops: self.probe_hops, backtracks: self.backtracks })
     }
 
     /// Pops the top frame and releases the reservation that led to it.
@@ -273,7 +303,11 @@ impl ProbeMachine {
         };
         if let Some((local, _, _)) = prev.reserved.take() {
             let node = prev.node;
-            net.router_mut(node).teardown(local).expect("reservation exists");
+            if net.router_mut(node).teardown(local).is_err() {
+                // The reservation already vanished router-side: count it
+                // (the invariant auditor flags real damage) and move on.
+                net.note_ghost_release();
+            }
         }
         self.probe_hops += 1;
         self.backtracks += 1;
@@ -284,7 +318,9 @@ impl ProbeMachine {
     fn unwind(&mut self, net: &mut NetworkSim) {
         while let Some(frame) = self.stack.pop() {
             if let Some((local, _, _)) = frame.reserved {
-                net.router_mut(frame.node).teardown(local).expect("reservation exists");
+                if net.router_mut(frame.node).teardown(local).is_err() {
+                    net.note_ghost_release();
+                }
             }
         }
     }
@@ -327,7 +363,7 @@ impl NetworkSim {
         loop {
             match probe.advance(self) {
                 ProbeStep::Advanced | ProbeStep::Backtracked => continue,
-                ProbeStep::Reserved => return Ok(probe.commit(self)),
+                ProbeStep::Reserved => return probe.commit(self),
                 ProbeStep::Failed(e) => return Err(e),
             }
         }
@@ -484,7 +520,7 @@ mod tests {
         }
         assert_eq!(advances, 4, "one advance per minimal hop");
         assert_eq!(probe.path_len(), 5);
-        let receipt = probe.commit(&mut n);
+        let receipt = probe.commit(&mut n).expect("path fully reserved");
         assert_eq!(receipt.probe_hops, 4);
     }
 }
