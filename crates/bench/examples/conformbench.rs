@@ -1,0 +1,90 @@
+//! Benchmarks the conformance fuzzing campaign itself and emits a
+//! machine-readable baseline to `BENCH_conform.json`: wall-clock for the
+//! standard CI campaign (serial vs parallel), cases per second, and
+//! whether the parallel JSON output is byte-identical to the serial run.
+//!
+//! Lives in `crates/bench` (the D-TIME-exempt crate) as an example so it
+//! can dev-depend on `mmr-conform` without a dependency cycle.
+//!
+//! Usage: `cargo run --release -p mmr-bench --example conformbench --
+//! [--cases N] [--jobs N] [--out PATH]`
+
+use std::time::Instant;
+
+use mmr_bench::sweep::SweepOptions;
+use mmr_conform::{parse_seed, run, Hooks, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cases = args
+        .iter()
+        .position(|a| a == "--cases")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(200);
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_conform.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let base_seed = parse_seed("0xMMR5");
+    let campaign = |opts: SweepOptions| RunConfig {
+        base_seed,
+        cases,
+        shrink: true,
+        hooks: Hooks::default(),
+        opts,
+    };
+
+    let start = Instant::now();
+    let serial_report = run(&campaign(SweepOptions::serial()));
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel_report = run(&campaign(SweepOptions { jobs }));
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    let identical = serial_report.to_json() == parallel_report.to_json();
+    let cycles: u64 = serial_report.outcomes.iter().map(|c| c.cycles_run).sum();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"base_seed\": {base_seed},\n"));
+    json.push_str(&format!("  \"cases\": {cases},\n"));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!("  \"divergent\": {},\n", serial_report.divergent));
+    json.push_str(&format!("  \"simulated_flit_cycles\": {cycles},\n"));
+    json.push_str(&format!("  \"serial_secs\": {serial_secs:.3},\n"));
+    json.push_str(&format!("  \"parallel_secs\": {parallel_secs:.3},\n"));
+    json.push_str(&format!("  \"speedup\": {:.3},\n", serial_secs / parallel_secs));
+    json.push_str(&format!("  \"serial_cases_per_sec\": {:.1},\n", cases as f64 / serial_secs));
+    json.push_str(&format!(
+        "  \"parallel_cases_per_sec\": {:.1},\n",
+        cases as f64 / parallel_secs
+    ));
+    json.push_str(&format!("  \"byte_identical\": {identical}\n"));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark baseline");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    if !identical {
+        eprintln!("FAIL: parallel campaign output diverged from serial output");
+        std::process::exit(1);
+    }
+    if !serial_report.is_clean() {
+        eprintln!("FAIL: {} case(s) diverged from the reference model", serial_report.divergent);
+        std::process::exit(1);
+    }
+}

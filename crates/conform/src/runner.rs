@@ -1,0 +1,313 @@
+//! Differential execution: runs a [`Scenario`] on the real `mmr-net` stack
+//! (invariant auditor armed) while feeding the same event stream to the
+//! reference [`Oracle`], then diffs the end states.
+//!
+//! The runner is a plain synchronous cycle loop — establish every
+//! connection up front, pace CBR injections at each connection's reserved
+//! interarrival, poll the fault injector, step the network, forward
+//! deliveries to the oracle — followed by a drain phase that steps until
+//! the network goes quiet, and a final reconciliation (credits, auditor,
+//! counters).
+
+use std::collections::BTreeMap;
+
+use mmr_core::{AuditConfig, InjectError, LlrConfig, RouterConfig};
+use mmr_net::{FaultInjector, NetConnectionId, NetworkSim, NodeId, SetupStrategy};
+use mmr_sim::Cycles;
+
+use crate::oracle::{Divergence, Oracle};
+use crate::scenario::Scenario;
+
+/// Cycles of silence (no deliveries, no switched flits, no fault events)
+/// required before the drain phase declares quiescence. Covers the LLR
+/// retransmission timeout (default 64) and a bandwidth round with margin.
+const QUIET_CYCLES: u64 = 512;
+
+/// Hard ceiling on drain length beyond the injection window, so a
+/// divergent livelock still terminates and gets reported.
+const DRAIN_CAP: u64 = 50_000;
+
+/// How long the phantom-credit fault window stays open (cycles).
+const PHANTOM_WINDOW: u64 = 256;
+
+/// Test-only fault hooks the runner can arm inside the real stack,
+/// resurrecting known-fixed bug classes so the corpus can prove the oracle
+/// detects them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hooks {
+    /// Re-introduce the historical `return_credit` phantom-capacity bug:
+    /// the saturation clamp is disabled and a stale credit return is
+    /// injected on each live connection's first hop while its output VC
+    /// already holds a full credit complement. With the clamp in place the
+    /// identical call is a harmless no-op; without it the credit counter
+    /// exceeds the buffer depth — capacity the downstream router does not
+    /// have.
+    pub phantom_credit: bool,
+}
+
+/// The outcome of one differential case.
+#[derive(Debug, Clone)]
+pub struct CaseRun {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Connections the setup path admitted.
+    pub admitted: usize,
+    /// Connections the setup path rejected (insufficient resources —
+    /// legitimate, not a divergence).
+    pub rejected: usize,
+    /// Flits injected at source NIs.
+    pub injected: u64,
+    /// Flits delivered at destination NIs.
+    pub delivered: u64,
+    /// Total cycles simulated (injection window + drain).
+    pub cycles_run: u64,
+    /// Everything the oracle disagreed with.
+    pub divergences: Vec<Divergence>,
+}
+
+impl CaseRun {
+    /// Whether the real stack matched the reference model.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Per-connection injection pacer.
+struct Stream {
+    id: NetConnectionId,
+    interarrival: f64,
+    /// Next injection instant (fractional cycles).
+    next: f64,
+    live: bool,
+}
+
+/// Runs `scenario` on the real stack and diffs it against the oracle.
+pub fn run_scenario(scenario: &Scenario, hooks: Hooks) -> CaseRun {
+    let topo = scenario.topology.build();
+    let cfg = RouterConfig::paper_default()
+        .vcs_per_port(scenario.vcs_per_port)
+        .vc_depth(scenario.vc_depth)
+        .candidates(scenario.candidates)
+        .arbiter(scenario.arbiter);
+    let mut net = NetworkSim::new(topo, cfg);
+    if scenario.llr {
+        net.enable_llr(LlrConfig::default());
+    }
+    // Record mode: violations accumulate for the diff instead of panicking,
+    // even when CI exports MMR_AUDIT=1.
+    net.enable_audit(AuditConfig::default());
+    if hooks.phantom_credit {
+        net.set_credit_clamp(false);
+    }
+
+    let timing = net.router(NodeId(0)).config().timing();
+    let mut oracle = Oracle::new();
+    let mut streams: Vec<Stream> = Vec::new();
+    let mut by_id: BTreeMap<NetConnectionId, usize> = BTreeMap::new();
+    let mut rejected = 0usize;
+
+    for spec in &scenario.conns {
+        let class = spec.class();
+        match net.establish(NodeId(spec.src), NodeId(spec.dst), class, SetupStrategy::Epb) {
+            Ok(id) => {
+                let conn = net.connection(id).expect("establish registered the connection");
+                let hops = conn.hops.len() as u64;
+                let mut links = Vec::with_capacity(conn.hops.len());
+                for hop in &conn.hops {
+                    let state = net
+                        .router(hop.node)
+                        .connection(hop.local)
+                        .expect("hop registered on its router");
+                    links.push((hop.node.0, state.output_vc.port.0));
+                }
+                let interarrival = timing.interarrival_cycles(spec.rate());
+                oracle.admitted(id.0, links, hops, 1.0 / interarrival);
+                by_id.insert(id, streams.len());
+                streams.push(Stream { id, interarrival, next: interarrival, live: true });
+            }
+            // Resource exhaustion is legitimate admission control, not a
+            // divergence; the connection simply never enters the ledger.
+            Err(_) => rejected += 1,
+        }
+    }
+
+    let plan = scenario.fault_plan(net.topology());
+    let mut injector =
+        FaultInjector::new(plan).expect("scenario fault plans are normalized by construction");
+
+    let phantom_from = scenario.cycles / 4;
+    let phantom_to = phantom_from + PHANTOM_WINDOW;
+    let vc_depth = net.router(NodeId(0)).vc_depth() as u32;
+
+    let handle_broken = |broken: &[NetConnectionId],
+                             streams: &mut Vec<Stream>,
+                             oracle: &mut Oracle| {
+        for id in broken {
+            oracle.closed(id.0);
+            if let Some(&at) = by_id.get(id) {
+                if let Some(s) = streams.get_mut(at) {
+                    s.live = false;
+                }
+            }
+        }
+    };
+
+    // Injection window.
+    for t in 0..scenario.cycles {
+        let now = Cycles(t);
+        let tick = injector.poll(&mut net, now);
+        handle_broken(&tick.broken, &mut streams, &mut oracle);
+
+        if hooks.phantom_credit && t >= phantom_from && t < phantom_to {
+            inject_phantom_credits(&mut net, &streams, vc_depth);
+        }
+
+        for s in &mut streams {
+            if !s.live {
+                continue;
+            }
+            while s.next <= t as f64 {
+                match net.inject(s.id, now) {
+                    Ok(()) => {
+                        oracle.injected(s.id.0);
+                        s.next += s.interarrival;
+                    }
+                    // Backpressure: retry on a later cycle without
+                    // advancing the pacer (the reserved rate still owes
+                    // these flits).
+                    Err(InjectError::BufferFull(_)) => break,
+                    // The connection vanished between the fault poll and
+                    // the injection attempt; treat as torn down.
+                    Err(_) => {
+                        s.live = false;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let report = net.step(now);
+        for d in &report.delivered {
+            oracle.delivered(d.conn.0, d.flit.seq, d.latency.0, d.in_order);
+        }
+    }
+
+    // Drain until quiet: pending fault events still fire (deterministic),
+    // retransmissions finish, buffered flits reach their NIs.
+    let mut t = scenario.cycles;
+    let mut quiet = 0u64;
+    let drain_end = scenario.cycles + DRAIN_CAP;
+    while quiet < QUIET_CYCLES && t < drain_end {
+        let now = Cycles(t);
+        let tick = injector.poll(&mut net, now);
+        handle_broken(&tick.broken, &mut streams, &mut oracle);
+        let report = net.step(now);
+        for d in &report.delivered {
+            oracle.delivered(d.conn.0, d.flit.seq, d.latency.0, d.in_order);
+        }
+        if report.delivered.is_empty() && report.flits_switched == 0 && tick.is_quiet() {
+            quiet += 1;
+        } else {
+            quiet = 0;
+        }
+        t += 1;
+    }
+
+    // Credit reconciliation: at quiescence every output VC still owned by a
+    // live connection must hold exactly `vc_depth` credits — anything else
+    // is a leak (flow control will starve) or minted capacity (the
+    // downstream buffer will be overrun).
+    for s in &streams {
+        if !s.live {
+            continue;
+        }
+        let Some(conn) = net.connection(s.id) else { continue };
+        for hop in &conn.hops {
+            let router = net.router(hop.node);
+            let Some(state) = router.connection(hop.local) else { continue };
+            let credit = router.output_credit(state.output_vc);
+            let depth = router.vc_depth() as u32;
+            if credit != depth {
+                oracle.note(Divergence::CreditLeak {
+                    node: hop.node.0,
+                    port: state.output_vc.port.0,
+                    vc: state.output_vc.vc.0,
+                    credit,
+                    depth,
+                });
+            }
+        }
+    }
+
+    if let Some(auditor) = net.auditor() {
+        if auditor.violation_count() > 0 {
+            let first = auditor
+                .violations()
+                .first()
+                .map(|v| format!("{v:?}"))
+                .unwrap_or_else(|| "(violation list truncated)".to_string());
+            oracle.note(Divergence::AuditorViolation { count: auditor.violation_count(), first });
+        }
+    }
+
+    oracle.finish(net.stats());
+
+    let admitted = streams.len();
+    let injected = oracle.injected_total();
+    let delivered = oracle.delivered_total();
+    CaseRun {
+        seed: scenario.seed,
+        admitted,
+        rejected,
+        injected,
+        delivered,
+        cycles_run: t,
+        divergences: oracle.into_divergences(),
+    }
+}
+
+/// The phantom-credit fault hook: returns one stale credit on the first
+/// hop of every live connection whose output VC currently holds its full
+/// credit complement. With the saturation clamp on this is a no-op; with
+/// the clamp off it mints a credit the downstream buffer cannot honor.
+fn inject_phantom_credits(net: &mut NetworkSim, streams: &[Stream], vc_depth: u32) {
+    let mut targets = Vec::new();
+    for s in streams {
+        if !s.live {
+            continue;
+        }
+        let Some(conn) = net.connection(s.id) else { continue };
+        let Some(hop) = conn.hops.first() else { continue };
+        let router = net.router(hop.node);
+        let Some(state) = router.connection(hop.local) else { continue };
+        if router.output_credit(state.output_vc) == vc_depth {
+            targets.push(s.id);
+        }
+    }
+    for id in targets {
+        net.inject_stale_credit(id, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_simple_scenario_runs_clean() {
+        let sc = Scenario::generate(3);
+        let run = run_scenario(&sc, Hooks::default());
+        assert!(run.is_clean(), "seed 3 diverged: {:?}", run.divergences);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sc = Scenario::generate(7);
+        let a = run_scenario(&sc, Hooks::default());
+        let b = run_scenario(&sc, Hooks::default());
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.cycles_run, b.cycles_run);
+        assert_eq!(a.divergences, b.divergences);
+    }
+}

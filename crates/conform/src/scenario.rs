@@ -1,0 +1,400 @@
+//! Seeded scenario generation: one `u64` seed deterministically expands
+//! into a complete conformance case — topology, router configuration,
+//! connection mix over the paper's nine-rate ladder, and a fault plan.
+//!
+//! The generator only draws from its own [`mmr_sim::SeededRng`] stream, so
+//! the same seed always produces the same [`Scenario`] on every machine and
+//! at every parallelism level. Scenario fields are plain data; shrinking
+//! (see [`crate::shrink`]) mutates them structurally and re-runs.
+
+use mmr_core::{ArbiterKind, PortId, QosClass};
+use mmr_net::{FaultPlan, NodeId, Topology};
+use mmr_sim::{Bandwidth, Cycles, SeededRng};
+use mmr_traffic::rates::paper_rate_ladder;
+
+use crate::CONFORM_SALT;
+
+/// Physical ports per router in every generated topology: enough for a
+/// 2-D torus (four mesh directions) plus the node's network interface,
+/// with one spare for irregular extra links.
+pub const PORTS_PER_NODE: u8 = 6;
+
+/// The shape of a generated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// `width x height` mesh.
+    Mesh {
+        /// Columns.
+        width: usize,
+        /// Rows.
+        height: usize,
+    },
+    /// `width x height` torus (wrap links in both dimensions).
+    Torus {
+        /// Columns.
+        width: usize,
+        /// Rows.
+        height: usize,
+    },
+    /// A cycle of `nodes` routers.
+    Ring {
+        /// Node count.
+        nodes: usize,
+    },
+    /// Random spanning tree plus `extra` shortcut links (the Autonet-style
+    /// irregular case the EPB setup algorithm targets).
+    Irregular {
+        /// Node count.
+        nodes: usize,
+        /// Shortcut links beyond the spanning tree.
+        extra: usize,
+        /// Private wiring seed (independent of the scenario seed so a
+        /// topology can be held fixed while the rest shrinks).
+        seed: u64,
+    },
+}
+
+impl TopologySpec {
+    /// Materialises the physical topology.
+    pub fn build(&self) -> Topology {
+        match *self {
+            TopologySpec::Mesh { width, height } => Topology::mesh2d(width, height, PORTS_PER_NODE),
+            TopologySpec::Torus { width, height } => {
+                Topology::torus2d(width, height, PORTS_PER_NODE)
+            }
+            TopologySpec::Ring { nodes } => Topology::ring(nodes, PORTS_PER_NODE),
+            TopologySpec::Irregular { nodes, extra, seed } => {
+                let mut rng = SeededRng::new(seed);
+                Topology::irregular(nodes, PORTS_PER_NODE, extra, &mut rng)
+            }
+        }
+        .expect("generator dimensions fit the port budget")
+    }
+
+    /// Router count.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            TopologySpec::Mesh { width, height } | TopologySpec::Torus { width, height } => {
+                width * height
+            }
+            TopologySpec::Ring { nodes } | TopologySpec::Irregular { nodes, .. } => nodes,
+        }
+    }
+
+    /// Compact label for reports (`mesh3x3`, `ring5`, ...).
+    pub fn label(&self) -> String {
+        match *self {
+            TopologySpec::Mesh { width, height } => format!("mesh{width}x{height}"),
+            TopologySpec::Torus { width, height } => format!("torus{width}x{height}"),
+            TopologySpec::Ring { nodes } => format!("ring{nodes}"),
+            TopologySpec::Irregular { nodes, extra, .. } => format!("irr{nodes}+{extra}"),
+        }
+    }
+}
+
+/// One CBR connection of the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnSpec {
+    /// Source node.
+    pub src: u16,
+    /// Destination node (never equal to `src`).
+    pub dst: u16,
+    /// Index into [`paper_rate_ladder`] (0 = 64 Kbps voice ... 8 = 120
+    /// Mbps HDTV).
+    pub rate_idx: usize,
+}
+
+impl ConnSpec {
+    /// The connection's constant bit rate.
+    pub fn rate(&self) -> Bandwidth {
+        let ladder = paper_rate_ladder();
+        *ladder.get(self.rate_idx % ladder.len()).expect("index reduced modulo ladder length")
+    }
+
+    /// The CBR service class carried by this connection.
+    pub fn class(&self) -> QosClass {
+        QosClass::Cbr { rate: self.rate() }
+    }
+}
+
+/// What a scheduled fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Permanent wire failure (tears down crossing connections).
+    Fail,
+    /// Transient: corrupt the next flit on the wire.
+    Corrupt,
+    /// Transient: drop the next flit on the wire.
+    Drop,
+}
+
+/// One scheduled fault, addressed by a wire endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Wire endpoint node.
+    pub node: u16,
+    /// Wire endpoint port.
+    pub port: u8,
+    /// Fire cycle.
+    pub at: u64,
+}
+
+/// A complete generated conformance case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The seed this scenario expanded from (reporting only; mutated
+    /// scenarios produced by shrinking keep the original seed).
+    pub seed: u64,
+    /// Network shape.
+    pub topology: TopologySpec,
+    /// Virtual channels per physical port.
+    pub vcs_per_port: u16,
+    /// Flit slots per VC buffer.
+    pub vc_depth: usize,
+    /// Candidate-set size per input port.
+    pub candidates: usize,
+    /// Switch arbitration scheme.
+    pub arbiter: ArbiterKind,
+    /// Whether link-level retransmission is on.
+    pub llr: bool,
+    /// Injection-phase length in flit cycles (the drain phase extends
+    /// past this until the network is quiet).
+    pub cycles: u64,
+    /// Connection mix.
+    pub conns: Vec<ConnSpec>,
+    /// Fault schedule.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl Scenario {
+    /// Expands `seed` into a scenario. Fully deterministic: the expansion
+    /// draws only from a [`SeededRng`] seeded with `seed ^ CONFORM_SALT`.
+    pub fn generate(seed: u64) -> Scenario {
+        let mut rng = SeededRng::new(seed ^ CONFORM_SALT);
+
+        let topology = match rng.index(6) {
+            0 => TopologySpec::Mesh { width: 2, height: 2 },
+            1 => TopologySpec::Mesh { width: 3, height: 2 },
+            2 => TopologySpec::Mesh { width: 3, height: 3 },
+            3 => TopologySpec::Torus { width: 3, height: 3 },
+            4 => TopologySpec::Ring { nodes: 4 + rng.index(5) },
+            _ => TopologySpec::Irregular {
+                nodes: 5 + rng.index(5),
+                extra: 1 + rng.index(3),
+                seed: rng.next_u64(),
+            },
+        };
+
+        let vcs_per_port = if rng.chance(0.5) { 4 } else { 8 };
+        let vc_depth = if rng.chance(0.5) { 2 } else { 4 };
+        let candidates = if rng.chance(0.5) { 2 } else { 4 };
+        // Perfect is excluded: it models an ideal switch with N-times
+        // internal bandwidth, which legitimately violates the oracle's
+        // one-flit-per-output-per-cycle physics.
+        let arbiter = match rng.index(6) {
+            0 => ArbiterKind::FixedPriority,
+            1 => ArbiterKind::BiasedPriority,
+            2 => ArbiterKind::RoundRobin,
+            3 => ArbiterKind::OldestFirst,
+            4 => ArbiterKind::Autonet { iterations: 2 },
+            _ => ArbiterKind::Islip { iterations: 2 },
+        };
+
+        let cycles = 400 + rng.index(1200) as u64;
+
+        // Endpoints must own a network interface; every generator topology
+        // reserves at least one terminal port per node, but irregular
+        // wiring is validated rather than assumed.
+        let topo = topology.build();
+        let terminals: Vec<u16> = (0..topo.nodes() as u16)
+            .filter(|&n| topo.terminal_port(NodeId(n)).is_some())
+            .collect();
+
+        let mut conns = Vec::new();
+        if terminals.len() >= 2 {
+            let n_conns = 2 + rng.index(7);
+            for _ in 0..n_conns {
+                let src = *rng.pick(&terminals);
+                let mut dst = *rng.pick(&terminals);
+                if dst == src {
+                    let at = terminals.iter().position(|&t| t == src).unwrap_or(0);
+                    dst = *terminals
+                        .get((at + 1) % terminals.len())
+                        .expect("two or more terminals checked above");
+                }
+                conns.push(ConnSpec { src, dst, rate_idx: rng.index(9) });
+            }
+        }
+
+        let mut faults = Vec::new();
+        let wires = topo.wires();
+        if !wires.is_empty() {
+            // Permanent failures on distinct wires, inside the middle half
+            // of the injection window so traffic exists on both sides.
+            let n_fail = rng.index(3);
+            let mut used = Vec::new();
+            for _ in 0..n_fail {
+                let w = rng.index(wires.len());
+                if used.contains(&w) {
+                    continue;
+                }
+                used.push(w);
+                let wire = wires.get(w).expect("index drawn in range");
+                faults.push(FaultSpec {
+                    kind: FaultKind::Fail,
+                    node: wire.a.0 .0,
+                    port: wire.a.1 .0,
+                    at: cycles / 4 + rng.index((cycles / 2) as usize) as u64,
+                });
+            }
+            // Transient wire noise: strikes one flit each.
+            let n_trans = rng.index(4);
+            for _ in 0..n_trans {
+                let wire = wires.get(rng.index(wires.len())).expect("index drawn in range");
+                let kind = if rng.chance(0.5) { FaultKind::Corrupt } else { FaultKind::Drop };
+                faults.push(FaultSpec {
+                    kind,
+                    node: wire.a.0 .0,
+                    port: wire.a.1 .0,
+                    at: cycles / 8 + rng.index((cycles / 2) as usize) as u64,
+                });
+            }
+        }
+
+        // Exactly-once delivery under transient faults requires the
+        // link-level retry layer (a dropped flit is otherwise simply
+        // gone); permanent faults are handled either way.
+        let has_transients = faults.iter().any(|f| f.kind != FaultKind::Fail);
+        let llr = has_transients || rng.chance(0.5);
+
+        Scenario {
+            seed,
+            topology,
+            vcs_per_port,
+            vc_depth,
+            candidates,
+            arbiter,
+            llr,
+            cycles,
+            conns,
+            faults,
+        }
+    }
+
+    /// Builds the fault plan valid for `topo`, silently discarding specs
+    /// that no longer address an inter-router wire (this is how shrinking
+    /// to a smaller topology retires faults) and duplicate permanent
+    /// failures of the same wire (two endpoint addresses can alias one
+    /// wire after remapping).
+    pub fn fault_plan(&self, topo: &Topology) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let mut failed_wires: Vec<((u16, u8), (u16, u8))> = Vec::new();
+        for f in &self.faults {
+            let node = NodeId(f.node);
+            let port = PortId(f.port);
+            let Some((peer, peer_port)) = topo.peer_of(node, port) else { continue };
+            let at = Cycles(f.at);
+            match f.kind {
+                FaultKind::Fail => {
+                    let a = (f.node, f.port);
+                    let b = (peer.0, peer_port.0);
+                    let key = if a <= b { (a, b) } else { (b, a) };
+                    if failed_wires.contains(&key) {
+                        continue;
+                    }
+                    failed_wires.push(key);
+                    plan = plan.fail_at(at, node, port);
+                }
+                FaultKind::Corrupt => plan = plan.corrupt_at(at, node, port),
+                FaultKind::Drop => plan = plan.drop_at(at, node, port),
+            }
+        }
+        plan
+    }
+
+    /// One-line human-readable summary, stable across runs (reports and
+    /// shrinking traces embed it).
+    pub fn spec_string(&self) -> String {
+        let conns: Vec<String> =
+            self.conns.iter().map(|c| format!("{}->{}r{}", c.src, c.dst, c.rate_idx)).collect();
+        let faults: Vec<String> = self
+            .faults
+            .iter()
+            .map(|f| {
+                let k = match f.kind {
+                    FaultKind::Fail => "fail",
+                    FaultKind::Corrupt => "corrupt",
+                    FaultKind::Drop => "drop",
+                };
+                format!("{k}@{}:n{}p{}", f.at, f.node, f.port)
+            })
+            .collect();
+        format!(
+            "{} vcs={} depth={} cand={} arb={:?} llr={} cycles={} conns=[{}] faults=[{}]",
+            self.topology.label(),
+            self.vcs_per_port,
+            self.vc_depth,
+            self.candidates,
+            self.arbiter,
+            self.llr,
+            self.cycles,
+            conns.join(","),
+            faults.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..32u64 {
+            assert_eq!(Scenario::generate(seed), Scenario::generate(seed));
+        }
+    }
+
+    #[test]
+    fn scenarios_vary_with_the_seed() {
+        let specs: Vec<String> = (0..16).map(|s| Scenario::generate(s).spec_string()).collect();
+        let mut unique = specs.clone();
+        unique.sort();
+        unique.dedup();
+        assert!(unique.len() > 8, "seeds should explore the space: {specs:?}");
+    }
+
+    #[test]
+    fn endpoints_are_distinct_and_have_terminals() {
+        for seed in 0..64u64 {
+            let sc = Scenario::generate(seed);
+            let topo = sc.topology.build();
+            for c in &sc.conns {
+                assert_ne!(c.src, c.dst, "seed {seed}");
+                assert!(topo.terminal_port(NodeId(c.src)).is_some(), "seed {seed}");
+                assert!(topo.terminal_port(NodeId(c.dst)).is_some(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plans_normalize() {
+        for seed in 0..64u64 {
+            let sc = Scenario::generate(seed);
+            let topo = sc.topology.build();
+            sc.fault_plan(&topo).normalized().expect("generated plans are well-formed");
+        }
+    }
+
+    #[test]
+    fn transients_imply_llr() {
+        for seed in 0..128u64 {
+            let sc = Scenario::generate(seed);
+            if sc.faults.iter().any(|f| f.kind != FaultKind::Fail) {
+                assert!(sc.llr, "seed {seed}: transient faults need the retry layer");
+            }
+        }
+    }
+}

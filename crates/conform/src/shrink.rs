@@ -1,0 +1,139 @@
+//! Automatic shrinking: reduces a divergent [`Scenario`] to a minimal
+//! reproducer by structural mutation and re-execution.
+//!
+//! Three passes, each run to a fixpoint, in order of diagnostic value:
+//!
+//! 1. **Drop connections** — remove one connection at a time, keeping any
+//!    removal that preserves the divergence (greedy delta-debugging with
+//!    restart, the classic ddmin inner loop).
+//! 2. **Shorten the schedule** — halve the injection window while the
+//!    divergence persists (fault cycles scale down proportionally so the
+//!    schedule stays inside the window).
+//! 3. **Shrink the topology** — retry the case on a fixed ladder of
+//!    smaller networks, remapping connection endpoints modulo the node
+//!    count and discarding fault specs that no longer address a wire.
+//!
+//! Every candidate is a full deterministic re-run, so the shrinker is as
+//! trustworthy as the runner; a budget caps the total number of re-runs.
+
+use crate::oracle::Divergence;
+use crate::runner::{run_scenario, CaseRun, Hooks};
+use crate::scenario::{Scenario, TopologySpec};
+
+/// Default re-run budget per shrink (each candidate costs one full case).
+pub const DEFAULT_BUDGET: usize = 200;
+
+/// The result of shrinking one divergent scenario.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimal scenario still exhibiting a divergence.
+    pub scenario: Scenario,
+    /// The divergences of the minimal scenario.
+    pub divergences: Vec<Divergence>,
+    /// Re-runs spent.
+    pub attempts: usize,
+}
+
+/// Shrinks `scenario` (which must diverge under `hooks`) to a minimal
+/// reproducer, spending at most `budget` re-runs.
+pub fn shrink(scenario: &Scenario, hooks: Hooks, budget: usize) -> Shrunk {
+    let mut current = scenario.clone();
+    let mut current_div = run_scenario(&current, hooks).divergences;
+    let mut attempts = 1usize;
+
+    let try_candidate = |cand: &Scenario, attempts: &mut usize| -> Option<CaseRun> {
+        if *attempts >= budget {
+            return None;
+        }
+        *attempts += 1;
+        let run = run_scenario(cand, hooks);
+        if run.is_clean() {
+            None
+        } else {
+            Some(run)
+        }
+    };
+
+    // Pass 1: drop connections one at a time, restarting after each
+    // success so earlier survivors get another chance to go.
+    let mut progress = true;
+    while progress && current.conns.len() > 1 {
+        progress = false;
+        for i in 0..current.conns.len() {
+            let mut cand = current.clone();
+            cand.conns.remove(i);
+            if let Some(run) = try_candidate(&cand, &mut attempts) {
+                current = cand;
+                current_div = run.divergences;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    // Pass 2: halve the injection window (fault times scale with it).
+    while current.cycles > 64 {
+        let mut cand = current.clone();
+        cand.cycles /= 2;
+        for f in &mut cand.faults {
+            f.at /= 2;
+        }
+        match try_candidate(&cand, &mut attempts) {
+            Some(run) => {
+                current = cand;
+                current_div = run.divergences;
+            }
+            None => break,
+        }
+    }
+
+    // Pass 3: fixed ladder of smaller topologies.
+    for smaller in [TopologySpec::Ring { nodes: 4 }, TopologySpec::Mesh { width: 2, height: 2 }] {
+        if smaller.nodes() >= current.topology.nodes() {
+            continue;
+        }
+        let n = smaller.nodes() as u16;
+        let mut cand = current.clone();
+        cand.topology = smaller;
+        for c in &mut cand.conns {
+            c.src %= n;
+            c.dst %= n;
+            if c.src == c.dst {
+                c.dst = (c.src + 1) % n;
+            }
+        }
+        // Fault specs whose endpoint is not a wire of the smaller topology
+        // are discarded by Scenario::fault_plan at run time; specs naming
+        // out-of-range nodes are dropped here for report clarity.
+        cand.faults.retain(|f| f.node < n);
+        if let Some(run) = try_candidate(&cand, &mut attempts) {
+            current = cand;
+            current_div = run.divergences;
+        }
+    }
+
+    Shrunk { scenario: current, divergences: current_div, attempts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The phantom-credit hook diverges on essentially every scenario with
+    /// an admitted connection, so shrinking must land on a tiny one.
+    #[test]
+    fn phantom_credit_shrinks_to_few_connections() {
+        let sc = Scenario::generate(0xC0FFEE);
+        let hooks = Hooks { phantom_credit: true };
+        let base = run_scenario(&sc, hooks);
+        assert!(!base.is_clean(), "hook failed to trigger on seed 0xC0FFEE");
+        let shrunk = shrink(&sc, hooks, DEFAULT_BUDGET);
+        assert!(!shrunk.divergences.is_empty());
+        assert!(
+            shrunk.scenario.conns.len() <= 4,
+            "expected a minimal reproducer, got {} connections",
+            shrunk.scenario.conns.len()
+        );
+        assert!(shrunk.scenario.cycles <= sc.cycles);
+    }
+}

@@ -66,6 +66,7 @@ pub mod llr;
 pub mod phitlink;
 pub mod router;
 pub mod switchsched;
+pub mod table;
 pub mod vcm;
 
 pub use arbiter::{ArbiterKind, Candidate, ServicePhase};
@@ -87,4 +88,5 @@ pub use router::{
     StepReport, Transmitted,
 };
 pub use switchsched::{is_valid_matching, MatchedPair, SwitchScheduler};
+pub use table::{OutputSet, PhaseMap, PortMap, VcMap};
 pub use vcm::{BankTimingModel, VcmError, VirtualChannelMemory};

@@ -23,6 +23,7 @@ use crate::arbiter::{biased_priority, sort_candidates, ArbiterKind, Candidate, S
 use crate::conn::{ConnectionTable, QosClass};
 use crate::flit::FlitKind;
 use crate::ids::{PortId, VcIndex, VcRef};
+use crate::table::{OutputSet, PhaseMap, VcMap};
 use crate::vcm::VirtualChannelMemory;
 
 /// How the link scheduler picks its `C` candidates from the eligible set.
@@ -129,9 +130,9 @@ pub struct LinkScheduler {
     /// Scratch: VCs classified this cycle (guards stale `info` entries).
     classified: StatusBits,
     /// Scratch: per-VC classification, valid where `classified` is set.
-    info: Vec<Option<Classified>>,
+    info: VcMap<Option<Classified>>,
     /// Scratch: one bit vector per service phase.
-    phase_bits: [StatusBits; 5],
+    phase_bits: PhaseMap<StatusBits>,
     /// Scratch: full sorted candidate list (PrioritySorted policy only).
     sorted: Vec<Candidate>,
 }
@@ -142,8 +143,8 @@ impl LinkScheduler {
         LinkScheduler {
             eligible: StatusBits::zeros(vcs),
             classified: StatusBits::zeros(vcs),
-            info: vec![None; vcs],
-            phase_bits: std::array::from_fn(|_| StatusBits::zeros(vcs)),
+            info: VcMap::filled(vcs, None),
+            phase_bits: PhaseMap::new_with(|| StatusBits::zeros(vcs)),
             sorted: Vec::new(),
         }
     }
@@ -179,7 +180,7 @@ impl LinkScheduler {
         out.clear();
         view.status.all_of_into(&ELIGIBLE, &mut self.eligible);
         self.classified.clear();
-        for bits in &mut self.phase_bits {
+        for bits in self.phase_bits.iter_mut() {
             bits.clear();
         }
 
@@ -267,10 +268,10 @@ impl LinkScheduler {
                 _ => 0.0,
             };
 
-            self.info[vc_idx] =
+            *self.info.at_mut(vc_idx) =
                 Some(Classified { phase, priority, output: conn.output_vc.port, conn: conn.id });
             self.classified.set(vc_idx, true);
-            self.phase_bits[phase_index(phase)].set(vc_idx, true);
+            self.phase_bits.get_mut(phase).set(vc_idx, true);
         }
 
         let mut next_pointer = view.rr_pointer;
@@ -280,7 +281,7 @@ impl LinkScheduler {
             // selection rule lives in the switch scheduler).
             ArbiterKind::Autonet { .. } | ArbiterKind::Islip { .. } => {
                 for vc_idx in self.classified.iter_set() {
-                    let Some(c) = self.info[vc_idx] else {
+                    let Some(c) = *self.info.at(vc_idx) else {
                         debug_assert!(false, "classified bit implies classification");
                         continue;
                     };
@@ -299,7 +300,7 @@ impl LinkScheduler {
                 CandidatePolicy::PrioritySorted => {
                     self.sorted.clear();
                     for vc_idx in self.classified.iter_set() {
-                        let Some(c) = self.info[vc_idx] else {
+                        let Some(c) = *self.info.at(vc_idx) else {
                             debug_assert!(false, "classified bit implies classification");
                             continue;
                         };
@@ -307,21 +308,21 @@ impl LinkScheduler {
                         self.sorted.push(to_candidate(view.port, vc_idx, &c));
                     }
                     sort_candidates(&mut self.sorted);
-                    let mut outputs_seen = [false; 64];
+                    let mut outputs_seen = OutputSet::new();
                     for &c in &self.sorted {
                         if out.len() >= view.max_candidates {
                             break;
                         }
-                        if !std::mem::replace(&mut outputs_seen[c.output.index()], true) {
+                        if outputs_seen.mark(c.output) {
                             // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
                             out.push(c);
                         }
                     }
                 }
                 CandidatePolicy::RotatingScan => {
-                    let mut outputs_seen = [false; 64];
+                    let mut outputs_seen = OutputSet::new();
                     'phases: for phase in PHASES {
-                        let bits = &self.phase_bits[phase_index(phase)];
+                        let bits = self.phase_bits.get(phase);
                         let population = bits.count_ones();
                         let mut start = view.rr_pointer % vcs.max(1);
                         for _ in 0..population {
@@ -332,11 +333,11 @@ impl LinkScheduler {
                             // Stop once the scan has wrapped past every set
                             // bit.
                             start = (vc_idx + 1) % vcs;
-                            let Some(c) = self.info[vc_idx] else {
+                            let Some(c) = *self.info.at(vc_idx) else {
                                 debug_assert!(false, "phase bit implies classification");
                                 continue;
                             };
-                            if !std::mem::replace(&mut outputs_seen[c.output.index()], true) {
+                            if outputs_seen.mark(c.output) {
                                 // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
                                 out.push(to_candidate(view.port, vc_idx, &c));
                                 next_pointer = (vc_idx + 1) % vcs;
@@ -362,16 +363,6 @@ pub fn select_candidates(view: &LinkSchedView<'_>) -> LinkSchedOutcome {
     let mut candidates = Vec::new();
     let next_pointer = scheduler.select(view, &mut candidates);
     LinkSchedOutcome { candidates, next_pointer }
-}
-
-fn phase_index(phase: ServicePhase) -> usize {
-    match phase {
-        ServicePhase::Control => 0,
-        ServicePhase::CbrGuaranteed => 1,
-        ServicePhase::VbrPermanent => 2,
-        ServicePhase::VbrExcess => 3,
-        ServicePhase::BestEffort => 4,
-    }
 }
 
 fn to_candidate(port: PortId, vc_idx: usize, c: &Classified) -> Candidate {

@@ -437,6 +437,11 @@ pub struct Router {
     pairs_buf: Vec<MatchedPair>,
     guaranteed_open: Vec<bool>,
     completed_buf: Vec<ConnectionId>,
+    /// Whether [`Router::return_credit`] saturates at the buffer depth.
+    /// Always `true` in production; the conformance harness disables it via
+    /// [`Router::set_credit_clamp`] to resurrect the pre-fix
+    /// phantom-capacity bug as a differential-testing target.
+    credit_clamp: bool,
 }
 
 impl Router {
@@ -506,9 +511,22 @@ impl Router {
             pairs_buf: Vec::new(),
             guaranteed_open: vec![true; ports],
             completed_buf: Vec::new(),
+            credit_clamp: true,
             round,
             cfg,
         }
+    }
+
+    /// Test-only fault hook: disables (or restores) the saturation clamp in
+    /// [`Router::return_credit`], resurrecting the historical
+    /// phantom-capacity bug where a late credit return onto a re-leased VC
+    /// minted buffer capacity the downstream router does not have. The
+    /// conformance harness arms this to prove the differential oracle (and
+    /// the cycle auditor) catch the bug class; production code never calls
+    /// it.
+    #[doc(hidden)]
+    pub fn set_credit_clamp(&mut self, clamp: bool) {
+        self.credit_clamp = clamp;
     }
 
     /// The router's dimensions and timing.
@@ -923,9 +941,14 @@ impl Router {
         }
         // Saturate at the buffer depth: a credit returning after its
         // connection tore down (late return onto a re-leased VC) must not
-        // mint capacity the downstream buffer does not have.
+        // mint capacity the downstream buffer does not have. The clamp is
+        // lifted only by the conformance harness's bug hook
+        // ([`Router::set_credit_clamp`]).
         let c = &mut self.credits[output_vc.port.index()][output_vc.vc.index()];
-        *c = (*c + 1).min(self.cfg.vc_depth as u32);
+        *c += 1;
+        if self.credit_clamp {
+            *c = (*c).min(self.cfg.vc_depth as u32);
+        }
         if let Some(conn) = self.conns.by_output_vc(output_vc) {
             let in_vc = conn.input_vc;
             self.status[in_vc.port.index()].set(

@@ -23,6 +23,7 @@ use mmr_sim::SeededRng;
 
 use crate::arbiter::{ArbiterKind, Candidate};
 use crate::ids::{ConnectionId, PortId, VcIndex};
+use crate::table::PortMap;
 
 /// One (input VC → output port) assignment for the coming flit cycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,15 +50,15 @@ pub struct SwitchScheduler {
     kind: ArbiterKind,
     ports: usize,
     /// Per-output grant pointer over input ports (round-robin, iSLIP).
-    grant_ptr: Vec<usize>,
+    grant_ptr: PortMap<usize>,
     /// Per-input accept pointer over output ports (iSLIP).
-    accept_ptr: Vec<usize>,
+    accept_ptr: PortMap<usize>,
     /// Reusable per-output winner slots for priority matching.
-    winners: Vec<Option<Candidate>>,
+    winners: PortMap<Option<Candidate>>,
     /// Reusable request lists for PIM/iSLIP (per output: requesting inputs).
-    requests: Vec<Vec<usize>>,
+    requests: PortMap<Vec<usize>>,
     /// Reusable grant lists for PIM/iSLIP (per input: granting outputs).
-    grants: Vec<Vec<usize>>,
+    grants: PortMap<Vec<usize>>,
 }
 
 impl SwitchScheduler {
@@ -74,11 +75,11 @@ impl SwitchScheduler {
         SwitchScheduler {
             kind,
             ports,
-            grant_ptr: vec![0; ports],
-            accept_ptr: vec![0; ports],
-            winners: vec![None; ports],
-            requests: vec![Vec::new(); ports],
-            grants: vec![Vec::new(); ports],
+            grant_ptr: PortMap::filled(ports, 0),
+            accept_ptr: PortMap::filled(ports, 0),
+            winners: PortMap::filled(ports, None),
+            requests: PortMap::filled(ports, Vec::new()),
+            grants: PortMap::filled(ports, Vec::new()),
         }
     }
 
@@ -169,7 +170,7 @@ impl SwitchScheduler {
             // the earliest input on ties, exactly like the old
             // collect-then-reduce pass, without building proposal lists.
             let mut proposed = false;
-            for w in &mut self.winners {
+            for w in self.winners.iter_mut() {
                 *w = None;
             }
             for (p, list) in candidates.iter().enumerate() {
@@ -182,17 +183,17 @@ impl SwitchScheduler {
                 };
                 proposed = true;
                 let o = c.output.index();
-                let better = match &self.winners[o] {
+                let better = match self.winners.at(o) {
                     None => true,
                     Some(best) if rotating_outputs => {
-                        let ptr = self.grant_ptr[o] % ports;
+                        let ptr = *self.grant_ptr.at(o) % ports;
                         (c.input.index() + ports - ptr) % ports
                             < (best.input.index() + ports - ptr) % ports
                     }
                     Some(best) => c.rank_before(best),
                 };
                 if better {
-                    self.winners[o] = Some(*c);
+                    *self.winners.at_mut(o) = Some(*c);
                 }
             }
             if !proposed {
@@ -200,11 +201,10 @@ impl SwitchScheduler {
             }
 
             // Grant phase: match every output that received a proposal.
-            #[allow(clippy::needless_range_loop)]
             for o in 0..ports {
-                if let Some(w) = self.winners[o] {
+                if let Some(w) = *self.winners.at(o) {
                     if rotating_outputs {
-                        self.grant_ptr[o] = (w.input.index() + 1) % ports;
+                        *self.grant_ptr.at_mut(o) = (w.input.index() + 1) % ports;
                     }
                     input_matched |= 1 << w.input.index();
                     output_matched |= 1 << o;
@@ -235,7 +235,7 @@ impl SwitchScheduler {
         for _ in 0..iterations.max(1) {
             // Request phase: which unmatched inputs request which unmatched
             // outputs?
-            for reqs in &mut requests {
+            for reqs in requests.iter_mut() {
                 reqs.clear(); // per output: inputs
             }
             for (p, list) in candidates.iter().enumerate() {
@@ -248,30 +248,32 @@ impl SwitchScheduler {
                     if (output_matched | seen) & (1 << o) == 0 {
                         seen |= 1 << o;
                         // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
-                        requests[o].push(p);
+                        requests.at_mut(o).push(p);
                     }
                 }
             }
             // Grant phase: each output picks a random requester.
-            for gs in &mut grants {
+            for gs in grants.iter_mut() {
                 gs.clear(); // per input: outputs
             }
-            for (o, reqs) in requests.iter().enumerate() {
-                if !reqs.is_empty() {
-                    let pick = reqs[rng.index(reqs.len())];
-                    // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
-                    grants[pick].push(o);
+            for (o, reqs) in requests.entries() {
+                if reqs.is_empty() {
+                    continue;
                 }
+                let Some(&pick) = reqs.get(rng.index(reqs.len())) else { continue };
+                // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
+                grants.at_mut(pick).push(o);
             }
             // Accept phase: each input picks a random grant.
             let mut progress = false;
-            for (p, gs) in grants.iter().enumerate() {
+            for (p, gs) in grants.entries() {
                 if gs.is_empty() {
                     continue;
                 }
-                let o = gs[rng.index(gs.len())];
+                let Some(&o) = gs.get(rng.index(gs.len())) else { continue };
                 // The flit transmitted is a random candidate of (p, o).
-                let matching = || candidates[p].iter().filter(|c| c.output.index() == o);
+                let matching =
+                    || candidates.get(p).into_iter().flatten().filter(|c| c.output.index() == o);
                 let count = matching().count();
                 if count == 0 {
                     // A grant without a matching candidate would be an
@@ -312,7 +314,7 @@ impl SwitchScheduler {
         let mut grants = std::mem::take(&mut self.grants);
 
         for it in 0..iterations.max(1) {
-            for reqs in &mut requests {
+            for reqs in requests.iter_mut() {
                 reqs.clear();
             }
             for (p, list) in candidates.iter().enumerate() {
@@ -325,15 +327,15 @@ impl SwitchScheduler {
                     if (output_matched | seen) & (1 << o) == 0 {
                         seen |= 1 << o;
                         // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
-                        requests[o].push(p);
+                        requests.at_mut(o).push(p);
                     }
                 }
             }
-            for gs in &mut grants {
+            for gs in grants.iter_mut() {
                 gs.clear();
             }
-            for (o, reqs) in requests.iter().enumerate() {
-                let ptr = self.grant_ptr[o];
+            for (o, reqs) in requests.entries() {
+                let ptr = *self.grant_ptr.at(o);
                 // min_by_key returns None exactly when no input requested
                 // this output; that subsumes the emptiness check.
                 let Some(&pick) = reqs.iter().min_by_key(|&&p| (p + ports - ptr % ports) % ports)
@@ -341,16 +343,18 @@ impl SwitchScheduler {
                     continue;
                 };
                 // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
-                grants[pick].push(o);
+                grants.at_mut(pick).push(o);
             }
             let mut progress = false;
-            for (p, gs) in grants.iter().enumerate() {
-                let ptr = self.accept_ptr[p];
+            for (p, gs) in grants.entries() {
+                let ptr = *self.accept_ptr.at(p);
                 let Some(&o) = gs.iter().min_by_key(|&&o| (o + ports - ptr % ports) % ports)
                 else {
                     continue;
                 };
-                let Some(c) = candidates[p].iter().find(|c| c.output.index() == o) else {
+                let Some(c) =
+                    candidates.get(p).and_then(|list| list.iter().find(|c| c.output.index() == o))
+                else {
                     debug_assert!(false, "granted output came from a candidate");
                     continue;
                 };
@@ -360,8 +364,8 @@ impl SwitchScheduler {
                 pairs.push(MatchedPair::from(c));
                 progress = true;
                 if it == 0 {
-                    self.grant_ptr[o] = (p + 1) % ports;
-                    self.accept_ptr[p] = (o + 1) % ports;
+                    *self.grant_ptr.at_mut(o) = (p + 1) % ports;
+                    *self.accept_ptr.at_mut(p) = (o + 1) % ports;
                 }
             }
             if !progress {
@@ -396,10 +400,13 @@ pub fn is_valid_matching(pairs: &[MatchedPair], ports: usize, allow_output_shari
     let mut in_used = vec![false; ports];
     let mut out_used = vec![false; ports];
     for p in pairs {
-        if std::mem::replace(&mut in_used[p.input.index()], true) {
+        // A pair addressing a port outside the switch is invalid outright.
+        let Some(islot) = in_used.get_mut(p.input.index()) else { return false };
+        if std::mem::replace(islot, true) {
             return false;
         }
-        if !allow_output_sharing && std::mem::replace(&mut out_used[p.output.index()], true) {
+        let Some(oslot) = out_used.get_mut(p.output.index()) else { return false };
+        if !allow_output_sharing && std::mem::replace(oslot, true) {
             return false;
         }
     }

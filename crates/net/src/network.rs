@@ -533,6 +533,38 @@ impl NetworkSim {
         Ok(())
     }
 
+    /// Test-only fault hook: toggles the [`Router::return_credit`]
+    /// saturation clamp on every router in the network. Disabling the clamp
+    /// resurrects the historical phantom-capacity bug (a late credit return
+    /// onto a re-leased VC minted buffer capacity the downstream router
+    /// does not have) so the conformance harness can prove its oracle
+    /// catches the bug class. Production code never calls this.
+    #[doc(hidden)]
+    pub fn set_credit_clamp(&mut self, clamp: bool) {
+        for r in &mut self.routers {
+            r.set_credit_clamp(clamp);
+        }
+    }
+
+    /// Test-only fault hook: delivers one *stale* credit return for hop
+    /// `hop` of connection `id`, as if a duplicated credit signal crossed
+    /// the reverse channel. With the production clamp in place the spurious
+    /// credit saturates harmlessly at the buffer depth; with the clamp
+    /// disabled ([`NetworkSim::set_credit_clamp`]) it mints phantom
+    /// capacity, and the upstream router over-runs the downstream buffer.
+    /// Returns `false` when the connection or hop does not exist.
+    #[doc(hidden)]
+    pub fn inject_stale_credit(&mut self, id: NetConnectionId, hop: usize) -> bool {
+        let Some(conn) = self.conns.get(&id) else { return false };
+        let Some(h) = conn.hops.get(hop) else { return false };
+        let node = h.node;
+        let local = h.local;
+        let Some(state) = self.routers[node.index()].connection(local) else { return false };
+        let output_vc = state.output_vc;
+        self.routers[node.index()].return_credit(output_vc);
+        true
+    }
+
     /// The physical topology (as built, including failed wires).
     pub fn topology(&self) -> &Topology {
         &self.topology

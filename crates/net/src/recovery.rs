@@ -108,8 +108,10 @@ impl RecoveryPolicy {
     }
 
     /// The backoff wait before attempt `attempt` (1-based; attempt 1 is
-    /// immediate).
-    fn backoff_for(&self, attempt: u32) -> Cycles {
+    /// immediate). Exponential from [`RecoveryPolicy::base_backoff`], capped
+    /// at [`RecoveryPolicy::max_backoff`]; public so tests can state the
+    /// monotonicity and bound properties directly.
+    pub fn backoff_for(&self, attempt: u32) -> Cycles {
         if attempt <= 1 {
             return Cycles::ZERO;
         }

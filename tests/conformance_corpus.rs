@@ -1,0 +1,155 @@
+//! Regression-seed corpus replay: every `tests/corpus/*.seed` file names a
+//! scenario seed the conformance harness must agree on forever.
+//!
+//! A corpus file is a `key = value` text file:
+//!
+//! ```text
+//! seed = 0x3eba97c76cdf7bd6   # decimal, hex, or mnemonic (hashed)
+//! expect = clean              # or: divergent
+//! bug = phantom-credit        # optional fault hook to arm
+//! max-conns = 4               # optional shrink bound for divergent seeds
+//! ```
+//!
+//! Seeds with a `bug` line are replayed **twice**: unhooked they must be
+//! clean (the production stack is correct), and hooked they must diverge
+//! (the oracle catches the resurrected bug class) and shrink to at most
+//! `max-conns` connections. Add a new seed by dropping a file here — no
+//! code change needed.
+
+use std::path::PathBuf;
+
+use mmr_conform::{parse_seed, run_scenario, shrink_scenario, Hooks, Scenario, DEFAULT_BUDGET};
+
+/// One parsed corpus entry.
+struct CorpusCase {
+    name: String,
+    seed: u64,
+    expect_divergent: bool,
+    hooks: Hooks,
+    max_conns: Option<usize>,
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus")
+}
+
+fn parse_corpus_file(name: &str, text: &str) -> CorpusCase {
+    let mut seed = None;
+    let mut expect_divergent = false;
+    let mut hooks = Hooks::default();
+    let mut max_conns = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .unwrap_or_else(|| panic!("{name}: malformed line (want `key = value`): {line}"));
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "seed" => seed = Some(parse_seed(value)),
+            "expect" => match value {
+                "clean" => expect_divergent = false,
+                "divergent" => expect_divergent = true,
+                other => panic!("{name}: expect must be clean|divergent, got {other}"),
+            },
+            "bug" => match value {
+                "phantom-credit" => hooks.phantom_credit = true,
+                other => panic!("{name}: unknown bug hook {other}"),
+            },
+            "max-conns" => {
+                max_conns =
+                    Some(value.parse().unwrap_or_else(|_| panic!("{name}: bad max-conns")));
+            }
+            other => panic!("{name}: unknown key {other}"),
+        }
+    }
+    CorpusCase {
+        name: name.to_string(),
+        seed: seed.unwrap_or_else(|| panic!("{name}: missing seed")),
+        expect_divergent,
+        hooks,
+        max_conns,
+    }
+}
+
+fn load_corpus() -> Vec<CorpusCase> {
+    let dir = corpus_dir();
+    let mut cases: Vec<CorpusCase> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("corpus dir entry readable").path();
+            if path.extension().is_some_and(|e| e == "seed") {
+                let name =
+                    path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+                Some(parse_corpus_file(&name, &text))
+            } else {
+                None
+            }
+        })
+        .collect();
+    cases.sort_by(|a, b| a.name.cmp(&b.name));
+    assert!(!cases.is_empty(), "corpus at {} is empty", dir.display());
+    cases
+}
+
+#[test]
+fn corpus_seeds_replay_as_recorded() {
+    for case in load_corpus() {
+        let scenario = Scenario::generate(case.seed);
+        let run = run_scenario(&scenario, case.hooks);
+        assert_eq!(
+            !run.is_clean(),
+            case.expect_divergent,
+            "{}: seed {:#x} expected {} but got divergences {:?}",
+            case.name,
+            case.seed,
+            if case.expect_divergent { "divergent" } else { "clean" },
+            run.divergences,
+        );
+    }
+}
+
+/// Bug-hooked seeds prove the differential pair: the same scenario is
+/// clean on the production stack and divergent with the bug resurrected —
+/// so the divergence is attributable to the bug, not the scenario.
+#[test]
+fn bug_seeds_are_clean_without_the_hook() {
+    for case in load_corpus() {
+        if case.hooks == Hooks::default() {
+            continue;
+        }
+        let scenario = Scenario::generate(case.seed);
+        let run = run_scenario(&scenario, Hooks::default());
+        assert!(
+            run.is_clean(),
+            "{}: seed {:#x} must be clean unhooked, got {:?}",
+            case.name,
+            case.seed,
+            run.divergences,
+        );
+    }
+}
+
+#[test]
+fn divergent_seeds_shrink_to_their_recorded_bound() {
+    for case in load_corpus() {
+        let Some(max_conns) = case.max_conns else { continue };
+        let scenario = Scenario::generate(case.seed);
+        let shrunk = shrink_scenario(&scenario, case.hooks, DEFAULT_BUDGET);
+        assert!(
+            !shrunk.divergences.is_empty(),
+            "{}: the minimal scenario must still diverge",
+            case.name
+        );
+        assert!(
+            shrunk.scenario.conns.len() <= max_conns,
+            "{}: shrank to {} connections, corpus records a bound of {max_conns}",
+            case.name,
+            shrunk.scenario.conns.len(),
+        );
+    }
+}
