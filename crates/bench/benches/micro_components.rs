@@ -67,7 +67,8 @@ fn bench_router_cycle(c: &mut Criterion) {
                 |(mut router, mut workload)| {
                     for t in 0..256u64 {
                         workload.pump(&mut router, Cycles(t));
-                        black_box(router.step(Cycles(t)));
+                        let report = black_box(router.step(Cycles(t)));
+                        workload.note_transmitted(&report.transmitted);
                     }
                 },
                 BatchSize::LargeInput,

@@ -50,7 +50,7 @@ fn main() {
     let serial_secs = start.elapsed().as_secs_f64();
 
     let start = Instant::now();
-    let parallel_report = run(&campaign(SweepOptions { jobs }));
+    let parallel_report = run(&campaign(SweepOptions { jobs, ..SweepOptions::serial() }));
     let parallel_secs = start.elapsed().as_secs_f64();
 
     let identical = serial_report.to_json() == parallel_report.to_json();

@@ -363,7 +363,7 @@ mod tests {
     fn grid_renderings_are_reproducible_across_job_counts() {
         let grid = vec![spec(false), spec(true)];
         let serial = run_chaos(&grid, &SweepOptions::serial());
-        let parallel = run_chaos(&grid, &SweepOptions { jobs: 4 });
+        let parallel = run_chaos(&grid, &SweepOptions { jobs: 4, ..SweepOptions::serial() });
         assert_eq!(render_json(&serial), render_json(&parallel));
         assert_eq!(render_table(&serial), render_table(&parallel));
     }

@@ -113,6 +113,7 @@ pub fn hybrid(quality: &Quality, opts: &SweepOptions) -> SweepTable {
                 let _ = router.inject_packet(src, dst, FlitKind::BestEffort, now);
             }
             let report = router.step(now);
+            streams.note_transmitted(&report.transmitted);
             if warmup.measuring(now) {
                 for tx in &report.transmitted {
                     match tx.flit.kind {

@@ -411,7 +411,7 @@ mod tests {
             measure: 1_200,
         }];
         let serial = run_campaigns(&grid, &SweepOptions::serial());
-        let parallel = run_campaigns(&grid, &SweepOptions { jobs: 4 });
+        let parallel = run_campaigns(&grid, &SweepOptions { jobs: 4, ..SweepOptions::serial() });
         assert_eq!(render_json(&serial), render_json(&parallel));
         assert_eq!(render_table(&serial), render_table(&parallel));
     }

@@ -15,7 +15,7 @@
 //! use mmr_bench::sweep::SweepOptions;
 //!
 //! let serial = SweepOptions::serial();
-//! let parallel = SweepOptions { jobs: 4 };
+//! let parallel = SweepOptions { jobs: 4, ..SweepOptions::serial() };
 //! let square = |i: usize| i * i;
 //! assert_eq!(serial.run_indexed(6, square), parallel.run_indexed(6, square));
 //! ```
@@ -35,12 +35,17 @@ pub struct SweepOptions {
     /// Worker thread count; `1` runs the sweep serially on the caller's
     /// thread.
     pub jobs: usize,
+    /// Force the dense per-cycle stepping engine in every experiment (the
+    /// differential-testing oracle; the default event-driven engine skips
+    /// provably idle cycles and emits byte-identical results — see
+    /// DESIGN.md §9 and the `--dense` flag).
+    pub dense: bool,
 }
 
 impl SweepOptions {
     /// Serial execution (the escape hatch behind `--serial`).
     pub fn serial() -> Self {
-        SweepOptions { jobs: 1 }
+        SweepOptions { jobs: 1, dense: false }
     }
 
     /// Default parallelism: the `MMR_JOBS` environment variable if set,
@@ -51,12 +56,12 @@ impl SweepOptions {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&j| j >= 1)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-        SweepOptions { jobs }
+        SweepOptions { jobs, dense: false }
     }
 
-    /// Consumes the sweep flags (`--jobs N`, `--serial`) from a CLI argument
-    /// list, leaving the remaining arguments for the caller's own parser.
-    /// Unrecognised arguments pass through untouched.
+    /// Consumes the sweep flags (`--jobs N`, `--serial`, `--dense`) from a
+    /// CLI argument list, leaving the remaining arguments for the caller's
+    /// own parser. Unrecognised arguments pass through untouched.
     pub fn from_args(args: &mut Vec<String>) -> Self {
         let mut opts = SweepOptions::from_env();
         let mut keep = Vec::with_capacity(args.len());
@@ -64,6 +69,7 @@ impl SweepOptions {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--serial" => opts.jobs = 1,
+                "--dense" => opts.dense = true,
                 "--jobs" => {
                     let n = it
                         .next()
@@ -159,6 +165,7 @@ pub fn run_points(
         Experiment::new(p.config.clone(), p.load)
             .windows(quality.warmup, quality.measure)
             .seed(point_seed(base_seed, i))
+            .dense_stepping(opts.dense)
             .run()
     })
 }
@@ -187,7 +194,7 @@ mod tests {
 
     #[test]
     fn run_indexed_preserves_index_order() {
-        let opts = SweepOptions { jobs: 4 };
+        let opts = SweepOptions { jobs: 4, ..SweepOptions::serial() };
         let out = opts.run_indexed(37, |i| i * 3);
         assert_eq!(out, (0..37).map(|i| i * 3).collect::<Vec<_>>());
     }
@@ -197,7 +204,7 @@ mod tests {
         let work = |i: usize| point_seed(42, i).wrapping_mul(i as u64);
         for jobs in [2, 3, 8] {
             assert_eq!(
-                SweepOptions { jobs }.run_indexed(25, work),
+                SweepOptions { jobs, ..SweepOptions::serial() }.run_indexed(25, work),
                 SweepOptions::serial().run_indexed(25, work),
                 "jobs={jobs}"
             );
@@ -206,7 +213,7 @@ mod tests {
 
     #[test]
     fn run_indexed_handles_empty_and_single() {
-        let opts = SweepOptions { jobs: 8 };
+        let opts = SweepOptions { jobs: 8, ..SweepOptions::serial() };
         assert!(opts.run_indexed(0, |i| i).is_empty());
         assert_eq!(opts.run_indexed(1, |i| i + 7), vec![7]);
     }

@@ -16,8 +16,8 @@ fn tiny() -> Quality {
 #[test]
 fn fig3_is_byte_identical_across_job_counts() {
     let quality = tiny();
-    let serial = format!("{}", fig3_jitter(&[1, 2], &quality, &SweepOptions { jobs: 1 }));
-    let parallel = format!("{}", fig3_jitter(&[1, 2], &quality, &SweepOptions { jobs: 4 }));
+    let serial = format!("{}", fig3_jitter(&[1, 2], &quality, &SweepOptions { jobs: 1, ..SweepOptions::serial() }));
+    let parallel = format!("{}", fig3_jitter(&[1, 2], &quality, &SweepOptions { jobs: 4, ..SweepOptions::serial() }));
     assert_eq!(serial, parallel);
 }
 
@@ -36,8 +36,8 @@ fn fig3_serial_runs_are_reproducible() {
 #[test]
 fn claims_are_byte_identical_across_job_counts() {
     let quality = Quality { warmup: 200, measure: 1_000, loads: vec![] };
-    let serial = render_claims(&claims_table(&quality, &SweepOptions { jobs: 1 }));
-    let parallel = render_claims(&claims_table(&quality, &SweepOptions { jobs: 3 }));
+    let serial = render_claims(&claims_table(&quality, &SweepOptions { jobs: 1, ..SweepOptions::serial() }));
+    let parallel = render_claims(&claims_table(&quality, &SweepOptions { jobs: 3, ..SweepOptions::serial() }));
     assert_eq!(serial, parallel);
 }
 
@@ -50,8 +50,8 @@ fn fault_campaigns_are_byte_identical_across_job_counts() {
         .into_iter()
         .map(|topology| CampaignSpec { topology, faults: 2, trials: 2, warmup: 200, measure: 1_600 })
         .collect();
-    let serial = run_campaigns(&grid, &SweepOptions { jobs: 1 });
-    let parallel = run_campaigns(&grid, &SweepOptions { jobs: 4 });
+    let serial = run_campaigns(&grid, &SweepOptions { jobs: 1, ..SweepOptions::serial() });
+    let parallel = run_campaigns(&grid, &SweepOptions { jobs: 4, ..SweepOptions::serial() });
     assert_eq!(render_json(&serial), render_json(&parallel));
     assert_eq!(render_table(&serial), render_table(&parallel));
     // And the serial leg itself is reproducible run to run.

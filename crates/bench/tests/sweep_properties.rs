@@ -33,7 +33,7 @@ proptest! {
     #[test]
     fn point_seeds_are_position_pure(base in any::<u64>(), n in 1usize..64) {
         let serial: Vec<u64> = (0..n).map(|i| point_seed(base, i)).collect();
-        let indexed = SweepOptions { jobs: 4 }.run_indexed(n, |i| point_seed(base, i));
+        let indexed = SweepOptions { jobs: 4, ..SweepOptions::serial() }.run_indexed(n, |i| point_seed(base, i));
         prop_assert_eq!(serial, indexed);
     }
 

@@ -135,6 +135,23 @@ impl StatusMatrix {
         }
     }
 
+    /// Fused [`StatusMatrix::all_of_into`] that also returns the population
+    /// count of the result, computed in the same pass over the backing
+    /// words. The three-condition shape — the paper's eligibility query —
+    /// runs as a single fused loop; other arities fall back to the composed
+    /// ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have `vcs` bits.
+    pub fn all_of_count_into(&self, conds: &[Condition], out: &mut StatusBits) -> usize {
+        if let [a, b, c] = *conds {
+            return out.copy_intersection3(self.bank(a), self.bank(b), self.bank(c));
+        }
+        self.all_of_into(conds, out);
+        out.count_ones()
+    }
+
     /// VCs satisfying *any* of `conds` (wide OR).
     pub fn any_of(&self, conds: &[Condition]) -> StatusBits {
         let mut acc = StatusBits::zeros(self.vcs);
@@ -142,6 +159,13 @@ impl StatusMatrix {
             acc |= self.bank(c);
         }
         acc
+    }
+
+    /// Whether any VC has `cond` set — batched quiescence detection: one u64
+    /// comparison per 64 VCs answers "do any of these lanes have work?"
+    /// without visiting per-VC state.
+    pub fn any_set(&self, cond: Condition) -> bool {
+        self.bank(cond).any()
     }
 
     /// VCs satisfying all of `require` and none of `exclude` — the paper's
@@ -197,6 +221,28 @@ mod tests {
         assert_eq!(out, m.all_of(&conds));
         m.all_of_into(&[], &mut out);
         assert_eq!(out.count_ones(), 70, "empty condition list is the AND identity");
+    }
+
+    #[test]
+    fn all_of_count_into_matches_all_of() {
+        let mut m = StatusMatrix::new(70);
+        m.set(Condition::FlitsAvailable, 1, true);
+        m.set(Condition::FlitsAvailable, 69, true);
+        m.set(Condition::CreditsAvailable, 69, true);
+        m.set(Condition::ConnectionActive, 69, true);
+        // The fused three-condition shape.
+        let conds = [
+            Condition::FlitsAvailable,
+            Condition::CreditsAvailable,
+            Condition::ConnectionActive,
+        ];
+        let mut out = StatusBits::zeros(70);
+        assert_eq!(m.all_of_count_into(&conds, &mut out), 1);
+        assert_eq!(out, m.all_of(&conds));
+        // The fallback arities.
+        assert_eq!(m.all_of_count_into(&conds[..2], &mut out), 1);
+        assert_eq!(out, m.all_of(&conds[..2]));
+        assert_eq!(m.all_of_count_into(&[], &mut out), 70);
     }
 
     #[test]

@@ -1,13 +1,27 @@
 //! The status bit vector itself.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, Not};
 
 const WORD_BITS: usize = 64;
 
+/// Words stored inline before spilling to the heap. Four words cover 256
+/// bits — exactly the paper's 256 virtual channels per port — so every
+/// status vector in the paper configuration lives inside its owner with no
+/// pointer chase. The link scheduler touches ~a dozen of these per port
+/// per cycle; keeping them inline is what makes the word-parallel ops
+/// genuinely word-parallel instead of cache-miss-parallel.
+const INLINE_WORDS: usize = 4;
+
 /// A fixed-length bit vector modelling one hardware status vector
 /// (§4.1 of the MMR paper): one bit per virtual channel, wide logical
 /// operations, and constant-time priority encoding.
+///
+/// Vectors of up to [`INLINE_WORDS`] × 64 bits are stored inline (no heap
+/// allocation); longer vectors spill to a `Vec`. The representation is
+/// invisible to callers — equality, hashing, and every operation are
+/// defined over the logical bits only.
 ///
 /// # Example
 ///
@@ -25,21 +39,37 @@ const WORD_BITS: usize = 64;
 /// let ready = &flits_available & &credits_available;
 /// assert_eq!(ready.first_set(), Some(200));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct StatusBits {
     len: usize,
-    words: Vec<u64>,
+    words: Words,
+}
+
+#[derive(Clone)]
+enum Words {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
 }
 
 impl StatusBits {
+    fn with_word_fill(len: usize, fill: u64) -> Self {
+        let n = len.div_ceil(WORD_BITS);
+        let words = if n <= INLINE_WORDS {
+            Words::Inline([fill; INLINE_WORDS])
+        } else {
+            Words::Heap(vec![fill; n])
+        };
+        StatusBits { len, words }
+    }
+
     /// Creates an all-zero vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        StatusBits { len, words: vec![0; len.div_ceil(WORD_BITS)] }
+        StatusBits::with_word_fill(len, 0)
     }
 
     /// Creates an all-one vector of `len` bits.
     pub fn ones(len: usize) -> Self {
-        let mut v = StatusBits { len, words: vec![u64::MAX; len.div_ceil(WORD_BITS)] };
+        let mut v = StatusBits::with_word_fill(len, u64::MAX);
         v.mask_tail();
         v
     }
@@ -57,10 +87,31 @@ impl StatusBits {
         v
     }
 
+    /// The backing words holding the vector's `len` bits. For inline
+    /// storage the slice is trimmed to the logical word count so that
+    /// word-wise loops, comparisons, and hashes never observe the unused
+    /// inline capacity.
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline(buf) => &buf[..self.len.div_ceil(WORD_BITS)],
+            Words::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let n = self.len.div_ceil(WORD_BITS);
+        match &mut self.words {
+            Words::Inline(buf) => &mut buf[..n],
+            Words::Heap(v) => v,
+        }
+    }
+
     fn mask_tail(&mut self) {
         let tail = self.len % WORD_BITS;
         if tail != 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = self.words_mut().last_mut() {
                 *last &= (1u64 << tail) - 1;
             }
         }
@@ -83,7 +134,7 @@ impl StatusBits {
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+        self.words()[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
     }
 
     /// Writes bit `i`. This is the per-VC status update the paper describes
@@ -97,20 +148,20 @@ impl StatusBits {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let mask = 1u64 << (i % WORD_BITS);
         if value {
-            self.words[i / WORD_BITS] |= mask;
+            self.words_mut()[i / WORD_BITS] |= mask;
         } else {
-            self.words[i / WORD_BITS] &= !mask;
+            self.words_mut()[i / WORD_BITS] &= !mask;
         }
     }
 
     /// Clears every bit.
     pub fn clear(&mut self) {
-        self.words.fill(0);
+        self.words_mut().fill(0);
     }
 
     /// Sets every bit (all-ones over the vector's length).
     pub fn set_all(&mut self) {
-        self.words.fill(u64::MAX);
+        self.words_mut().fill(u64::MAX);
         self.mask_tail();
     }
 
@@ -122,22 +173,117 @@ impl StatusBits {
     /// Panics if the lengths differ.
     pub fn copy_from(&mut self, other: &StatusBits) {
         self.zip_len(other);
-        self.words.copy_from_slice(&other.words);
+        self.words_mut().copy_from_slice(other.words());
+    }
+
+    /// Clears every bit that is set in `other` — an in-place AND-NOT, the
+    /// word-parallel building block for "members of A not in B" domain
+    /// subtraction without allocating an intermediate complement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn subtract(&mut self, other: &StatusBits) {
+        self.zip_len(other);
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a &= !b;
+        }
+    }
+
+    /// Whether this vector and `other` share any set bit — a whole-vector
+    /// intersection test that inspects one u64 per 64 lanes and never
+    /// materialises the intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn intersects(&self, other: &StatusBits) -> bool {
+        self.zip_len(other);
+        self.words().iter().zip(other.words()).any(|(a, b)| a & b != 0)
+    }
+
+    /// Writes `a ∩ b` into `self` and returns its population count — the
+    /// fused form of `copy_from` + `&=` + `count_ones`, one pass over the
+    /// backing words instead of three. This is the link scheduler's
+    /// per-phase domain build, which runs for every service phase of every
+    /// port every flit cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_intersection(&mut self, a: &StatusBits, b: &StatusBits) -> usize {
+        a.zip_len(b);
+        self.zip_len(a);
+        let mut count = 0;
+        for ((o, x), y) in self.words_mut().iter_mut().zip(a.words()).zip(b.words()) {
+            let w = x & y;
+            *o = w;
+            count += w.count_ones() as usize;
+        }
+        count
+    }
+
+    /// Writes `a ∩ b ∩ c` into `self` and returns its population count —
+    /// the paper's three-condition eligibility query (`flits_available ∧
+    /// credits_available ∧ connection_active`) as a single fused pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_intersection3(&mut self, a: &StatusBits, b: &StatusBits, c: &StatusBits) -> usize {
+        a.zip_len(b);
+        a.zip_len(c);
+        self.zip_len(a);
+        let mut count = 0;
+        let (aw, bw, cw) = (a.words(), b.words(), c.words());
+        for (i, o) in self.words_mut().iter_mut().enumerate() {
+            let w = aw[i] & bw[i] & cw[i];
+            *o = w;
+            count += w.count_ones() as usize;
+        }
+        count
+    }
+
+    /// Writes `(a ∩ b) \ exclude` into `self` and returns its population
+    /// count — the quota-enforcing domain build (class members with a
+    /// stream head whose round quota is not yet exhausted), fused into one
+    /// pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_intersection_minus(
+        &mut self,
+        a: &StatusBits,
+        b: &StatusBits,
+        exclude: &StatusBits,
+    ) -> usize {
+        a.zip_len(b);
+        a.zip_len(exclude);
+        self.zip_len(a);
+        let mut count = 0;
+        let (aw, bw, ew) = (a.words(), b.words(), exclude.words());
+        for (i, o) in self.words_mut().iter_mut().enumerate() {
+            let w = aw[i] & bw[i] & !ew[i];
+            *o = w;
+            count += w.count_ones() as usize;
+        }
+        count
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether any bit is set.
     pub fn any(&self) -> bool {
-        self.words.iter().any(|&w| w != 0)
+        self.words().iter().any(|&w| w != 0)
     }
 
     /// Index of the lowest set bit (a hardware priority encoder), if any.
     pub fn first_set(&self) -> Option<usize> {
-        for (wi, &w) in self.words.iter().enumerate() {
+        for (wi, &w) in self.words().iter().enumerate() {
             if w != 0 {
                 return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
             }
@@ -149,37 +295,72 @@ impl StatusBits {
     /// a rotating priority encoder, the building block of round-robin
     /// candidate selection.
     pub fn next_set_wrapping(&self, from: usize) -> Option<usize> {
-        if self.len == 0 || !self.any() {
+        if self.len == 0 {
             return None;
         }
         let from = from % self.len;
+        let words = self.words();
         // Search [from, len).
         let start_word = from / WORD_BITS;
         let start_bit = from % WORD_BITS;
-        let masked = self.words[start_word] & (u64::MAX << start_bit);
+        let masked = words[start_word] & (u64::MAX << start_bit);
         if masked != 0 {
             let idx = start_word * WORD_BITS + masked.trailing_zeros() as usize;
             if idx < self.len {
                 return Some(idx);
             }
         }
-        for wi in start_word + 1..self.words.len() {
-            if self.words[wi] != 0 {
-                return Some(wi * WORD_BITS + self.words[wi].trailing_zeros() as usize);
+        for wi in start_word + 1..words.len() {
+            if words[wi] != 0 {
+                return Some(wi * WORD_BITS + words[wi].trailing_zeros() as usize);
             }
         }
-        // Wrap to [0, from).
+        // Wrap to [0, from] — first_set covers it (and the empty vector).
         self.first_set()
+    }
+
+    /// Drains every set bit into `out` in ascending order and clears the
+    /// vector, one word at a time — the batched "which routers need
+    /// examination" scan of the event-driven engine. A 64-router quiescence
+    /// check costs a single word compare; each set bit is extracted with a
+    /// trailing-zeros count and cleared with the `w & (w - 1)` idiom.
+    pub fn drain_set_into(&mut self, out: &mut Vec<usize>) {
+        for (wi, word) in self.words_mut().iter_mut().enumerate() {
+            let mut bits = std::mem::take(word);
+            while bits != 0 {
+                out.push(wi * WORD_BITS + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
     }
 
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter_set(&self) -> SetBits<'_> {
-        SetBits { bits: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        let words = self.words();
+        SetBits { words, word_idx: 0, current: words.first().copied().unwrap_or(0) }
     }
 
     fn zip_len(&self, other: &StatusBits) -> usize {
         assert_eq!(self.len, other.len, "status vectors must have equal length");
         self.len
+    }
+}
+
+/// Equality over the logical bits only — hand-written so that an inline
+/// and a (hypothetical) heap vector of the same contents compare equal and
+/// the unused inline capacity never leaks into the comparison.
+impl PartialEq for StatusBits {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words() == other.words()
+    }
+}
+
+impl Eq for StatusBits {}
+
+impl Hash for StatusBits {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.words().hash(state);
     }
 }
 
@@ -192,7 +373,7 @@ impl fmt::Debug for StatusBits {
 /// Iterator over set-bit indices; see [`StatusBits::iter_set`].
 #[derive(Debug, Clone)]
 pub struct SetBits<'a> {
-    bits: &'a StatusBits,
+    words: &'a [u64],
     word_idx: usize,
     current: u64,
 }
@@ -208,10 +389,10 @@ impl Iterator for SetBits<'_> {
                 return Some(self.word_idx * WORD_BITS + bit);
             }
             self.word_idx += 1;
-            if self.word_idx >= self.bits.words.len() {
+            if self.word_idx >= self.words.len() {
                 return None;
             }
-            self.current = self.bits.words[self.word_idx];
+            self.current = self.words[self.word_idx];
         }
     }
 }
@@ -220,10 +401,11 @@ impl BitAnd for &StatusBits {
     type Output = StatusBits;
     fn bitand(self, rhs: &StatusBits) -> StatusBits {
         let len = self.zip_len(rhs);
-        StatusBits {
-            len,
-            words: self.words.iter().zip(&rhs.words).map(|(a, b)| a & b).collect(),
+        let mut out = StatusBits::zeros(len);
+        for ((o, a), b) in out.words_mut().iter_mut().zip(self.words()).zip(rhs.words()) {
+            *o = a & b;
         }
+        out
     }
 }
 
@@ -231,7 +413,11 @@ impl BitOr for &StatusBits {
     type Output = StatusBits;
     fn bitor(self, rhs: &StatusBits) -> StatusBits {
         let len = self.zip_len(rhs);
-        StatusBits { len, words: self.words.iter().zip(&rhs.words).map(|(a, b)| a | b).collect() }
+        let mut out = StatusBits::zeros(len);
+        for ((o, a), b) in out.words_mut().iter_mut().zip(self.words()).zip(rhs.words()) {
+            *o = a | b;
+        }
+        out
     }
 }
 
@@ -239,15 +425,21 @@ impl BitXor for &StatusBits {
     type Output = StatusBits;
     fn bitxor(self, rhs: &StatusBits) -> StatusBits {
         let len = self.zip_len(rhs);
-        StatusBits { len, words: self.words.iter().zip(&rhs.words).map(|(a, b)| a ^ b).collect() }
+        let mut out = StatusBits::zeros(len);
+        for ((o, a), b) in out.words_mut().iter_mut().zip(self.words()).zip(rhs.words()) {
+            *o = a ^ b;
+        }
+        out
     }
 }
 
 impl Not for &StatusBits {
     type Output = StatusBits;
     fn not(self) -> StatusBits {
-        let mut out =
-            StatusBits { len: self.len, words: self.words.iter().map(|w| !w).collect() };
+        let mut out = StatusBits::zeros(self.len);
+        for (o, w) in out.words_mut().iter_mut().zip(self.words()) {
+            *o = !w;
+        }
         out.mask_tail();
         out
     }
@@ -256,7 +448,7 @@ impl Not for &StatusBits {
 impl BitAndAssign<&StatusBits> for StatusBits {
     fn bitand_assign(&mut self, rhs: &StatusBits) {
         self.zip_len(rhs);
-        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(rhs.words()) {
             *a &= b;
         }
     }
@@ -265,7 +457,7 @@ impl BitAndAssign<&StatusBits> for StatusBits {
 impl BitOrAssign<&StatusBits> for StatusBits {
     fn bitor_assign(&mut self, rhs: &StatusBits) {
         self.zip_len(rhs);
-        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(rhs.words()) {
             *a |= b;
         }
     }
@@ -303,6 +495,18 @@ mod tests {
     }
 
     #[test]
+    fn drain_set_into_empties_in_ascending_order() {
+        let mut v = StatusBits::from_set_bits(200, [129, 0, 63, 64, 199, 7]);
+        let mut out = vec![42usize];
+        v.drain_set_into(&mut out);
+        assert_eq!(out, vec![42, 0, 7, 63, 64, 129, 199]);
+        assert!(!v.any());
+        out.clear();
+        v.drain_set_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn get_out_of_range_panics() {
         StatusBits::zeros(10).get(10);
@@ -331,6 +535,24 @@ mod tests {
         assert_eq!((&a & &b).iter_set().collect::<Vec<_>>(), vec![5, 64]);
         assert_eq!((&a | &b).count_ones(), 5);
         assert_eq!((&a ^ &b).iter_set().collect::<Vec<_>>(), vec![1, 100, 101]);
+    }
+
+    #[test]
+    fn subtract_is_and_not() {
+        let mut a = StatusBits::from_set_bits(130, [0, 5, 64, 100, 129]);
+        let b = StatusBits::from_set_bits(130, [5, 100, 128]);
+        a.subtract(&b);
+        assert_eq!(a.iter_set().collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn intersects_without_materialising() {
+        let a = StatusBits::from_set_bits(130, [3, 129]);
+        let b = StatusBits::from_set_bits(130, [129]);
+        let c = StatusBits::from_set_bits(130, [4, 64]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!StatusBits::zeros(130).intersects(&a));
     }
 
     #[test]
@@ -417,5 +639,51 @@ mod tests {
     fn debug_is_nonempty() {
         let v = StatusBits::from_set_bits(8, [1]);
         assert!(!format!("{v:?}").is_empty());
+    }
+
+    #[test]
+    fn fused_intersections_match_composed_ops() {
+        let a = StatusBits::from_set_bits(200, [1, 5, 64, 100, 130, 199]);
+        let b = StatusBits::from_set_bits(200, [5, 64, 100, 131, 199]);
+        let c = StatusBits::from_set_bits(200, [5, 100, 199]);
+        let mut out = StatusBits::zeros(200);
+
+        assert_eq!(out.copy_intersection(&a, &b), 4);
+        assert_eq!(out, &a & &b);
+
+        assert_eq!(out.copy_intersection3(&a, &b, &c), 3);
+        assert_eq!(out, &(&a & &b) & &c);
+
+        assert_eq!(out.copy_intersection_minus(&a, &b, &c), 1);
+        let mut expect = &a & &b;
+        expect.subtract(&c);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn fused_intersection_mismatched_lengths_panics() {
+        StatusBits::zeros(64).copy_intersection(&StatusBits::zeros(64), &StatusBits::zeros(128));
+    }
+
+    #[test]
+    fn inline_and_heap_sizes_behave_identically() {
+        // 256 bits sits inline; 320 bits spills to the heap. The
+        // representation must be invisible: same ops, same results.
+        for len in [256usize, 320] {
+            let mut v = StatusBits::zeros(len);
+            v.set(len - 1, true);
+            v.set(0, true);
+            assert_eq!(v.count_ones(), 2);
+            assert_eq!(v.iter_set().collect::<Vec<_>>(), vec![0, len - 1]);
+            assert_eq!(v, StatusBits::from_set_bits(len, [0, len - 1]));
+            let inv = !&v;
+            assert_eq!(inv.count_ones(), len - 2);
+            let mut all = StatusBits::ones(len);
+            assert_eq!(all.count_ones(), len);
+            all.subtract(&v);
+            assert_eq!(all.count_ones(), len - 2);
+            assert_eq!(all, inv);
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! mmr-conform [--seed S] [--cases K] [--jobs N | --serial]
+//! mmr-conform [--seed S] [--cases K] [--jobs N | --serial] [--dense]
 //!             [--shrink] [--json] [--out PATH] [--bug phantom-credit]
 //! ```
 //!
@@ -32,7 +32,9 @@ fn main() {
     let mut shrink = false;
     let mut json = false;
     let mut out_path: Option<String> = None;
-    let mut hooks = Hooks::default();
+    // `--dense` (consumed by the sweep harness above) selects the dense
+    // reference stepping engine for every case.
+    let mut hooks = Hooks { dense_stepping: opts.dense, ..Hooks::default() };
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -56,8 +58,8 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!(
-                    "mmr-conform [--seed S] [--cases K] [--jobs N | --serial] [--shrink] \
-                     [--json] [--out PATH] [--bug phantom-credit]"
+                    "mmr-conform [--seed S] [--cases K] [--jobs N | --serial] [--dense] \
+                     [--shrink] [--json] [--out PATH] [--bug phantom-credit]"
                 );
                 return;
             }

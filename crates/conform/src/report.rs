@@ -235,7 +235,7 @@ mod tests {
             opts: SweepOptions::serial(),
         };
         let serial = run(&base).to_json();
-        let parallel = run(&RunConfig { opts: SweepOptions { jobs: 4 }, ..base }).to_json();
+        let parallel = run(&RunConfig { opts: SweepOptions { jobs: 4, ..SweepOptions::serial() }, ..base }).to_json();
         assert_eq!(serial, parallel);
     }
 

@@ -43,6 +43,11 @@ pub struct Hooks {
     /// exceeds the buffer depth — capacity the downstream router does not
     /// have.
     pub phantom_credit: bool,
+    /// Run the case on the dense per-cycle stepping engine instead of the
+    /// default event-driven wake set. Exists for differential testing —
+    /// both engines must produce identical [`CaseRun`]s on every scenario
+    /// (see `tests/engine_differential.rs`).
+    pub dense_stepping: bool,
 }
 
 /// The outcome of one differential case.
@@ -96,6 +101,7 @@ pub fn run_scenario(scenario: &Scenario, hooks: Hooks) -> CaseRun {
     // Record mode: violations accumulate for the diff instead of panicking,
     // even when CI exports MMR_AUDIT=1.
     net.enable_audit(AuditConfig::default());
+    net.set_dense_stepping(hooks.dense_stepping);
     if hooks.phantom_credit {
         net.set_credit_clamp(false);
     }

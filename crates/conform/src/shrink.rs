@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn phantom_credit_shrinks_to_few_connections() {
         let sc = Scenario::generate(0xC0FFEE);
-        let hooks = Hooks { phantom_credit: true };
+        let hooks = Hooks { phantom_credit: true, ..Hooks::default() };
         let base = run_scenario(&sc, hooks);
         assert!(!base.is_clean(), "hook failed to trigger on seed 0xC0FFEE");
         let shrunk = shrink(&sc, hooks, DEFAULT_BUDGET);

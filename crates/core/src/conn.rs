@@ -6,8 +6,6 @@
 //! required to forward data flits. Reverse mappings are used by backtracking
 //! headers and returned acknowledgments."
 
-use std::collections::BTreeMap;
-
 use mmr_sim::Bandwidth;
 
 use crate::ids::{ConnectionId, PortId, VcRef};
@@ -121,15 +119,48 @@ impl ConnState {
 }
 
 /// The connection table plus direct/reverse channel mappings.
+///
+/// Connection state is stored *in the direct mapping*: one dense
+/// `[input port][input VC]` slot array, because a connection owns exactly
+/// one input VC for its lifetime (double-booking panics). The per-cycle hot
+/// paths — link-scheduler classification, flit transmission and credit
+/// return — therefore reach connection state with two array indexes instead
+/// of ordered-map walks, which is what lets the engine classify dozens of
+/// eligible VCs per cycle at scale. Lookups by id index a dense id →
+/// input-VC table (ids are allocated monotonically, so the table grows once
+/// per establishment and per-cycle injection reaches state in O(1)).
 #[derive(Debug, Clone, Default)]
 pub struct ConnectionTable {
-    conns: BTreeMap<ConnectionId, ConnState>,
-    /// Direct mapping: input VC -> connection (to forward data flits).
-    direct: BTreeMap<VcRef, ConnectionId>,
-    /// Reverse mapping: output VC -> connection (for backtracking probes and
-    /// acknowledgments).
-    reverse: BTreeMap<VcRef, ConnectionId>,
+    /// Sorted by id: each live connection's id and its input VC (the slot
+    /// key). Ids are monotone, so pushes preserve the order.
+    index: Vec<(ConnectionId, VcRef)>,
+    /// Dense id → input-VC mapping (`None` = never existed or torn down);
+    /// the O(1) id lookup used by per-cycle injection.
+    by_id: Vec<Option<VcRef>>,
+    /// Direct mapping and state storage, indexed `[input port][input VC]`;
+    /// grown on demand.
+    slots: Vec<Vec<Option<ConnState>>>,
+    /// Reverse mapping: `[output port][output VC]` -> the owning
+    /// connection's *input* VC (its slot key); grown on demand.
+    reverse: Vec<Vec<Option<VcRef>>>,
     next_id: u32,
+}
+
+/// Grows a dense `[port][vc]` table so `vc` is a valid index.
+fn grow_to<T: Clone>(table: &mut Vec<Vec<Option<T>>>, vc: VcRef) {
+    let p = vc.port.index();
+    if table.len() <= p {
+        table.resize(p + 1, Vec::new());
+    }
+    let row = &mut table[p];
+    if row.len() <= vc.vc.index() {
+        row.resize(vc.vc.index() + 1, None);
+    }
+}
+
+/// Reads a dense `[port][vc]` table, treating unallocated rows as empty.
+fn slot_of<T>(table: &[Vec<Option<T>>], vc: VcRef) -> Option<&T> {
+    table.get(vc.port.index())?.get(vc.vc.index())?.as_ref()
 }
 
 impl ConnectionTable {
@@ -152,65 +183,80 @@ impl ConnectionTable {
     /// Panics if either VC is already mapped — the router must never
     /// double-book a virtual channel.
     pub fn insert(&mut self, state: ConnState) {
-        let prev_d = self.direct.insert(state.input_vc, state.id);
-        assert!(prev_d.is_none(), "input VC {} double-booked", state.input_vc);
-        let prev_r = self.reverse.insert(state.output_vc, state.id);
-        assert!(prev_r.is_none(), "output VC {} double-booked", state.output_vc);
-        self.conns.insert(state.id, state);
+        grow_to(&mut self.slots, state.input_vc);
+        grow_to(&mut self.reverse, state.output_vc);
+        let slot = &mut self.slots[state.input_vc.port.index()][state.input_vc.vc.index()];
+        assert!(slot.is_none(), "input VC {} double-booked", state.input_vc);
+        let rev = &mut self.reverse[state.output_vc.port.index()][state.output_vc.vc.index()];
+        assert!(rev.is_none(), "output VC {} double-booked", state.output_vc);
+        *rev = Some(state.input_vc);
+        let pos = self.index.partition_point(|&(id, _)| id < state.id);
+        self.index.insert(pos, (state.id, state.input_vc));
+        let raw = state.id.raw() as usize;
+        if self.by_id.len() <= raw {
+            self.by_id.resize(raw + 1, None);
+        }
+        self.by_id[raw] = Some(state.input_vc);
+        *slot = Some(state);
     }
 
     /// Removes a connection and both its mappings, returning its state.
     pub fn remove(&mut self, id: ConnectionId) -> Option<ConnState> {
-        let state = self.conns.remove(&id)?;
-        self.direct.remove(&state.input_vc);
-        self.reverse.remove(&state.output_vc);
+        let pos = self.index.binary_search_by_key(&id, |&(id, _)| id).ok()?;
+        let (_, input_vc) = self.index.remove(pos);
+        self.by_id[id.raw() as usize] = None;
+        let state = self.slots[input_vc.port.index()][input_vc.vc.index()].take()?;
+        self.reverse[state.output_vc.port.index()][state.output_vc.vc.index()] = None;
         Some(state)
     }
 
     /// Looks up a connection by id.
+    // mmr-lint: hot
     pub fn get(&self, id: ConnectionId) -> Option<&ConnState> {
-        self.conns.get(&id)
+        slot_of(&self.slots, *self.by_id.get(id.raw() as usize)?.as_ref()?)
     }
 
     /// Mutable lookup by id.
+    // mmr-lint: hot
     pub fn get_mut(&mut self, id: ConnectionId) -> Option<&mut ConnState> {
-        self.conns.get_mut(&id)
+        let vc = (*self.by_id.get(id.raw() as usize)?)?;
+        self.slots.get_mut(vc.port.index())?.get_mut(vc.vc.index())?.as_mut()
     }
 
     /// Direct mapping: which connection owns this *input* VC?
     pub fn by_input_vc(&self, vc: VcRef) -> Option<&ConnState> {
-        self.direct.get(&vc).and_then(|id| self.conns.get(id))
+        slot_of(&self.slots, vc)
     }
 
     /// Reverse mapping: which connection owns this *output* VC?
     pub fn by_output_vc(&self, vc: VcRef) -> Option<&ConnState> {
-        self.reverse.get(&vc).and_then(|id| self.conns.get(id))
+        slot_of(&self.slots, *slot_of(&self.reverse, vc)?)
     }
 
     /// Mutable direct-mapping lookup.
     pub fn by_input_vc_mut(&mut self, vc: VcRef) -> Option<&mut ConnState> {
-        let id = *self.direct.get(&vc)?;
-        self.conns.get_mut(&id)
+        self.slots.get_mut(vc.port.index())?.get_mut(vc.vc.index())?.as_mut()
     }
 
     /// Iterates over all connections in id order.
     pub fn iter(&self) -> impl Iterator<Item = &ConnState> {
-        self.conns.values()
+        self.index.iter().filter_map(|&(_, vc)| slot_of(&self.slots, vc))
     }
 
-    /// Mutable iteration in id order.
+    /// Mutable iteration over all connections, in input-VC (port-major)
+    /// order. Callers that need id order use [`ConnectionTable::iter`].
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut ConnState> {
-        self.conns.values_mut()
+        self.slots.iter_mut().flatten().filter_map(|slot| slot.as_mut())
     }
 
     /// Number of live connections.
     pub fn len(&self) -> usize {
-        self.conns.len()
+        self.index.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.conns.is_empty()
+        self.index.is_empty()
     }
 }
 

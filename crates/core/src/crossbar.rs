@@ -49,6 +49,9 @@ pub struct Crossbar {
     phits_per_flit: u16,
     /// Current input→output configuration; `None` = disconnected.
     config: Vec<Option<PortId>>,
+    /// Reusable next-configuration buffer ([`Crossbar::apply`] runs every
+    /// flit cycle and must not allocate).
+    scratch: Vec<Option<PortId>>,
     reconfigurations: u64,
     flits_switched: u64,
 }
@@ -68,6 +71,7 @@ impl Crossbar {
             ports,
             phits_per_flit,
             config: vec![None; ports],
+            scratch: vec![None; ports],
             reconfigurations: 0,
             flits_switched: 0,
         }
@@ -94,21 +98,29 @@ impl Crossbar {
     ///
     /// Panics (debug) if the matching violates the one-flit-per-input-port
     /// constraint of a multiplexed crossbar.
+    // mmr-lint: hot
     pub fn apply(&mut self, pairs: &[MatchedPair]) -> usize {
-        let mut next: Vec<Option<PortId>> = vec![None; self.ports];
+        self.scratch.iter_mut().for_each(|s| *s = None);
         for p in pairs {
             debug_assert!(
-                next[p.input.index()].is_none(),
+                self.scratch[p.input.index()].is_none(),
                 "multiplexed crossbar carries one flit per input port"
             );
-            next[p.input.index()] = Some(p.output);
+            self.scratch[p.input.index()] = Some(p.output);
         }
-        if next != self.config {
+        if self.scratch != self.config {
             self.reconfigurations += 1;
-            self.config = next;
+            std::mem::swap(&mut self.config, &mut self.scratch);
         }
         self.flits_switched += pairs.len() as u64;
         pairs.len()
+    }
+
+    /// Whether every crosspoint is disconnected — applying an empty matching
+    /// to an idle crossbar is a no-op, which lets a quiescent router skip
+    /// reconfiguration accounting entirely.
+    pub fn is_idle(&self) -> bool {
+        self.config.iter().all(Option::is_none)
     }
 
     /// The output currently connected to `input`, if any.
@@ -167,6 +179,21 @@ mod tests {
         xb.apply(&[pair(0, 3)]);
         assert_eq!(xb.reconfigurations(), 2);
         assert_eq!(xb.flits_switched(), 5);
+    }
+
+    #[test]
+    fn idle_tracks_configuration() {
+        let mut xb = Crossbar::new(4, 1);
+        assert!(xb.is_idle());
+        xb.apply(&[pair(0, 2)]);
+        assert!(!xb.is_idle());
+        // One empty application clears the configuration (and counts the
+        // reconfiguration); further empty applications are no-ops.
+        xb.apply(&[]);
+        assert!(xb.is_idle());
+        let reconfs = xb.reconfigurations();
+        xb.apply(&[]);
+        assert_eq!(xb.reconfigurations(), reconfs);
     }
 
     #[test]

@@ -23,8 +23,110 @@ use crate::arbiter::{biased_priority, sort_candidates, ArbiterKind, Candidate, S
 use crate::conn::{ConnectionTable, QosClass};
 use crate::flit::FlitKind;
 use crate::ids::{PortId, VcIndex, VcRef};
-use crate::table::{OutputSet, PhaseMap, VcMap};
+use crate::table::{OutputSet, VcMap};
 use crate::vcm::VirtualChannelMemory;
+
+/// Per-input-port class membership masks: which *active* VCs carry
+/// connections of each QoS class. Maintained by the router at establishment
+/// and teardown, so the per-cycle scheduler can derive each service phase's
+/// candidate domain with a few word-parallel operations instead of
+/// classifying every eligible VC.
+#[derive(Debug, Clone)]
+pub struct ClassMasks {
+    /// Active VCs carrying CBR connections.
+    pub cbr: StatusBits,
+    /// Active VCs carrying VBR connections.
+    pub vbr: StatusBits,
+    /// Active VCs carrying control connections.
+    pub control: StatusBits,
+    /// Active VCs carrying best-effort connections.
+    pub best_effort: StatusBits,
+    /// Population counts of the masks — maintained by [`ClassMasks::set`] /
+    /// [`ClassMasks::clear`] so the per-cycle phase walk can rule a class
+    /// out with one zero test instead of a vector intersection. Workloads
+    /// are typically single-class, so most phases exit through this test.
+    cbr_count: usize,
+    /// Active VBR connection count (see `cbr_count`).
+    vbr_count: usize,
+    /// Active control connection count (see `cbr_count`).
+    control_count: usize,
+    /// Active best-effort connection count (see `cbr_count`).
+    best_effort_count: usize,
+}
+
+impl ClassMasks {
+    /// All-empty masks for a port with `vcs` virtual channels.
+    pub fn new(vcs: usize) -> Self {
+        ClassMasks {
+            cbr: StatusBits::zeros(vcs),
+            vbr: StatusBits::zeros(vcs),
+            control: StatusBits::zeros(vcs),
+            best_effort: StatusBits::zeros(vcs),
+            cbr_count: 0,
+            vbr_count: 0,
+            control_count: 0,
+            best_effort_count: 0,
+        }
+    }
+
+    /// Records that `vc` now carries a connection of `class`.
+    pub fn set(&mut self, vc: usize, class: QosClass) {
+        self.clear(vc);
+        match class {
+            QosClass::Cbr { .. } => {
+                self.cbr.set(vc, true);
+                self.cbr_count += 1;
+            }
+            QosClass::Vbr { .. } => {
+                self.vbr.set(vc, true);
+                self.vbr_count += 1;
+            }
+            QosClass::Control => {
+                self.control.set(vc, true);
+                self.control_count += 1;
+            }
+            QosClass::BestEffort => {
+                self.best_effort.set(vc, true);
+                self.best_effort_count += 1;
+            }
+        }
+    }
+
+    /// Records that `vc` no longer carries a connection.
+    pub fn clear(&mut self, vc: usize) {
+        for (mask, count) in [
+            (&mut self.cbr, &mut self.cbr_count),
+            (&mut self.vbr, &mut self.vbr_count),
+            (&mut self.control, &mut self.control_count),
+            (&mut self.best_effort, &mut self.best_effort_count),
+        ] {
+            if mask.get(vc) {
+                mask.set(vc, false);
+                *count -= 1;
+            }
+        }
+    }
+
+    /// Whether any active VC carries a CBR connection (O(1)).
+    pub fn has_cbr(&self) -> bool {
+        self.cbr_count > 0
+    }
+
+    /// Whether any active VC carries a VBR connection (O(1)).
+    pub fn has_vbr(&self) -> bool {
+        self.vbr_count > 0
+    }
+
+    /// Whether any active VC carries a control connection (O(1)).
+    pub fn has_control(&self) -> bool {
+        self.control_count > 0
+    }
+
+    /// Whether any active VC carries a best-effort connection (O(1)).
+    pub fn has_best_effort(&self) -> bool {
+        self.best_effort_count > 0
+    }
+}
 
 /// How the link scheduler picks its `C` candidates from the eligible set.
 ///
@@ -75,6 +177,8 @@ pub struct LinkSchedView<'a> {
     pub enforce_quota: bool,
     /// Candidate selection policy.
     pub policy: CandidatePolicy,
+    /// Per-VC class membership masks for this port (see [`ClassMasks`]).
+    pub classes: &'a ClassMasks,
     /// Per-output flag: whether guaranteed (CBR/VBR) traffic may still be
     /// serviced toward that output this round. Cleared when the output's
     /// best-effort reserve would be violated (§4.2: "reserve some
@@ -131,8 +235,14 @@ pub struct LinkScheduler {
     classified: StatusBits,
     /// Scratch: per-VC classification, valid where `classified` is set.
     info: VcMap<Option<Classified>>,
-    /// Scratch: one bit vector per service phase.
-    phase_bits: PhaseMap<StatusBits>,
+    /// Scratch: the current phase's candidate domain (rotating scan only).
+    domain: StatusBits,
+    /// Scratch: eligible VCs whose head is a stream (data/command) flit.
+    stream_heads: StatusBits,
+    /// Scratch: eligible VCs whose head is a control flit.
+    control_heads: StatusBits,
+    /// Scratch: eligible VCs whose head is a best-effort flit.
+    best_effort_heads: StatusBits,
     /// Scratch: full sorted candidate list (PrioritySorted policy only).
     sorted: Vec<Candidate>,
 }
@@ -144,7 +254,10 @@ impl LinkScheduler {
             eligible: StatusBits::zeros(vcs),
             classified: StatusBits::zeros(vcs),
             info: VcMap::filled(vcs, None),
-            phase_bits: PhaseMap::new_with(|| StatusBits::zeros(vcs)),
+            domain: StatusBits::zeros(vcs),
+            stream_heads: StatusBits::zeros(vcs),
+            control_heads: StatusBits::zeros(vcs),
+            best_effort_heads: StatusBits::zeros(vcs),
             sorted: Vec::new(),
         }
     }
@@ -178,101 +291,34 @@ impl LinkScheduler {
         // mmr-lint: allow(P-PANIC, reason="sizing contract vs construction-time invariant; one comparison per cycle, not data-dependent")
         assert_eq!(self.info.len(), vcs, "scheduler sized for a different VC count");
         out.clear();
-        view.status.all_of_into(&ELIGIBLE, &mut self.eligible);
+        // A port with nothing eligible offers nothing; skip the phase walk
+        // (and the final sort) outright. The fused query computes the
+        // intersection and its population in one pass.
+        let eligible_count = view.status.all_of_count_into(&ELIGIBLE, &mut self.eligible);
+        if eligible_count == 0 {
+            return view.rr_pointer;
+        }
+        // One eligible VC — the common shape below saturation — needs no
+        // head partition, phase walk, or sort: the walk would visit exactly
+        // this VC in the phase `classify` assigns it (the domain unions and
+        // subtractions reproduce `classify`'s own head-override and quota
+        // rules), offer its candidate if it classifies, and advance the
+        // pointer past it iff it was offered.
+        if eligible_count == 1
+            && view.max_candidates >= 1
+            && view.policy == CandidatePolicy::RotatingScan
+            && !matches!(view.kind, ArbiterKind::Autonet { .. } | ArbiterKind::Islip { .. })
+        {
+            if let Some(vc_idx) = self.eligible.first_set() {
+                if let Some(c) = classify(view, vc_idx, vcs) {
+                    // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
+                    out.push(to_candidate(view.port, vc_idx, &c));
+                    return (vc_idx + 1) % vcs;
+                }
+            }
+            return view.rr_pointer;
+        }
         self.classified.clear();
-        for bits in self.phase_bits.iter_mut() {
-            bits.clear();
-        }
-
-        // Classify every eligible VC and build one bit vector per phase.
-        for vc_idx in self.eligible.iter_set() {
-            let vc = VcIndex(vc_idx as u16);
-            let vc_ref = VcRef { port: view.port, vc };
-            let Some(conn) = view.conns.by_input_vc(vc_ref) else {
-                debug_assert!(false, "connection_active bit set without a mapping for {vc_ref}");
-                continue;
-            };
-            let Some(head) = view.vcm.head(vc) else {
-                debug_assert!(false, "flits_available bit set for empty {vc_ref}");
-                continue;
-            };
-            let delay = view.vcm.head_delay(vc, view.now).map(|d| d.as_f64()).unwrap_or(0.0);
-
-            // Phase classification: head-flit kind first (VCT packets), then
-            // the connection's class and quota position.
-            let phase = match head.kind {
-                FlitKind::Control => Some(ServicePhase::Control),
-                FlitKind::BestEffort => Some(ServicePhase::BestEffort),
-                FlitKind::Data | FlitKind::Command(_) => match conn.class {
-                    QosClass::Cbr { .. } | QosClass::Vbr { .. }
-                        if !view
-                            .guaranteed_open
-                            .get(conn.output_vc.port.index())
-                            .copied()
-                            .unwrap_or(true) =>
-                    {
-                        // The output's best-effort reserve is exhausted for
-                        // this round; guaranteed traffic waits for the next
-                        // round.
-                        None
-                    }
-                    QosClass::Cbr { .. } => {
-                        if view.enforce_quota && conn.quota_exhausted() {
-                            None
-                        } else {
-                            Some(ServicePhase::CbrGuaranteed)
-                        }
-                    }
-                    QosClass::Vbr { .. } => {
-                        let perm_quota = conn.vbr_permanent_cycles.ceil().max(1.0) as u32;
-                        let peak_quota = conn.vbr_peak_cycles.ceil().max(1.0) as u32;
-                        if conn.serviced_this_round < perm_quota {
-                            Some(ServicePhase::VbrPermanent)
-                        } else if !view.enforce_quota || conn.serviced_this_round < peak_quota {
-                            Some(ServicePhase::VbrExcess)
-                        } else {
-                            None
-                        }
-                    }
-                    QosClass::Control => Some(ServicePhase::Control),
-                    QosClass::BestEffort => Some(ServicePhase::BestEffort),
-                },
-            };
-            let Some(phase) = phase else { continue };
-
-            let priority = match (phase, view.kind) {
-                // §4.3: excess bandwidth is serviced one connection at a
-                // time in priority order — a per-connection constant makes
-                // the ordering stable across cycles, so the leader drains
-                // before the next.
-                (ServicePhase::VbrExcess, _) => {
-                    f64::from(conn.dynamic_priority) * 1e6
-                        - f64::from(conn.id.raw() % 1_000_000u32)
-                }
-                (_, ArbiterKind::BiasedPriority) => {
-                    biased_priority(delay, conn.interarrival_cycles)
-                }
-                // The perfect switch is the paper's lower bound: with no
-                // port conflicts the ideal input policy is
-                // oldest-ready-first, which minimises both waiting and delay
-                // variation. OldestFirst is the same rule under real switch
-                // conflicts.
-                (_, ArbiterKind::Perfect | ArbiterKind::OldestFirst) => delay,
-                (_, ArbiterKind::FixedPriority) => conn.fixed_priority,
-                (_, ArbiterKind::RoundRobin) => {
-                    let dist = (vc_idx + vcs - view.rr_pointer % vcs) % vcs;
-                    -(dist as f64)
-                }
-                (_, ArbiterKind::Autonet { .. } | ArbiterKind::Islip { .. }) => 0.0,
-                #[allow(unreachable_patterns)]
-                _ => 0.0,
-            };
-
-            *self.info.at_mut(vc_idx) =
-                Some(Classified { phase, priority, output: conn.output_vc.port, conn: conn.id });
-            self.classified.set(vc_idx, true);
-            self.phase_bits.get_mut(phase).set(vc_idx, true);
-        }
 
         let mut next_pointer = view.rr_pointer;
 
@@ -280,13 +326,11 @@ impl LinkScheduler {
             // Iterative schemes consume the full eligible set (their
             // selection rule lives in the switch scheduler).
             ArbiterKind::Autonet { .. } | ArbiterKind::Islip { .. } => {
-                for vc_idx in self.classified.iter_set() {
-                    let Some(c) = *self.info.at(vc_idx) else {
-                        debug_assert!(false, "classified bit implies classification");
-                        continue;
-                    };
-                    // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
-                    out.push(to_candidate(view.port, vc_idx, &c));
+                for vc_idx in self.eligible.iter_set() {
+                    if let Some(c) = classify(view, vc_idx, vcs) {
+                        // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
+                        out.push(to_candidate(view.port, vc_idx, &c));
+                    }
                 }
             }
             // Candidate-set schemes: pick up to C candidates with distinct
@@ -299,13 +343,11 @@ impl LinkScheduler {
             | ArbiterKind::Perfect => match view.policy {
                 CandidatePolicy::PrioritySorted => {
                     self.sorted.clear();
-                    for vc_idx in self.classified.iter_set() {
-                        let Some(c) = *self.info.at(vc_idx) else {
-                            debug_assert!(false, "classified bit implies classification");
-                            continue;
-                        };
-                        // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
-                        self.sorted.push(to_candidate(view.port, vc_idx, &c));
+                    for vc_idx in self.eligible.iter_set() {
+                        if let Some(c) = classify(view, vc_idx, vcs) {
+                            // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
+                            self.sorted.push(to_candidate(view.port, vc_idx, &c));
+                        }
                     }
                     sort_candidates(&mut self.sorted);
                     let mut outputs_seen = OutputSet::new();
@@ -319,24 +361,160 @@ impl LinkScheduler {
                         }
                     }
                 }
+                // The hot default: instead of classifying every eligible VC
+                // up front, derive each phase's candidate *domain* (a
+                // superset of the VCs that classify into the phase) from the
+                // class-membership and head-kind masks with word-parallel
+                // operations, then classify lazily on visit. The scan stops
+                // as soon as `max_candidates` distinct outputs are found, so
+                // a loaded port touches O(candidates) VCs instead of
+                // O(eligible). Visiting extra domain bits is harmless: the
+                // rotating order of the VCs that *do* classify into the
+                // phase — and therefore the selected set and the pointer
+                // update — is identical to the eager scan's.
                 CandidatePolicy::RotatingScan => {
+                    // Partition the eligible set by head-flit kind — but
+                    // lazily: on most cycles every eligible head is a stream
+                    // (data/command) flit, so `stream_heads == eligible` and
+                    // the partition collapses to two word-parallel membership
+                    // tests. Head kinds are mutually exclusive, so
+                    // `eligible = stream ∪ control ∪ best-effort` heads.
+                    let control_heads_any = view.vcm.has_control_heads()
+                        && view.vcm.head_control_bits().intersects(&self.eligible);
+                    let be_heads_any = view.vcm.has_best_effort_heads()
+                        && view.vcm.head_best_effort_bits().intersects(&self.eligible);
+                    let split_heads = control_heads_any || be_heads_any;
+                    if split_heads {
+                        self.stream_heads.copy_from(&self.eligible);
+                        self.stream_heads.subtract(view.vcm.head_control_bits());
+                        self.stream_heads.subtract(view.vcm.head_best_effort_bits());
+                        self.control_heads.copy_from(&self.eligible);
+                        self.control_heads &= view.vcm.head_control_bits();
+                        self.best_effort_heads.copy_from(&self.eligible);
+                        self.best_effort_heads &= view.vcm.head_best_effort_bits();
+                    }
+
                     let mut outputs_seen = OutputSet::new();
                     'phases: for phase in PHASES {
-                        let bits = self.phase_bits.get(phase);
-                        let population = bits.count_ones();
+                        // Skip a phase whose domain is provably empty — an
+                        // O(1) class-population test first (workloads are
+                        // typically single-class, so most phases exit here),
+                        // then a word-parallel intersection test.
+                        let populated = match phase {
+                            ServicePhase::Control => {
+                                control_heads_any
+                                    || (view.classes.has_control()
+                                        && view.classes.control.intersects(&self.eligible))
+                            }
+                            ServicePhase::CbrGuaranteed => {
+                                view.classes.has_cbr()
+                                    && view.classes.cbr.intersects(&self.eligible)
+                            }
+                            ServicePhase::VbrPermanent | ServicePhase::VbrExcess => {
+                                view.classes.has_vbr()
+                                    && view.classes.vbr.intersects(&self.eligible)
+                            }
+                            ServicePhase::BestEffort => {
+                                be_heads_any
+                                    || (view.classes.has_best_effort()
+                                        && view.classes.best_effort.intersects(&self.eligible))
+                            }
+                        };
+                        if !populated {
+                            continue;
+                        }
+                        // With no special heads eligible, `stream_heads`
+                        // would equal `eligible` — use it directly. Each
+                        // domain build is a fused single-pass intersection
+                        // that also yields the population count.
+                        let stream_heads =
+                            if split_heads { &self.stream_heads } else { &self.eligible };
+                        let mut population = match phase {
+                            // Control heads always classify as control;
+                            // control-class connections follow unless a
+                            // best-effort head overrides the class.
+                            ServicePhase::Control => {
+                                self.domain.copy_intersection(&view.classes.control, stream_heads)
+                            }
+                            // Stream phases: class members whose head is a
+                            // data/command flit (head kind takes precedence).
+                            // Under quota enforcement, VCs whose round quota
+                            // is already exhausted (the latched §4.4
+                            // "completely serviced" banks) would classify to
+                            // `None` anyway — subtract them up front so the
+                            // scan never visits them.
+                            ServicePhase::CbrGuaranteed => {
+                                if view.enforce_quota {
+                                    self.domain.copy_intersection_minus(
+                                        &view.classes.cbr,
+                                        stream_heads,
+                                        view.status.bank(Condition::CbrBandwidthServiced),
+                                    )
+                                } else {
+                                    self.domain.copy_intersection(&view.classes.cbr, stream_heads)
+                                }
+                            }
+                            // Both VBR phases share one domain; the quota
+                            // position decides per VC which phase it is in.
+                            // The VBR serviced bank latches *peak* exhaustion,
+                            // which rules a VC out of both phases.
+                            ServicePhase::VbrPermanent | ServicePhase::VbrExcess => {
+                                if view.enforce_quota {
+                                    self.domain.copy_intersection_minus(
+                                        &view.classes.vbr,
+                                        stream_heads,
+                                        view.status.bank(Condition::VbrBandwidthServiced),
+                                    )
+                                } else {
+                                    self.domain.copy_intersection(&view.classes.vbr, stream_heads)
+                                }
+                            }
+                            // Best-effort heads always classify as best
+                            // effort; best-effort-class connections follow
+                            // unless a control head overrides the class.
+                            ServicePhase::BestEffort => self
+                                .domain
+                                .copy_intersection(&view.classes.best_effort, stream_heads),
+                        };
+                        // The overriding-head union is rare (split_heads);
+                        // recount when it grows the domain.
+                        if split_heads {
+                            match phase {
+                                ServicePhase::Control => {
+                                    self.domain |= &self.control_heads;
+                                    population = self.domain.count_ones();
+                                }
+                                ServicePhase::BestEffort => {
+                                    self.domain |= &self.best_effort_heads;
+                                    population = self.domain.count_ones();
+                                }
+                                _ => {}
+                            }
+                        }
+                        if population == 0 {
+                            continue;
+                        }
                         let mut start = view.rr_pointer % vcs.max(1);
                         for _ in 0..population {
                             if out.len() >= view.max_candidates {
                                 break 'phases;
                             }
-                            let Some(vc_idx) = bits.next_set_wrapping(start) else { break };
+                            let Some(vc_idx) = self.domain.next_set_wrapping(start) else {
+                                break;
+                            };
                             // Stop once the scan has wrapped past every set
                             // bit.
                             start = (vc_idx + 1) % vcs;
-                            let Some(c) = *self.info.at(vc_idx) else {
-                                debug_assert!(false, "phase bit implies classification");
+                            // Classify on first visit; the VBR domains reuse
+                            // the memo across their two phases.
+                            if !self.classified.get(vc_idx) {
+                                *self.info.at_mut(vc_idx) = classify(view, vc_idx, vcs);
+                                self.classified.set(vc_idx, true);
+                            }
+                            let Some(c) = *self.info.at(vc_idx) else { continue };
+                            if c.phase != phase {
                                 continue;
-                            };
+                            }
                             if outputs_seen.mark(c.output) {
                                 // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
                                 out.push(to_candidate(view.port, vc_idx, &c));
@@ -365,6 +543,95 @@ pub fn select_candidates(view: &LinkSchedView<'_>) -> LinkSchedOutcome {
     LinkSchedOutcome { candidates, next_pointer }
 }
 
+/// Classifies one eligible VC into its service phase and computes the
+/// scheme's priority. Pure: reads only the view, so classification can run
+/// eagerly over the whole eligible set or lazily on scan visit with
+/// identical results. Returns `None` when the VC cannot be serviced this
+/// cycle (quota exhausted, or the output's best-effort reserve is closed).
+// mmr-lint: hot
+fn classify(view: &LinkSchedView<'_>, vc_idx: usize, vcs: usize) -> Option<Classified> {
+    let vc = VcIndex(vc_idx as u16);
+    let vc_ref = VcRef { port: view.port, vc };
+    let Some(conn) = view.conns.by_input_vc(vc_ref) else {
+        debug_assert!(false, "connection_active bit set without a mapping for {vc_ref}");
+        return None;
+    };
+    let Some((head, ready_at)) = view.vcm.head_with_ready(vc) else {
+        debug_assert!(false, "flits_available bit set for empty {vc_ref}");
+        return None;
+    };
+    let delay = view.now.since(ready_at).as_f64();
+
+    // Phase classification: head-flit kind first (VCT packets), then
+    // the connection's class and quota position.
+    let phase = match head.kind {
+        FlitKind::Control => Some(ServicePhase::Control),
+        FlitKind::BestEffort => Some(ServicePhase::BestEffort),
+        FlitKind::Data | FlitKind::Command(_) => match conn.class {
+            QosClass::Cbr { .. } | QosClass::Vbr { .. }
+                if !view
+                    .guaranteed_open
+                    .get(conn.output_vc.port.index())
+                    .copied()
+                    .unwrap_or(true) =>
+            {
+                // The output's best-effort reserve is exhausted for
+                // this round; guaranteed traffic waits for the next
+                // round.
+                None
+            }
+            QosClass::Cbr { .. } => {
+                if view.enforce_quota && conn.quota_exhausted() {
+                    None
+                } else {
+                    Some(ServicePhase::CbrGuaranteed)
+                }
+            }
+            QosClass::Vbr { .. } => {
+                let perm_quota = conn.vbr_permanent_cycles.ceil().max(1.0) as u32;
+                let peak_quota = conn.vbr_peak_cycles.ceil().max(1.0) as u32;
+                if conn.serviced_this_round < perm_quota {
+                    Some(ServicePhase::VbrPermanent)
+                } else if !view.enforce_quota || conn.serviced_this_round < peak_quota {
+                    Some(ServicePhase::VbrExcess)
+                } else {
+                    None
+                }
+            }
+            QosClass::Control => Some(ServicePhase::Control),
+            QosClass::BestEffort => Some(ServicePhase::BestEffort),
+        },
+    };
+    let phase = phase?;
+
+    let priority = match (phase, view.kind) {
+        // §4.3: excess bandwidth is serviced one connection at a
+        // time in priority order — a per-connection constant makes
+        // the ordering stable across cycles, so the leader drains
+        // before the next.
+        (ServicePhase::VbrExcess, _) => {
+            f64::from(conn.dynamic_priority) * 1e6 - f64::from(conn.id.raw() % 1_000_000u32)
+        }
+        (_, ArbiterKind::BiasedPriority) => biased_priority(delay, conn.interarrival_cycles),
+        // The perfect switch is the paper's lower bound: with no
+        // port conflicts the ideal input policy is
+        // oldest-ready-first, which minimises both waiting and delay
+        // variation. OldestFirst is the same rule under real switch
+        // conflicts.
+        (_, ArbiterKind::Perfect | ArbiterKind::OldestFirst) => delay,
+        (_, ArbiterKind::FixedPriority) => conn.fixed_priority,
+        (_, ArbiterKind::RoundRobin) => {
+            let dist = (vc_idx + vcs - view.rr_pointer % vcs) % vcs;
+            -(dist as f64)
+        }
+        (_, ArbiterKind::Autonet { .. } | ArbiterKind::Islip { .. }) => 0.0,
+        #[allow(unreachable_patterns)]
+        _ => 0.0,
+    };
+
+    Some(Classified { phase, priority, output: conn.output_vc.port, conn: conn.id })
+}
+
 fn to_candidate(port: PortId, vc_idx: usize, c: &Classified) -> Candidate {
     Candidate {
         input: port,
@@ -390,6 +657,7 @@ mod tests {
         vcm: VirtualChannelMemory,
         status: StatusMatrix,
         conns: ConnectionTable,
+        classes: ClassMasks,
     }
 
     impl Fixture {
@@ -398,6 +666,7 @@ mod tests {
                 vcm: VirtualChannelMemory::new(vcs, 4, 8),
                 status: StatusMatrix::new(vcs),
                 conns: ConnectionTable::new(),
+                classes: ClassMasks::new(vcs),
             }
         }
 
@@ -423,6 +692,7 @@ mod tests {
             self.vcm
                 .push(VcIndex(vc), Flit::data(id, 0, Cycles(ready)), Cycles(ready))
                 .expect("room");
+            self.classes.set(vc.into(), QosClass::Cbr { rate: Bandwidth::from_mbps(10.0) });
             self.status.set(Condition::ConnectionActive, vc.into(), true);
             self.status.set(Condition::CreditsAvailable, vc.into(), true);
             self.status.set(Condition::FlitsAvailable, vc.into(), true);
@@ -438,6 +708,7 @@ mod tests {
                 max_candidates: max,
                 enforce_quota: true,
                 policy: CandidatePolicy::PrioritySorted,
+                classes: &self.classes,
                 guaranteed_open: &ALL_OPEN,
                 rr_pointer: 0,
                 now: Cycles(now),
@@ -595,6 +866,7 @@ mod tests {
             flits_forwarded: 0,
             flits_injected: 0,
         });
+        f.classes.set(3, QosClass::Control);
         f.vcm
             .push(
                 VcIndex(3),
@@ -633,6 +905,14 @@ mod tests {
             flits_forwarded: 0,
             flits_injected: 0,
         });
+        f.classes.set(
+            3,
+            QosClass::Vbr {
+                permanent: Bandwidth::from_mbps(2.0),
+                peak: Bandwidth::from_mbps(8.0),
+                priority: 5,
+            },
+        );
         f.vcm.push(VcIndex(3), Flit::data(id, 0, Cycles(0)), Cycles(0)).expect("room");
         for c in [Condition::ConnectionActive, Condition::CreditsAvailable, Condition::FlitsAvailable] {
             f.status.set(c, 3, true);

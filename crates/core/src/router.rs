@@ -20,7 +20,7 @@ use crate::conn::{ConnState, ConnectionRequest, ConnectionTable, QosClass};
 use crate::crossbar::Crossbar;
 use crate::flit::{CommandWord, Flit, FlitKind};
 use crate::ids::{ConnectionId, PortId, VcIndex, VcRef};
-use crate::linksched::{CandidatePolicy, LinkSchedView, LinkScheduler};
+use crate::linksched::{CandidatePolicy, ClassMasks, LinkSchedView, LinkScheduler};
 use crate::switchsched::{MatchedPair, SwitchScheduler};
 use crate::vcm::{VcmError, VirtualChannelMemory};
 
@@ -431,6 +431,24 @@ pub struct Router {
     ghost_matches: u64,
     /// Per-input link schedulers with their reusable classification state.
     link_scheds: Vec<LinkScheduler>,
+    /// Per-input-port class membership masks (maintained at establishment
+    /// and teardown; the link schedulers derive phase domains from them).
+    class_masks: Vec<ClassMasks>,
+    /// Guaranteed traffic may use at most this many cycles of each output's
+    /// round (§4.2 best-effort reserve). Depends only on the configuration,
+    /// so it is computed once here instead of every flit cycle.
+    guaranteed_cap: u32,
+    /// Round ordinal (`now / cycles_per_round`) of the most recent step, or
+    /// `u64::MAX` before the first. The round-boundary reset latches on this
+    /// rather than on `now % cycles_per_round == 0`, so an event-driven
+    /// caller that skips the exact boundary cycle still applies the reset at
+    /// its next step — with the same observable effect, since skipped cycles
+    /// are quiescent and nothing reads the counters in between.
+    last_round: u64,
+    /// First cycle of the round after `last_round` — the round-boundary
+    /// check is a comparison against this latch instead of a division every
+    /// flit cycle; the division runs only when a boundary is crossed.
+    next_round_start: u64,
     /// Reusable per-cycle scratch buffers — the per-flit-cycle hot path must
     /// not allocate (§4.1 motivates single-cycle scheduling decisions).
     candidate_bufs: Vec<Vec<crate::arbiter::Candidate>>,
@@ -507,6 +525,12 @@ impl Router {
             cut_throughs: 0,
             ghost_matches: 0,
             link_scheds: (0..ports).map(|_| LinkScheduler::new(vcs)).collect(),
+            class_masks: (0..ports).map(|_| ClassMasks::new(vcs)).collect(),
+            guaranteed_cap: ((1.0 - cfg.best_effort_reserve)
+                * round.cycles_per_round() as f64)
+                .ceil() as u32,
+            last_round: u64::MAX,
+            next_round_start: 0,
             candidate_bufs: vec![Vec::new(); ports],
             pairs_buf: Vec::new(),
             guaranteed_open: vec![true; ports],
@@ -765,6 +789,7 @@ impl Router {
         });
         self.allocations.insert(id, (in_alloc, alloc));
 
+        self.class_masks[req.input.index()].set(in_vc.index(), req.class);
         let status = &mut self.status[req.input.index()];
         status.set(Condition::ConnectionActive, in_vc.index(), true);
         if self.cfg.track_output_credits {
@@ -787,6 +812,7 @@ impl Router {
             self.input_books[state.input_vc.port.index()].release(in_alloc);
             self.books[state.output_vc.port.index()].release(out_alloc);
         }
+        self.class_masks[state.input_vc.port.index()].clear(state.input_vc.vc.index());
         let status = &mut self.status[state.input_vc.port.index()];
         for cond in [
             Condition::ConnectionActive,
@@ -959,12 +985,51 @@ impl Router {
         }
     }
 
+    /// Whether a [`Router::step`] right now would provably do nothing: no
+    /// VC anywhere holds a ready flit (checked with one word-parallel
+    /// operation per 64 VCs), no cut-through is armed, no output was busy
+    /// last cycle, and the crossbar is disconnected. An event-driven engine
+    /// may skip a quiescent router's cycles entirely — every per-cycle
+    /// output and statistic stays byte-identical to dense stepping —
+    /// provided it accounts the skipped cycles via
+    /// [`Router::note_idle_cycles`] and steps the router again before any
+    /// flit is injected or accepted.
+    // mmr-lint: hot
+    pub fn is_quiescent(&self) -> bool {
+        self.status.iter().all(|s| !s.any_set(Condition::FlitsAvailable))
+            && !self.cut_through_outputs.contains(&true)
+            && !self.output_busy_last_cycle.contains(&true)
+            && self.crossbar.is_idle()
+    }
+
+    /// Accounts `n` quiescent cycles that an event-driven caller skipped
+    /// without calling [`Router::step`], keeping [`RouterStats::cycles`]
+    /// (and everything derived from it, like utilization) identical to
+    /// dense stepping.
+    pub fn note_idle_cycles(&mut self, n: u64) {
+        self.cycles_run += n;
+    }
+
     /// Runs one flit cycle at time `now` and reports the flits transmitted.
     ///
     /// Callers advance `now` by one cycle per call; the round boundary and
-    /// all per-cycle state derive from it.
+    /// all per-cycle state derive from it. `now` may jump forward by more
+    /// than one cycle when every skipped cycle was quiescent (see
+    /// [`Router::is_quiescent`]).
     // mmr-lint: hot
     pub fn step(&mut self, now: Cycles) -> StepReport {
+        let mut report = StepReport::default();
+        self.step_into(now, &mut report);
+        report
+    }
+
+    /// [`Router::step`] writing into a caller-owned report, so per-cycle
+    /// drivers can reuse one `transmitted` buffer for the whole run instead
+    /// of allocating a fresh one every flit cycle.
+    // mmr-lint: hot
+    pub fn step_into(&mut self, now: Cycles, report: &mut StepReport) {
+        report.transmitted.clear();
+        report.outputs_used = 0;
         let ports = usize::from(self.cfg.ports);
         self.cycles_run += 1;
         for vcm in &mut self.vcms {
@@ -972,8 +1037,16 @@ impl Router {
         }
 
         // Round boundary: reset every connection's serviced quota (§4.1)
-        // and the per-output guaranteed-service counters.
-        if now.count().is_multiple_of(self.round.cycles_per_round()) {
+        // and the per-output guaranteed-service counters. Latched on the
+        // round ordinal rather than `now % cycles_per_round == 0`, so an
+        // event-driven caller that skips the boundary cycle itself (it was
+        // quiescent) still applies the reset at its next step. Under dense
+        // stepping the two rules fire on exactly the same cycles.
+        if now.count() >= self.next_round_start {
+            let cpr = self.round.cycles_per_round();
+            let round_ord = now.count() / cpr;
+            self.last_round = round_ord;
+            self.next_round_start = (round_ord + 1).saturating_mul(cpr);
             for conn in self.conns.iter_mut() {
                 conn.serviced_this_round = 0;
             }
@@ -982,6 +1055,18 @@ impl Router {
                 status.clear_condition(Condition::CbrBandwidthServiced);
                 status.clear_condition(Condition::VbrBandwidthServiced);
             }
+        }
+
+        // Quiescent fast path: one word-parallel test per 64 VCs answers
+        // "do any of these lanes have work?". With no ready flit anywhere,
+        // no armed cut-through, no output busy last cycle and an idle
+        // crossbar, the full pass below is a provable no-op — selection
+        // finds no candidates (the eligible set requires flits_available),
+        // the scheduler draws no randomness on empty inputs, the empty
+        // matching leaves the idle crossbar untouched, and the busy flags
+        // stay clear — so it is skipped wholesale.
+        if self.is_quiescent() {
+            return;
         }
 
         // Link scheduling: candidate selection per input port.
@@ -997,15 +1082,21 @@ impl Router {
             }
         };
         // Best-effort reserve: guaranteed traffic may use at most
-        // (1 - reserve) of each output's round (§4.2).
-        let guaranteed_cap = ((1.0 - self.cfg.best_effort_reserve)
-            * self.round.cycles_per_round() as f64)
-            .ceil() as u32;
+        // (1 - reserve) of each output's round (§4.2). The cap is a pure
+        // function of the configuration, precomputed at construction.
         for (open, &serviced) in self.guaranteed_open.iter_mut().zip(&self.guaranteed_serviced) {
-            *open = serviced < guaranteed_cap;
+            *open = serviced < self.guaranteed_cap;
         }
 
         for p in 0..ports {
+            // Quiescent-port fast path: with no buffered flit on the whole
+            // port the eligible set is provably empty, so selection would
+            // offer nothing and leave the rotating pointer unchanged — one
+            // word-parallel bank test skips the pass (and the view build).
+            if !self.status[p].any_set(Condition::FlitsAvailable) {
+                self.candidate_bufs[p].clear();
+                continue;
+            }
             let next_pointer = self.link_scheds[p].select(
                 &LinkSchedView {
                     port: PortId(p as u8),
@@ -1016,6 +1107,7 @@ impl Router {
                     max_candidates,
                     enforce_quota: self.cfg.enforce_round_quota,
                     policy: self.cfg.candidate_policy,
+                    classes: &self.class_masks[p],
                     guaranteed_open: &self.guaranteed_open,
                     rr_pointer: self.rr_pointers[p],
                     now,
@@ -1037,7 +1129,6 @@ impl Router {
         // the duration of the loop so `transmit` can borrow the router.
         let pairs = std::mem::take(&mut self.pairs_buf);
         let mut completed_packets = std::mem::take(&mut self.completed_buf);
-        let mut report = StepReport::default();
         let mut outputs_used: u64 = 0;
         for pair in &pairs {
             if let Some(t) = self.transmit(pair, now, &mut completed_packets) {
@@ -1065,7 +1156,6 @@ impl Router {
 
         report.outputs_used = outputs_used.count_ones() as usize;
         self.flits_transmitted += report.transmitted.len() as u64;
-        report
     }
 
     // mmr-lint: hot
@@ -1076,24 +1166,43 @@ impl Router {
         completed_packets: &mut Vec<ConnectionId>,
     ) -> Option<Transmitted> {
         let p = pair.input.index();
-        let delay = self.vcms[p].head_delay(pair.vc, now)?;
-        let flit = self.vcms[p].pop(pair.vc, now)?;
-        self.status[p].set(
-            Condition::FlitsAvailable,
-            pair.vc.index(),
-            self.vcms[p].flits_available().get(pair.vc.index()),
-        );
+        let (flit, delay, emptied) = self.vcms[p].pop_timed(pair.vc, now)?;
+        if emptied {
+            self.status[p].set(Condition::FlitsAvailable, pair.vc.index(), false);
+        }
 
         let track_credits = self.cfg.track_output_credits;
-        let Some(state) = self.conns.get_mut(pair.conn) else {
+        let state = match self.conns.by_input_vc_mut(VcRef { port: pair.input, vc: pair.vc }) {
+            Some(state) if state.id == pair.conn => state,
             // A matching can name a vanished connection only if a teardown
-            // raced the scheduler; the flit's VC was flushed with it, so this
-            // stray copy is dropped and counted rather than panicking.
-            self.ghost_matches += 1;
-            return None;
+            // raced the scheduler; the flit's VC was flushed with it (and may
+            // have been re-leased since), so this stray copy is dropped and
+            // counted rather than panicking.
+            _ => {
+                self.ghost_matches += 1;
+                return None;
+            }
         };
         state.serviced_this_round += 1;
         state.flits_forwarded += 1;
+        // Latch quota exhaustion into the status matrix (§4.4's
+        // "CBR_Completely_Serviced" bit): the link scheduler subtracts these
+        // banks from its scan domains instead of visiting and rejecting the
+        // same exhausted VCs every remaining cycle of the round. The round
+        // boundary clears the banks again. The VBR bit latches *peak*-quota
+        // exhaustion — past-permanent VCs still compete in the excess phase.
+        let serviced_cond = match state.class {
+            QosClass::Cbr { .. } if state.quota_exhausted() => {
+                Some(Condition::CbrBandwidthServiced)
+            }
+            QosClass::Vbr { .. }
+                if state.serviced_this_round
+                    >= state.vbr_peak_cycles.ceil().max(1.0) as u32 =>
+            {
+                Some(Condition::VbrBandwidthServiced)
+            }
+            _ => None,
+        };
         if matches!(state.class, QosClass::Cbr { .. } | QosClass::Vbr { .. }) {
             self.guaranteed_serviced[state.output_vc.port.index()] += 1;
         }
@@ -1129,6 +1238,9 @@ impl Router {
             if *c == 0 {
                 self.status[p].set(Condition::CreditsAvailable, input_vc.vc.index(), false);
             }
+        }
+        if let Some(cond) = serviced_cond {
+            self.status[p].set(cond, input_vc.vc.index(), true);
         }
 
         if is_packet {

@@ -161,6 +161,15 @@ impl SwitchScheduler {
         let ports = self.ports;
         let mut input_matched: u64 = 0;
         let mut output_matched = blocked_mask(output_blocked);
+        // Inputs that can still propose: non-empty candidate lists only, so
+        // the propose rounds walk a shrinking bitmask instead of re-visiting
+        // idle ports.
+        let mut input_live: u64 = 0;
+        for (p, list) in candidates.iter().enumerate() {
+            if !list.is_empty() {
+                input_live |= 1 << p;
+            }
+        }
 
         loop {
             // Each unmatched input proposes its best candidate whose output
@@ -169,48 +178,55 @@ impl SwitchScheduler {
             // rotating pointer). Streaming in ascending input order keeps
             // the earliest input on ties, exactly like the old
             // collect-then-reduce pass, without building proposal lists.
-            let mut proposed = false;
-            for w in self.winners.iter_mut() {
-                *w = None;
-            }
-            for (p, list) in candidates.iter().enumerate() {
-                if input_matched & (1 << p) != 0 {
-                    continue;
-                }
+            // `winner_mask` marks the outputs whose winner slot is live this
+            // round — stale slots are never read, so no per-round clear.
+            let mut winner_mask: u64 = 0;
+            let mut pending = input_live & !input_matched;
+            while pending != 0 {
+                let p = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                let Some(list) = candidates.get(p) else { continue };
                 let Some(c) = list.iter().find(|c| output_matched & (1 << c.output.index()) == 0)
                 else {
                     continue;
                 };
-                proposed = true;
                 let o = c.output.index();
-                let better = match self.winners.at(o) {
-                    None => true,
-                    Some(best) if rotating_outputs => {
-                        let ptr = *self.grant_ptr.at(o) % ports;
-                        (c.input.index() + ports - ptr) % ports
-                            < (best.input.index() + ports - ptr) % ports
+                let better = if winner_mask & (1 << o) == 0 {
+                    true
+                } else {
+                    match self.winners.at(o) {
+                        Some(best) if rotating_outputs => {
+                            let ptr = *self.grant_ptr.at(o) % ports;
+                            (c.input.index() + ports - ptr) % ports
+                                < (best.input.index() + ports - ptr) % ports
+                        }
+                        Some(best) => c.rank_before(best),
+                        // Unreachable: a live winner bit implies a filled
+                        // slot; kept as a grant rather than a panic.
+                        None => true,
                     }
-                    Some(best) => c.rank_before(best),
                 };
                 if better {
+                    winner_mask |= 1 << o;
                     *self.winners.at_mut(o) = Some(*c);
                 }
             }
-            if !proposed {
+            if winner_mask == 0 {
                 break;
             }
 
             // Grant phase: match every output that received a proposal.
-            for o in 0..ports {
-                if let Some(w) = *self.winners.at(o) {
-                    if rotating_outputs {
-                        *self.grant_ptr.at_mut(o) = (w.input.index() + 1) % ports;
-                    }
-                    input_matched |= 1 << w.input.index();
-                    output_matched |= 1 << o;
-                    // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
-                    pairs.push(MatchedPair::from(&w));
+            while winner_mask != 0 {
+                let o = winner_mask.trailing_zeros() as usize;
+                winner_mask &= winner_mask - 1;
+                let Some(w) = *self.winners.at(o) else { continue };
+                if rotating_outputs {
+                    *self.grant_ptr.at_mut(o) = (w.input.index() + 1) % ports;
                 }
+                input_matched |= 1 << w.input.index();
+                output_matched |= 1 << o;
+                // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
+                pairs.push(MatchedPair::from(&w));
             }
         }
     }

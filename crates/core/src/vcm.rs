@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 use mmr_bitvec::StatusBits;
 use mmr_sim::{Bandwidth, Cycles};
 
-use crate::flit::Flit;
+use crate::flit::{Flit, FlitKind};
 use crate::ids::VcIndex;
 
 /// Errors returned by VCM operations.
@@ -83,6 +83,19 @@ pub struct VirtualChannelMemory {
     queues: Vec<VcQueue>,
     depth: usize,
     flits_available: StatusBits,
+    /// VCs whose *head* flit is a control flit — kept in lockstep with
+    /// `flits_available` so the link scheduler can build per-phase candidate
+    /// domains with word-parallel operations instead of inspecting every
+    /// head flit.
+    head_control: StatusBits,
+    /// VCs whose head flit is a best-effort flit (see `head_control`).
+    head_best_effort: StatusBits,
+    /// Population counts of `head_control` / `head_best_effort`, kept in
+    /// lockstep by [`VirtualChannelMemory::note_head_kind`] so the link
+    /// scheduler's common case — every eligible head is a stream flit — is
+    /// detected with two zero tests instead of two vector intersections.
+    head_control_count: usize,
+    head_best_effort_count: usize,
     banks: usize,
     accesses_this_cycle: usize,
     bank_conflicts: u64,
@@ -108,6 +121,10 @@ impl VirtualChannelMemory {
             queues: vec![VcQueue::default(); vcs],
             depth,
             flits_available: StatusBits::zeros(vcs),
+            head_control: StatusBits::zeros(vcs),
+            head_best_effort: StatusBits::zeros(vcs),
+            head_control_count: 0,
+            head_best_effort_count: 0,
             banks,
             accesses_this_cycle: 0,
             bank_conflicts: 0,
@@ -140,6 +157,29 @@ impl VirtualChannelMemory {
         self.accesses_this_cycle = 0;
     }
 
+    /// Records the kind of the (possibly absent) head flit of `vc` in the
+    /// head-kind status vectors.
+    fn note_head_kind(&mut self, vc: usize, kind: Option<FlitKind>) {
+        let is_control = matches!(kind, Some(FlitKind::Control));
+        let is_best_effort = matches!(kind, Some(FlitKind::BestEffort));
+        if self.head_control.get(vc) != is_control {
+            self.head_control.set(vc, is_control);
+            if is_control {
+                self.head_control_count += 1;
+            } else {
+                self.head_control_count -= 1;
+            }
+        }
+        if self.head_best_effort.get(vc) != is_best_effort {
+            self.head_best_effort.set(vc, is_best_effort);
+            if is_best_effort {
+                self.head_best_effort_count += 1;
+            } else {
+                self.head_best_effort_count -= 1;
+            }
+        }
+    }
+
     fn count_access(&mut self) {
         self.accesses_this_cycle += 1;
         if self.accesses_this_cycle > self.banks {
@@ -162,11 +202,16 @@ impl VirtualChannelMemory {
         if q.flits.len() >= depth {
             return Err(VcmError::BufferFull { vc });
         }
-        if q.flits.is_empty() {
+        let becomes_head = q.flits.is_empty();
+        if becomes_head {
             q.head_ready_at = now;
             self.flits_available.set(vc.index(), true);
         }
+        let kind = flit.kind;
         q.flits.push_back(flit);
+        if becomes_head {
+            self.note_head_kind(vc.index(), Some(kind));
+        }
         self.total_pushed += 1;
         self.count_access();
         Ok(())
@@ -175,16 +220,29 @@ impl VirtualChannelMemory {
     /// Removes and returns the head flit of `vc`; the next flit (if any)
     /// becomes ready at `now + 1` — it can only use the next flit cycle.
     pub fn pop(&mut self, vc: VcIndex, now: Cycles) -> Option<Flit> {
+        self.pop_timed(vc, now).map(|(flit, _, _)| flit)
+    }
+
+    /// [`VirtualChannelMemory::pop`] fused with the head-delay read: returns
+    /// the flit, the cycles its head waited since becoming ready (the
+    /// paper's per-flit switch delay), and whether the queue is now empty —
+    /// one queue lookup where the transmit path would otherwise do three.
+    // mmr-lint: hot
+    pub fn pop_timed(&mut self, vc: VcIndex, now: Cycles) -> Option<(Flit, Cycles, bool)> {
         let q = self.queues.get_mut(vc.index())?;
         let flit = q.flits.pop_front()?;
-        if q.flits.is_empty() {
+        let delay = now.since(q.head_ready_at);
+        let next_kind = q.flits.front().map(|f| f.kind);
+        let emptied = q.flits.is_empty();
+        if emptied {
             self.flits_available.set(vc.index(), false);
         } else {
             q.head_ready_at = now + Cycles(1);
         }
+        self.note_head_kind(vc.index(), next_kind);
         self.total_popped += 1;
         self.count_access();
-        Some(flit)
+        Some((flit, delay, emptied))
     }
 
     /// The head flit of `vc`, if any.
@@ -195,6 +253,13 @@ impl VirtualChannelMemory {
     /// Cycle at which the head flit of `vc` became ready, if there is one.
     pub fn head_ready_at(&self, vc: VcIndex) -> Option<Cycles> {
         self.queue(vc).ok().and_then(|q| (!q.flits.is_empty()).then_some(q.head_ready_at))
+    }
+
+    /// The head flit of `vc` together with the cycle it became ready — one
+    /// queue lookup where the scheduler's per-candidate classification
+    /// would otherwise do two.
+    pub fn head_with_ready(&self, vc: VcIndex) -> Option<(&Flit, Cycles)> {
+        self.queue(vc).ok().and_then(|q| q.flits.front().map(|f| (f, q.head_ready_at)))
     }
 
     /// The paper's per-flit delay so far: cycles the head of `vc` has waited
@@ -221,6 +286,7 @@ impl VirtualChannelMemory {
         q.flits.clear();
         if n > 0 {
             self.flits_available.set(vc.index(), false);
+            self.note_head_kind(vc.index(), None);
         }
         n
     }
@@ -229,6 +295,31 @@ impl VirtualChannelMemory {
     /// head flit) — the link scheduler's primary input.
     pub fn flits_available(&self) -> &StatusBits {
         &self.flits_available
+    }
+
+    /// VCs whose head flit is a control flit (always a subset of
+    /// `flits_available`).
+    pub fn head_control_bits(&self) -> &StatusBits {
+        &self.head_control
+    }
+
+    /// VCs whose head flit is a best-effort flit (always a subset of
+    /// `flits_available`).
+    pub fn head_best_effort_bits(&self) -> &StatusBits {
+        &self.head_best_effort
+    }
+
+    /// Whether any VC's head flit is a control flit — O(1) via the
+    /// maintained population count, so the scheduler's stream-only fast
+    /// path skips the head-partition intersections entirely.
+    pub fn has_control_heads(&self) -> bool {
+        self.head_control_count > 0
+    }
+
+    /// Whether any VC's head flit is a best-effort flit (see
+    /// [`VirtualChannelMemory::has_control_heads`]).
+    pub fn has_best_effort_heads(&self) -> bool {
+        self.head_best_effort_count > 0
     }
 
     /// Total flits currently stored across all VCs.
@@ -336,6 +427,26 @@ mod tests {
         assert!(vcm.flits_available().get(5), "still one flit queued");
         vcm.pop(VcIndex(5), Cycles(2));
         assert!(!vcm.flits_available().any());
+    }
+
+    #[test]
+    fn head_kind_bits_track_the_head_flit() {
+        let mut vcm = VirtualChannelMemory::new(4, 4, 2);
+        let vc = VcIndex(1);
+        let ctrl = Flit::new(ConnectionId(1), FlitKind::Control, 0, Cycles(0));
+        let be = Flit::new(ConnectionId(1), FlitKind::BestEffort, 1, Cycles(0));
+        vcm.push(vc, ctrl, Cycles(0)).expect("room");
+        vcm.push(vc, be, Cycles(0)).expect("room");
+        vcm.push(vc, flit(2, 0), Cycles(0)).expect("room");
+        assert!(vcm.head_control_bits().get(1));
+        assert!(!vcm.head_best_effort_bits().get(1));
+        vcm.pop(vc, Cycles(1));
+        assert!(!vcm.head_control_bits().get(1));
+        assert!(vcm.head_best_effort_bits().get(1));
+        vcm.pop(vc, Cycles(2));
+        assert!(!vcm.head_control_bits().get(1) && !vcm.head_best_effort_bits().get(1));
+        vcm.flush(vc);
+        assert!(!vcm.head_control_bits().any() && !vcm.head_best_effort_bits().any());
     }
 
     #[test]

@@ -15,8 +15,9 @@ use mmr_core::audit::{AuditConfig, AuditViolation, Auditor};
 use mmr_core::conn::QosClass;
 use mmr_core::flit::{Flit, FlitKind};
 use mmr_core::ids::{ConnectionId, PortId, VcIndex, VcRef};
+use mmr_bitvec::StatusBits;
 use mmr_core::llr::{LlrConfig, LlrFrame, LlrReceiver, LlrSender, LlrSignal, RxOutcome};
-use mmr_core::router::{InjectError, PacketError, PacketOutcome, Router, RouterConfig};
+use mmr_core::router::{InjectError, PacketError, PacketOutcome, Router, RouterConfig, StepReport};
 use mmr_sim::{Accumulator, Cycles, SeededRng};
 
 use crate::setup::{ProbeMachine, ProbeStep, SetupError, SetupStrategy};
@@ -424,6 +425,30 @@ pub struct NetworkSim {
     /// Escalate any violation to a panic (set by `MMR_AUDIT=1`; cleared by
     /// an explicit [`NetworkSim::enable_audit`], which records instead).
     audit_enforce: bool,
+    /// The event-driven engine's wake mask: bit *n* set means router *n*
+    /// must be examined on the next [`NetworkSim::step`]. A clear bit is a
+    /// proof obligation — the router is quiescent and nothing has touched
+    /// it since it went to sleep — maintained by routing every router
+    /// mutation through a waking accessor (see [`NetworkSim::wake`]).
+    awake: StatusBits,
+    /// Scratch for draining the wake mask (capacity persists across cycles).
+    awake_scratch: Vec<usize>,
+    /// First cycle not yet settled into router *n*'s cycle counter; the
+    /// cycles a sleeping router is skipped over are accounted lazily when
+    /// it next wakes ([`Router::note_idle_cycles`]).
+    idle_from: Vec<u64>,
+    /// Step every router every cycle, ignoring the wake mask — the dense
+    /// reference engine for differential testing
+    /// ([`NetworkSim::set_dense_stepping`]).
+    dense_stepping: bool,
+    /// Reusable router step report (capacity persists across cycles).
+    step_scratch: StepReport,
+    /// Scratch for the wire-delivery pass (capacity persists across cycles).
+    in_flight_scratch: Vec<InFlightFlit>,
+    /// Scratch for the packet-arrival pass (capacity persists across cycles).
+    arrivals_scratch: Vec<PacketArrival>,
+    /// Scratch for the blocked-packet retry pass (capacity persists).
+    blocked_scratch: Vec<(NodeId, PortId, PacketId)>,
 }
 
 impl NetworkSim {
@@ -449,6 +474,7 @@ impl NetworkSim {
             })
             .collect();
         let routing = UpDownRouting::new(&topology);
+        let nodes = routers.len();
         NetworkSim {
             routing,
             live_topology: topology.clone(),
@@ -476,7 +502,39 @@ impl NetworkSim {
             // (the CI tier-1 suite runs once this way).
             auditor: audit_env.then(Auditor::default),
             audit_enforce: audit_env,
+            // Every router starts awake; each goes to sleep the first time
+            // it is examined and found quiescent.
+            awake: StatusBits::ones(nodes),
+            awake_scratch: Vec::with_capacity(nodes),
+            idle_from: vec![0; nodes],
+            dense_stepping: false,
+            step_scratch: StepReport::default(),
+            in_flight_scratch: Vec::new(),
+            arrivals_scratch: Vec::new(),
+            blocked_scratch: Vec::new(),
         }
+    }
+
+    /// Selects the stepping engine: `true` forces the dense reference
+    /// engine (every router stepped every cycle), `false` — the default —
+    /// uses the event-driven wake set. Both engines produce byte-identical
+    /// results; the dense engine exists as the oracle for differential
+    /// tests (DESIGN.md §9). Switching wakes every router so no pending
+    /// idle bookkeeping is stranded.
+    pub fn set_dense_stepping(&mut self, dense: bool) {
+        self.dense_stepping = dense;
+        self.awake.set_all();
+    }
+
+    /// Marks a router for examination on the next step. Every mutation of
+    /// router state outside the step loop itself must pass through here (or
+    /// through [`NetworkSim::router_mut`], which calls it): the event-driven
+    /// engine's correctness rests on "bit clear ⇒ untouched since proven
+    /// quiescent". Waking a router that stays quiescent is harmless — it
+    /// costs one examination that puts it straight back to sleep.
+    #[inline]
+    fn wake(&mut self, node: NodeId) {
+        self.awake.set(node.index(), true);
     }
 
     /// Turns on link-level retransmission for every wire: per-flit CRC
@@ -544,6 +602,7 @@ impl NetworkSim {
         for r in &mut self.routers {
             r.set_credit_clamp(clamp);
         }
+        self.awake.set_all();
     }
 
     /// Test-only fault hook: delivers one *stale* credit return for hop
@@ -562,6 +621,7 @@ impl NetworkSim {
         let Some(state) = self.routers[node.index()].connection(local) else { return false };
         let output_vc = state.output_vc;
         self.routers[node.index()].return_credit(output_vc);
+        self.wake(node);
         true
     }
 
@@ -587,6 +647,10 @@ impl NetworkSim {
     }
 
     pub(crate) fn router_mut(&mut self, node: NodeId) -> &mut Router {
+        // Mutable access may change anything, so the router must be
+        // re-examined — this is the single wake choke point for all of the
+        // probe/setup machinery.
+        self.wake(node);
         &mut self.routers[node.index()]
     }
 
@@ -638,6 +702,7 @@ impl NetworkSim {
         let mut dropped = 0u64;
         for hop in &conn.hops {
             self.local_index.remove(&(hop.node, hop.local));
+            self.awake.set(hop.node.index(), true);
             match self.routers[hop.node.index()].teardown(hop.local) {
                 Ok(n) => dropped += n as u64,
                 // A hop released twice (e.g. the router side already torn
@@ -668,7 +733,9 @@ impl NetworkSim {
             .hops
             .first()
             .ok_or(InjectError::UnknownConnection(ConnectionId(id.0)))?;
-        self.routers[first.node.index()].inject(first.local, now)
+        let (node, local) = (first.node, first.local);
+        self.awake.set(node.index(), true);
+        self.routers[node.index()].inject(local, now)
     }
 
     /// Whether the source NI can inject another flit this cycle.
@@ -982,6 +1049,7 @@ impl NetworkSim {
                 }
             }
         };
+        self.wake(node);
         match self.routers[node.index()].inject_packet(entry, output, state.kind, now) {
             Ok(PacketOutcome::CutThrough) => {
                 if let (Some(d), Some(state)) = (dir, self.packets.get_mut(&packet)) {
@@ -1042,40 +1110,92 @@ impl NetworkSim {
     }
 
     /// Runs one network flit cycle.
+    ///
+    /// Routers are stepped through an event-driven wake set rather than a
+    /// dense `0..nodes` scan: a router examined and found quiescent (no
+    /// buffered flits, no busy outputs, idle crossbar) goes to sleep, and
+    /// stays unexamined until some event — an arriving flit, a probe
+    /// reservation, a packet offer, a returned credit — wakes it. Skipping
+    /// a sleeping router is a provable no-op, so every emitted series is
+    /// byte-identical to dense stepping; see DESIGN.md §9 for the wake
+    /// rules and the identity argument. [`NetworkSim::set_dense_stepping`]
+    /// forces the dense reference engine for differential tests.
+    // mmr-lint: hot
     pub fn step(&mut self, now: Cycles) -> NetStepReport {
         let mut report = NetStepReport::default();
 
         // Deliver link-level ack/nack feedback that finished crossing its
         // reverse channel (generated during last cycle's wire deliveries).
+        // Retained in place: the signal queue keeps its capacity across
+        // cycles instead of reallocating a fresh buffer every step.
         if let Some(llr) = self.llr.as_mut() {
-            let mut still_flying = Vec::new();
-            for (at, key, sig) in llr.signals.drain(..) {
+            let LlrState { links, signals, .. } = llr;
+            signals.retain(|&(at, key, sig)| {
                 if at > now {
-                    still_flying.push((at, key, sig));
-                } else if let Some(link) = llr.links.get_mut(&key) {
+                    return true;
+                }
+                if let Some(link) = links.get_mut(&key) {
                     link.sender.on_signal(sig, now);
                 }
-            }
-            llr.signals = still_flying;
+                false
+            });
         }
 
         // Move in-flight setup probes and acknowledgments.
         self.advance_probes(now, &mut report);
 
-        // Retry packets blocked waiting for a free VC.
-        let blocked = std::mem::take(&mut self.blocked_packets);
-        for (node, entry, packet) in blocked {
+        // Retry packets blocked waiting for a free VC, strictly in
+        // first-blocked order: offers run oldest-first and a still-blocked
+        // packet re-queues before anything that blocks later in the cycle,
+        // so VC allocation can never depend on buffer churn (regression:
+        // `blocked_packets_retry_in_fifo_order`). The scratch swap keeps
+        // both buffers' capacity across cycles.
+        let mut blocked = std::mem::take(&mut self.blocked_scratch);
+        std::mem::swap(&mut blocked, &mut self.blocked_packets);
+        for &(node, entry, packet) in &blocked {
             self.offer_packet(node, entry, packet, now);
         }
+        blocked.clear();
+        self.blocked_scratch = blocked;
 
-        // Step every router; route its transmissions.
-        for n in 0..self.routers.len() {
+        // Step the routers: dense mode examines all of them, the
+        // event-driven engine only the awake set — drained in ascending
+        // node order, matching the dense loop's visit order. The drain
+        // clears the mask; each router that is actually stepped re-arms its
+        // own bit (it may hold work for the next cycle), while one found
+        // quiescent stays dark until an external event wakes it.
+        if self.dense_stepping {
+            self.awake.set_all();
+        }
+        let mut awake = std::mem::take(&mut self.awake_scratch);
+        self.awake.drain_set_into(&mut awake);
+        let mut rep = std::mem::take(&mut self.step_scratch);
+        for &n in &awake {
+            if !self.dense_stepping && self.routers[n].is_quiescent() {
+                // Provably a no-op cycle: leave the router asleep, its
+                // skipped cycles unsettled until something wakes it.
+                continue;
+            }
+            // Settle the cycles this router slept through since it was
+            // last stepped; `step_into` accounts for the current one.
+            let owed = now.count().saturating_sub(self.idle_from[n]);
+            if owed > 0 {
+                self.routers[n].note_idle_cycles(owed);
+            }
+            self.idle_from[n] = now.count() + 1;
+            self.routers[n].step_into(now, &mut rep);
+            self.awake.set(n, true);
             let node = NodeId(n as u16);
-            let rep = self.routers[n].step(now);
             report.flits_switched += rep.transmitted.len();
-            for t in rep.transmitted {
+            for &t in &rep.transmitted {
                 // Return a credit upstream: this router freed an input slot.
+                // The upstream router is woken for form's sake — a credit
+                // alone cannot make a quiescent router non-quiescent (it
+                // has no flits to spend it on), but the invariant "every
+                // router mutation wakes" is cheaper to keep than to argue
+                // around.
                 if let Some((up, up_port)) = self.topology.peer_of(node, t.input_vc.port) {
+                    self.awake.set(up.index(), true);
                     self.routers[up.index()]
                         .return_credit(VcRef { port: up_port, vc: t.input_vc.vc });
                 }
@@ -1105,6 +1225,7 @@ impl NetworkSim {
                                     flit: t.flit,
                                 });
                         } else {
+                            // mmr-lint: allow(A-PUSH, reason="amortized: the wire buffer keeps its capacity across cycles (scratch-swap delivery pass)")
                             self.in_flight.push(InFlightFlit {
                                 deliver_at: now + Cycles(1),
                                 to: peer,
@@ -1144,6 +1265,7 @@ impl NetworkSim {
                             if let Some(aud) = self.auditor.as_mut() {
                                 aud.observe_delivery(u64::from(net_id.0), t.flit.seq);
                             }
+                            // mmr-lint: allow(A-PUSH, reason="per-step report handed to the caller by value; growth amortizes over the step's own deliveries")
                             report.delivered.push(DeliveredFlit {
                                 conn: net_id,
                                 flit: t.flit,
@@ -1156,15 +1278,22 @@ impl NetworkSim {
             }
         }
 
+        awake.clear();
+        self.awake_scratch = awake;
+        self.step_scratch = rep;
+
         // Pump each link-level sender: one frame per directed wire per
         // cycle. In the fault-free case the frame enqueued above leaves at
-        // once, so baseline timing is identical with or without LLR.
+        // once, so baseline timing is identical with or without LLR. This
+        // loop stays dense: retransmission timers tick inside the senders
+        // whether or not any router has work.
         if let Some(llr) = self.llr.as_mut() {
             for (&(to, port), link) in llr.links.iter_mut() {
                 if let Some((frame, is_retx)) = link.sender.pump(now) {
                     if is_retx {
                         self.stats.flits_retransmitted += 1;
                     }
+                    // mmr-lint: allow(A-PUSH, reason="amortized: the wire buffer keeps its capacity across cycles (scratch-swap delivery pass)")
                     self.in_flight.push(InFlightFlit {
                         deliver_at: now + Cycles(1),
                         to,
@@ -1177,11 +1306,16 @@ impl NetworkSim {
             }
         }
 
-        // Deliver stream flits that finished crossing a wire.
-        let mut still_flying = Vec::with_capacity(self.in_flight.len());
-        for mut f in std::mem::take(&mut self.in_flight) {
+        // Deliver stream flits that finished crossing a wire. The keepers
+        // are rebuilt through a scratch buffer so both Vecs retain their
+        // capacity across cycles; the rebuilt order is the encounter order,
+        // exactly as before.
+        let mut crossing = std::mem::take(&mut self.in_flight_scratch);
+        std::mem::swap(&mut crossing, &mut self.in_flight);
+        for mut f in crossing.drain(..) {
             if f.deliver_at > now + Cycles(1) {
-                still_flying.push(f);
+                // mmr-lint: allow(A-PUSH, reason="amortized: the wire buffer keeps its capacity across cycles (scratch-swap delivery pass)")
+                self.in_flight.push(f);
                 continue;
             }
             let key = (f.to, f.port);
@@ -1224,6 +1358,7 @@ impl NetworkSim {
                     flit: f.flit,
                 });
                 if let Some(sig) = signal {
+                    // mmr-lint: allow(A-PUSH, reason="amortized: the signal queue keeps its capacity across cycles (retain-based drain)")
                     llr.signals.push((f.deliver_at, key, sig));
                 }
                 match outcome {
@@ -1256,15 +1391,22 @@ impl NetworkSim {
                 self.stats.flits_lost += 1;
                 continue;
             };
+            // An arriving flit is the canonical wake event: the router has
+            // buffered work for next cycle whether or not accept succeeds.
+            self.awake.set(node.index(), true);
             if self.routers[node.index()].accept(local, f.flit, f.deliver_at).is_err() {
                 self.stats.flits_lost += 1;
             }
         }
-        self.in_flight = still_flying;
+        self.in_flight_scratch = crossing;
 
-        // Deliver packets that finished crossing a wire.
-        for a in std::mem::take(&mut self.arrivals) {
+        // Deliver packets that finished crossing a wire (same scratch-swap
+        // discipline as the stream flits above).
+        let mut arriving = std::mem::take(&mut self.arrivals_scratch);
+        std::mem::swap(&mut arriving, &mut self.arrivals);
+        for a in arriving.drain(..) {
             if a.deliver_at > now + Cycles(1) {
+                // mmr-lint: allow(A-PUSH, reason="amortized: the arrival buffer keeps its capacity across cycles (scratch-swap delivery pass)")
                 self.arrivals.push(a);
                 continue;
             }
@@ -1272,7 +1414,9 @@ impl NetworkSim {
                 self.offer_packet(a.node, a.entry, a.packet, a.deliver_at);
             }
         }
+        self.arrivals_scratch = arriving;
 
+        // mmr-lint: allow(A-PUSH, reason="per-step report handed to the caller by value; append drains the pending queue without reallocating it")
         report.packets.append(&mut self.pending_packet_deliveries);
 
         // Cycle-accurate invariant pass over the settled end-of-cycle state.
@@ -1468,6 +1612,56 @@ mod tests {
             net.step(Cycles(t));
         }
         assert_eq!(net.stats().packets_delivered, 20, "blocked packets retry until done");
+    }
+
+    /// Guards the retry-order invariant documented in [`NetworkSim::step`]:
+    /// blocked packets win freed VCs strictly in first-blocked order, and a
+    /// still-blocked packet re-queues ahead of anything that blocks later
+    /// in the same cycle.
+    #[test]
+    fn blocked_packets_retry_in_fifo_order() {
+        // Tiny VC pool so a same-cycle burst down one path saturates it and
+        // the tail lands in the blocked queue.
+        let topology = Topology::mesh2d(2, 2, 6).expect("topology wires within the port budget");
+        let cfg = RouterConfig::paper_default().vcs_per_port(2).candidates(2).vc_depth(2);
+        let mut net = NetworkSim::new(topology, cfg);
+        let ids: Vec<PacketId> = (0..12)
+            .map(|_| {
+                net.send_packet(NodeId(0), NodeId(1), FlitKind::BestEffort, Cycles(0))
+                    .expect("valid")
+            })
+            .collect();
+        // Whatever failed to win a VC at injection queued in send order, and
+        // it is exactly the latest sends (the head of the burst got the VCs).
+        let blocked: Vec<PacketId> = net.blocked_packets.iter().map(|&(_, _, p)| p).collect();
+        assert!(!blocked.is_empty(), "burst saturates the VC pool");
+        assert!(ids.ends_with(&blocked), "blocked tail {blocked:?} in send order of {ids:?}");
+
+        let mut prev = blocked;
+        for t in 0..500u64 {
+            net.step(Cycles(t));
+            let cur: Vec<PacketId> = net.blocked_packets.iter().map(|&(_, _, p)| p).collect();
+            // Survivors are the packets blocked both before and after the
+            // cycle. FIFO retries mean (a) whatever left the queue was its
+            // oldest entries — survivors are a suffix of the old queue —
+            // and (b) survivors re-queued before anything newly blocked
+            // this cycle — they are a prefix of the new queue.
+            let survivors: Vec<PacketId> =
+                cur.iter().copied().filter(|p| prev.contains(p)).collect();
+            assert!(
+                prev.ends_with(&survivors),
+                "cycle {t}: retries must drain oldest-first; {prev:?} -> {cur:?}"
+            );
+            assert!(
+                cur.starts_with(&survivors),
+                "cycle {t}: still-blocked packets re-queue first; {prev:?} -> {cur:?}"
+            );
+            prev = cur;
+            if net.stats().packets_delivered == ids.len() as u64 {
+                break;
+            }
+        }
+        assert_eq!(net.stats().packets_delivered, 12, "all packets deliver via FIFO retries");
     }
 }
 

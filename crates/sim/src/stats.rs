@@ -14,7 +14,6 @@
 //! variant for sensitivity analysis. [`Warmup`] gates measurement until
 //! steady state, [`SweepTable`] assembles the figure series.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::units::Cycles;
@@ -197,7 +196,12 @@ pub type FlowId = u32;
 #[derive(Debug, Clone, Default)]
 pub struct DelayJitterRecorder {
     delay: Accumulator,
-    per_flow: BTreeMap<FlowId, FlowJitter>,
+    /// Per-flow state, indexed directly by [`FlowId`] (flow ids are dense,
+    /// router-assigned connection ids). Ascending-index iteration preserves
+    /// the ascending-key order of the `BTreeMap` this replaced, so every
+    /// float reduction visits flows in the same order.
+    per_flow: Vec<Option<FlowJitter>>,
+    flows: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -215,19 +219,24 @@ impl DelayJitterRecorder {
 
     /// Records that a flit of `flow` experienced `delay` flit cycles of
     /// switch delay.
+    // mmr-lint: hot
     pub fn record(&mut self, flow: FlowId, delay: Cycles) {
         let d = delay.as_f64();
         self.delay.record(d);
-        match self.per_flow.get_mut(&flow) {
+        let idx = flow as usize;
+        if idx >= self.per_flow.len() {
+            // mmr-lint: allow(A-PUSH, reason="amortized: grows once per newly seen flow, then stays flat for the run")
+            self.per_flow.resize(idx + 1, None);
+        }
+        match &mut self.per_flow[idx] {
             Some(f) => {
                 f.jitter.record((d - f.last_delay).abs());
                 f.last_delay = d;
             }
-            None => {
-                self.per_flow.insert(
-                    flow,
-                    FlowJitter { first_delay: d, last_delay: d, jitter: Accumulator::new() },
-                );
+            slot => {
+                *slot =
+                    Some(FlowJitter { first_delay: d, last_delay: d, jitter: Accumulator::new() });
+                self.flows += 1;
             }
         }
     }
@@ -254,7 +263,7 @@ impl DelayJitterRecorder {
     pub fn mean_jitter_cycles(&self) -> f64 {
         let mut sum = 0.0;
         let mut n = 0u64;
-        for f in self.per_flow.values() {
+        for f in self.per_flow.iter().flatten() {
             if f.jitter.count() > 0 {
                 sum += f.jitter.mean();
                 n += 1;
@@ -271,7 +280,7 @@ impl DelayJitterRecorder {
     /// for sensitivity analysis against the connection-weighted metric.
     pub fn mean_jitter_cycles_flit_weighted(&self) -> f64 {
         let mut all = Accumulator::new();
-        for f in self.per_flow.values() {
+        for f in self.per_flow.iter().flatten() {
             all.merge(&f.jitter);
         }
         all.mean()
@@ -286,7 +295,7 @@ impl DelayJitterRecorder {
     pub fn mean_drift_cycles(&self) -> f64 {
         let mut sum = 0.0;
         let mut n = 0u64;
-        for f in self.per_flow.values() {
+        for f in self.per_flow.iter().flatten() {
             if f.jitter.count() > 0 {
                 sum += (f.last_delay - f.first_delay) / f.jitter.count() as f64;
                 n += 1;
@@ -301,12 +310,13 @@ impl DelayJitterRecorder {
 
     /// Mean jitter of one connection, if it produced at least two flits.
     pub fn flow_jitter(&self, flow: FlowId) -> Option<f64> {
-        self.per_flow.get(&flow).and_then(|f| (f.jitter.count() > 0).then(|| f.jitter.mean()))
+        let f = self.per_flow.get(flow as usize)?.as_ref()?;
+        (f.jitter.count() > 0).then(|| f.jitter.mean())
     }
 
     /// Number of connections that have produced at least one flit.
     pub fn flows(&self) -> usize {
-        self.per_flow.len()
+        self.flows
     }
 }
 

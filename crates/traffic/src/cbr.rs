@@ -8,9 +8,12 @@
 //! assigned to random input/output ports under admission control, until a
 //! target offered load is reached.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use mmr_core::conn::{ConnectionRequest, QosClass};
 use mmr_core::ids::{ConnectionId, PortId};
-use mmr_core::router::{EstablishError, Router};
+use mmr_core::router::{EstablishError, Router, Transmitted};
 use mmr_sim::{Bandwidth, Cycles, SeededRng};
 
 /// Paces flit arrivals for one established connection.
@@ -66,6 +69,14 @@ impl CbrSource {
         self.backlog += n;
     }
 
+    /// The earliest cycle at which this source next has a flit due: a flit
+    /// arrives at integer cycle `t` iff `next_arrival <= t`, i.e. at
+    /// `ceil(next_arrival)`. Only meaningful while the backlog is empty
+    /// (a backlogged source is due every cycle).
+    fn next_due(&self) -> u64 {
+        self.next_arrival.max(0.0).ceil() as u64
+    }
+
     /// Injects all due flits into `router`, deferring on backpressure.
     /// Returns the number injected.
     pub fn pump(&mut self, router: &mut Router, now: Cycles) -> u32 {
@@ -96,13 +107,57 @@ pub struct CbrConnection {
     pub output: PortId,
 }
 
+/// Calendar-wheel horizon in cycles (a power of two). Wake cycles within
+/// `horizon` of the wheel cursor live in O(1) buckets; farther ones (the
+/// slowest rate rungs — a 64 Kbps source fires every ~19 375 cycles) wait in
+/// a small overflow heap and are lifted into a bucket as the cursor nears.
+const WHEEL_SLOTS: usize = 4096;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+
 /// A CBR connection population admitted to a router, plus its sources.
+///
+/// Pacing is event-driven: a calendar wheel of wake cycles tracks when each
+/// idle source next has a flit due, so [`CbrWorkload::pump`] touches only
+/// the sources with work this cycle instead of scanning the whole
+/// population — and pays O(1) per wake, not a heap's O(log n) sift.
+/// A backpressured source (non-empty backlog) is parked instead of being
+/// retried every cycle: its input VC is full, and since the only way that
+/// VC drains is a transmission of its connection, a retry before then is a
+/// provable no-op. [`CbrWorkload::note_transmitted`] wakes parked sources —
+/// callers that interleave `pump` with [`Router::step`] must feed every
+/// step's transmissions back, or backpressured sources stall.
 #[derive(Debug, Clone)]
 pub struct CbrWorkload {
     connections: Vec<CbrConnection>,
     sources: Vec<CbrSource>,
     offered: Bandwidth,
     attempts_failed: u32,
+    /// Calendar buckets: source indices due at cycle `c` live in bucket
+    /// `c & WHEEL_MASK`. Every source that is neither backlogged nor
+    /// awaiting retry has exactly one entry (here or in `overflow`). The
+    /// invariant `cursor <= due < cursor + WHEEL_SLOTS` for every bucketed
+    /// wake makes the slot → cycle mapping unambiguous.
+    buckets: Vec<Vec<u32>>,
+    /// Occupancy bitmap over `buckets` (one bit per slot), so finding the
+    /// next non-empty bucket is a word-parallel scan, not a slot walk.
+    occupied: [u64; WHEEL_SLOTS / 64],
+    /// All bucketed wakes are due at or after this cycle (= the last pumped
+    /// cycle), and before `cursor + WHEEL_SLOTS`.
+    cursor: u64,
+    /// Number of wakes currently bucketed.
+    in_wheel: usize,
+    /// Wakes beyond the wheel horizon, `(due cycle, source index)`.
+    overflow: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-source parked flag: backlogged and waiting for its connection to
+    /// transmit before retrying.
+    parked: Vec<bool>,
+    /// Sources woken by [`CbrWorkload::note_transmitted`], retried at the
+    /// next pump.
+    retry: Vec<usize>,
+    /// Source index by connection id (`usize::MAX` = no source).
+    source_of_conn: Vec<usize>,
+    /// Reusable per-cycle list of source indices with work.
+    due_scratch: Vec<usize>,
 }
 
 impl CbrWorkload {
@@ -168,7 +223,84 @@ impl CbrWorkload {
             }
         }
 
-        CbrWorkload { connections, sources, offered, attempts_failed }
+        let max_raw = connections.iter().map(|c| c.id.raw() as usize).max().map_or(0, |m| m + 1);
+        let mut source_of_conn = vec![usize::MAX; max_raw];
+        for (i, c) in connections.iter().enumerate() {
+            source_of_conn[c.id.raw() as usize] = i;
+        }
+        let mut workload = CbrWorkload {
+            parked: vec![false; sources.len()],
+            retry: Vec::new(),
+            source_of_conn,
+            connections,
+            sources,
+            offered,
+            attempts_failed,
+            buckets: vec![Vec::new(); WHEEL_SLOTS],
+            occupied: [0; WHEEL_SLOTS / 64],
+            cursor: 0,
+            in_wheel: 0,
+            overflow: BinaryHeap::new(),
+            due_scratch: Vec::new(),
+        };
+        for i in 0..workload.sources.len() {
+            let due = workload.sources[i].next_due();
+            workload.schedule_wake(due, i);
+        }
+        workload
+    }
+
+    /// Files a wake for source `idx` at cycle `due` (which must be at or
+    /// after the wheel cursor): an O(1) bucket push within the horizon, the
+    /// overflow heap beyond it.
+    // mmr-lint: hot
+    fn schedule_wake(&mut self, due: u64, idx: usize) {
+        debug_assert!(due >= self.cursor, "wake scheduled in the past");
+        if due - self.cursor < WHEEL_SLOTS as u64 {
+            let slot = (due & WHEEL_MASK) as usize;
+            // mmr-lint: allow(A-PUSH, reason="amortized: bucket capacity is retained across laps of the wheel (PR 1 zero-alloc design)")
+            self.buckets[slot].push(idx as u32);
+            self.occupied[slot >> 6] |= 1 << (slot & 63);
+            self.in_wheel += 1;
+        } else {
+            // mmr-lint: allow(A-PUSH, reason="amortized: heap capacity is retained; only the slowest rate rungs ever overflow the horizon")
+            self.overflow.push(Reverse((due, idx)));
+        }
+    }
+
+    /// Drains every bucketed wake due at or before `t` into `due_scratch`
+    /// and advances the cursor to `t`.
+    // mmr-lint: hot
+    fn drain_wheel(&mut self, t: u64) {
+        let span = (t - self.cursor + 1).min(WHEEL_SLOTS as u64);
+        let mut offset = 0;
+        while offset < span && self.in_wheel > 0 {
+            // Word-parallel skip over empty slots from the cursor position.
+            let slot = ((self.cursor + offset) & WHEEL_MASK) as usize;
+            let word = self.occupied[slot >> 6] >> (slot & 63);
+            if word == 0 {
+                // The rest of this word is empty; jump to the next word
+                // boundary.
+                offset += 64 - (slot as u64 & 63);
+                continue;
+            }
+            let hop = word.trailing_zeros() as u64;
+            offset += hop;
+            if offset >= span {
+                break;
+            }
+            let slot = ((self.cursor + offset) & WHEEL_MASK) as usize;
+            let bucket = &mut self.buckets[slot];
+            self.in_wheel -= bucket.len();
+            for &idx in bucket.iter() {
+                // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
+                self.due_scratch.push(idx as usize);
+            }
+            bucket.clear();
+            self.occupied[slot >> 6] &= !(1 << (slot & 63));
+            offset += 1;
+        }
+        self.cursor = t;
     }
 
     /// The admitted connections.
@@ -194,8 +326,107 @@ impl CbrWorkload {
 
     /// Injects all due flits of every source for cycle `now`.
     /// Returns the number of flits injected.
+    ///
+    /// Equivalent to pumping every source each cycle: an idle source with
+    /// `next_arrival > now` contributes nothing, a parked source's retry is
+    /// guaranteed to fail until its connection transmits (injection is
+    /// side-effect-free on failure), and skipping either visit cannot change
+    /// any other source's outcome because sources feed disjoint virtual
+    /// channels.
+    // mmr-lint: hot
     pub fn pump(&mut self, router: &mut Router, now: Cycles) -> u32 {
-        self.sources.iter_mut().map(|s| s.pump(router, now)).sum()
+        let t = now.count();
+        self.due_scratch.clear();
+        // Buckets first (against the old cursor), then the overflow heap:
+        // an event skip can jump the cursor past an overflow wake, and a
+        // lift into a bucket must target the *new* cursor's lap of the
+        // wheel to keep the slot → cycle mapping unambiguous.
+        self.drain_wheel(t);
+        while let Some(&Reverse((due, idx))) = self.overflow.peek() {
+            if due <= t {
+                self.overflow.pop();
+                // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
+                self.due_scratch.push(idx);
+            } else if due - t < WHEEL_SLOTS as u64 {
+                self.overflow.pop();
+                self.schedule_wake(due, idx);
+            } else {
+                break;
+            }
+        }
+        // Woken sources retry alongside newly due ones; visit in ascending
+        // source index, the dense scan's order.
+        self.due_scratch.extend_from_slice(&self.retry);
+        self.retry.clear();
+        self.due_scratch.sort_unstable();
+        let mut injected = 0;
+        for i in 0..self.due_scratch.len() {
+            let idx = self.due_scratch[i];
+            let src = &mut self.sources[idx];
+            injected += src.pump(router, now);
+            if src.backlog > 0 {
+                self.parked[idx] = true;
+            } else {
+                let due = src.next_due();
+                self.schedule_wake(due, idx);
+            }
+        }
+        injected
+    }
+
+    /// Wakes parked sources whose connection just transmitted (the pop made
+    /// room in their input VC, so the retry at the next cycle's pump can
+    /// succeed — exactly the first cycle at which a dense per-cycle retry
+    /// would have succeeded). Call after every [`Router::step`] whose report
+    /// may contain this workload's connections.
+    // mmr-lint: hot
+    pub fn note_transmitted(&mut self, transmitted: &[Transmitted]) {
+        for tx in transmitted {
+            if let Some(&idx) = self.source_of_conn.get(tx.conn.raw() as usize) {
+                if idx != usize::MAX && self.parked[idx] {
+                    self.parked[idx] = false;
+                    // mmr-lint: allow(A-PUSH, reason="amortized: reusable buffer retains its capacity across cycles (PR 1 zero-alloc design)")
+                    self.retry.push(idx);
+                }
+            }
+        }
+    }
+
+    /// The earliest cycle at which any source next has self-driven work, or
+    /// `None` when no source ever will. Sources awaiting retry are due
+    /// immediately; parked sources are excluded (they wake only via
+    /// [`CbrWorkload::note_transmitted`], and the flits they wait behind
+    /// keep the router non-quiescent anyway).
+    pub fn next_due_cycle(&self) -> Option<u64> {
+        if !self.retry.is_empty() {
+            return Some(0);
+        }
+        let wheel_next = self.next_bucketed_wake();
+        let overflow_next = self.overflow.peek().map(|&Reverse((due, _))| due);
+        match (wheel_next, overflow_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// The earliest bucketed wake cycle: a word-parallel scan of the
+    /// occupancy bitmap starting at the cursor slot (wakes live within one
+    /// horizon of the cursor, so the first set bit reached is the earliest).
+    fn next_bucketed_wake(&self) -> Option<u64> {
+        if self.in_wheel == 0 {
+            return None;
+        }
+        let mut offset = 0u64;
+        while offset < WHEEL_SLOTS as u64 {
+            let slot = ((self.cursor + offset) & WHEEL_MASK) as usize;
+            let word = self.occupied[slot >> 6] >> (slot & 63);
+            if word == 0 {
+                offset += 64 - (slot as u64 & 63);
+                continue;
+            }
+            return Some(self.cursor + offset + u64::from(word.trailing_zeros()));
+        }
+        None
     }
 }
 
@@ -280,6 +511,32 @@ mod tests {
         let mut w = CbrWorkload::build(&mut router, &paper_rate_ladder(), 0.3, &mut r);
         let injected: u32 = (0..2000).map(|t| w.pump(&mut router, Cycles(t))).sum();
         assert!(injected > 100, "flits flow: {injected}");
+    }
+
+    #[test]
+    fn event_pump_matches_dense_scan() {
+        // The wake-wheel pump must be indistinguishable from pumping every
+        // source every cycle, including under backpressure at high load.
+        let build = || {
+            let mut router =
+                RouterConfig::paper_default().vcs_per_port(64).candidates(2).seed(11).build();
+            let mut r = SeededRng::new(42);
+            let w = CbrWorkload::build(&mut router, &paper_rate_ladder(), 0.9, &mut r);
+            (router, w)
+        };
+        let (mut ra, mut wa) = build();
+        let (mut rb, mut wb) = build();
+        for t in 0..4_000 {
+            let now = Cycles(t);
+            let ea = wa.pump(&mut ra, now);
+            let eb: u32 = wb.sources.iter_mut().map(|s| s.pump(&mut rb, now)).sum();
+            assert_eq!(ea, eb, "injections diverge at cycle {t}");
+            let sa = ra.step(now);
+            let sb = rb.step(now);
+            assert_eq!(sa.transmitted, sb.transmitted, "transmissions diverge at cycle {t}");
+            wa.note_transmitted(&sa.transmitted);
+        }
+        assert_eq!(ra.stats(), rb.stats());
     }
 
     #[test]

@@ -7,8 +7,6 @@
 //! CBR population at a target offered load, warm the router up, then measure
 //! per-flit delay and per-connection jitter over the measurement window.
 
-use std::collections::BTreeMap;
-
 use mmr_core::router::RouterConfig;
 use mmr_sim::{Bandwidth, Cycles, DelayJitterRecorder, SeededRng, Warmup};
 
@@ -30,6 +28,12 @@ pub struct Experiment {
     pub seed: u64,
     /// Connection-rate ladder; defaults to the paper's nine rates.
     pub ladder: Vec<Bandwidth>,
+    /// Force dense per-cycle stepping. By default the driver skips ahead to
+    /// the workload's next due injection whenever the router is quiescent —
+    /// a skipped cycle provably injects nothing, transmits nothing, and
+    /// records nothing, so results are byte-identical either way (the dense
+    /// engine exists as the oracle for differential tests; DESIGN.md §9).
+    pub dense_stepping: bool,
 }
 
 impl Experiment {
@@ -43,7 +47,14 @@ impl Experiment {
             measure_cycles: 100_000,
             seed: 1999,
             ladder: paper_rate_ladder().to_vec(),
+            dense_stepping: false,
         }
+    }
+
+    /// Selects the stepping engine (`true` = dense reference engine).
+    pub fn dense_stepping(mut self, dense: bool) -> Self {
+        self.dense_stepping = dense;
+        self
     }
 
     /// Overrides the warm-up and measurement windows (shorter runs for
@@ -75,30 +86,68 @@ impl Experiment {
         let offered_load = workload.offered_load(&router);
         let connections = workload.connections().len();
 
-        let rate_of: BTreeMap<u32, u64> = workload
-            .connections()
-            .iter()
-            .map(|c| (c.id.raw(), c.rate.bits_per_sec() as u64))
-            .collect();
+        // Dense per-connection lookup tables replace the former BTreeMaps on
+        // the measurement fast path: `rates` holds the distinct rate rungs in
+        // ascending order, `slot_of_conn` maps a connection id to its rung.
+        let mut rates: Vec<u64> =
+            workload.connections().iter().map(|c| c.rate.bits_per_sec() as u64).collect();
+        rates.sort_unstable();
+        rates.dedup();
+        let max_raw =
+            workload.connections().iter().map(|c| c.id.raw() as usize).max().unwrap_or(0);
+        let mut slot_of_conn = vec![usize::MAX; max_raw + 1];
+        for c in workload.connections() {
+            let slot = rates.binary_search(&(c.rate.bits_per_sec() as u64)).expect("rate present");
+            slot_of_conn[c.id.raw() as usize] = slot;
+        }
+        let mut rate_recorders = vec![DelayJitterRecorder::default(); rates.len()];
 
         let warmup = Warmup::until(Cycles(self.warmup_cycles));
         let total = self.warmup_cycles + self.measure_cycles;
         let mut recorder = DelayJitterRecorder::new();
-        let mut per_rate: BTreeMap<u64, DelayJitterRecorder> = BTreeMap::new();
         let mut measured_flits = 0u64;
+        let mut report = mmr_core::router::StepReport::default();
 
-        for t in 0..total {
+        let mut t = 0u64;
+        while t < total {
             let now = Cycles(t);
             workload.pump(&mut router, now);
-            let report = router.step(now);
+            router.step_into(now, &mut report);
+            workload.note_transmitted(&report.transmitted);
             if warmup.measuring(now) {
                 for tx in &report.transmitted {
                     recorder.record(tx.conn.raw(), tx.delay);
-                    if let Some(&rate) = rate_of.get(&tx.conn.raw()) {
-                        per_rate.entry(rate).or_default().record(tx.conn.raw(), tx.delay);
+                    if let Some(&slot) = slot_of_conn.get(tx.conn.raw() as usize) {
+                        if slot != usize::MAX {
+                            rate_recorders[slot].record(tx.conn.raw(), tx.delay);
+                        }
                     }
                 }
                 measured_flits += report.transmitted.len() as u64;
+            }
+            t += 1;
+            // Event skip: with the router drained quiescent and no source
+            // due before `due`, every cycle in between is a provable no-op
+            // — no injection, no transmission, nothing recorded. Jump
+            // straight to the next due injection (pending retries report
+            // `due = 0` and parked sources imply buffered flits, so both
+            // hold the loop dense).
+            if !self.dense_stepping
+                && report.transmitted.is_empty()
+                && router.is_quiescent()
+            {
+                match workload.next_due_cycle() {
+                    Some(due) if due > t => {
+                        let until = due.min(total);
+                        router.note_idle_cycles(until - t);
+                        t = until;
+                    }
+                    Some(_) => {}
+                    None => {
+                        router.note_idle_cycles(total - t);
+                        break;
+                    }
+                }
             }
         }
 
@@ -116,8 +165,10 @@ impl Experiment {
                 / (self.measure_cycles as f64 * dims.ports() as f64),
             flits_measured: measured_flits,
             bank_conflicts: router.stats().bank_conflicts,
-            per_rate: per_rate
+            per_rate: rates
                 .into_iter()
+                .zip(rate_recorders)
+                .filter(|(_, rec)| rec.flits() > 0)
                 .map(|(rate_bps, rec)| RateClassResult {
                     rate: Bandwidth::from_bps(rate_bps as f64),
                     mean_delay_cycles: rec.mean_delay_cycles(),
