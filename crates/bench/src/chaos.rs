@@ -37,6 +37,8 @@ pub struct ChaosSpec {
     pub topology: CampaignTopology,
     /// Permanent link faults (fail + repair) per trial.
     pub faults: usize,
+    /// Whole-router fail/repair cycles per trial.
+    pub node_faults: usize,
     /// Transient wire faults (corrupt/drop, 50/50 seeded) per trial.
     pub transients: usize,
     /// Whether the link-level retry layer protects the wires.
@@ -78,6 +80,12 @@ pub struct ChaosResult {
     pub links_failed: u64,
     /// Links spliced back by the injector.
     pub links_repaired: u64,
+    /// Whole routers failed by the injector.
+    pub nodes_failed: u64,
+    /// Failed routers brought back by the injector.
+    pub nodes_repaired: u64,
+    /// Sessions parked on a typed partition verdict.
+    pub partitioned: u64,
 }
 
 impl ChaosResult {
@@ -95,6 +103,9 @@ impl ChaosResult {
         self.recovered += other.recovered;
         self.links_failed += other.links_failed;
         self.links_repaired += other.links_repaired;
+        self.nodes_failed += other.nodes_failed;
+        self.nodes_repaired += other.nodes_repaired;
+        self.partitioned += other.partitioned;
     }
 }
 
@@ -154,9 +165,16 @@ pub fn run_trial(spec: &ChaosSpec, seed: u64) -> ChaosResult {
         seed,
         spec.faults,
         spec.transients,
+        window.clone(),
+        outage,
+    )
+    .merged(FaultPlan::seeded_node_campaign(
+        net.topology(),
+        seed,
+        spec.node_faults,
         window,
         outage,
-    );
+    ));
     let mut injector = FaultInjector::new(plan).expect("seeded campaigns are consistent");
 
     let total = spec.warmup + spec.measure;
@@ -203,6 +221,9 @@ pub fn run_trial(spec: &ChaosSpec, seed: u64) -> ChaosResult {
         recovered: stats.recovered,
         links_failed: net_stats.links_failed,
         links_repaired: net_stats.links_repaired,
+        nodes_failed: net_stats.nodes_failed,
+        nodes_repaired: net_stats.nodes_repaired,
+        partitioned: stats.partitioned,
     }
 }
 
@@ -213,7 +234,16 @@ pub fn chaos_grid(quick: bool) -> Vec<ChaosSpec> {
     let mut grid = Vec::new();
     for topology in CampaignTopology::ALL {
         for llr in [false, true] {
-            grid.push(ChaosSpec { topology, faults, transients, llr, trials, warmup, measure });
+            grid.push(ChaosSpec {
+                topology,
+                faults,
+                node_faults: 1,
+                transients,
+                llr,
+                trials,
+                warmup,
+                measure,
+            });
         }
     }
     grid
@@ -291,7 +321,8 @@ pub fn render_json(cells: &[(ChaosSpec, ChaosResult)]) -> String {
                 "\"undetected_corruptions\": {}, \"audit_violations\": {}, ",
                 "\"audit_checks\": {}, \"flits_delivered\": {}, \"flits_lost\": {}, ",
                 "\"out_of_order\": {}, \"sessions_broken\": {}, \"recovered\": {}, ",
-                "\"links_failed\": {}, \"links_repaired\": {}}}"
+                "\"links_failed\": {}, \"links_repaired\": {}, ",
+                "\"nodes_failed\": {}, \"nodes_repaired\": {}, \"partitioned_sessions\": {}}}"
             ),
             spec.topology.name(),
             spec.llr,
@@ -311,6 +342,9 @@ pub fn render_json(cells: &[(ChaosSpec, ChaosResult)]) -> String {
             r.recovered,
             r.links_failed,
             r.links_repaired,
+            r.nodes_failed,
+            r.nodes_repaired,
+            r.partitioned,
         ));
     }
     format!(
@@ -328,6 +362,7 @@ mod tests {
         ChaosSpec {
             topology: CampaignTopology::Mesh3x3,
             faults: 1,
+            node_faults: 1,
             transients: 10,
             llr,
             trials: 1,

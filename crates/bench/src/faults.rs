@@ -75,6 +75,8 @@ pub struct CampaignSpec {
     pub topology: CampaignTopology,
     /// Link faults injected per trial.
     pub faults: usize,
+    /// Whole-router fail/repair cycles injected per trial.
+    pub node_faults: usize,
     /// Independent seeded trials aggregated into the cell.
     pub trials: usize,
     /// Cycles before the fault window opens.
@@ -110,6 +112,15 @@ pub struct CampaignResult {
     pub links_failed: u64,
     /// Links spliced back by the injector.
     pub links_repaired: u64,
+    /// Whole routers failed by the injector.
+    pub nodes_failed: u64,
+    /// Failed routers brought back by the injector.
+    pub nodes_repaired: u64,
+    /// Sessions parked on an unreachable destination (typed partition
+    /// verdicts, re-probed only after the topology changes).
+    pub partitioned: u64,
+    /// Re-establishment attempts deferred by the concurrent-probe cap.
+    pub probe_throttled: u64,
 }
 
 impl CampaignResult {
@@ -144,6 +155,10 @@ impl CampaignResult {
         self.flits_delivered += other.flits_delivered;
         self.links_failed += other.links_failed;
         self.links_repaired += other.links_repaired;
+        self.nodes_failed += other.nodes_failed;
+        self.nodes_repaired += other.nodes_repaired;
+        self.partitioned += other.partitioned;
+        self.probe_throttled += other.probe_throttled;
     }
 }
 
@@ -196,7 +211,14 @@ pub fn run_trial(spec: &CampaignSpec, seed: u64) -> CampaignResult {
     // of it, so repairs land in-run and recoveries have room to finish.
     let window = spec.warmup..spec.warmup + spec.measure / 2;
     let outage = Cycles((spec.measure / 8).max(50));
-    let plan = FaultPlan::seeded_campaign(net.topology(), seed, spec.faults, window, outage);
+    let plan = FaultPlan::seeded_campaign(net.topology(), seed, spec.faults, window.clone(), outage)
+        .merged(FaultPlan::seeded_node_campaign(
+            net.topology(),
+            seed,
+            spec.node_faults,
+            window,
+            outage,
+        ));
     let mut injector = FaultInjector::new(plan).expect("seeded campaigns are consistent");
 
     let total = spec.warmup + spec.measure;
@@ -244,6 +266,10 @@ pub fn run_trial(spec: &CampaignSpec, seed: u64) -> CampaignResult {
         flits_delivered: net_stats.flits_delivered,
         links_failed: net_stats.links_failed,
         links_repaired: net_stats.links_repaired,
+        nodes_failed: net_stats.nodes_failed,
+        nodes_repaired: net_stats.nodes_repaired,
+        partitioned: stats.partitioned,
+        probe_throttled: stats.probe_throttled,
     }
 }
 
@@ -257,7 +283,10 @@ pub fn campaign_grid(quick: bool) -> Vec<CampaignSpec> {
     let mut grid = Vec::new();
     for topology in CampaignTopology::ALL {
         for &faults in fault_counts {
-            grid.push(CampaignSpec { topology, faults, trials, warmup, measure });
+            // Every cell also fails and repairs one whole router, so the
+            // campaign exercises quarantine, root migration, and session
+            // evacuation on every fabric.
+            grid.push(CampaignSpec { topology, faults, node_faults: 1, trials, warmup, measure });
         }
     }
     grid
@@ -291,30 +320,34 @@ pub fn run_campaigns(
 /// Renders the human-readable campaign table (`results/faults.txt`).
 pub fn render_table(cells: &[(CampaignSpec, CampaignResult)]) -> String {
     let mut out = String::new();
-    out.push_str("fault campaigns: seeded link failure + repair with automatic recovery\n");
+    out.push_str("fault campaigns: seeded link + node failure/repair with automatic recovery\n");
     out.push_str(&format!(
-        "{:<12} {:>6} {:>7} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>10}\n",
+        "{:<12} {:>6} {:>5} {:>7} {:>9} {:>9} {:>8} {:>8} {:>7} {:>9} {:>9} {:>10}\n",
         "topology",
         "faults",
+        "nodes",
         "broken",
         "recovered",
         "perm-fail",
         "degraded",
         "retries",
+        "parked",
         "mean-ttr",
         "lost",
         "delivered"
     ));
     for (spec, r) in cells {
         out.push_str(&format!(
-            "{:<12} {:>6} {:>7} {:>9} {:>9} {:>8} {:>8} {:>9.2} {:>9} {:>10}\n",
+            "{:<12} {:>6} {:>5} {:>7} {:>9} {:>9} {:>8} {:>8} {:>7} {:>9.2} {:>9} {:>10}\n",
             spec.topology.name(),
             spec.faults,
+            r.nodes_failed,
             r.faults,
             r.recovered,
             r.permanently_failed,
             r.degraded,
             r.retries,
+            r.partitioned,
             r.mean_ttr(),
             r.flits_lost,
             r.flits_delivered,
@@ -331,15 +364,19 @@ pub fn render_json(cells: &[(CampaignSpec, CampaignResult)]) -> String {
     for (spec, r) in cells {
         rows.push(format!(
             concat!(
-                "    {{\"topology\": \"{}\", \"faults_planned\": {}, \"trials\": {}, ",
+                "    {{\"topology\": \"{}\", \"faults_planned\": {}, ",
+                "\"node_faults_planned\": {}, \"trials\": {}, ",
                 "\"sessions_broken\": {}, \"recovered\": {}, \"permanently_failed\": {}, ",
                 "\"degraded\": {}, \"retries\": {}, \"timeouts\": {}, ",
                 "\"backoff_cycles\": {}, \"mean_ttr_cycles\": {:.4}, ",
                 "\"recovery_rate\": {:.4}, \"flits_lost\": {}, \"flits_delivered\": {}, ",
-                "\"links_failed\": {}, \"links_repaired\": {}}}"
+                "\"links_failed\": {}, \"links_repaired\": {}, ",
+                "\"nodes_failed\": {}, \"nodes_repaired\": {}, ",
+                "\"partitioned_sessions\": {}, \"probe_throttled\": {}}}"
             ),
             spec.topology.name(),
             spec.faults,
+            spec.node_faults,
             spec.trials,
             r.faults,
             r.recovered,
@@ -354,6 +391,10 @@ pub fn render_json(cells: &[(CampaignSpec, CampaignResult)]) -> String {
             r.flits_delivered,
             r.links_failed,
             r.links_repaired,
+            r.nodes_failed,
+            r.nodes_repaired,
+            r.partitioned,
+            r.probe_throttled,
         ));
     }
     format!(
@@ -372,6 +413,7 @@ mod tests {
         let spec = CampaignSpec {
             topology: CampaignTopology::Mesh3x3,
             faults: 2,
+            node_faults: 1,
             trials: 1,
             warmup: 200,
             measure: 1_200,
@@ -388,6 +430,7 @@ mod tests {
         let spec = CampaignSpec {
             topology: CampaignTopology::Torus3x3,
             faults: 3,
+            node_faults: 1,
             trials: 1,
             warmup: 300,
             measure: 2_400,
@@ -395,6 +438,8 @@ mod tests {
         let r = run_trial(&spec, 5);
         assert!(r.links_failed > 0, "faults were injected");
         assert_eq!(r.links_failed, r.links_repaired, "every outage ends in repair");
+        assert!(r.nodes_failed >= 1, "a whole router died");
+        assert_eq!(r.nodes_failed, r.nodes_repaired, "every router outage ends in repair");
         assert!(r.flits_delivered > 100, "traffic flowed: {}", r.flits_delivered);
         if r.faults > 0 {
             assert!(r.recovered + r.permanently_failed > 0, "incidents were resolved");
@@ -406,6 +451,7 @@ mod tests {
         let grid = vec![CampaignSpec {
             topology: CampaignTopology::Mesh3x3,
             faults: 2,
+            node_faults: 1,
             trials: 2,
             warmup: 200,
             measure: 1_200,

@@ -48,7 +48,7 @@ fn claims_are_byte_identical_across_job_counts() {
 fn fault_campaigns_are_byte_identical_across_job_counts() {
     let grid: Vec<CampaignSpec> = CampaignTopology::ALL
         .into_iter()
-        .map(|topology| CampaignSpec { topology, faults: 2, trials: 2, warmup: 200, measure: 1_600 })
+        .map(|topology| CampaignSpec { topology, faults: 2, node_faults: 1, trials: 2, warmup: 200, measure: 1_600 })
         .collect();
     let serial = run_campaigns(&grid, &SweepOptions { jobs: 1, ..SweepOptions::serial() });
     let parallel = run_campaigns(&grid, &SweepOptions { jobs: 4, ..SweepOptions::serial() });

@@ -310,9 +310,9 @@ impl StatusBits {
                 return Some(idx);
             }
         }
-        for wi in start_word + 1..words.len() {
-            if words[wi] != 0 {
-                return Some(wi * WORD_BITS + words[wi].trailing_zeros() as usize);
+        for (wi, &word) in words.iter().enumerate().skip(start_word + 1) {
+            if word != 0 {
+                return Some(wi * WORD_BITS + word.trailing_zeros() as usize);
             }
         }
         // Wrap to [0, from] — first_set covers it (and the empty vector).

@@ -126,16 +126,30 @@ pub enum FaultKind {
     Corrupt,
     /// Transient: drop the next flit on the wire.
     Drop,
+    /// Whole-router failure (quarantines the node, tears down everything
+    /// crossing it). The `port` field is ignored.
+    FailNode,
+    /// Brings a failed router back. The `port` field is ignored.
+    RepairNode,
 }
 
-/// One scheduled fault, addressed by a wire endpoint.
+impl FaultKind {
+    /// Whether this fault strikes one flit and passes (as opposed to
+    /// changing the topology).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FaultKind::Corrupt | FaultKind::Drop)
+    }
+}
+
+/// One scheduled fault, addressed by a wire endpoint (or, for node
+/// events, by the node alone).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSpec {
     /// Fault class.
     pub kind: FaultKind,
-    /// Wire endpoint node.
+    /// Wire endpoint node (the failing/recovering router for node events).
     pub node: u16,
-    /// Wire endpoint port.
+    /// Wire endpoint port (ignored by node events).
     pub port: u8,
     /// Fire cycle.
     pub at: u64,
@@ -266,8 +280,24 @@ impl Scenario {
         // Exactly-once delivery under transient faults requires the
         // link-level retry layer (a dropped flit is otherwise simply
         // gone); permanent faults are handled either way.
-        let has_transients = faults.iter().any(|f| f.kind != FaultKind::Fail);
+        let has_transients = faults.iter().any(|f| f.kind.is_transient());
         let llr = has_transients || rng.chance(0.5);
+
+        // One whole-router fail/repair cycle inside the injection window.
+        // Appended after the llr draw so that every pre-existing corpus
+        // seed still expands to the exact same scenario prefix.
+        if topo.nodes() >= 3 && rng.chance(0.4) {
+            let node = rng.index(topo.nodes()) as u16;
+            let at = cycles / 4 + rng.index((cycles / 2).max(1) as usize) as u64;
+            let outage = 40 + rng.index((cycles / 4).max(1) as usize) as u64;
+            faults.push(FaultSpec { kind: FaultKind::FailNode, node, port: 0, at });
+            faults.push(FaultSpec {
+                kind: FaultKind::RepairNode,
+                node,
+                port: 0,
+                at: at + outage,
+            });
+        }
 
         Scenario {
             seed,
@@ -293,9 +323,26 @@ impl Scenario {
         let mut failed_wires: Vec<((u16, u8), (u16, u8))> = Vec::new();
         for f in &self.faults {
             let node = NodeId(f.node);
+            let at = Cycles(f.at);
+            // Node events address a router, not a wire; discard them when
+            // shrinking has moved to a topology without that node.
+            match f.kind {
+                FaultKind::FailNode => {
+                    if (f.node as usize) < topo.nodes() {
+                        plan = plan.fail_node_at(at, node);
+                    }
+                    continue;
+                }
+                FaultKind::RepairNode => {
+                    if (f.node as usize) < topo.nodes() {
+                        plan = plan.repair_node_at(at, node);
+                    }
+                    continue;
+                }
+                FaultKind::Fail | FaultKind::Corrupt | FaultKind::Drop => {}
+            }
             let port = PortId(f.port);
             let Some((peer, peer_port)) = topo.peer_of(node, port) else { continue };
-            let at = Cycles(f.at);
             match f.kind {
                 FaultKind::Fail => {
                     let a = (f.node, f.port);
@@ -309,6 +356,7 @@ impl Scenario {
                 }
                 FaultKind::Corrupt => plan = plan.corrupt_at(at, node, port),
                 FaultKind::Drop => plan = plan.drop_at(at, node, port),
+                FaultKind::FailNode | FaultKind::RepairNode => unreachable!("handled above"),
             }
         }
         plan
@@ -327,6 +375,10 @@ impl Scenario {
                     FaultKind::Fail => "fail",
                     FaultKind::Corrupt => "corrupt",
                     FaultKind::Drop => "drop",
+                    FaultKind::FailNode => return format!("failnode@{}:n{}", f.at, f.node),
+                    FaultKind::RepairNode => {
+                        return format!("repairnode@{}:n{}", f.at, f.node)
+                    }
                 };
                 format!("{k}@{}:n{}p{}", f.at, f.node, f.port)
             })
@@ -392,9 +444,30 @@ mod tests {
     fn transients_imply_llr() {
         for seed in 0..128u64 {
             let sc = Scenario::generate(seed);
-            if sc.faults.iter().any(|f| f.kind != FaultKind::Fail) {
+            if sc.faults.iter().any(|f| f.kind.is_transient()) {
                 assert!(sc.llr, "seed {seed}: transient faults need the retry layer");
             }
         }
     }
+
+    #[test]
+    fn node_faults_are_drawn_and_always_pair_fail_with_later_repair() {
+        let mut saw_node_fault = false;
+        for seed in 0..128u64 {
+            let sc = Scenario::generate(seed);
+            let fails: Vec<&FaultSpec> =
+                sc.faults.iter().filter(|f| f.kind == FaultKind::FailNode).collect();
+            let repairs: Vec<&FaultSpec> =
+                sc.faults.iter().filter(|f| f.kind == FaultKind::RepairNode).collect();
+            assert_eq!(fails.len(), repairs.len(), "seed {seed}");
+            for (f, r) in fails.iter().zip(&repairs) {
+                saw_node_fault = true;
+                assert_eq!(f.node, r.node, "seed {seed}");
+                assert!(f.at < r.at, "seed {seed}: the outage has positive length");
+                assert!((f.node as usize) < sc.topology.nodes(), "seed {seed}");
+            }
+        }
+        assert!(saw_node_fault, "the generator actually explores node faults");
+    }
 }
+

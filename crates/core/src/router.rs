@@ -252,6 +252,9 @@ pub enum EstablishError {
     NoFreeOutputVc,
     /// Bandwidth admission control rejected the request.
     Admission(AdmissionError),
+    /// The router is quarantined (its node failed) and admits nothing until
+    /// repaired.
+    Quarantined,
 }
 
 impl std::fmt::Display for EstablishError {
@@ -263,6 +266,9 @@ impl std::fmt::Display for EstablishError {
                 write!(f, "no free virtual channel on the output link")
             }
             EstablishError::Admission(e) => write!(f, "admission control rejected: {e}"),
+            EstablishError::Quarantined => {
+                write!(f, "the router is quarantined (its node failed)")
+            }
         }
     }
 }
@@ -460,6 +466,12 @@ pub struct Router {
     /// [`Router::set_credit_clamp`] to resurrect the pre-fix
     /// phantom-capacity bug as a differential-testing target.
     credit_clamp: bool,
+    /// Whether the router's node has failed: every connection has been
+    /// drained and [`Router::establish_pinned`] refuses new ones until
+    /// [`Router::lift_quarantine`]. Cycle state (crossbar configuration,
+    /// cut-through latches) is deliberately left to settle through normal
+    /// stepping so reconfiguration accounting stays engine-identical.
+    quarantined: bool,
 }
 
 impl Router {
@@ -536,6 +548,7 @@ impl Router {
             guaranteed_open: vec![true; ports],
             completed_buf: Vec::new(),
             credit_clamp: true,
+            quarantined: false,
             round,
             cfg,
         }
@@ -713,6 +726,9 @@ impl Router {
         req: ConnectionRequest,
         pinned_input: Option<VcIndex>,
     ) -> Result<ConnectionId, EstablishError> {
+        if self.quarantined {
+            return Err(EstablishError::Quarantined);
+        }
         self.check_port(req.input).map_err(|port| EstablishError::InvalidPort { port })?;
         self.check_port(req.output).map_err(|port| EstablishError::InvalidPort { port })?;
 
@@ -827,6 +843,33 @@ impl Router {
         self.free_input_vcs[state.input_vc.port.index()].push(state.input_vc.vc);
         self.free_output_vcs[state.output_vc.port.index()].push(state.output_vc.vc);
         Ok(dropped)
+    }
+
+    /// Quarantines the router after a node failure: tears down every
+    /// established connection (releasing VCs, bandwidth books, and class
+    /// masks exactly as individual teardowns would) and refuses new
+    /// establishment until [`Router::lift_quarantine`]. Returns the total
+    /// number of buffered flits drained. In-cycle crossbar/cut-through
+    /// state is left untouched — the next step settles it identically
+    /// under dense and event-driven stepping.
+    pub fn quarantine(&mut self) -> usize {
+        self.quarantined = true;
+        let ids: Vec<ConnectionId> = self.conns.iter().map(|c| c.id).collect();
+        let mut dropped = 0;
+        for id in ids {
+            dropped += self.teardown(id).unwrap_or(0);
+        }
+        dropped
+    }
+
+    /// Lifts a node-failure quarantine; the router admits connections again.
+    pub fn lift_quarantine(&mut self) {
+        self.quarantined = false;
+    }
+
+    /// Whether the router is currently quarantined (node failed).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
     }
 
     /// Injects the next data flit of `conn` into its input VC (the arrival
@@ -1286,6 +1329,28 @@ mod tests {
         assert_eq!(r.connections(), 0);
         assert_eq!(r.bandwidth_book(PortId(1)).load_factor(), 0.0);
         assert_eq!(r.teardown(id), Err(id), "double teardown reports the id");
+    }
+
+    #[test]
+    fn quarantine_drains_connections_and_blocks_admission_until_lifted() {
+        let mut r = small_router(ArbiterKind::BiasedPriority);
+        let a = r.establish(cbr(10.0, 0, 1)).expect("admits");
+        let b = r.establish(cbr(10.0, 2, 3)).expect("admits");
+        r.inject(a, Cycles(0)).expect("buffer empty");
+        r.inject(b, Cycles(0)).expect("buffer empty");
+        let drained = r.quarantine();
+        assert!(r.is_quarantined());
+        assert_eq!(drained, 2, "both buffered flits drained");
+        assert_eq!(r.connections(), 0, "ledger emptied");
+        assert_eq!(r.bandwidth_book(PortId(1)).load_factor(), 0.0, "bandwidth released");
+        let err = r.establish(cbr(10.0, 0, 1)).expect_err("quarantined");
+        assert_eq!(err, EstablishError::Quarantined);
+        r.lift_quarantine();
+        assert!(!r.is_quarantined());
+        // Full VC pools again: repeat the exhaustion pattern cleanly.
+        for _ in 0..8 {
+            r.establish(cbr(1.0, 0, 1)).expect("VC pools intact after quarantine");
+        }
     }
 
     #[test]

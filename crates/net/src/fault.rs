@@ -1,11 +1,13 @@
 //! Deterministic fault-injection campaigns.
 //!
-//! A [`FaultPlan`] is a schedule of *permanent* link faults (failures and
-//! repairs) and *transient* wire faults (a corrupted or dropped flit) at
-//! flit-cycle granularity. Plans are plain data — built by hand for
-//! targeted tests or generated from a seed by
-//! [`FaultPlan::seeded_campaign`] / [`FaultPlan::seeded_chaos_campaign`] —
-//! so a campaign is reproducible from `(topology, seed, parameters)` alone,
+//! A [`FaultPlan`] is a schedule of *permanent* faults (link failures and
+//! repairs, whole-router failures and repairs) and *transient* wire faults
+//! (a corrupted or dropped flit) at flit-cycle granularity. Plans are plain
+//! data — built by hand for targeted tests or generated from a seed by
+//! [`FaultPlan::seeded_campaign`] / [`FaultPlan::seeded_node_campaign`] /
+//! [`FaultPlan::seeded_chaos_campaign`], composable via
+//! [`FaultPlan::merged`] — so a campaign is reproducible from
+//! `(topology, seed, parameters)` alone,
 //! independent of execution order. Construction is validated:
 //! [`FaultPlan::normalized`] sorts events into firing order and rejects
 //! contradictory schedules (a fail *and* a repair of the same wire in the
@@ -24,13 +26,19 @@ use mmr_sim::{Cycles, SeededRng};
 use crate::network::{NetConnectionId, NetError, NetworkSim, TransientKind};
 use crate::topology::{NodeId, Topology};
 
-/// What a scheduled fault event does to its wire.
+/// What a scheduled fault event does to its wire or node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
     /// Take the wire down ([`NetworkSim::fail_link`]).
     Fail,
     /// Splice the wire back ([`NetworkSim::repair_link`]).
     Repair,
+    /// Take the whole router down ([`NetworkSim::fail_node`]); the event's
+    /// `port` is ignored.
+    FailNode,
+    /// Bring the router back ([`NetworkSim::repair_node`]); the event's
+    /// `port` is ignored.
+    RepairNode,
     /// Transient: flip a payload bit of the next flit delivered into the
     /// addressed endpoint (CRC-detectable wire corruption).
     CorruptFlit,
@@ -39,10 +47,16 @@ pub enum FaultAction {
 }
 
 impl FaultAction {
-    /// Whether the action changes wire topology (fail/repair) rather than
-    /// damaging a single flit.
+    /// Whether the action changes topology (link or node fail/repair)
+    /// rather than damaging a single flit.
     pub fn is_permanent(self) -> bool {
-        matches!(self, FaultAction::Fail | FaultAction::Repair)
+        !matches!(self, FaultAction::CorruptFlit | FaultAction::DropFlit)
+    }
+
+    /// Whether the action addresses a whole node rather than a wire
+    /// endpoint.
+    pub fn is_node(self) -> bool {
+        matches!(self, FaultAction::FailNode | FaultAction::RepairNode)
     }
 }
 
@@ -114,6 +128,20 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a whole-router failure at `at` (the port field is a
+    /// placeholder; node events address the node alone).
+    pub fn fail_node_at(mut self, at: Cycles, node: NodeId) -> Self {
+        self.events.push(FaultEvent { at, action: FaultAction::FailNode, node, port: PortId(0) });
+        self
+    }
+
+    /// Schedules a router repair at `at`.
+    pub fn repair_node_at(mut self, at: Cycles, node: NodeId) -> Self {
+        self.events
+            .push(FaultEvent { at, action: FaultAction::RepairNode, node, port: PortId(0) });
+        self
+    }
+
     /// Schedules a transient corruption: the next flit delivered into
     /// `(node, port)` at or after `at` has a payload bit flipped.
     pub fn corrupt_at(mut self, at: Cycles, node: NodeId, port: PortId) -> Self {
@@ -145,25 +173,29 @@ impl FaultPlan {
 
     /// Sorts events into firing order (stable, so same-cycle events keep
     /// insertion order), drops *identical* duplicate permanent events, and
-    /// rejects contradictory schedules.
+    /// rejects contradictory schedules. Node events conflict only with node
+    /// events on the same node; wire events only with wire events on the
+    /// same endpoint — a node failure and a link failure in the same cycle
+    /// are two different faults, not a contradiction.
     ///
     /// Duplicate transients at the same endpoint are kept — each one arms
     /// the wire for one more flit.
     ///
     /// # Errors
     ///
-    /// [`FaultPlanError::Conflict`] when the same endpoint is both failed
-    /// and repaired in the same cycle.
+    /// [`FaultPlanError::Conflict`] when the same endpoint (or node) is
+    /// both failed and repaired in the same cycle.
     pub fn normalized(mut self) -> Result<Self, FaultPlanError> {
         self.events.sort_by_key(|e| e.at);
         let mut out: Vec<FaultEvent> = Vec::with_capacity(self.events.len());
         for ev in self.events {
             if ev.action.is_permanent() {
-                let same_slot = out
-                    .iter()
-                    .rev()
-                    .take_while(|p| p.at == ev.at)
-                    .find(|p| p.node == ev.node && p.port == ev.port && p.action.is_permanent());
+                let same_slot = out.iter().rev().take_while(|p| p.at == ev.at).find(|p| {
+                    p.action.is_permanent()
+                        && p.action.is_node() == ev.action.is_node()
+                        && p.node == ev.node
+                        && (ev.action.is_node() || p.port == ev.port)
+                });
                 if let Some(prev) = same_slot {
                     if prev.action == ev.action {
                         continue; // identical duplicate: keep one
@@ -178,6 +210,15 @@ impl FaultPlan {
             out.push(ev);
         }
         Ok(FaultPlan { events: out })
+    }
+
+    /// Merges another plan into this one, re-sorting into firing order
+    /// (stable: same-cycle events keep `self`-before-`other` order). Lets a
+    /// campaign combine a seeded link schedule with a seeded node schedule.
+    pub fn merged(mut self, other: FaultPlan) -> Self {
+        self.events.extend(other.events);
+        self.events.sort_by_key(|e| e.at);
+        self
     }
 
     /// Generates a seeded random campaign of *permanent* faults over
@@ -229,6 +270,55 @@ impl FaultPlan {
         plan
     }
 
+    /// Generates a seeded random campaign of *whole-router* faults over
+    /// `topology`: `node_faults` router failures at cycles drawn uniformly
+    /// from `window`, each repaired `outage` cycles after it strikes. A
+    /// router scheduled down is never double-failed — planned outages are
+    /// tracked and another node drawn — so every generated event applies
+    /// cleanly. The RNG stream is salted differently from the link
+    /// campaign, so the two schedules compose via [`FaultPlan::merged`]
+    /// without correlation. The result is a pure function of the arguments.
+    pub fn seeded_node_campaign(
+        topology: &Topology,
+        seed: u64,
+        node_faults: usize,
+        window: std::ops::Range<u64>,
+        outage: Cycles,
+    ) -> Self {
+        assert!(window.start < window.end, "empty campaign window");
+        let mut rng = SeededRng::new(seed ^ 0x0DE0_FA17);
+        let n = topology.nodes();
+        let mut plan = FaultPlan::new();
+        if n == 0 {
+            return plan;
+        }
+        // (node index, fail cycle, repair cycle) intervals already planned.
+        let mut planned: Vec<(usize, u64, u64)> = Vec::with_capacity(node_faults);
+        let mut strikes: Vec<u64> = (0..node_faults)
+            .map(|_| window.start + rng.index((window.end - window.start) as usize) as u64)
+            .collect();
+        strikes.sort_unstable();
+        for at in strikes {
+            let down = at + outage.0;
+            // Up to |nodes| attempts to find a router not already down at `at`.
+            let mut choice = None;
+            for _ in 0..n.max(4) {
+                let c = rng.index(n);
+                let overlaps = planned.iter().any(|&(pc, f, r)| pc == c && at < r && down > f);
+                if !overlaps {
+                    choice = Some(c);
+                    break;
+                }
+            }
+            let Some(c) = choice else { continue };
+            planned.push((c, at, down));
+            let node = NodeId(c as u16);
+            plan = plan.fail_node_at(Cycles(at), node).repair_node_at(Cycles(down), node);
+        }
+        plan.events.sort_by_key(|e| e.at);
+        plan
+    }
+
     /// Generates a seeded *mixed* campaign: the permanent schedule of
     /// [`FaultPlan::seeded_campaign`] plus `transients` corrupt/drop events
     /// (50/50, on a uniformly drawn wire endpoint, at a cycle drawn from
@@ -271,7 +361,11 @@ pub struct FaultTick {
     pub failed: Vec<(NodeId, PortId)>,
     /// Wires spliced back this cycle.
     pub repaired: Vec<(NodeId, PortId)>,
-    /// Connections torn down by this cycle's failures.
+    /// Routers quarantined this cycle.
+    pub nodes_failed: Vec<NodeId>,
+    /// Routers brought back this cycle.
+    pub nodes_repaired: Vec<NodeId>,
+    /// Connections torn down by this cycle's failures (link and node).
     pub broken: Vec<NetConnectionId>,
     /// Transient events armed this cycle (corrupts + drops).
     pub transients_armed: usize,
@@ -282,6 +376,8 @@ impl FaultTick {
     pub fn is_quiet(&self) -> bool {
         self.failed.is_empty()
             && self.repaired.is_empty()
+            && self.nodes_failed.is_empty()
+            && self.nodes_repaired.is_empty()
             && self.broken.is_empty()
             && self.transients_armed == 0
     }
@@ -342,6 +438,19 @@ impl FaultInjector {
                     Ok(()) => tick.repaired.push((ev.node, ev.port)),
                     Err(NetError::LinkNotFailed { .. }) => self.skipped += 1,
                     Err(e) => panic!("fault plan addresses a non-wire: {e}"),
+                },
+                FaultAction::FailNode => match net.fail_node(ev.node) {
+                    Ok(broken) => {
+                        tick.nodes_failed.push(ev.node);
+                        tick.broken.extend(broken);
+                    }
+                    Err(NetError::NodeAlreadyFailed { .. }) => self.skipped += 1,
+                    Err(e) => panic!("fault plan addresses an unknown node: {e}"),
+                },
+                FaultAction::RepairNode => match net.repair_node(ev.node) {
+                    Ok(()) => tick.nodes_repaired.push(ev.node),
+                    Err(NetError::NodeNotFailed { .. }) => self.skipped += 1,
+                    Err(e) => panic!("fault plan addresses an unknown node: {e}"),
                 },
                 FaultAction::CorruptFlit | FaultAction::DropFlit => {
                     let kind = if ev.action == FaultAction::CorruptFlit {
@@ -500,6 +609,69 @@ mod tests {
         assert_eq!(inj.pending(), 0);
         assert_eq!(inj.skipped(), 0, "campaign generator never plans a double failure");
         assert_eq!(net.stats().links_failed, net.stats().links_repaired);
+    }
+
+    #[test]
+    fn node_events_conflict_only_with_node_events() {
+        // Same-cycle fail+repair of one node is contradictory.
+        let err = FaultPlan::new()
+            .fail_node_at(Cycles(7), NodeId(3))
+            .repair_node_at(Cycles(7), NodeId(3))
+            .normalized()
+            .expect_err("contradiction");
+        assert!(matches!(err, FaultPlanError::Conflict { node: NodeId(3), .. }));
+        // A node event and a wire event on port 0 of the same node in the
+        // same cycle are two different faults, not a contradiction.
+        let plan = FaultPlan::new()
+            .fail_node_at(Cycles(7), NodeId(3))
+            .repair_at(Cycles(7), NodeId(3), PortId(0))
+            .normalized()
+            .expect("node and wire domains are disjoint");
+        assert_eq!(plan.len(), 2);
+        // Identical duplicate node events collapse to one.
+        let plan = FaultPlan::new()
+            .fail_node_at(Cycles(5), NodeId(1))
+            .fail_node_at(Cycles(5), NodeId(1))
+            .normalized()
+            .expect("duplicates are not a contradiction");
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn seeded_node_campaigns_are_reproducible_and_self_consistent() {
+        let topo = Topology::torus2d(3, 3, 8).expect("topology wires within the port budget");
+        let a = FaultPlan::seeded_node_campaign(&topo, 77, 3, 100..2_000, Cycles(300));
+        let b = FaultPlan::seeded_node_campaign(&topo, 77, 3, 100..2_000, Cycles(300));
+        assert!(a.events().zip(b.events()).all(|(x, y)| x == y) && a.len() == b.len());
+        assert!(a.events().all(|e| e.action.is_node()));
+        // Every generated event applies cleanly to a live network.
+        let mut net = NetworkSim::new(
+            topo,
+            RouterConfig::paper_default().vcs_per_port(8).candidates(2),
+        );
+        let mut inj = FaultInjector::new(a).expect("generated plans are consistent");
+        for t in 0..2_500u64 {
+            inj.poll(&mut net, Cycles(t));
+        }
+        assert_eq!(inj.pending(), 0);
+        assert_eq!(inj.skipped(), 0, "generator never plans a double node failure");
+        assert_eq!(net.stats().nodes_failed, net.stats().nodes_repaired);
+        assert!(net.stats().nodes_failed > 0);
+    }
+
+    #[test]
+    fn merged_plans_interleave_by_cycle_and_stay_consistent() {
+        let topo = Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget");
+        let links = FaultPlan::seeded_campaign(&topo, 9, 4, 100..2_000, Cycles(300));
+        let nodes = FaultPlan::seeded_node_campaign(&topo, 9, 2, 100..2_000, Cycles(300));
+        let merged = links.clone().merged(nodes.clone());
+        assert_eq!(merged.len(), links.len() + nodes.len());
+        let mut last = 0u64;
+        for ev in merged.events() {
+            assert!(ev.at.count() >= last, "merged events sorted into firing order");
+            last = ev.at.count();
+        }
+        merged.normalized().expect("independent seeded schedules merge cleanly");
     }
 
     #[test]

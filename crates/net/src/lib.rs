@@ -15,15 +15,18 @@
 //!   establishment with history stores, plus a greedy baseline.
 //! * [`network`] — the cycle-driven multi-router simulator: one
 //!   [`mmr_core::Router`] per node, credit flow control across wires,
-//!   end-to-end stream delivery, packet hopping, and link failure/repair
-//!   with up*/down* recomputation.
+//!   end-to-end stream delivery, packet hopping, and link *and whole-node*
+//!   failure/repair with up*/down* recomputation (root migration included)
+//!   and exact in-flight accounting across router quarantines.
 //! * [`fault`] — deterministic seeded fault campaigns: [`FaultPlan`]
-//!   schedules link failures and repairs at flit-cycle granularity,
-//!   [`FaultInjector`] applies them.
+//!   schedules link and node failures and repairs at flit-cycle
+//!   granularity, [`FaultInjector`] applies them.
 //! * [`recovery`] — the automatic-recovery session layer:
 //!   [`RecoveryManager`] re-establishes faulted connections via EPB with
-//!   retry budgets, exponential backoff, setup timeouts, and graceful CBR
-//!   rate degradation.
+//!   retry budgets, exponential backoff, setup timeouts, graceful CBR
+//!   rate degradation, a jittered cap on concurrent re-establishment
+//!   probes, and epoch-parked partitioned sessions that re-probe only
+//!   after the topology changes again.
 //! * [`driver`] — network-level experiments (end-to-end latency/jitter vs
 //!   load).
 //!

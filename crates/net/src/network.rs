@@ -61,6 +61,16 @@ pub enum NetError {
         /// The port whose wire is up.
         port: PortId,
     },
+    /// The node is already failed (double [`NetworkSim::fail_node`]).
+    NodeAlreadyFailed {
+        /// The node that is already down.
+        node: NodeId,
+    },
+    /// The node is operational ([`NetworkSim::repair_node`] of a live node).
+    NodeNotFailed {
+        /// The node that is up.
+        node: NodeId,
+    },
     /// The connection id is not live in this network.
     UnknownConnection(NetConnectionId),
     /// [`NetworkSim::send_packet`] with a stream flit kind — VCT packets are
@@ -89,6 +99,12 @@ impl std::fmt::Display for NetError {
             }
             NetError::LinkNotFailed { node, port } => {
                 write!(f, "the wire at {node}.{port} is operational; nothing to repair")
+            }
+            NetError::NodeAlreadyFailed { node } => {
+                write!(f, "node {node} is already failed")
+            }
+            NetError::NodeNotFailed { node } => {
+                write!(f, "node {node} is operational; nothing to repair")
             }
             NetError::UnknownConnection(id) => write!(f, "connection {id} is not live"),
             NetError::NotAPacketKind(kind) => {
@@ -223,6 +239,15 @@ pub struct NetStats {
     pub links_failed: u64,
     /// Failed wires spliced back so far ([`NetworkSim::repair_link`]).
     pub links_repaired: u64,
+    /// Whole routers failed so far ([`NetworkSim::fail_node`]).
+    pub nodes_failed: u64,
+    /// Failed routers brought back so far ([`NetworkSim::repair_node`]).
+    pub nodes_repaired: u64,
+    /// Setup attempts that resolved [`SetupError::Unreachable`]: the
+    /// destination is in a different partition of the surviving topology.
+    /// The typed partition signal — callers park the session until the
+    /// topology changes instead of retrying into the same wall.
+    pub partitioned_sessions: u64,
     /// Stream flits damaged on a wire by a transient fault (payload bit
     /// flip; the CRC no longer matches).
     pub flits_corrupted: u64,
@@ -409,6 +434,19 @@ pub struct NetworkSim {
     active_probes: Vec<ActiveProbe>,
     /// Ports whose attached wire has failed (both endpoints are listed).
     failed_ports: std::collections::BTreeSet<(NodeId, PortId)>,
+    /// Nodes whose whole router has failed (quarantined). Kept separate
+    /// from `failed_ports` so link faults on a dead node's wires compose
+    /// independently; a wire is operational only if neither its endpoints
+    /// nor their owning nodes are failed.
+    failed_nodes: std::collections::BTreeSet<NodeId>,
+    /// Monotonic counter bumped by every topology change (link or node,
+    /// fail or repair). Recovery parks partitioned sessions against the
+    /// epoch they were rejected in and re-probes only when it moves.
+    topology_epoch: u64,
+    /// Probes aborted by a node failure, reported as
+    /// [`SetupError::Aborted`] completions by the next
+    /// [`NetworkSim::step`]: `(token, started_at, probe_hops)`.
+    aborted_setups: Vec<(ProbeToken, Cycles, u32)>,
     next_conn: u32,
     next_packet: u64,
     next_probe: u64,
@@ -489,6 +527,9 @@ impl NetworkSim {
             pending_packet_deliveries: Vec::new(),
             active_probes: Vec::new(),
             failed_ports: std::collections::BTreeSet::new(),
+            failed_nodes: std::collections::BTreeSet::new(),
+            topology_epoch: 0,
+            aborted_setups: Vec::new(),
             next_conn: 0,
             next_packet: 0,
             next_probe: 0,
@@ -764,16 +805,27 @@ impl NetworkSim {
     }
 
     /// Rebuilds the operational topology and the up*/down* routing relation
-    /// from the physical topology minus the currently failed wires.
+    /// from the physical topology minus the currently failed wires and the
+    /// wires attached to failed nodes.
     fn rebuild_routing(&mut self) {
         let mut survivor = Topology::new(self.topology.nodes(), self.topology.ports_per_node());
         for w in self.topology.wires() {
-            let dead = self.failed_ports.contains(&w.a) || self.failed_ports.contains(&w.b);
+            let dead = self.failed_ports.contains(&w.a)
+                || self.failed_ports.contains(&w.b)
+                || self.failed_nodes.contains(&w.a.0)
+                || self.failed_nodes.contains(&w.b.0);
             if !dead {
                 survivor.connect(w.a, w.b);
             }
         }
-        self.routing = UpDownRouting::new(&survivor);
+        // Root migration: the spanning tree hangs from the lowest-id live
+        // node, so the default root (node 0) dying re-roots the orientation
+        // deterministically instead of leveling from a dead router.
+        let root = (0..self.topology.nodes() as u16)
+            .map(NodeId)
+            .find(|n| !self.failed_nodes.contains(n))
+            .unwrap_or(NodeId(0));
+        self.routing = UpDownRouting::with_root(&survivor, root);
         self.live_topology = survivor;
     }
 
@@ -870,6 +922,12 @@ impl NetworkSim {
             }
         }
         self.stats.flits_lost += lost;
+        // Both endpoints must observe the break even if asleep: the fault
+        // changed their world (lost frames, dead neighbor) and the wake-set
+        // invariant demands re-examination.
+        self.wake(node);
+        self.wake(peer);
+        self.topology_epoch += 1;
         Ok(broken)
     }
 
@@ -894,6 +952,201 @@ impl NetworkSim {
         self.failed_ports.remove(&(peer, peer_port));
         self.stats.links_repaired += 1;
         self.rebuild_routing();
+        // Both endpoints may have been asleep; the restored wire is a state
+        // change they must observe.
+        self.wake(node);
+        self.wake(peer);
+        self.topology_epoch += 1;
+        Ok(())
+    }
+
+    /// Whether the router at `node` is operational (not quarantined by
+    /// [`NetworkSim::fail_node`]).
+    pub fn node_ok(&self, node: NodeId) -> bool {
+        !self.failed_nodes.contains(&node)
+    }
+
+    /// Monotonic counter bumped by every topology change — link or node,
+    /// fail or repair. A session parked on [`SetupError::Unreachable`]
+    /// compares epochs to decide when re-probing could possibly succeed.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
+    }
+
+    /// Records a setup attempt that resolved `Unreachable` (see
+    /// [`NetStats::partitioned_sessions`]); called from the synchronous
+    /// establishment path in `setup.rs`.
+    pub(crate) fn note_partition(&mut self) {
+        self.stats.partitioned_sessions += 1;
+    }
+
+    /// Fails the whole router at `node` — the node-fault hook behind the
+    /// fault campaigns. The router is quarantined: every connection
+    /// crossing it is torn down (neighbors' VC slots, credits, and
+    /// bandwidth reservations released through their live ledgers), its
+    /// buffered flits are drained and counted lost, in-flight flits and
+    /// VCT packets on its attached wires are lost, the wires' LLR state is
+    /// reconciled rather than leaked, active setup probes whose path
+    /// touches the router abort (surfacing as [`SetupError::Aborted`]
+    /// completions on the next step), and up*/down* routing recomputes over
+    /// the surviving topology — migrating the spanning-tree root when the
+    /// root died.
+    ///
+    /// Attached wires are *not* marked link-failed: they come back with the
+    /// node on [`NetworkSim::repair_node`], while independently failed
+    /// links stay failed.
+    ///
+    /// Returns the torn-down connections so callers (such as
+    /// [`crate::recovery::RecoveryManager`]) can evacuate the sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NodeAlreadyFailed`] for a node that is already down and
+    /// [`NetError::UnknownNode`] for out-of-range addresses. The network is
+    /// unchanged on error.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<Vec<NetConnectionId>, NetError> {
+        if node.index() >= self.topology.nodes() {
+            return Err(NetError::UnknownNode { node });
+        }
+        if self.failed_nodes.contains(&node) {
+            return Err(NetError::NodeAlreadyFailed { node });
+        }
+        self.failed_nodes.insert(node);
+        self.stats.nodes_failed += 1;
+
+        let mut lost = 0u64;
+
+        // Abort in-flight setup probes whose stack touches the dying router
+        // *before* quarantining it, so their partial reservations release
+        // through live ledgers. Completions surface as `Aborted` setup
+        // events on the next step.
+        let mut probes = std::mem::take(&mut self.active_probes);
+        probes.retain_mut(|probe| {
+            let machine = match &mut probe.phase {
+                ProbePhase::Searching(m) | ProbePhase::Acking { machine: m, .. } => m,
+            };
+            if machine.visits(node) {
+                let hops = machine.probe_hops();
+                machine.abort(self);
+                self.aborted_setups.push((probe.token, probe.started_at, hops));
+                false
+            } else {
+                true
+            }
+        });
+        self.active_probes = probes;
+
+        // Tear down every connection crossing the router while it is still
+        // live, so each hop — on the dying node and its neighbors alike —
+        // releases through the normal teardown path with exact accounting.
+        let broken: Vec<NetConnectionId> = self
+            .conns
+            .values()
+            .filter(|c| c.hops.iter().any(|h| h.node == node))
+            .map(|c| c.id)
+            .collect();
+        for id in &broken {
+            match self.teardown_counting(*id) {
+                Ok(n) => lost += n,
+                Err(_) => self.stats.ghost_releases += 1,
+            }
+        }
+
+        // Every attached wire stops carrying traffic: its link-level retry
+        // state dies with it (undelivered frames are lost; a repaired node
+        // restarts each wire's protocol at sequence 0), armed transients
+        // are discarded, and flits or packet arrivals on the wire — in
+        // either direction — are lost. The far endpoints wake: a sleeping
+        // neighbor must observe its dead peer.
+        for (port, peer, peer_port) in self.topology.neighbors(node) {
+            for key in [(node, port), (peer, peer_port)] {
+                if let Some(llr) = self.llr.as_mut() {
+                    if let Some(link) = llr.links.remove(&key) {
+                        lost += link.undelivered() as u64;
+                    }
+                    llr.signals.retain(|(_, k, _)| *k != key);
+                }
+                self.armed_transients.remove(&key);
+            }
+            self.in_flight.retain(|f| {
+                let dead =
+                    (f.to == node && f.port == port) || (f.to == peer && f.port == peer_port);
+                if dead {
+                    lost += 1;
+                }
+                !dead
+            });
+            self.arrivals.retain(|a| {
+                let dead = (a.node == node && a.entry == port)
+                    || (a.node == peer && a.entry == peer_port);
+                if dead {
+                    self.packets.remove(&a.packet);
+                    lost += 1;
+                }
+                !dead
+            });
+            self.wake(peer);
+        }
+
+        // VCT packets stranded at the dead router: entries buffered in its
+        // VCs are drained by the quarantine below (counted there), packets
+        // blocked awaiting a VC evaporate with the node.
+        let stale: Vec<(NodeId, ConnectionId)> =
+            self.packet_index.keys().filter(|(n, _)| *n == node).copied().collect();
+        for key in stale {
+            if let Some(pid) = self.packet_index.remove(&key) {
+                self.packets.remove(&pid);
+            }
+        }
+        self.blocked_packets.retain(|&(n, _, pid)| {
+            if n == node {
+                self.packets.remove(&pid);
+                lost += 1;
+                false
+            } else {
+                true
+            }
+        });
+
+        // Quarantine last: any connection still registered on the router
+        // (none, after the teardowns above) is drained with its flits
+        // counted, and establishment is refused until repair.
+        lost += self.routers[node.index()].quarantine() as u64;
+        self.wake(node);
+
+        self.rebuild_routing();
+        self.topology_epoch += 1;
+        self.stats.flits_lost += lost;
+        Ok(broken)
+    }
+
+    /// Repairs the router at `node`: the quarantine lifts, its attached
+    /// wires (minus any independently failed links) rejoin the operational
+    /// topology, and up*/down* routing recomputes. Connections torn down by
+    /// the failure are *not* resurrected — re-establish them (or let a
+    /// [`crate::recovery::RecoveryManager`] do it).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NodeNotFailed`] when the node is operational and
+    /// [`NetError::UnknownNode`] for out-of-range addresses. The network is
+    /// unchanged on error.
+    pub fn repair_node(&mut self, node: NodeId) -> Result<(), NetError> {
+        if node.index() >= self.topology.nodes() {
+            return Err(NetError::UnknownNode { node });
+        }
+        if !self.failed_nodes.remove(&node) {
+            return Err(NetError::NodeNotFailed { node });
+        }
+        self.stats.nodes_repaired += 1;
+        self.routers[node.index()].lift_quarantine();
+        self.rebuild_routing();
+        self.topology_epoch += 1;
+        // The revived router and its neighbors all gained usable wires.
+        self.wake(node);
+        for (_, peer, _) in self.topology.neighbors(node) {
+            self.wake(peer);
+        }
         Ok(())
     }
 
@@ -928,6 +1181,16 @@ impl NetworkSim {
     }
 
     fn advance_probes(&mut self, now: Cycles, report: &mut NetStepReport) {
+        // Probes torn down by a node failure complete as `Aborted` here,
+        // with latency measured like any other completion.
+        for (token, started_at, probe_hops) in std::mem::take(&mut self.aborted_setups) {
+            report.setups.push(SetupEvent {
+                token,
+                result: Err(SetupError::Aborted),
+                latency: now.since(started_at),
+                probe_hops,
+            });
+        }
         let mut probes = std::mem::take(&mut self.active_probes);
         let mut still_active = Vec::with_capacity(probes.len());
         for probe in probes.drain(..) {
@@ -952,6 +1215,9 @@ impl NetworkSim {
                         });
                     }
                     ProbeStep::Failed(e) => {
+                        if e == SetupError::Unreachable {
+                            self.stats.partitioned_sessions += 1;
+                        }
                         report.setups.push(SetupEvent {
                             token,
                             result: Err(e),
@@ -2084,5 +2350,211 @@ mod failure_tests {
             delivered += net.step(Cycles(t)).delivered.len();
         }
         assert_eq!(delivered, 1);
+    }
+}
+
+#[cfg(test)]
+mod node_fault_tests {
+    use super::*;
+    use crate::setup::{cbr_mbps, SetupError};
+    use mmr_core::router::RouterConfig;
+
+    fn mesh_net() -> NetworkSim {
+        NetworkSim::new(
+            Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(16).candidates(4),
+        )
+    }
+
+    #[test]
+    fn failing_a_node_tears_down_crossing_connections_and_quarantines() {
+        let mut net = mesh_net();
+        // 3 -> 5 on the middle row is forced through the centre router.
+        let through = net
+            .establish(NodeId(3), NodeId(5), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let elsewhere = net
+            .establish(NodeId(0), NodeId(2), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let broken = net.fail_node(NodeId(4)).expect("operational");
+        assert_eq!(broken, vec![through], "only the crossing connection breaks");
+        assert!(!net.node_ok(NodeId(4)));
+        assert!(net.router(NodeId(4)).is_quarantined());
+        assert!(net.connection(elsewhere).is_some(), "top-row connection survives");
+        assert_eq!(net.stats().nodes_failed, 1);
+        assert_eq!(
+            net.fail_node(NodeId(4)),
+            Err(NetError::NodeAlreadyFailed { node: NodeId(4) }),
+            "double fail is a typed error"
+        );
+        // Re-establishment detours around the dead router.
+        let detour = net
+            .establish(NodeId(3), NodeId(5), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("the mesh minus its centre is still connected");
+        let hops = net.connection(detour).expect("live").hops.clone();
+        assert!(hops.len() >= 5, "3->5 without node 4 takes the long way: {hops:?}");
+        assert!(hops.iter().all(|h| h.node != NodeId(4)), "never through the corpse");
+        net.inject(detour, Cycles(0)).expect("live");
+        let mut delivered = 0;
+        for t in 0..60u64 {
+            delivered += net.step(Cycles(t)).delivered.len();
+        }
+        assert_eq!(delivered, 1);
+        // The dead router itself is a typed partition, not a retry loop.
+        let err = net
+            .establish(NodeId(0), NodeId(4), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect_err("a failed node terminates no sessions");
+        assert_eq!(err, SetupError::Unreachable);
+        assert_eq!(net.stats().partitioned_sessions, 1);
+        // No reservations leaked anywhere, the dead router included.
+        let expected = net.connection(elsewhere).expect("live").hops.len()
+            + net.connection(detour).expect("live").hops.len();
+        let total: usize = (0..9).map(|n| net.router(NodeId(n)).connections()).sum();
+        assert_eq!(total, expected);
+        assert_eq!(net.router(NodeId(4)).connections(), 0);
+    }
+
+    #[test]
+    fn repair_restores_the_node_and_its_reachability() {
+        let mut net = mesh_net();
+        assert_eq!(
+            net.repair_node(NodeId(4)),
+            Err(NetError::NodeNotFailed { node: NodeId(4) }),
+            "repairing a healthy node is a typed error"
+        );
+        net.fail_node(NodeId(4)).expect("operational");
+        let epoch_failed = net.topology_epoch();
+        net.repair_node(NodeId(4)).expect("was failed");
+        assert!(net.node_ok(NodeId(4)));
+        assert!(!net.router(NodeId(4)).is_quarantined());
+        assert!(net.topology_epoch() > epoch_failed, "repair moves the epoch");
+        assert_eq!(net.stats().nodes_repaired, 1);
+        // Direct middle-row routing is back.
+        let conn = net
+            .establish(NodeId(3), NodeId(5), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("path exists again");
+        assert_eq!(net.connection(conn).expect("live").hops.len(), 3, "3-4-5 direct");
+        net.inject(conn, Cycles(0)).expect("live");
+        let mut delivered = 0;
+        for t in 0..40u64 {
+            delivered += net.step(Cycles(t)).delivered.len();
+        }
+        assert_eq!(delivered, 1);
+    }
+
+    #[test]
+    fn routing_root_migrates_off_a_dead_root_and_returns_on_repair() {
+        let mut net = mesh_net();
+        assert_eq!(net.routing().root(), NodeId(0), "root starts at the lowest id");
+        net.fail_node(NodeId(0)).expect("operational");
+        assert_eq!(net.routing().root(), NodeId(1), "lowest surviving id takes over");
+        // The re-rooted up*/down* graph still routes between survivors.
+        let conn = net
+            .establish(NodeId(6), NodeId(2), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("survivors stay connected");
+        net.inject(conn, Cycles(0)).expect("live");
+        let mut delivered = 0;
+        for t in 0..60u64 {
+            delivered += net.step(Cycles(t)).delivered.len();
+        }
+        assert_eq!(delivered, 1);
+        net.repair_node(NodeId(0)).expect("was failed");
+        assert_eq!(net.routing().root(), NodeId(0), "repair restores the canonical root");
+    }
+
+    #[test]
+    fn node_fail_repair_cycle_conserves_flits_and_stays_audit_clean() {
+        let mut net = mesh_net();
+        net.enable_audit(AuditConfig::default());
+        let mid = net
+            .establish(NodeId(3), NodeId(5), cbr_mbps(310.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let cross = net
+            .establish(NodeId(0), NodeId(8), cbr_mbps(310.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let mut injected = 0u64;
+        for t in 0..120u64 {
+            for id in [mid, cross] {
+                if t % 4 == 0 && net.connection(id).is_some() && net.can_inject(id) {
+                    net.inject(id, Cycles(t)).expect("checked");
+                    injected += 1;
+                }
+            }
+            if t == 60 {
+                // The centre dies mid-stream: buffered and in-flight flits
+                // around it are destroyed, with exact accounting.
+                let broken = net.fail_node(NodeId(4)).expect("operational");
+                assert!(broken.contains(&mid), "3->5 crossed the centre");
+            }
+            if t == 90 {
+                net.repair_node(NodeId(4)).expect("was failed");
+            }
+            net.step(Cycles(t));
+        }
+        // Re-establish over the healed topology and drain everything.
+        let again = net
+            .establish(NodeId(3), NodeId(5), cbr_mbps(310.0), SetupStrategy::Epb)
+            .expect("healed");
+        for t in 120..240u64 {
+            if t % 4 == 0 && net.can_inject(again) {
+                net.inject(again, Cycles(t)).expect("checked");
+                injected += 1;
+            }
+            net.step(Cycles(t));
+        }
+        for t in 240..400u64 {
+            net.step(Cycles(t));
+        }
+        let stats = net.stats().clone();
+        assert_eq!(
+            stats.flits_delivered + stats.flits_lost,
+            injected,
+            "every flit is delivered or accounted lost across the fail/repair cycle"
+        );
+        assert_eq!(stats.ghost_releases, 0, "no release named missing state");
+        let aud = net.auditor().expect("enabled");
+        assert!(aud.checks() > 0, "the auditor actually ran");
+        assert!(aud.is_clean(), "zero conservation violations: {}", aud.summary());
+    }
+
+    #[test]
+    fn sleeping_neighbors_observe_node_faults_identically_across_engines() {
+        // Same scenario on both stepping engines: traffic pinned to the
+        // bottom row lets the top rows go quiescent; the node fault then
+        // strikes next to sleeping routers, which must wake and detour the
+        // follow-up packets identically.
+        let run = |dense: bool| -> (Vec<String>, String) {
+            let mut net = mesh_net();
+            net.set_dense_stepping(dense);
+            let stream = net
+                .establish(NodeId(6), NodeId(8), cbr_mbps(310.0), SetupStrategy::Epb)
+                .expect("path exists");
+            let mut frames = Vec::new();
+            for t in 0..240u64 {
+                if t < 60 && t % 4 == 0 && net.can_inject(stream) {
+                    net.inject(stream, Cycles(t)).expect("checked");
+                }
+                if t == 100 {
+                    // Routers 0, 1, 2 have been idle for 40+ cycles.
+                    net.fail_node(NodeId(1)).expect("operational");
+                    net.send_packet(NodeId(0), NodeId(2), FlitKind::BestEffort, Cycles(t))
+                        .expect("valid");
+                }
+                if t == 170 {
+                    net.repair_node(NodeId(1)).expect("was failed");
+                    net.send_packet(NodeId(0), NodeId(2), FlitKind::BestEffort, Cycles(t))
+                        .expect("valid");
+                }
+                frames.push(format!("{:?}", net.step(Cycles(t))));
+            }
+            assert_eq!(net.stats().packets_delivered, 2, "both probes detoured/arrived");
+            (frames, format!("{:?}", net.stats()))
+        };
+        let (event_frames, event_stats) = run(false);
+        let (dense_frames, dense_stats) = run(true);
+        for (t, (e, d)) in event_frames.iter().zip(&dense_frames).enumerate() {
+            assert_eq!(e, d, "engines diverge at cycle {t}");
+        }
+        assert_eq!(event_stats, dense_stats, "identical aggregate statistics");
     }
 }

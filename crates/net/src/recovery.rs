@@ -12,6 +12,14 @@
 //! * **exponential backoff** between attempts, measured in flit cycles,
 //! * a per-attempt **setup timeout** (an acknowledgment that never returns
 //!   abandons the attempt; a late success is torn down, not leaked),
+//! * a **concurrent-probe cap** with seeded jitter: a mass failure (a whole
+//!   router dying, say) re-establishes at most
+//!   [`RecoveryPolicy::max_concurrent_probes`] sessions at a time instead of
+//!   storming the setup plane with EPB probes,
+//! * **partition parking**: a session whose destination is unreachable in
+//!   the surviving topology ([`crate::setup::SetupError::Unreachable`]) is
+//!   parked against the network's topology epoch and re-probed only after
+//!   the next fail/repair event, not retried into the same wall,
 //! * optional **graceful rate degradation**: when the budget at the current
 //!   rate is exhausted, a CBR session steps one rung down the paper's rate
 //!   ladder and tries again instead of dying.
@@ -23,7 +31,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mmr_core::conn::QosClass;
-use mmr_sim::{Accumulator, Bandwidth, Cycles};
+use mmr_sim::{Accumulator, Bandwidth, Cycles, SeededRng};
 
 use crate::network::{NetConnectionId, NetStepReport, NetworkSim, ProbeToken};
 use crate::setup::{SetupError, SetupStrategy};
@@ -60,6 +68,12 @@ pub struct RecoveryPolicy {
     /// The rate ladder degradation steps down (ascending). Defaults to the
     /// paper's nine-rate ladder.
     pub ladder: Vec<Bandwidth>,
+    /// At most this many sessions may hold an in-flight setup probe at
+    /// once; further due sessions are deferred with seeded jitter
+    /// ([`RecoveryStats::probe_throttled`] counts the deferrals). Guards
+    /// the setup plane against the EPB probe storm a mass failure — a
+    /// whole router dying under many sessions — would otherwise trigger.
+    pub max_concurrent_probes: usize,
 }
 
 impl Default for RecoveryPolicy {
@@ -71,6 +85,7 @@ impl Default for RecoveryPolicy {
             setup_timeout: Cycles(256),
             degrade: true,
             ladder: mmr_traffic::rates::paper_rate_ladder().to_vec(),
+            max_concurrent_probes: 4,
         }
     }
 }
@@ -107,6 +122,12 @@ impl RecoveryPolicy {
         self
     }
 
+    /// Overrides the concurrent re-establishment probe cap.
+    pub fn max_concurrent_probes(mut self, cap: usize) -> Self {
+        self.max_concurrent_probes = cap;
+        self
+    }
+
     /// The backoff wait before attempt `attempt` (1-based; attempt 1 is
     /// immediate). Exponential from [`RecoveryPolicy::base_backoff`], capped
     /// at [`RecoveryPolicy::max_backoff`]; public so tests can state the
@@ -133,6 +154,11 @@ pub enum SessionStatus {
     Active,
     /// Between attempts or waiting on an in-flight setup probe.
     Recovering,
+    /// The destination is unreachable in the surviving topology; the
+    /// session is parked until the next fail/repair event changes the
+    /// graph ([`NetworkSim::topology_epoch`]) instead of burning its
+    /// retry budget against a partition.
+    Partitioned,
     /// The retry budget (and the rate ladder, if degradation was on) is
     /// exhausted; the session is dead.
     Failed,
@@ -145,6 +171,9 @@ enum SessionState {
     Waiting { resume_at: Cycles },
     /// A setup probe is in flight; abandoned after `deadline`.
     Probing { token: ProbeToken, deadline: Cycles },
+    /// Parked on an unreachable destination; re-probes when the network's
+    /// topology epoch moves past `epoch`.
+    Partitioned { epoch: u64 },
     Failed,
 }
 
@@ -179,6 +208,11 @@ pub struct RecoveryStats {
     pub degraded: u64,
     /// Total flit cycles spent waiting in exponential backoff.
     pub backoff_cycles: u64,
+    /// Due attempts deferred because the concurrent-probe cap was reached.
+    pub probe_throttled: u64,
+    /// Sessions parked on an unreachable destination (one count per park;
+    /// a session can park again after an unsuccessful unpark).
+    pub partitioned: u64,
     /// Fault-to-recovery latency (flit cycles) per recovered incident.
     pub time_to_recover: Accumulator,
 }
@@ -216,7 +250,7 @@ pub enum RecoveryEvent {
 }
 
 /// The automatic-recovery session layer (see the module docs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RecoveryManager {
     policy: RecoveryPolicy,
     sessions: BTreeMap<SessionId, Session>,
@@ -225,6 +259,15 @@ pub struct RecoveryManager {
     orphaned: BTreeSet<ProbeToken>,
     next: u32,
     stats: RecoveryStats,
+    /// Seeded jitter stream for throttled-retry spreading (fixed seed:
+    /// recovery is deterministic given the same fault/report sequence).
+    rng: SeededRng,
+}
+
+impl Default for RecoveryManager {
+    fn default() -> Self {
+        RecoveryManager::new(RecoveryPolicy::default())
+    }
 }
 
 impl RecoveryManager {
@@ -237,6 +280,7 @@ impl RecoveryManager {
             orphaned: BTreeSet::new(),
             next: 0,
             stats: RecoveryStats::default(),
+            rng: SeededRng::new(0x5EC0_4E41),
         }
     }
 
@@ -295,6 +339,7 @@ impl RecoveryManager {
             SessionState::Waiting { .. } | SessionState::Probing { .. } => {
                 SessionStatus::Recovering
             }
+            SessionState::Partitioned { .. } => SessionStatus::Partitioned,
             SessionState::Failed => SessionStatus::Failed,
         })
     }
@@ -390,6 +435,16 @@ impl RecoveryManager {
                         attempts: session.attempts,
                     });
                 }
+                // Unreachable is a typed partition verdict about the
+                // surviving topology, not a transient setup loss: park the
+                // session until the graph changes rather than burn its
+                // budget against the same wall.
+                Err(SetupError::Unreachable) => {
+                    let session = self.sessions.get_mut(&id).expect("found above");
+                    session.state =
+                        SessionState::Partitioned { epoch: net.topology_epoch() };
+                    self.stats.partitioned += 1;
+                }
                 Err(_) => self.after_failed_attempt(id, now, &mut events),
             }
         }
@@ -411,7 +466,32 @@ impl RecoveryManager {
             self.after_failed_attempt(id, now, &mut events);
         }
 
-        // 3. Launch due attempts.
+        // 3. Unpark partitioned sessions once the graph has changed. The
+        //    topology epoch moves on every fail/repair (link or node), so a
+        //    parked session re-probes exactly when reachability could have
+        //    changed — never sooner, never via blind polling.
+        let current_epoch = net.topology_epoch();
+        let parked: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter_map(|(&id, s)| match s.state {
+                SessionState::Partitioned { epoch } if epoch != current_epoch => Some(id),
+                _ => None,
+            })
+            .collect();
+        for id in parked {
+            let session = self.sessions.get_mut(&id).expect("found above");
+            session.state = SessionState::Waiting { resume_at: now };
+        }
+
+        // 4. Launch due attempts, capped at `max_concurrent_probes` probes
+        //    in flight. Deferred sessions pick up a small seeded jitter so a
+        //    mass-evacuation wavefront does not re-collide on the same cycle.
+        let mut probing = self
+            .sessions
+            .values()
+            .filter(|s| matches!(s.state, SessionState::Probing { .. }))
+            .count();
         let due: Vec<SessionId> = self
             .sessions
             .iter()
@@ -421,6 +501,14 @@ impl RecoveryManager {
             })
             .collect();
         for id in due {
+            if probing >= self.policy.max_concurrent_probes {
+                let jitter =
+                    1 + self.rng.index(self.policy.base_backoff.0.max(1) as usize) as u64;
+                let session = self.sessions.get_mut(&id).expect("due sessions exist");
+                session.state = SessionState::Waiting { resume_at: now + Cycles(jitter) };
+                self.stats.probe_throttled += 1;
+                continue;
+            }
             let (src, dst, class) = {
                 let s = &self.sessions[&id];
                 (s.src, s.dst, s.class)
@@ -433,6 +521,7 @@ impl RecoveryManager {
                 deadline: now + self.policy.setup_timeout,
             };
             self.stats.retries += 1;
+            probing += 1;
         }
 
         events
@@ -561,17 +650,16 @@ mod tests {
     }
 
     #[test]
-    fn unreachable_destination_degrades_then_fails_permanently() {
+    fn unreachable_destination_parks_as_partitioned() {
         // Ring of 4 split in two: node 0 can never reach node 2 again.
+        // The session must park as Partitioned after one probe instead of
+        // burning its retry budget against the dead partition.
         let mut net = NetworkSim::new(
             Topology::ring(4, 4).expect("topology wires within the port budget"),
             RouterConfig::paper_default().vcs_per_port(8).candidates(2),
         );
         let mut mgr = RecoveryManager::new(
-            RecoveryPolicy::default()
-                .max_retries(2)
-                .backoff(Cycles(2), Cycles(4))
-                .ladder(vec![Bandwidth::from_mbps(5.0), Bandwidth::from_mbps(10.0)]),
+            RecoveryPolicy::default().max_retries(2).backoff(Cycles(2), Cycles(4)),
         );
         let sid = mgr.open(&mut net, NodeId(0), NodeId(2), cbr_mbps(10.0)).expect("placed");
         let p01 = net
@@ -591,6 +679,61 @@ mod tests {
         let mut broken = net.fail_link(NodeId(0), p01).expect("wire");
         broken.extend(net.fail_link(NodeId(2), p23).expect("wire"));
         mgr.on_faults(&broken, Cycles(0));
+        let events = run_recovery(&mut net, &mut mgr, 0, 200);
+        assert!(events.is_empty(), "no recover/degrade/abandon against a partition: {events:?}");
+        assert_eq!(mgr.status(sid), Some(SessionStatus::Partitioned));
+        let stats = mgr.stats().clone();
+        assert_eq!(stats.partitioned, 1);
+        assert_eq!(stats.permanently_failed, 0, "parked, not abandoned");
+        assert_eq!(stats.degraded, 0);
+        assert_eq!(stats.retries, 1, "exactly one probe before parking");
+        // Parked means parked: more cycles launch no further probes while
+        // the topology epoch stands still.
+        let _ = run_recovery(&mut net, &mut mgr, 200, 400);
+        assert_eq!(mgr.stats().retries, 1);
+        // Nothing leaked while probing the dead partition.
+        let total: usize = (0..4).map(|n| net.router(NodeId(n)).connections()).sum();
+        assert_eq!(total, 0);
+    }
+
+    /// Ring of 4 with two VCs per port: both of node 2's delivery VCs end up
+    /// held by bystander connections, so every re-probe of the broken 0 -> 2
+    /// session fails with `Exhausted` (reachable, no resources) — the error
+    /// class that still walks the backoff/degradation ladder.
+    fn starved_ring_incident(
+        mgr: &mut RecoveryManager,
+    ) -> (NetworkSim, SessionId) {
+        let mut net = NetworkSim::new(
+            Topology::ring(4, 4).expect("topology wires within the port budget"),
+            RouterConfig::paper_default().vcs_per_port(2).candidates(2),
+        );
+        let sid = mgr.open(&mut net, NodeId(0), NodeId(2), cbr_mbps(10.0)).expect("placed");
+        let conn = mgr.conn(sid).expect("active");
+        let hops = net.connection(conn).expect("live").hops.clone();
+        // First bystander shares node 2's delivery port with the session.
+        net.establish(NodeId(1), NodeId(2), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("one delivery VC is still free");
+        // Kill the wire the session is on; its teardown frees the second
+        // delivery VC, which the second bystander immediately claims.
+        let out = net.router(hops[0].node).connection(hops[0].local).expect("live").output_vc.port;
+        let broken = net.fail_link(hops[0].node, out).expect("inter-router wire");
+        assert_eq!(broken, vec![conn]);
+        net.establish(NodeId(3), NodeId(2), cbr_mbps(10.0), SetupStrategy::Epb)
+            .expect("the torn session freed a delivery VC");
+        mgr.on_faults(&broken, Cycles(0));
+        (net, sid)
+    }
+
+    #[test]
+    fn exhausted_paths_degrade_then_fail_permanently() {
+        let mut mgr = RecoveryManager::new(
+            RecoveryPolicy::default()
+                .max_retries(2)
+                .backoff(Cycles(2), Cycles(4))
+                .ladder(vec![Bandwidth::from_mbps(5.0), Bandwidth::from_mbps(10.0)]),
+        );
+        let (mut net, sid) = starved_ring_incident(&mut mgr);
+        let baseline: usize = (0..4).map(|n| net.router(NodeId(n)).connections()).sum();
         let events = run_recovery(&mut net, &mut mgr, 0, 400);
         assert!(
             events.iter().any(|e| matches!(e, RecoveryEvent::Degraded { session, .. } if *session == sid)),
@@ -604,43 +747,102 @@ mod tests {
         let stats = mgr.stats();
         assert_eq!(stats.permanently_failed, 1);
         assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.partitioned, 0, "exhaustion is not a partition verdict");
         assert!(stats.backoff_cycles > 0, "waited between attempts");
-        // Nothing leaked while retrying against a dead partition.
+        // Nothing leaked while retrying into the starved path: only the two
+        // bystander connections' reservations remain.
         let total: usize = (0..4).map(|n| net.router(NodeId(n)).connections()).sum();
-        assert_eq!(total, 0);
+        assert_eq!(total, baseline);
     }
 
     #[test]
     fn degradation_disabled_fails_at_the_original_rate() {
-        let mut net = NetworkSim::new(
-            Topology::ring(4, 4).expect("topology wires within the port budget"),
-            RouterConfig::paper_default().vcs_per_port(8).candidates(2),
-        );
         let mut mgr = RecoveryManager::new(
             RecoveryPolicy::default().max_retries(2).degrade(false).backoff(Cycles(2), Cycles(4)),
         );
-        let sid = mgr.open(&mut net, NodeId(0), NodeId(2), cbr_mbps(10.0)).expect("placed");
-        let ports: Vec<_> = [(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]
-            .into_iter()
-            .map(|(a, b)| {
-                net.topology()
-                    .neighbors(a)
-                    .into_iter()
-                    .find(|&(_, peer, _)| peer == b)
-                    .map(|(port, _, _)| (a, port))
-                    .expect("adjacent")
-            })
-            .collect();
-        let mut broken = Vec::new();
-        for (node, port) in ports {
-            broken.extend(net.fail_link(node, port).expect("wire"));
-        }
-        mgr.on_faults(&broken, Cycles(0));
+        let (mut net, sid) = starved_ring_incident(&mut mgr);
         let events = run_recovery(&mut net, &mut mgr, 0, 200);
         assert!(events.iter().all(|e| !matches!(e, RecoveryEvent::Degraded { .. })));
         assert_eq!(mgr.stats().degraded, 0);
         assert_eq!(mgr.stats().permanently_failed, 1);
         assert_eq!(mgr.class(sid), Some(cbr_mbps(10.0)), "rate untouched");
+    }
+
+    #[test]
+    fn probe_cap_throttles_mass_reestablishment() {
+        let mut net = mesh_net();
+        let mut mgr = RecoveryManager::new(
+            RecoveryPolicy::default().max_concurrent_probes(2).backoff(Cycles(2), Cycles(16)),
+        );
+        // Eight sessions all cornered through the centre of the mesh.
+        let pairs =
+            [(0, 8), (2, 6), (1, 7), (3, 5), (6, 2), (8, 0), (5, 3), (7, 1)];
+        let sids: Vec<SessionId> = pairs
+            .iter()
+            .map(|&(s, d)| {
+                mgr.open(&mut net, NodeId(s), NodeId(d), cbr_mbps(10.0)).expect("placed")
+            })
+            .collect();
+        // A whole router dies: every session crossing it breaks at once.
+        let broken = net.fail_node(NodeId(4)).expect("operational");
+        assert!(!broken.is_empty(), "centre node carried sessions");
+        mgr.on_faults(&broken, Cycles(0));
+        for t in 0..600u64 {
+            let report = net.step(Cycles(t));
+            let _ = mgr.service(&mut net, &report, Cycles(t));
+            let probing = mgr
+                .sessions
+                .values()
+                .filter(|s| matches!(s.state, SessionState::Probing { .. }))
+                .count();
+            assert!(probing <= 2, "cycle {t}: {probing} probes in flight, cap is 2");
+        }
+        let stats = mgr.stats();
+        assert!(stats.probe_throttled > 0, "the cap actually bit: {stats:?}");
+        assert_eq!(stats.recovered as usize, broken.len(), "everyone re-established");
+        for sid in sids {
+            assert!(
+                matches!(mgr.status(sid), Some(SessionStatus::Active)),
+                "{sid} ended {:?}",
+                mgr.status(sid)
+            );
+        }
+    }
+
+    #[test]
+    fn node_failure_evacuates_sessions_and_repair_unparks_the_stranded() {
+        let mut net = mesh_net();
+        let mut mgr = RecoveryManager::new(RecoveryPolicy::default());
+        // Two transit sessions that route around the dead router, and one
+        // terminating at it that can only park until the repair.
+        let transit_a =
+            mgr.open(&mut net, NodeId(0), NodeId(8), cbr_mbps(10.0)).expect("placed");
+        let transit_b =
+            mgr.open(&mut net, NodeId(2), NodeId(6), cbr_mbps(10.0)).expect("placed");
+        let stranded =
+            mgr.open(&mut net, NodeId(0), NodeId(4), cbr_mbps(10.0)).expect("placed");
+        let broken = net.fail_node(NodeId(4)).expect("operational");
+        mgr.on_faults(&broken, Cycles(0));
+        let events = run_recovery(&mut net, &mut mgr, 0, 300);
+        for sid in [transit_a, transit_b] {
+            assert_eq!(
+                mgr.status(sid),
+                Some(SessionStatus::Active),
+                "{sid} should have evacuated ({events:?})"
+            );
+        }
+        assert_eq!(mgr.status(stranded), Some(SessionStatus::Partitioned));
+        assert!(mgr.stats().partitioned >= 1);
+        assert_eq!(mgr.stats().permanently_failed, 0);
+        // Repair moves the topology epoch; the parked session must wake and
+        // re-establish without any manual poke.
+        net.repair_node(NodeId(4)).expect("was failed");
+        let events = run_recovery(&mut net, &mut mgr, 300, 600);
+        assert!(
+            events.iter().any(|e| matches!(e, RecoveryEvent::Recovered { session, .. } if *session == stranded)),
+            "{events:?}"
+        );
+        assert_eq!(mgr.status(stranded), Some(SessionStatus::Active));
     }
 
     #[test]
@@ -668,9 +870,9 @@ mod tests {
         let mut broken = net.fail_link(NodeId(0), p01).expect("wire");
         broken.extend(net.fail_link(NodeId(2), p23).expect("wire"));
         mgr.on_faults(&broken, Cycles(0));
-        // Let a few attempts fail against the partition, then repair.
+        // The first probe reports the partition and the session parks.
         let _ = run_recovery(&mut net, &mut mgr, 0, 60);
-        assert_eq!(mgr.status(sid), Some(SessionStatus::Recovering));
+        assert_eq!(mgr.status(sid), Some(SessionStatus::Partitioned));
         net.repair_link(NodeId(0), p01).expect("was failed");
         let events = run_recovery(&mut net, &mut mgr, 60, 400);
         assert!(

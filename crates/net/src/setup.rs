@@ -59,6 +59,11 @@ pub enum SetupError {
     /// [`ProbeMachine::commit`] was called before the probe reserved a
     /// complete path; every partial reservation has been released.
     Incomplete,
+    /// The probe was torn down mid-flight because a router on its path
+    /// failed; every reservation has been released. Unlike
+    /// [`SetupError::Unreachable`] this says nothing about the surviving
+    /// topology — retrying may well succeed.
+    Aborted,
 }
 
 impl std::fmt::Display for SetupError {
@@ -70,6 +75,9 @@ impl std::fmt::Display for SetupError {
             }
             SetupError::Incomplete => {
                 write!(f, "commit before the probe reserved a complete path")
+            }
+            SetupError::Aborted => {
+                write!(f, "probe aborted: a router on its path failed")
             }
         }
     }
@@ -162,6 +170,19 @@ impl ProbeMachine {
     /// Routers currently holding a reservation for this probe.
     pub fn path_len(&self) -> usize {
         self.stack.len()
+    }
+
+    /// Whether the probe's current stack (source frame included) touches
+    /// `node`. Node failure uses this to find probes that must be aborted.
+    pub fn visits(&self, node: NodeId) -> bool {
+        self.stack.iter().any(|f| f.node == node)
+    }
+
+    /// Aborts the probe, releasing every reservation on its stack. Called
+    /// when a router on the probe's path fails — before the router is
+    /// quarantined, so the releases go through live ledgers.
+    pub fn abort(&mut self, net: &mut NetworkSim) {
+        self.unwind(net);
     }
 
     /// Performs one probe move: advance one hop, backtrack one hop, finish,
@@ -364,7 +385,12 @@ impl NetworkSim {
             match probe.advance(self) {
                 ProbeStep::Advanced | ProbeStep::Backtracked => continue,
                 ProbeStep::Reserved => return probe.commit(self),
-                ProbeStep::Failed(e) => return Err(e),
+                ProbeStep::Failed(e) => {
+                    if e == SetupError::Unreachable {
+                        self.note_partition();
+                    }
+                    return Err(e);
+                }
             }
         }
     }

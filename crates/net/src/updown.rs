@@ -48,7 +48,9 @@ impl Phase {
 /// The up*/down* routing relation for one topology.
 #[derive(Debug, Clone)]
 pub struct UpDownRouting {
-    /// BFS level of each node (from the root, node 0).
+    /// Spanning-tree root the link orientation hangs from.
+    root: NodeId,
+    /// BFS level of each node (from the root).
     level: Vec<usize>,
     /// Plain hop distances between all pairs (minimal-path checks for EPB).
     dist: Vec<Vec<usize>>,
@@ -60,8 +62,17 @@ pub struct UpDownRouting {
 impl UpDownRouting {
     /// Builds the routing relation with node 0 as the tree root.
     pub fn new(topology: &Topology) -> Self {
+        Self::with_root(topology, NodeId(0))
+    }
+
+    /// Builds the routing relation rooted at `root`. Node failures can take
+    /// the default root down; the survivor topology then re-roots the tree
+    /// at the lowest-id live node (root migration). Nodes disconnected from
+    /// `root` get `usize::MAX` levels, which the level/id tie-break still
+    /// orients acyclically.
+    pub fn with_root(topology: &Topology, root: NodeId) -> Self {
         let n = topology.nodes();
-        let level = topology.distances_from(NodeId(0));
+        let level = topology.distances_from(root);
         let dist: Vec<Vec<usize>> =
             (0..n).map(|i| topology.distances_from(NodeId(i as u16))).collect();
 
@@ -104,7 +115,12 @@ impl UpDownRouting {
             }
         }
 
-        UpDownRouting { level, dist, legal }
+        UpDownRouting { root, level, dist, legal }
+    }
+
+    /// The spanning-tree root this relation is oriented around.
+    pub fn root(&self) -> NodeId {
+        self.root
     }
 
     /// Direction of the link `from → to`.
@@ -291,6 +307,31 @@ mod tests {
                 for (_, peer, dir) in hops {
                     let there = r.legal_distance(NodeId(peer.0), NodeId(dst), Some(dir));
                     assert!(there < here, "offered hops strictly progress");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn re_rooted_trees_stay_legal_and_reachable() {
+        let t = Topology::mesh2d(3, 3, 8).expect("topology wires within the port budget");
+        let r = UpDownRouting::with_root(&t, NodeId(4));
+        assert_eq!(r.root(), NodeId(4));
+        for src in 0..9u16 {
+            for dst in 0..9u16 {
+                let path = r.route(&t, NodeId(src), NodeId(dst)).expect("reachable");
+                if src != dst {
+                    assert_eq!(path.last().expect("non-empty").1, NodeId(dst));
+                }
+                let mut current = NodeId(src);
+                let mut gone_down = false;
+                for (_, next) in path {
+                    let dir = r.direction(current, next);
+                    if gone_down {
+                        assert_ne!(dir, LinkDir::Up, "{src}->{dst} went up after down");
+                    }
+                    gone_down |= dir == LinkDir::Down;
+                    current = next;
                 }
             }
         }

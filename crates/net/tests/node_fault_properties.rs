@@ -1,0 +1,197 @@
+//! Property tests over whole-router failure and repair: arbitrary
+//! fail/repair interleavings and seeded node campaigns must leak nothing
+//! (VC slots, credits, bandwidth reservations, LLR ledger entries), keep
+//! the conservation auditor clean, and restore full reachability once
+//! every router is back.
+
+use mmr_core::ids::PortId;
+use mmr_core::router::RouterConfig;
+use mmr_core::{AuditConfig, LlrConfig};
+use mmr_net::setup::cbr_mbps;
+use mmr_net::{FaultInjector, FaultPlan, NetConnectionId, NetworkSim, NodeId, SetupStrategy, Topology};
+use mmr_sim::Cycles;
+use proptest::prelude::*;
+
+const NODES: u16 = 9;
+const PORTS: u8 = 8;
+
+fn mesh_net(seed: u64) -> NetworkSim {
+    let mut net = NetworkSim::new(
+        Topology::mesh2d(3, 3, PORTS).expect("topology wires within the port budget"),
+        RouterConfig::paper_default().vcs_per_port(6).candidates(2).seed(seed),
+    );
+    net.enable_audit(AuditConfig::default());
+    net
+}
+
+fn total_reservations(net: &NetworkSim) -> usize {
+    (0..NODES).map(|n| net.router(NodeId(n)).connections()).sum()
+}
+
+fn max_load_factor(net: &NetworkSim) -> f64 {
+    let mut max = 0.0f64;
+    for n in 0..NODES {
+        let router = net.router(NodeId(n));
+        for p in 0..PORTS {
+            let port = PortId(p);
+            max = max.max(router.bandwidth_book(port).load_factor());
+            max = max.max(router.input_bandwidth_book(port).load_factor());
+        }
+    }
+    max
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary interleavings of node fail/repair, session setup, traffic,
+    /// and stepping leak nothing: after healing every router and closing
+    /// every surviving connection, all VC slots and bandwidth reservations
+    /// are free, the auditor is clean, every injected flit is delivered or
+    /// accounted lost, and the up*/down* graph reaches every pair again.
+    #[test]
+    fn node_fail_repair_interleavings_are_leak_free(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((0u16..9, 0u16..9, 0u8..4), 1..40)
+    ) {
+        let mut net = mesh_net(seed);
+        let mut live: Vec<NetConnectionId> = Vec::new();
+        let mut injected = 0u64;
+        let mut t = 0u64;
+        for (a, b, op) in ops {
+            match op {
+                0 => {
+                    if a != b {
+                        if let Ok(c) = net.establish(
+                            NodeId(a), NodeId(b), cbr_mbps(10.0), SetupStrategy::Epb,
+                        ) {
+                            live.push(c);
+                        }
+                    }
+                }
+                1 => {
+                    if let Ok(broken) = net.fail_node(NodeId(a)) {
+                        live.retain(|c| !broken.contains(c));
+                    }
+                }
+                2 => {
+                    let _ = net.repair_node(NodeId(a));
+                }
+                _ => {
+                    if let Some(&c) = live.first() {
+                        if net.can_inject(c) {
+                            net.inject(c, Cycles(t)).expect("checked");
+                            injected += 1;
+                        }
+                    }
+                    for _ in 0..4 {
+                        net.step(Cycles(t));
+                        t += 1;
+                    }
+                }
+            }
+        }
+        // Heal every router, drain surviving traffic, then settle accounts.
+        for n in 0..NODES {
+            let _ = net.repair_node(NodeId(n));
+        }
+        for _ in 0..200 {
+            net.step(Cycles(t));
+            t += 1;
+        }
+        let stats = net.stats().clone();
+        prop_assert_eq!(
+            stats.flits_delivered + stats.flits_lost,
+            injected,
+            "every flit delivered or accounted lost"
+        );
+        prop_assert_eq!(stats.ghost_releases, 0);
+        // Close the survivors; nothing may remain reserved anywhere.
+        for c in live.drain(..) {
+            net.teardown(c).expect("tracked as live");
+        }
+        for _ in 0..32 {
+            net.step(Cycles(t));
+            t += 1;
+        }
+        prop_assert_eq!(total_reservations(&net), 0, "no orphaned VC slots");
+        prop_assert!(max_load_factor(&net) == 0.0, "no orphaned bandwidth reservations");
+        // Reachability is fully restored after the last repair.
+        for a in 0..NODES {
+            for b in 0..NODES {
+                prop_assert!(
+                    net.routing().legal_distance(NodeId(a), NodeId(b), None) != usize::MAX,
+                    "{a}->{b} unroutable after full repair"
+                );
+            }
+        }
+        let aud = net.auditor().expect("enabled");
+        prop_assert!(aud.checks() > 0);
+        prop_assert!(aud.is_clean(), "{}", aud.summary());
+    }
+
+    /// A seeded node-fault campaign under LLR: every planned router outage
+    /// fires and heals, credits and LLR ledger entries reconcile (auditor
+    /// clean), flit conservation holds exactly, and the healed fabric
+    /// accepts new sessions between any terminal pair.
+    #[test]
+    fn seeded_node_campaigns_conserve_and_heal(
+        seed in any::<u64>(),
+        node_faults in 1usize..3,
+    ) {
+        let mut net = mesh_net(seed ^ 0xA11);
+        net.enable_llr(LlrConfig::default());
+        let pairs = [(0u16, 8u16), (2, 6), (3, 5), (1, 7), (6, 2), (8, 0)];
+        let conns: Vec<NetConnectionId> = pairs
+            .iter()
+            .filter_map(|&(a, b)| {
+                net.establish(NodeId(a), NodeId(b), cbr_mbps(64.0), SetupStrategy::Epb).ok()
+            })
+            .collect();
+        prop_assert!(!conns.is_empty());
+        let plan = FaultPlan::seeded_node_campaign(
+            net.topology(), seed, node_faults, 100..600, Cycles(150),
+        );
+        let mut injector = FaultInjector::new(plan).expect("seeded campaigns are consistent");
+        let mut injected = 0u64;
+        for t in 0..1_200u64 {
+            let now = Cycles(t);
+            injector.poll(&mut net, now);
+            if t % 8 == 0 {
+                for &c in &conns {
+                    if net.connection(c).is_some() && net.can_inject(c) {
+                        net.inject(c, now).expect("checked");
+                        injected += 1;
+                    }
+                }
+            }
+            net.step(now);
+        }
+        // Stop injecting and let the in-flight tail drain before settling.
+        for t in 1_200..1_500u64 {
+            net.step(Cycles(t));
+        }
+        let stats = net.stats().clone();
+        // Overlapping strikes may be skipped at plan time, but the first
+        // always lands, and every fired outage must heal within the run.
+        prop_assert!(stats.nodes_failed >= 1, "at least one outage fired");
+        prop_assert!(stats.nodes_failed <= node_faults as u64);
+        prop_assert_eq!(stats.nodes_failed, stats.nodes_repaired, "every outage healed in-run");
+        prop_assert_eq!(
+            stats.flits_delivered + stats.flits_lost,
+            injected,
+            "conservation across the fail/repair campaign"
+        );
+        prop_assert_eq!(stats.ghost_releases, 0);
+        for n in 0..NODES {
+            prop_assert!(net.node_ok(NodeId(n)), "node {n} healed");
+        }
+        // The healed fabric still places new sessions everywhere.
+        let extra = net
+            .establish(NodeId(0), NodeId(8), cbr_mbps(64.0), SetupStrategy::Epb);
+        prop_assert!(extra.is_ok(), "post-campaign setup: {extra:?}");
+        let aud = net.auditor().expect("enabled");
+        prop_assert!(aud.checks() > 0);
+        prop_assert!(aud.is_clean(), "{}", aud.summary());
+    }
+}

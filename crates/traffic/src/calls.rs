@@ -119,7 +119,10 @@ pub fn run_calls(router: &mut Router, workload: &CallWorkload, total_cycles: u64
                     Err(EstablishError::NoFreeInputVc | EstablishError::NoFreeOutputVc) => {
                         stats.blocked_vcs += 1;
                     }
-                    Err(e @ EstablishError::InvalidPort { .. }) => unreachable!("{e}"),
+                    Err(
+                        e @ (EstablishError::InvalidPort { .. }
+                        | EstablishError::Quarantined),
+                    ) => unreachable!("standalone router, never quarantined: {e}"),
                 }
                 let gap = rng.exponential(1.0 / workload.arrival_rate).max(1.0) as u64;
                 queue.schedule(at + Cycles(gap), CallEvent::Arrival);

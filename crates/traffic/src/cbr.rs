@@ -217,8 +217,10 @@ impl CbrWorkload {
                 ) => {
                     attempts_failed += 1;
                 }
-                Err(e @ EstablishError::InvalidPort { .. }) => {
-                    unreachable!("ports drawn in range: {e}")
+                Err(
+                    e @ (EstablishError::InvalidPort { .. } | EstablishError::Quarantined),
+                ) => {
+                    unreachable!("ports drawn in range on a standalone router: {e}")
                 }
             }
         }

@@ -22,7 +22,7 @@ fn corpus_seeds() -> Vec<(String, u64, Hooks)> {
         .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
         .filter_map(|entry| {
             let path = entry.expect("corpus dir entry readable").path();
-            if !path.extension().is_some_and(|e| e == "seed") {
+            if path.extension().is_none_or(|e| e != "seed") {
                 return None;
             }
             let name =
