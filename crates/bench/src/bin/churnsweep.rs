@@ -1,0 +1,44 @@
+//! Seeded churn campaigns — diurnal session arrivals, heavy-tailed
+//! holding times, overload controls (guarded admission, degrade-on-admit,
+//! and priority-aware shedding) off vs on over the same tape — emitted
+//! as `BENCH_churn.json` and `results/churn.txt`.
+//!
+//! Usage: `cargo run --release -p mmr-bench --bin churnsweep --
+//! [--full] [--jobs N | --serial] [--out PATH] [--table PATH]`
+//!
+//! Campaign points fan across the deterministic sweep harness: both output
+//! files are **byte-identical at any `--jobs` value** (and contain no
+//! wall-clock content), so they double as a determinism fixture for CI.
+
+use mmr_bench::churn::{churn_grid, render_json, render_table, run_churn};
+use mmr_bench::sweep::SweepOptions;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&mut args);
+    let full = args.iter().any(|a| a == "--full");
+    let path_flag = |args: &[String], flag: &str, default: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let out_path = path_flag(&args, "--out", "BENCH_churn.json");
+    let table_path = path_flag(&args, "--table", "results/churn.txt");
+
+    let grid = churn_grid(!full);
+    let cells = run_churn(&grid, &opts);
+    let table = render_table(&cells);
+    let json = render_json(&cells);
+
+    print!("{table}");
+    if let Some(dir) = std::path::Path::new(&table_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create table directory");
+        }
+    }
+    std::fs::write(&table_path, &table).expect("write churn table");
+    std::fs::write(&out_path, &json).expect("write churn json");
+    eprintln!("wrote {table_path} and {out_path} (jobs={})", opts.jobs);
+}

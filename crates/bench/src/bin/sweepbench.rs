@@ -27,6 +27,7 @@
 
 use std::time::Instant;
 
+use mmr_bench::churn::{churn_grid, render_json as churn_json, run_churn};
 use mmr_bench::sweep::SweepOptions;
 use mmr_bench::{claims_table, fig3_jitter, fig4_delay, fig5, render_claims, Fig5Metric, Quality};
 
@@ -57,6 +58,20 @@ fn bench_figure<F>(
 where
     F: Fn(&SweepOptions) -> String,
 {
+    bench_points(name, quality.warmup + quality.measure, points, jobs, best_of, run)
+}
+
+fn bench_points<F>(
+    name: &'static str,
+    cycles_per_point: u64,
+    points: usize,
+    jobs: usize,
+    best_of: usize,
+    run: F,
+) -> FigureBench
+where
+    F: Fn(&SweepOptions) -> String,
+{
     let (mut serial_secs, serial_out) = time(|| run(&SweepOptions::serial()));
     let mut identical = true;
     for _ in 1..best_of {
@@ -68,7 +83,7 @@ where
     identical &= serial_out == parallel_out;
     FigureBench {
         name,
-        cycles_per_point: quality.warmup + quality.measure,
+        cycles_per_point,
         points,
         serial_secs,
         parallel_secs,
@@ -157,6 +172,13 @@ fn main() {
     let floors = committed_floors(&workspace_root().join("BENCH_sweep.json"));
 
     let n_loads = quality.loads.len();
+    // The churn grid carries its own per-spec windows (they are part of the
+    // committed artifact contract, independent of `Quality`), so its entry
+    // reports the grid's real cycles-per-trial rather than the figure
+    // windows.
+    let churn = churn_grid(!full);
+    let churn_trials: usize = churn.iter().map(|s| s.trials).sum();
+    let churn_cycles = churn.first().map_or(0, mmr_bench::churn::ChurnSpec::horizon);
     let figures = [
         bench_figure("fig3_panel_a", &quality, 2 * 2 * n_loads, jobs, best_of, |opts| {
             format!("{}", fig3_jitter(&[1, 2], &quality, opts))
@@ -169,6 +191,9 @@ fn main() {
         }),
         bench_figure("claims", &quality, 11, jobs, best_of, |opts| {
             render_claims(&claims_table(&quality, opts))
+        }),
+        bench_points("churn_grid", churn_cycles, churn_trials, jobs, best_of, |opts| {
+            churn_json(&run_churn(&churn, opts))
         }),
     ];
 

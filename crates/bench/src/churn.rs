@@ -1,0 +1,512 @@
+//! Seeded churn campaigns: dynamic session arrivals/departures under a
+//! diurnal load curve, with the overload controls (utilization-guarded
+//! admission, degrade-on-admit, priority-aware shedding) switched off vs
+//! on over the *same* churn tape.
+//!
+//! Each grid cell replays one seeded [`ChurnSchedule`] against a fabric
+//! twice. With the controls **off** (the naive baseline —
+//! [`AdmitPolicy::naive`]) admission is the raw per-output bandwidth
+//! book, which cannot see the one resource a node's own sessions share:
+//! the NI input port, served by the crossbar at one flit per cycle. The
+//! diurnal peak concentrates more reserved egress on busy nodes than
+//! their NIs can inject, admitted CBR sessions back up in their source
+//! NIs, and they **miss isochronous slots**. With the controls **on**,
+//! the per-source egress guard ([`AdmitPolicy::ni_headroom`]) and the
+//! link-load headroom keep the operating point schedulable (degrading or
+//! turning away the excess), and the sessions the controller *did* admit
+//! keep every slot — the `missed_cbr_slots` column reads 0. That
+//! asymmetry is the robustness claim of DESIGN.md §10.
+//!
+//! Points fan across the deterministic sweep harness ([`SweepOptions`]),
+//! so `BENCH_churn.json` and `results/churn.txt` are byte-identical at any
+//! `--jobs` value: every number is a pure function of
+//! `(topology, churn intensity, controls, trial seed)` — no wall-clock
+//! content.
+
+use std::collections::BTreeMap;
+
+use mmr_core::conn::QosClass;
+use mmr_core::AuditConfig;
+use mmr_net::{AdmissionController, AdmitPolicy, AdmitVerdict, NodeId, NetworkSim, SessionId};
+use mmr_sim::{Cycles, DelayJitterRecorder, SeededRng};
+use mmr_traffic::{ChurnConfig, ChurnEventKind, ChurnSchedule, DiurnalCurve, SessionClass};
+
+use crate::faults::CampaignTopology;
+use crate::sweep::{point_seed, SweepOptions};
+use crate::FIGURE_SEED;
+
+/// Base seed of the churn campaigns (decorrelated from the figure, fault
+/// and chaos campaigns).
+pub const CHURN_SEED: u64 = FIGURE_SEED ^ 0x0C48_A4E5;
+
+/// One cell of the churn grid.
+#[derive(Debug, Clone)]
+pub struct ChurnSpec {
+    /// Fabric under test.
+    pub topology: CampaignTopology,
+    /// Peak session arrivals per 1000 cycles (the diurnal curve scales
+    /// instantaneous intensity below this).
+    pub arrivals_per_kcycle: f64,
+    /// Whether the overload controls (headroom guard, degrade-on-admit,
+    /// shedding, upgrades) are on; off is the naive book-only baseline.
+    pub controls: bool,
+    /// Independent seeded trials aggregated into the cell.
+    pub trials: usize,
+    /// Cycles before measurement (the tape plays from cycle 0).
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+}
+
+impl ChurnSpec {
+    /// Total simulated cycles per trial (warmup plus measured window).
+    pub fn horizon(&self) -> u64 {
+        self.warmup + self.measure
+    }
+}
+
+/// Aggregated outcome of one churn cell (sums over its trials; the tail
+/// percentiles and peak load are worst-case across trials).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChurnResult {
+    /// Session arrivals the tape offered.
+    pub arrivals: u64,
+    /// Accepted at the asked rate.
+    pub accepted: u64,
+    /// Admitted below the asked rate (degrade-on-admit).
+    pub degraded: u64,
+    /// Turned away.
+    pub rejected: u64,
+    /// Voluntary departures executed.
+    pub departures: u64,
+    /// Best-effort sessions preempted by the shedder.
+    pub preempted_best_effort: u64,
+    /// CBR sessions preempted by the shedder.
+    pub preempted_cbr: u64,
+    /// Rungs won back by load-recede upgrades.
+    pub upgrades: u64,
+    /// Isochronous slots due from admitted, live CBR sessions in the
+    /// measured window.
+    pub cbr_slots_due: u64,
+    /// Due slots whose flit the source NI refused — admitted-session QoS
+    /// violations. The headline column: 0 with the controls on.
+    pub missed_cbr_slots: u64,
+    /// Stream flits delivered end to end.
+    pub flits_delivered: u64,
+    /// Flits lost (teardown of departing/preempted sessions).
+    pub flits_lost: u64,
+    /// Out-of-order deliveries (must stay 0).
+    pub out_of_order: u64,
+    /// Invariant violations recorded by the auditor.
+    pub violations: u64,
+    /// Auditor passes executed (proof the auditor ran).
+    pub audit_checks: u64,
+    /// Worst per-mille peak link load observed across the trials.
+    pub peak_link_load_milli: u64,
+    /// Worst p50 end-to-end delay (cycles) across the trials.
+    pub delay_p50: f64,
+    /// Worst p95 end-to-end delay (cycles) across the trials.
+    pub delay_p95: f64,
+    /// Worst p99 end-to-end delay (cycles) across the trials.
+    pub delay_p99: f64,
+    /// Worst p99 inter-arrival jitter (cycles) across the trials.
+    pub jitter_p99: f64,
+}
+
+impl ChurnResult {
+    fn absorb(&mut self, other: &ChurnResult) {
+        self.arrivals += other.arrivals;
+        self.accepted += other.accepted;
+        self.degraded += other.degraded;
+        self.rejected += other.rejected;
+        self.departures += other.departures;
+        self.preempted_best_effort += other.preempted_best_effort;
+        self.preempted_cbr += other.preempted_cbr;
+        self.upgrades += other.upgrades;
+        self.cbr_slots_due += other.cbr_slots_due;
+        self.missed_cbr_slots += other.missed_cbr_slots;
+        self.flits_delivered += other.flits_delivered;
+        self.flits_lost += other.flits_lost;
+        self.out_of_order += other.out_of_order;
+        self.violations += other.violations;
+        self.audit_checks += other.audit_checks;
+        self.peak_link_load_milli = self.peak_link_load_milli.max(other.peak_link_load_milli);
+        self.delay_p50 = self.delay_p50.max(other.delay_p50);
+        self.delay_p95 = self.delay_p95.max(other.delay_p95);
+        self.delay_p99 = self.delay_p99.max(other.delay_p99);
+        self.jitter_p99 = self.jitter_p99.max(other.jitter_p99);
+    }
+}
+
+/// Runs one seeded trial of a churn cell: the tape's arrivals go through
+/// the admission controller, live CBR sessions pace isochronous flits,
+/// departures tear down, the auditor watches every cycle.
+pub fn run_trial(spec: &ChurnSpec, seed: u64) -> ChurnResult {
+    // 24 VCs per port so the VC pools outlast the bandwidth math: the
+    // binding resources are the per-output books and the NI injection
+    // ceiling, which is exactly what the admission controller manages.
+    let router = mmr_core::router::RouterConfig::paper_default()
+        .vcs_per_port(24)
+        .candidates(4)
+        .seed(seed ^ 0xD07);
+    let timing = router.clone().build().config().timing();
+    let mut net = NetworkSim::new(spec.topology.build(seed), router);
+    net.enable_audit(AuditConfig::default());
+
+    let policy = if spec.controls { AdmitPolicy::default() } else { AdmitPolicy::naive() };
+    let mut ctl = AdmissionController::new(policy);
+
+    // The churn tape: heavy-tailed holding times around half the window,
+    // the two top ladder rungs (55/120 Mbps) so the bandwidth math — not
+    // the VC pools — is the binding constraint on a 1.24 Gbps fabric, one
+    // diurnal period per horizon.
+    let mut cfg = ChurnConfig::new(
+        spec.arrivals_per_kcycle / 1_000.0,
+        spec.topology.nodes(),
+        spec.horizon(),
+    );
+    cfg.median_holding = (spec.horizon() / 2).max(500) as f64;
+    cfg.holding_sigma = 0.8;
+    cfg.rungs = (7, 8);
+    cfg.best_effort_fraction = 0.25;
+    cfg.diurnal = DiurnalCurve::day_night(0.25, spec.horizon() as f64);
+    let tape = ChurnSchedule::generate(&cfg, seed);
+
+    struct Pacer {
+        session: SessionId,
+        next: f64,
+        interarrival: f64,
+    }
+    let mut pacers: Vec<Pacer> = Vec::new();
+    let mut live: BTreeMap<u32, SessionId> = BTreeMap::new();
+    let mut phase_rng = SeededRng::new(seed ^ 0x9A5E);
+    let mut recorder = DelayJitterRecorder::new();
+    let mut r = ChurnResult::default();
+    let mut upgrades_seen = 0u64;
+    let mut event_idx = 0usize;
+
+    let total = spec.horizon();
+    for t in 0..total {
+        let now = Cycles(t);
+        let measuring = t >= spec.warmup;
+
+        // Play the tape up to now.
+        while let Some(ev) = tape.events.get(event_idx) {
+            if ev.at > now {
+                break;
+            }
+            event_idx += 1;
+            let Some(plan) = tape.sessions.get(ev.session as usize) else { continue };
+            match ev.kind {
+                ChurnEventKind::Arrival => {
+                    r.arrivals += 1;
+                    let class = match plan.class {
+                        SessionClass::Cbr { .. } => QosClass::Cbr { rate: plan.class.rate() },
+                        SessionClass::BestEffort => QosClass::BestEffort,
+                    };
+                    let verdict = ctl.request(
+                        &mut net,
+                        NodeId(plan.src as u16),
+                        NodeId(plan.dst as u16),
+                        class,
+                    );
+                    match verdict {
+                        AdmitVerdict::Accepted { .. } => r.accepted += 1,
+                        AdmitVerdict::Degraded { .. } => r.degraded += 1,
+                        AdmitVerdict::Rejected { .. } => r.rejected += 1,
+                    }
+                    if let Some(session) = verdict.session() {
+                        live.insert(plan.id, session);
+                        if let Some(QosClass::Cbr { rate }) = ctl.sessions().class(session) {
+                            let interarrival = timing.interarrival_cycles(rate);
+                            pacers.push(Pacer {
+                                session,
+                                next: now.as_f64() + phase_rng.uniform(0.0, interarrival),
+                                interarrival,
+                            });
+                        }
+                    }
+                }
+                ChurnEventKind::Departure => {
+                    if let Some(session) = live.remove(&plan.id) {
+                        pacers.retain(|p| p.session != session);
+                        if ctl.close(&mut net, session) {
+                            r.departures += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Live CBR sessions pace their isochronous slots; a refused slot
+        // is a missed deadline, not a backlog.
+        for p in &mut pacers {
+            let Some(conn) = ctl.sessions().conn(p.session) else {
+                p.next = p.next.max(now.as_f64());
+                continue;
+            };
+            while p.next <= now.as_f64() {
+                p.next += p.interarrival;
+                if measuring {
+                    r.cbr_slots_due += 1;
+                }
+                if net.inject(conn, now).is_err() && measuring {
+                    r.missed_cbr_slots += 1;
+                }
+            }
+        }
+
+        let report = net.step(now);
+        if measuring {
+            for d in &report.delivered {
+                recorder.record(d.conn.0, d.latency);
+            }
+        }
+        let (events, preempted) = ctl.service(&mut net, &report, now);
+        debug_assert!(events.is_empty(), "no faults are injected in churn trials");
+        for v in &preempted {
+            pacers.retain(|p| p.session != v.session);
+            live.retain(|_, s| *s != v.session);
+        }
+        let upgrades = ctl.stats().upgrades;
+        if upgrades != upgrades_seen {
+            upgrades_seen = upgrades;
+            for p in &mut pacers {
+                if let Some(QosClass::Cbr { rate }) = ctl.sessions().class(p.session) {
+                    p.interarrival = timing.interarrival_cycles(rate);
+                }
+            }
+        }
+        let (peak, _) = net.link_load();
+        r.peak_link_load_milli = r.peak_link_load_milli.max((peak * 1_000.0).round() as u64);
+    }
+
+    let stats = ctl.stats();
+    r.preempted_best_effort = stats.preempted_best_effort;
+    r.preempted_cbr = stats.preempted_cbr;
+    r.upgrades = stats.upgrades;
+    let net_stats = net.stats();
+    r.flits_delivered = net_stats.flits_delivered;
+    r.flits_lost = net_stats.flits_lost;
+    r.out_of_order = net_stats.out_of_order;
+    let aud = net.auditor().expect("auditor enabled for every churn trial");
+    r.violations = aud.violation_count();
+    r.audit_checks = aud.checks();
+    if let Some(tail) = recorder.delay_tail() {
+        r.delay_p50 = tail.p50;
+        r.delay_p95 = tail.p95;
+        r.delay_p99 = tail.p99;
+    }
+    if let Some(tail) = recorder.jitter_tail() {
+        r.jitter_p99 = tail.p99;
+    }
+    r
+}
+
+/// The churn grid: overloadable fabrics × {nominal, overload} churn
+/// intensity × controls off/on, the same tape per (fabric, intensity)
+/// pair.
+///
+/// Torus3x3 is deliberately absent: its symmetric 4-regular wiring
+/// spreads per-node egress so evenly that uniform churn saturates the VC
+/// pools long before any NI injection ceiling — the naive baseline never
+/// collapses there, so the off/on contrast carries no signal. Mesh (edge
+/// and corner nodes) and the irregular fabric both concentrate demand
+/// enough for naive admission to oversubscribe source NIs.
+pub fn churn_grid(quick: bool) -> Vec<ChurnSpec> {
+    let (trials, warmup, measure) = if quick { (2, 400, 2_400) } else { (3, 1_000, 8_000) };
+    let mut grid = Vec::new();
+    for topology in [CampaignTopology::Mesh3x3, CampaignTopology::Irregular12] {
+        for arrivals_per_kcycle in [100.0, 800.0] {
+            for controls in [false, true] {
+                grid.push(ChurnSpec {
+                    topology,
+                    arrivals_per_kcycle,
+                    controls,
+                    trials,
+                    warmup,
+                    measure,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Runs the whole grid through the deterministic sweep harness: one sweep
+/// point per `(cell, trial)`, seeded by position. The trial seed depends
+/// only on the `(fabric, intensity, trial ordinal)` — not the controls
+/// switch — so the off/on rows of one cell replay the same churn tape.
+pub fn run_churn(grid: &[ChurnSpec], opts: &SweepOptions) -> Vec<(ChurnSpec, ChurnResult)> {
+    let points: Vec<(usize, &ChurnSpec)> = grid
+        .iter()
+        .enumerate()
+        .flat_map(|(c, spec)| std::iter::repeat_n((c, spec), spec.trials))
+        .collect();
+    let results = opts.run_indexed(points.len(), |i| {
+        let (cell, spec) = points[i];
+        // Pair off/on rows on the same tape: derive the seed from the
+        // controls-free identity of the point.
+        let ordinal = points[..i].iter().filter(|(c, _)| *c == cell).count();
+        let tape_key = (spec.topology.nodes() as u64) << 32
+            ^ (spec.arrivals_per_kcycle * 16.0) as u64
+            ^ (ordinal as u64) << 20;
+        (cell, run_trial(spec, point_seed(CHURN_SEED, tape_key as usize)))
+    });
+    let mut cells: Vec<(ChurnSpec, ChurnResult)> =
+        grid.iter().map(|s| (s.clone(), ChurnResult::default())).collect();
+    for (cell, trial) in &results {
+        cells[*cell].1.absorb(trial);
+    }
+    cells
+}
+
+/// Renders the human-readable churn table (`results/churn.txt`).
+pub fn render_table(cells: &[(ChurnSpec, ChurnResult)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "churn campaigns: diurnal arrivals + heavy-tailed holding, overload controls off vs on\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>9} {:>7} {:>8} {:>8} {:>6} {:>6} {:>10} {:>8} {:>7} {:>7} {:>7}\n",
+        "topology",
+        "arr/kcyc",
+        "controls",
+        "admit",
+        "degrade",
+        "reject",
+        "shed",
+        "upgr",
+        "slots-due",
+        "missed",
+        "peak\u{2030}",
+        "p50",
+        "p99",
+    ));
+    for (spec, r) in cells {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>9} {:>7} {:>8} {:>8} {:>6} {:>6} {:>10} {:>8} {:>7} {:>7.1} {:>7.1}\n",
+            spec.topology.name(),
+            spec.arrivals_per_kcycle,
+            if spec.controls { "on" } else { "off" },
+            r.accepted,
+            r.degraded,
+            r.rejected,
+            r.preempted_best_effort + r.preempted_cbr,
+            r.upgrades,
+            r.cbr_slots_due,
+            r.missed_cbr_slots,
+            r.peak_link_load_milli,
+            r.delay_p50,
+            r.delay_p99,
+        ));
+    }
+    out
+}
+
+/// Renders the machine-readable churn series (`BENCH_churn.json`).
+/// Deliberately contains **no wall-clock content**, so the file is
+/// byte-identical across job counts and machines.
+pub fn render_json(cells: &[(ChurnSpec, ChurnResult)]) -> String {
+    let mut rows = Vec::new();
+    for (spec, r) in cells {
+        rows.push(format!(
+            concat!(
+                "    {{\"topology\": \"{}\", \"arrivals_per_kcycle\": {}, \"controls\": {}, ",
+                "\"trials\": {}, \"arrivals\": {}, \"accepted\": {}, \"degraded\": {}, ",
+                "\"rejected\": {}, \"departures\": {}, \"preempted_best_effort\": {}, ",
+                "\"preempted_cbr\": {}, \"upgrades\": {}, \"cbr_slots_due\": {}, ",
+                "\"missed_cbr_slots\": {}, \"flits_delivered\": {}, \"flits_lost\": {}, ",
+                "\"out_of_order\": {}, \"audit_violations\": {}, \"audit_checks\": {}, ",
+                "\"peak_link_load_milli\": {}, \"delay_p50\": {:.1}, \"delay_p95\": {:.1}, ",
+                "\"delay_p99\": {:.1}, \"jitter_p99\": {:.1}}}"
+            ),
+            spec.topology.name(),
+            spec.arrivals_per_kcycle,
+            spec.controls,
+            spec.trials,
+            r.arrivals,
+            r.accepted,
+            r.degraded,
+            r.rejected,
+            r.departures,
+            r.preempted_best_effort,
+            r.preempted_cbr,
+            r.upgrades,
+            r.cbr_slots_due,
+            r.missed_cbr_slots,
+            r.flits_delivered,
+            r.flits_lost,
+            r.out_of_order,
+            r.violations,
+            r.audit_checks,
+            r.peak_link_load_milli,
+            r.delay_p50,
+            r.delay_p95,
+            r.delay_p99,
+            r.jitter_p99,
+        ));
+    }
+    format!(
+        "{{\n  \"seed\": {},\n  \"campaigns\": [\n{}\n  ]\n}}\n",
+        CHURN_SEED,
+        rows.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(controls: bool) -> ChurnSpec {
+        ChurnSpec {
+            topology: CampaignTopology::Mesh3x3,
+            arrivals_per_kcycle: 800.0,
+            controls,
+            trials: 1,
+            warmup: 400,
+            measure: 2_400,
+        }
+    }
+
+    #[test]
+    fn trials_are_pure_functions_of_their_seed() {
+        let a = run_trial(&spec(true), 7);
+        let b = run_trial(&spec(true), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn controls_hold_admitted_qos_and_their_absence_is_visible() {
+        // The acceptance claim: the same churn tape, guarded vs naive.
+        let on = run_trial(&spec(true), 3);
+        assert!(on.arrivals > 50, "the tape actually churns: {on:?}");
+        assert!(on.cbr_slots_due > 1_000, "admitted CBR paced slots: {on:?}");
+        assert_eq!(on.missed_cbr_slots, 0, "controls hold admitted QoS: {on:?}");
+        assert_eq!(on.violations, 0, "auditor clean: {on:?}");
+        assert_eq!(on.out_of_order, 0);
+        assert!(on.audit_checks > 0, "the auditor ran");
+        assert!(on.degraded + on.rejected > 0, "the guard actually gated: {on:?}");
+
+        let off = run_trial(&spec(false), 3);
+        assert!(
+            off.missed_cbr_slots > 0,
+            "the naive baseline overpacks and misses slots: {off:?}"
+        );
+        assert!(
+            off.peak_link_load_milli > on.peak_link_load_milli,
+            "naive packs harder: {} vs {}",
+            off.peak_link_load_milli,
+            on.peak_link_load_milli
+        );
+    }
+
+    #[test]
+    fn grid_renderings_are_reproducible_across_job_counts() {
+        let grid = vec![spec(false), spec(true)];
+        let serial = run_churn(&grid, &SweepOptions::serial());
+        let parallel = run_churn(&grid, &SweepOptions { jobs: 4, ..SweepOptions::serial() });
+        assert_eq!(render_json(&serial), render_json(&parallel));
+        assert_eq!(render_table(&serial), render_table(&parallel));
+    }
+}

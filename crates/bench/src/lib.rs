@@ -18,6 +18,7 @@ use crate::sweep::{PointSpec, SweepOptions};
 
 pub mod ablations;
 pub mod chaos;
+pub mod churn;
 pub mod extensions;
 pub mod faults;
 pub mod sweep;

@@ -33,7 +33,9 @@ pub mod shrink;
 pub use oracle::{Divergence, Oracle};
 pub use report::{run, CaseOutcome, Report, RunConfig};
 pub use runner::{run_scenario, CaseRun, Hooks};
-pub use scenario::{ConnSpec, FaultKind, FaultSpec, Scenario, TopologySpec};
+pub use scenario::{
+    ChurnAction, ChurnEventSpec, ConnSpec, FaultKind, FaultSpec, Scenario, TopologySpec,
+};
 pub use shrink::{shrink as shrink_scenario, Shrunk, DEFAULT_BUDGET};
 
 // Re-exported so downstream tests can state sweep-harness properties

@@ -246,11 +246,16 @@ impl Oracle {
         );
     }
 
-    /// Records a connection torn down by a fault: its reserved bandwidth
-    /// returns to the links and its drain obligation is waived (in-flight
-    /// flits become fault losses).
+    /// Records a connection torn down by a fault or closed voluntarily:
+    /// its reserved bandwidth returns to the links and its drain
+    /// obligation is waived (in-flight flits become teardown losses).
+    /// Idempotent — a churn session can be observed closing through both
+    /// the fault path and the session-reconcile path in one cycle.
     pub fn closed(&mut self, conn: u32) {
         if let Some(ledger) = self.conns.get_mut(&conn) {
+            if !ledger.live {
+                return;
+            }
             ledger.live = false;
             for &link in &ledger.links {
                 if let Some(load) = self.link_load.get_mut(&link) {

@@ -43,6 +43,10 @@ pub struct CaseOutcome {
     pub admitted: usize,
     /// Connections rejected by admission control.
     pub rejected: usize,
+    /// Churn arrivals the admission controller granted.
+    pub churn_admitted: usize,
+    /// Churn arrivals turned away with a typed verdict.
+    pub churn_rejected: usize,
     /// Flits injected.
     pub injected: u64,
     /// Flits delivered.
@@ -118,6 +122,8 @@ impl Report {
             out.push_str(&format!("      \"spec\": \"{}\",\n", escape(&c.spec)));
             out.push_str(&format!("      \"admitted\": {},\n", c.admitted));
             out.push_str(&format!("      \"rejected\": {},\n", c.rejected));
+            out.push_str(&format!("      \"churn_admitted\": {},\n", c.churn_admitted));
+            out.push_str(&format!("      \"churn_rejected\": {},\n", c.churn_rejected));
             out.push_str(&format!("      \"injected\": {},\n", c.injected));
             out.push_str(&format!("      \"delivered\": {},\n", c.delivered));
             out.push_str(&format!("      \"cycles\": {},\n", c.cycles_run));
@@ -210,6 +216,8 @@ pub fn run(cfg: &RunConfig) -> Report {
             spec: scenario.spec_string(),
             admitted: run.admitted,
             rejected: run.rejected,
+            churn_admitted: run.churn_admitted,
+            churn_rejected: run.churn_rejected,
             injected: run.injected,
             delivered: run.delivered,
             cycles_run: run.cycles_run,

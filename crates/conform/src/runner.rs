@@ -11,12 +11,15 @@
 
 use std::collections::BTreeMap;
 
-use mmr_core::{AuditConfig, InjectError, LlrConfig, RouterConfig};
-use mmr_net::{FaultInjector, NetConnectionId, NetworkSim, NodeId, SetupStrategy};
-use mmr_sim::Cycles;
+use mmr_core::{AuditConfig, InjectError, LlrConfig, QosClass, RouterConfig};
+use mmr_net::{
+    AdmissionController, AdmitPolicy, FaultInjector, NetConnectionId, NetworkSim, NodeId,
+    SessionId, SetupStrategy,
+};
+use mmr_sim::{Cycles, FlitTiming};
 
 use crate::oracle::{Divergence, Oracle};
-use crate::scenario::Scenario;
+use crate::scenario::{ChurnAction, Scenario};
 
 /// Cycles of silence (no deliveries, no switched flits, no fault events)
 /// required before the drain phase declares quiescence. Covers the LLR
@@ -60,6 +63,16 @@ pub struct CaseRun {
     /// Connections the setup path rejected (insufficient resources —
     /// legitimate, not a divergence).
     pub rejected: usize,
+    /// Churn arrivals the admission controller granted (full rate or
+    /// degraded).
+    pub churn_admitted: usize,
+    /// Churn arrivals the admission controller turned away with a typed
+    /// verdict (legitimate overload protection, not a divergence).
+    pub churn_rejected: usize,
+    /// Churn sessions the load shedder preempted (best-effort + CBR).
+    pub preempted: u64,
+    /// Rate-ladder upgrades granted when load receded.
+    pub upgraded: u64,
     /// Flits injected at source NIs.
     pub injected: u64,
     /// Flits delivered at destination NIs.
@@ -84,6 +97,86 @@ struct Stream {
     /// Next injection instant (fractional cycles).
     next: f64,
     live: bool,
+}
+
+/// Injection pace of zero-reservation best-effort churn sessions. A slot
+/// that finds the source buffer full is simply skipped — best effort owes
+/// the network nothing.
+const BEST_EFFORT_INTERARRIVAL: f64 = 24.0;
+
+/// Pacer and oracle bookkeeping for one mid-run churn session. Unlike the
+/// up-front [`Stream`]s, a churn session's connection id changes over its
+/// lifetime (recovery reroutes, ladder upgrades are break-before-make),
+/// so the runner reconciles `conn` against the controller every cycle.
+struct ChurnStream {
+    session: SessionId,
+    /// The connection the oracle's ledger currently tracks (`None` while
+    /// the session is recovering, preempted, or departed).
+    conn: Option<NetConnectionId>,
+    interarrival: f64,
+    next: f64,
+    best_effort: bool,
+    /// Closed for good (voluntary departure or shed preemption).
+    departed: bool,
+}
+
+/// The oracle's view of a connection: per-hop directed links (node,
+/// output port) and the router count, read from the real routers' state.
+fn path_links(net: &NetworkSim, conn: NetConnectionId) -> Option<(Vec<(u16, u8)>, u64)> {
+    let c = net.connection(conn)?;
+    let hops = c.hops.len() as u64;
+    let mut links = Vec::with_capacity(c.hops.len());
+    for hop in &c.hops {
+        let state = net.router(hop.node).connection(hop.local)?;
+        links.push((hop.node.0, state.output_vc.port.0));
+    }
+    Some((links, hops))
+}
+
+/// One controller tick: recovery service, shedding, and upgrades — then a
+/// reconcile of every churn session's current connection against the
+/// oracle's ledger. Recovery and ladder upgrades swap connection ids under
+/// the session; preemptions and abandonments drop them. Comparing the
+/// controller's view to the last-known id catches every transition without
+/// enumerating the event kinds.
+fn churn_service(
+    ctl: &mut AdmissionController,
+    net: &mut NetworkSim,
+    report: &mmr_net::NetStepReport,
+    oracle: &mut Oracle,
+    churn: &mut [ChurnStream],
+    timing: FlitTiming,
+    now: Cycles,
+) {
+    let (_events, preempted) = ctl.service(net, report, now);
+    for p in &preempted {
+        if let Some(cs) = churn.iter_mut().find(|c| c.session == p.session) {
+            cs.departed = true;
+        }
+    }
+    for cs in churn.iter_mut() {
+        let current = ctl.sessions().conn(cs.session);
+        if current == cs.conn {
+            continue;
+        }
+        if let Some(old) = cs.conn {
+            oracle.closed(old.0);
+        }
+        cs.conn = None;
+        if let Some(new_conn) = current {
+            let Some((links, hops)) = path_links(net, new_conn) else { continue };
+            let fpc = match ctl.sessions().class(cs.session) {
+                Some(QosClass::Cbr { rate }) => {
+                    cs.interarrival = timing.interarrival_cycles(rate);
+                    1.0 / cs.interarrival
+                }
+                _ => 0.0,
+            };
+            oracle.admitted(new_conn.0, links, hops, fpc);
+            cs.next = now.0 as f64 + cs.interarrival;
+            cs.conn = Some(new_conn);
+        }
+    }
 }
 
 /// Runs `scenario` on the real stack and diffs it against the oracle.
@@ -116,16 +209,8 @@ pub fn run_scenario(scenario: &Scenario, hooks: Hooks) -> CaseRun {
         let class = spec.class();
         match net.establish(NodeId(spec.src), NodeId(spec.dst), class, SetupStrategy::Epb) {
             Ok(id) => {
-                let conn = net.connection(id).expect("establish registered the connection");
-                let hops = conn.hops.len() as u64;
-                let mut links = Vec::with_capacity(conn.hops.len());
-                for hop in &conn.hops {
-                    let state = net
-                        .router(hop.node)
-                        .connection(hop.local)
-                        .expect("hop registered on its router");
-                    links.push((hop.node.0, state.output_vc.port.0));
-                }
+                let (links, hops) =
+                    path_links(&net, id).expect("establish registered the connection");
                 let interarrival = timing.interarrival_cycles(spec.rate());
                 oracle.admitted(id.0, links, hops, 1.0 / interarrival);
                 by_id.insert(id, streams.len());
@@ -136,6 +221,30 @@ pub fn run_scenario(scenario: &Scenario, hooks: Hooks) -> CaseRun {
             Err(_) => rejected += 1,
         }
     }
+
+    // Mid-run churn arrives through the admission controller: typed
+    // accept/degrade/reject verdicts, recovery-managed sessions, shedding
+    // under sustained overload, and ladder upgrades when load recedes.
+    // The up-front connection mix keeps the plain establish path above so
+    // pre-churn corpus seeds execute exactly as recorded.
+    //
+    // The policy is deliberately much tighter than the production default
+    // (headroom 0.2 vs 0.8, patience 16 vs 64): generated scenarios carry
+    // at most a handful of streams, so their peak reserved link load sits
+    // in the 0.1-0.4 range and at the production thresholds the
+    // degrade/shed/upgrade machinery would almost never engage — the
+    // fuzzer's job is to drive those paths against the oracle, not to
+    // avoid them.
+    let policy = AdmitPolicy::default()
+        .headroom(0.2)
+        .low_watermark(0.12)
+        .shed_patience(16)
+        .shed_batch(1);
+    let mut ctl = AdmissionController::new(policy);
+    let mut churn: Vec<ChurnStream> = Vec::new();
+    let mut next_churn = 0usize;
+    let mut churn_admitted = 0usize;
+    let mut churn_rejected = 0usize;
 
     let plan = scenario.fault_plan(net.topology());
     let mut injector =
@@ -163,9 +272,72 @@ pub fn run_scenario(scenario: &Scenario, hooks: Hooks) -> CaseRun {
         let now = Cycles(t);
         let tick = injector.poll(&mut net, now);
         handle_broken(&tick.broken, &mut streams, &mut oracle);
+        // The controller learns of broken churn connections here; the
+        // post-step reconcile in `churn_service` settles the ledger.
+        ctl.sessions_mut().on_faults(&tick.broken, now);
 
         if hooks.phantom_credit && t >= phantom_from && t < phantom_to {
             inject_phantom_credits(&mut net, &streams, vc_depth);
+        }
+
+        // Fire this cycle's churn tape entries.
+        while next_churn < scenario.churn.len() && scenario.churn[next_churn].at <= t {
+            match scenario.churn[next_churn].action {
+                ChurnAction::Open { src, dst, rate_idx, best_effort } => {
+                    let class = if best_effort {
+                        QosClass::BestEffort
+                    } else {
+                        crate::scenario::ConnSpec { src, dst, rate_idx }.class()
+                    };
+                    let verdict = ctl.request(&mut net, NodeId(src), NodeId(dst), class);
+                    match verdict.session() {
+                        Some(session) => {
+                            churn_admitted += 1;
+                            let conn =
+                                ctl.sessions().conn(session).expect("a fresh session is active");
+                            let (links, hops) =
+                                path_links(&net, conn).expect("fresh session path registered");
+                            let (interarrival, fpc) = match ctl.sessions().class(session) {
+                                Some(QosClass::Cbr { rate }) => {
+                                    let ia = timing.interarrival_cycles(rate);
+                                    (ia, 1.0 / ia)
+                                }
+                                _ => (BEST_EFFORT_INTERARRIVAL, 0.0),
+                            };
+                            oracle.admitted(conn.0, links, hops, fpc);
+                            churn.push(ChurnStream {
+                                session,
+                                conn: Some(conn),
+                                interarrival,
+                                next: t as f64 + interarrival,
+                                best_effort,
+                                departed: false,
+                            });
+                        }
+                        // A typed rejection under overload is the
+                        // controller doing its job, not a divergence.
+                        None => churn_rejected += 1,
+                    }
+                }
+                ChurnAction::Close { nth } => {
+                    let live: Vec<usize> = churn
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| !c.departed)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !live.is_empty() {
+                        let at = *live.get(nth % live.len()).expect("index reduced modulo len");
+                        let cs = churn.get_mut(at).expect("index from enumerate");
+                        cs.departed = true;
+                        if let Some(conn) = cs.conn.take() {
+                            oracle.closed(conn.0);
+                        }
+                        ctl.close(&mut net, cs.session);
+                    }
+                }
+            }
+            next_churn += 1;
         }
 
         for s in &mut streams {
@@ -192,10 +364,35 @@ pub fn run_scenario(scenario: &Scenario, hooks: Hooks) -> CaseRun {
             }
         }
 
+        // Churn pacers: CBR backpressure retries without advancing (the
+        // reserved rate still owes the flits); best-effort skips the slot.
+        for cs in &mut churn {
+            let Some(conn) = cs.conn else { continue };
+            while cs.next <= t as f64 {
+                match net.inject(conn, now) {
+                    Ok(()) => {
+                        oracle.injected(conn.0);
+                        cs.next += cs.interarrival;
+                    }
+                    Err(InjectError::BufferFull(_)) => {
+                        if cs.best_effort {
+                            cs.next += cs.interarrival;
+                        } else {
+                            break;
+                        }
+                    }
+                    // Torn down between the fault poll and this attempt;
+                    // the reconcile below settles the ledger.
+                    Err(_) => break,
+                }
+            }
+        }
+
         let report = net.step(now);
         for d in &report.delivered {
             oracle.delivered(d.conn.0, d.flit.seq, d.latency.0, d.in_order);
         }
+        churn_service(&mut ctl, &mut net, &report, &mut oracle, &mut churn, timing, now);
     }
 
     // Drain until quiet: pending fault events still fire (deterministic),
@@ -207,10 +404,12 @@ pub fn run_scenario(scenario: &Scenario, hooks: Hooks) -> CaseRun {
         let now = Cycles(t);
         let tick = injector.poll(&mut net, now);
         handle_broken(&tick.broken, &mut streams, &mut oracle);
+        ctl.sessions_mut().on_faults(&tick.broken, now);
         let report = net.step(now);
         for d in &report.delivered {
             oracle.delivered(d.conn.0, d.flit.seq, d.latency.0, d.in_order);
         }
+        churn_service(&mut ctl, &mut net, &report, &mut oracle, &mut churn, timing, now);
         if report.delivered.is_empty() && report.flits_switched == 0 && tick.is_quiet() {
             quiet += 1;
         } else {
@@ -223,11 +422,13 @@ pub fn run_scenario(scenario: &Scenario, hooks: Hooks) -> CaseRun {
     // live connection must hold exactly `vc_depth` credits — anything else
     // is a leak (flow control will starve) or minted capacity (the
     // downstream buffer will be overrun).
-    for s in &streams {
-        if !s.live {
-            continue;
-        }
-        let Some(conn) = net.connection(s.id) else { continue };
+    let live_conns = streams
+        .iter()
+        .filter(|s| s.live)
+        .map(|s| s.id)
+        .chain(churn.iter().filter_map(|cs| cs.conn));
+    for conn_id in live_conns {
+        let Some(conn) = net.connection(conn_id) else { continue };
         for hop in &conn.hops {
             let router = net.router(hop.node);
             let Some(state) = router.connection(hop.local) else { continue };
@@ -261,10 +462,15 @@ pub fn run_scenario(scenario: &Scenario, hooks: Hooks) -> CaseRun {
     let admitted = streams.len();
     let injected = oracle.injected_total();
     let delivered = oracle.delivered_total();
+    let ctl_stats = ctl.stats();
     CaseRun {
         seed: scenario.seed,
         admitted,
         rejected,
+        churn_admitted,
+        churn_rejected,
+        preempted: ctl_stats.preempted_best_effort + ctl_stats.preempted_cbr,
+        upgraded: ctl_stats.upgrades,
         injected,
         delivered,
         cycles_run: t,

@@ -155,6 +155,38 @@ pub struct FaultSpec {
     pub at: u64,
 }
 
+/// What a scheduled churn event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// A new session arrives and asks the admission controller for a
+    /// placement (accept, degrade, or typed-reject — never a panic).
+    Open {
+        /// Source node.
+        src: u16,
+        /// Destination node (never equal to `src`).
+        dst: u16,
+        /// Index into [`paper_rate_ladder`] (ignored for best-effort).
+        rate_idx: usize,
+        /// Zero-reservation best-effort session instead of CBR.
+        best_effort: bool,
+    },
+    /// An existing churn session departs voluntarily: the `nth` live
+    /// churn session (modulo the live count) closes.
+    Close {
+        /// Selector into the live churn-session list.
+        nth: usize,
+    },
+}
+
+/// One scheduled mid-run session arrival or departure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEventSpec {
+    /// Fire cycle (inside the injection window).
+    pub at: u64,
+    /// What happens.
+    pub action: ChurnAction,
+}
+
 /// A complete generated conformance case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -180,6 +212,9 @@ pub struct Scenario {
     pub conns: Vec<ConnSpec>,
     /// Fault schedule.
     pub faults: Vec<FaultSpec>,
+    /// Mid-run session churn (arrivals through the admission controller,
+    /// voluntary departures), sorted by fire cycle.
+    pub churn: Vec<ChurnEventSpec>,
 }
 
 impl Scenario {
@@ -299,6 +334,39 @@ impl Scenario {
             });
         }
 
+        // Mid-run session churn through the admission controller.
+        // Appended after every earlier draw (including the node
+        // fail/repair block) so that pre-existing corpus seeds keep their
+        // exact scenario prefix.
+        let mut churn = Vec::new();
+        if terminals.len() >= 2 && rng.chance(0.6) {
+            let n_events = 1 + rng.index(6);
+            for _ in 0..n_events {
+                let at = cycles / 8 + rng.index((cycles * 3 / 4).max(1) as usize) as u64;
+                let action = if rng.chance(0.3) {
+                    ChurnAction::Close { nth: rng.index(8) }
+                } else {
+                    let src = *rng.pick(&terminals);
+                    let mut dst = *rng.pick(&terminals);
+                    if dst == src {
+                        let pos = terminals.iter().position(|&t| t == src).unwrap_or(0);
+                        dst = *terminals
+                            .get((pos + 1) % terminals.len())
+                            .expect("two or more terminals checked above");
+                    }
+                    ChurnAction::Open {
+                        src,
+                        dst,
+                        rate_idx: rng.index(9),
+                        best_effort: rng.chance(0.25),
+                    }
+                };
+                churn.push(ChurnEventSpec { at, action });
+            }
+            // Stable sort: events at the same cycle keep their draw order.
+            churn.sort_by_key(|e| e.at);
+        }
+
         Scenario {
             seed,
             topology,
@@ -310,6 +378,7 @@ impl Scenario {
             cycles,
             conns,
             faults,
+            churn,
         }
     }
 
@@ -383,8 +452,20 @@ impl Scenario {
                 format!("{k}@{}:n{}p{}", f.at, f.node, f.port)
             })
             .collect();
+        let churn: Vec<String> = self
+            .churn
+            .iter()
+            .map(|e| match e.action {
+                ChurnAction::Open { src, dst, rate_idx, best_effort } => {
+                    let kind = if best_effort { "openbe" } else { "open" };
+                    format!("{kind}@{}:{src}->{dst}r{rate_idx}", e.at)
+                }
+                ChurnAction::Close { nth } => format!("close@{}:#{nth}", e.at),
+            })
+            .collect();
         format!(
-            "{} vcs={} depth={} cand={} arb={:?} llr={} cycles={} conns=[{}] faults=[{}]",
+            "{} vcs={} depth={} cand={} arb={:?} llr={} cycles={} conns=[{}] faults=[{}] \
+             churn=[{}]",
             self.topology.label(),
             self.vcs_per_port,
             self.vc_depth,
@@ -393,7 +474,8 @@ impl Scenario {
             self.llr,
             self.cycles,
             conns.join(","),
-            faults.join(",")
+            faults.join(","),
+            churn.join(",")
         )
     }
 }
@@ -448,6 +530,36 @@ mod tests {
                 assert!(sc.llr, "seed {seed}: transient faults need the retry layer");
             }
         }
+    }
+
+    #[test]
+    fn churn_events_are_drawn_sorted_and_inside_the_window() {
+        let mut saw_open = false;
+        let mut saw_close = false;
+        let mut saw_best_effort = false;
+        for seed in 0..128u64 {
+            let sc = Scenario::generate(seed);
+            let topo = sc.topology.build();
+            for pair in sc.churn.windows(2) {
+                assert!(pair[0].at <= pair[1].at, "seed {seed}: churn tape is sorted");
+            }
+            for e in &sc.churn {
+                assert!(e.at < sc.cycles, "seed {seed}: churn fires inside the window");
+                match e.action {
+                    ChurnAction::Open { src, dst, best_effort, .. } => {
+                        saw_open = true;
+                        saw_best_effort |= best_effort;
+                        assert_ne!(src, dst, "seed {seed}");
+                        assert!(topo.terminal_port(NodeId(src)).is_some(), "seed {seed}");
+                        assert!(topo.terminal_port(NodeId(dst)).is_some(), "seed {seed}");
+                    }
+                    ChurnAction::Close { .. } => saw_close = true,
+                }
+            }
+        }
+        assert!(saw_open, "the generator explores session arrivals");
+        assert!(saw_close, "the generator explores departures");
+        assert!(saw_best_effort, "the generator explores best-effort arrivals");
     }
 
     #[test]

@@ -1,17 +1,20 @@
 //! Automatic shrinking: reduces a divergent [`Scenario`] to a minimal
 //! reproducer by structural mutation and re-execution.
 //!
-//! Three passes, each run to a fixpoint, in order of diagnostic value:
+//! Four passes, each run to a fixpoint, in order of diagnostic value:
 //!
-//! 1. **Drop connections** — remove one connection at a time, keeping any
-//!    removal that preserves the divergence (greedy delta-debugging with
-//!    restart, the classic ddmin inner loop).
-//! 2. **Shorten the schedule** — halve the injection window while the
-//!    divergence persists (fault cycles scale down proportionally so the
-//!    schedule stays inside the window).
-//! 3. **Shrink the topology** — retry the case on a fixed ladder of
-//!    smaller networks, remapping connection endpoints modulo the node
-//!    count and discarding fault specs that no longer address a wire.
+//! 1. **Drop churn events** — remove one mid-run arrival/departure at a
+//!    time, keeping any removal that preserves the divergence (dynamic
+//!    behaviour is usually incidental to a reproducer, so it goes first).
+//! 2. **Drop connections** — remove one up-front connection at a time
+//!    (greedy delta-debugging with restart, the classic ddmin inner loop).
+//! 3. **Shorten the schedule** — halve the injection window while the
+//!    divergence persists (fault and churn cycles scale down
+//!    proportionally so the schedule stays inside the window).
+//! 4. **Shrink the topology** — retry the case on a fixed ladder of
+//!    smaller networks, remapping connection and churn endpoints modulo
+//!    the node count and discarding fault specs that no longer address a
+//!    wire.
 //!
 //! Every candidate is a full deterministic re-run, so the shrinker is as
 //! trustworthy as the runner; a budget caps the total number of re-runs.
@@ -54,7 +57,24 @@ pub fn shrink(scenario: &Scenario, hooks: Hooks, budget: usize) -> Shrunk {
         }
     };
 
-    // Pass 1: drop connections one at a time, restarting after each
+    // Pass 1: drop churn events one at a time (restart after each success,
+    // same ddmin inner loop as the connection pass below).
+    let mut progress = true;
+    while progress && !current.churn.is_empty() {
+        progress = false;
+        for i in 0..current.churn.len() {
+            let mut cand = current.clone();
+            cand.churn.remove(i);
+            if let Some(run) = try_candidate(&cand, &mut attempts) {
+                current = cand;
+                current_div = run.divergences;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    // Pass 2: drop connections one at a time, restarting after each
     // success so earlier survivors get another chance to go.
     let mut progress = true;
     while progress && current.conns.len() > 1 {
@@ -71,12 +91,16 @@ pub fn shrink(scenario: &Scenario, hooks: Hooks, budget: usize) -> Shrunk {
         }
     }
 
-    // Pass 2: halve the injection window (fault times scale with it).
+    // Pass 3: halve the injection window (fault and churn times scale
+    // with it).
     while current.cycles > 64 {
         let mut cand = current.clone();
         cand.cycles /= 2;
         for f in &mut cand.faults {
             f.at /= 2;
+        }
+        for e in &mut cand.churn {
+            e.at /= 2;
         }
         match try_candidate(&cand, &mut attempts) {
             Some(run) => {
@@ -87,7 +111,7 @@ pub fn shrink(scenario: &Scenario, hooks: Hooks, budget: usize) -> Shrunk {
         }
     }
 
-    // Pass 3: fixed ladder of smaller topologies.
+    // Pass 4: fixed ladder of smaller topologies.
     for smaller in [TopologySpec::Ring { nodes: 4 }, TopologySpec::Mesh { width: 2, height: 2 }] {
         if smaller.nodes() >= current.topology.nodes() {
             continue;
@@ -100,6 +124,15 @@ pub fn shrink(scenario: &Scenario, hooks: Hooks, budget: usize) -> Shrunk {
             c.dst %= n;
             if c.src == c.dst {
                 c.dst = (c.src + 1) % n;
+            }
+        }
+        for e in &mut cand.churn {
+            if let crate::scenario::ChurnAction::Open { src, dst, .. } = &mut e.action {
+                *src %= n;
+                *dst %= n;
+                if src == dst {
+                    *dst = (*src + 1) % n;
+                }
             }
         }
         // Fault specs whose endpoint is not a wire of the smaller topology

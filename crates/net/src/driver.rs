@@ -152,8 +152,15 @@ impl NetExperiment {
             }
         }
 
+        let achieved = offered.fraction_of(capacity);
+        let population = if achieved >= self.target_load {
+            PopulationOutcome::ReachedTarget
+        } else {
+            PopulationOutcome::BudgetExhausted { achieved, target: self.target_load }
+        };
         NetExperimentResult {
-            offered_load: offered.fraction_of(capacity),
+            offered_load: achieved,
+            population,
             streams: sources.len(),
             mean_latency_cycles: recorder.mean_delay_cycles(),
             mean_latency_us: timing.cycles_f64_to_time(recorder.mean_delay_cycles()).us(),
@@ -166,11 +173,47 @@ impl NetExperiment {
     }
 }
 
+/// How population building ended: did the offered load reach the
+/// experiment's target, or did the admission budget run out first?
+///
+/// Silently stopping short used to make an under-populated sweep point
+/// indistinguishable from a satisfied one; the typed outcome keeps the
+/// shortfall visible to sweep harnesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PopulationOutcome {
+    /// The offered load reached `target_load` before the admission budget
+    /// was spent.
+    ReachedTarget,
+    /// The admission budget ran out first; only `achieved` of `target` was
+    /// offered.
+    BudgetExhausted {
+        /// Offered-load fraction actually reached.
+        achieved: f64,
+        /// The `target_load` asked for.
+        target: f64,
+    },
+}
+
+impl PopulationOutcome {
+    /// The shortfall (`target - achieved`), zero when the target was met.
+    pub fn shortfall(&self) -> f64 {
+        match *self {
+            PopulationOutcome::ReachedTarget => 0.0,
+            PopulationOutcome::BudgetExhausted { achieved, target } => {
+                (target - achieved).max(0.0)
+            }
+        }
+    }
+}
+
 /// Results of one network experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetExperimentResult {
     /// Offered load achieved (fraction of total NI bandwidth).
     pub offered_load: f64,
+    /// Whether population building reached `target_load` or exhausted the
+    /// admission budget short of it.
+    pub population: PopulationOutcome,
     /// Number of established streams.
     pub streams: usize,
     /// Mean end-to-end latency (injection at source NI → exit at
@@ -240,6 +283,12 @@ mod tests {
         .run();
         assert_eq!(r.streams, 0);
         assert_eq!(r.admission_rejected, 0);
+        // ... and says so in the typed outcome instead of stopping silently.
+        assert_eq!(
+            r.population,
+            PopulationOutcome::BudgetExhausted { achieved: 0.0, target: 0.9 }
+        );
+        assert!((r.population.shortfall() - 0.9).abs() < 1e-12);
         // A small budget stops population building at exactly that many
         // rejections, and the result reports the count.
         let tight = NetExperiment::new(
@@ -251,9 +300,17 @@ mod tests {
         .admission_attempts(5)
         .run();
         assert_eq!(tight.admission_rejected, 5);
-        // The default budget is never exceeded.
-        let ok = quick(0.3);
+        let PopulationOutcome::BudgetExhausted { achieved, target } = tight.population else {
+            panic!("5 rejections at target 0.9 must exhaust the budget");
+        };
+        assert_eq!(target, 0.9);
+        assert!(achieved < target, "{achieved} < {target}");
+        // The default budget is never exceeded, and an easy target reports
+        // that it was reached.
+        let ok = quick(0.1);
         assert!(ok.admission_rejected <= 400, "{}", ok.admission_rejected);
+        assert_eq!(ok.population, PopulationOutcome::ReachedTarget);
+        assert_eq!(ok.population.shortfall(), 0.0);
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   rate degradation, a jittered cap on concurrent re-establishment
 //!   probes, and epoch-parked partitioned sessions that re-probe only
 //!   after the topology changes again.
+//! * [`admission`] — dynamic admission control under churn:
+//!   utilization-aware accept / degrade-on-admit / typed reject
+//!   ([`AdmitVerdict`]), plus a priority-aware load shedder with
+//!   protected floors and an anti-starvation rotation, and automatic
+//!   rate upgrades when load recedes.
 //! * [`driver`] — network-level experiments (end-to-end latency/jitter vs
 //!   load).
 //!
@@ -51,6 +56,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod admission;
 pub mod driver;
 pub mod fault;
 pub mod network;
@@ -59,7 +65,10 @@ pub mod setup;
 pub mod topology;
 pub mod updown;
 
-pub use driver::{NetExperiment, NetExperimentResult};
+pub use admission::{
+    AdmissionController, AdmitPolicy, AdmitStats, AdmitVerdict, Preemption, RejectReason,
+};
+pub use driver::{NetExperiment, NetExperimentResult, PopulationOutcome};
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, FaultPlanError, FaultTick};
 pub use network::{
     DeliveredFlit, DeliveredPacket, NetConnection, NetConnectionId, NetError, NetStats,
@@ -67,6 +76,7 @@ pub use network::{
 };
 pub use recovery::{
     RecoveryEvent, RecoveryManager, RecoveryPolicy, RecoveryStats, SessionId, SessionStatus,
+    UpgradeOutcome,
 };
 pub use setup::{ProbeMachine, ProbeStep, SetupError, SetupReceipt, SetupStrategy};
 pub use topology::{NodeId, Topology, TopologyError, Wire};

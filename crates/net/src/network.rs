@@ -18,7 +18,7 @@ use mmr_core::ids::{ConnectionId, PortId, VcIndex, VcRef};
 use mmr_bitvec::StatusBits;
 use mmr_core::llr::{LlrConfig, LlrFrame, LlrReceiver, LlrSender, LlrSignal, RxOutcome};
 use mmr_core::router::{InjectError, PacketError, PacketOutcome, Router, RouterConfig, StepReport};
-use mmr_sim::{Accumulator, Cycles, SeededRng};
+use mmr_sim::{Accumulator, Bandwidth, Cycles, SeededRng};
 
 use crate::setup::{ProbeMachine, ProbeStep, SetupError, SetupStrategy};
 use crate::topology::{NodeId, Topology};
@@ -231,9 +231,10 @@ pub struct NetStats {
     pub packets_delivered: u64,
     /// Out-of-order stream deliveries (must stay zero).
     pub out_of_order: u64,
-    /// Stream flits and packets destroyed by link failures: flits on the
+    /// Stream flits and packets destroyed by link failures (flits on the
     /// failed wire plus flits still buffered inside routers on paths torn
-    /// down by the fault.
+    /// down by the fault), plus flits still queued on a path closed by a
+    /// voluntary [`NetworkSim::teardown`] (session departure, preemption).
     pub flits_lost: u64,
     /// Inter-router wires failed so far ([`NetworkSim::fail_link`]).
     pub links_failed: u64,
@@ -727,13 +728,18 @@ impl NetworkSim {
         id
     }
 
-    /// Tears down an end-to-end connection, releasing every hop.
+    /// Tears down an end-to-end connection, releasing every hop. Flits
+    /// still queued on the path are dropped with the connection and counted
+    /// into [`NetStats::flits_lost`], so the conservation identity
+    /// `injected = delivered + lost` survives session churn and preemption.
     ///
     /// # Errors
     ///
     /// [`NetError::UnknownConnection`] if the id is not live.
     pub fn teardown(&mut self, id: NetConnectionId) -> Result<(), NetError> {
-        self.teardown_counting(id).map(|_| ())
+        let dropped = self.teardown_counting(id)?;
+        self.stats.flits_lost += dropped;
+        Ok(())
     }
 
     /// [`NetworkSim::teardown`] returning the number of flits still queued
@@ -790,6 +796,42 @@ impl NetworkSim {
     /// Whether the wire attached to `(node, port)` is operational.
     pub fn link_ok(&self, node: NodeId, port: PortId) -> bool {
         !self.failed_ports.contains(&(node, port))
+    }
+
+    /// Guaranteed-bandwidth load factors over the operational inter-router
+    /// wires, reduced to `(peak, mean)`. Each wire direction contributes
+    /// its output [`LinkBandwidthBook`](mmr_core::bandwidth::LinkBandwidthBook)
+    /// occupancy; `(0.0, 0.0)` when no wire is up. This is the congestion
+    /// signal the admission controller throttles and sheds on.
+    pub fn link_load(&self) -> (f64, f64) {
+        let mut peak = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut n = 0u32;
+        for w in self.live_topology.wires() {
+            for (node, port) in [w.a, w.b] {
+                let load = self.routers[node.index()].bandwidth_book(port).load_factor();
+                peak = peak.max(load);
+                sum += load;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (peak, sum / f64::from(n))
+        }
+    }
+
+    /// The flit rate of one physical link. Also the injection ceiling of a
+    /// node's NI input port: the crossbar matches each input port to at
+    /// most one output per flit cycle, so a node whose *own* sessions
+    /// reserve more aggregate egress than this cannot be served — the one
+    /// oversubscription the per-output bandwidth books do not catch, and
+    /// the reason the admission controller tracks per-source egress.
+    pub fn link_rate(&self) -> Bandwidth {
+        self.routers
+            .first()
+            .map_or(Bandwidth::ZERO, |r| r.config().timing().link_rate())
     }
 
     /// Validates that `(node, port)` addresses an inter-router wire and
@@ -1827,6 +1869,36 @@ mod tests {
         let after: usize = (0..9).map(|n| net.router(NodeId(n)).connections()).sum();
         assert_eq!(after, before);
         assert_eq!(net.teardown(id), Err(NetError::UnknownConnection(id)));
+    }
+
+    #[test]
+    fn voluntary_teardown_counts_queued_flits_as_lost() {
+        let mut net = mesh_net();
+        let id = net
+            .establish(NodeId(0), NodeId(8), cbr(10.0), SetupStrategy::Epb)
+            .expect("path exists");
+        // Inject without stepping: the flits sit queued at the source NI.
+        for _ in 0..3 {
+            net.inject(id, Cycles(0)).expect("source buffer has room");
+        }
+        net.teardown(id).expect("live");
+        let stats = net.stats();
+        assert_eq!(stats.flits_delivered, 0);
+        assert_eq!(stats.flits_lost, 3, "queued flits are accounted, not vanished");
+    }
+
+    #[test]
+    fn link_load_tracks_reservations() {
+        let mut net = mesh_net();
+        assert_eq!(net.link_load(), (0.0, 0.0), "idle fabric has zero load");
+        let id = net
+            .establish(NodeId(0), NodeId(8), cbr(620.0), SetupStrategy::Epb)
+            .expect("path exists");
+        let (peak, mean) = net.link_load();
+        assert!(peak > 0.3, "a half-link-rate stream shows up in the peak: {peak}");
+        assert!(mean > 0.0 && mean <= peak, "mean {mean} peak {peak}");
+        net.teardown(id).expect("live");
+        assert_eq!(net.link_load(), (0.0, 0.0), "teardown releases the books");
     }
 
     #[test]

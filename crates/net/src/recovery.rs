@@ -145,6 +145,11 @@ impl RecoveryPolicy {
     fn step_down(&self, rate: Bandwidth) -> Option<Bandwidth> {
         self.ladder.iter().copied().rfind(|&r| r < rate)
     }
+
+    /// One rung above `rate` on the ladder, if any.
+    pub(crate) fn step_up(&self, rate: Bandwidth) -> Option<Bandwidth> {
+        self.ladder.iter().copied().find(|&r| r > rate)
+    }
 }
 
 /// Where a session currently stands.
@@ -213,6 +218,11 @@ pub struct RecoveryStats {
     /// Sessions parked on an unreachable destination (one count per park;
     /// a session can park again after an unsuccessful unpark).
     pub partitioned: u64,
+    /// Sessions closed voluntarily ([`RecoveryManager::close`]): departures
+    /// and load-shed preemptions.
+    pub closed: u64,
+    /// Successful one-rung rate upgrades ([`RecoveryManager::upgrade`]).
+    pub upgraded: u64,
     /// Fault-to-recovery latency (flit cycles) per recovered incident.
     pub time_to_recover: Accumulator,
 }
@@ -247,6 +257,32 @@ pub enum RecoveryEvent {
         /// Cycles from the fault to the abandonment.
         after: Cycles,
     },
+}
+
+/// Outcome of a [`RecoveryManager::upgrade`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpgradeOutcome {
+    /// The session now runs one rung higher.
+    Upgraded {
+        /// Rate before the upgrade.
+        from: Bandwidth,
+        /// Rate after the upgrade.
+        to: Bandwidth,
+    },
+    /// The higher rung was refused admission; the session was restored at
+    /// its previous rate and keeps running untouched.
+    NoHeadroom,
+    /// Nothing to win back: the session is not CBR or already sits on the
+    /// top rung of the ladder.
+    AtCeiling,
+    /// The session is not currently carried by a live connection (it is
+    /// recovering, parked, failed, or unknown) — upgrades only touch
+    /// active sessions.
+    NotActive,
+    /// Break-before-make lost the original placement too (capacity moved
+    /// underneath it); the session entered the normal recovery path at its
+    /// previous rate.
+    Recovering,
 }
 
 /// The automatic-recovery session layer (see the module docs).
@@ -317,6 +353,91 @@ impl RecoveryManager {
         Ok(id)
     }
 
+    /// Closes a session: tears down its live connection (flits still
+    /// queued on the path are counted into `flits_lost` by the network),
+    /// cancels any in-flight setup probe (a late success is torn down, not
+    /// leaked), and forgets the session. Serves both voluntary departures
+    /// (churn) and load-shed preemptions. Returns `false` when the id was
+    /// never tracked or is already closed.
+    pub fn close(&mut self, net: &mut NetworkSim, id: SessionId) -> bool {
+        let Some(session) = self.sessions.remove(&id) else { return false };
+        match session.state {
+            SessionState::Active { conn } => {
+                self.by_conn.remove(&conn);
+                // A fault may have torn the connection down in the same
+                // cycle; the ghost release is already accounted there.
+                let _ = net.teardown(conn);
+            }
+            SessionState::Probing { token, .. } => {
+                self.orphaned.insert(token);
+            }
+            SessionState::Waiting { .. }
+            | SessionState::Partitioned { .. }
+            | SessionState::Failed => {}
+        }
+        self.stats.closed += 1;
+        true
+    }
+
+    /// Tries to move an active CBR session one rung *up* the rate ladder —
+    /// the load-recede counterpart of graceful degradation.
+    ///
+    /// Break-before-make: the current connection's reservation holds
+    /// exactly the bandwidth the upgrade needs on shared hops, so the old
+    /// placement is released first. If the higher rung is refused, the
+    /// session is re-established at its previous rate
+    /// ([`UpgradeOutcome::NoHeadroom`]); if even that restore fails —
+    /// capacity moved underneath it — the session enters the ordinary
+    /// recovery path instead of dying ([`UpgradeOutcome::Recovering`]).
+    pub fn upgrade(
+        &mut self,
+        net: &mut NetworkSim,
+        id: SessionId,
+        now: Cycles,
+    ) -> UpgradeOutcome {
+        let Some(session) = self.sessions.get(&id) else { return UpgradeOutcome::NotActive };
+        let SessionState::Active { conn } = session.state else {
+            return UpgradeOutcome::NotActive;
+        };
+        let QosClass::Cbr { rate } = session.class else { return UpgradeOutcome::AtCeiling };
+        let Some(higher) = self.policy.step_up(rate) else { return UpgradeOutcome::AtCeiling };
+        let (src, dst) = (session.src, session.dst);
+
+        self.by_conn.remove(&conn);
+        let _ = net.teardown(conn);
+        match net.establish(src, dst, QosClass::Cbr { rate: higher }, SetupStrategy::Epb) {
+            Ok(new_conn) => {
+                let session = self.sessions.get_mut(&id).expect("checked above");
+                session.class = QosClass::Cbr { rate: higher };
+                session.degraded_steps = session.degraded_steps.saturating_sub(1);
+                session.state = SessionState::Active { conn: new_conn };
+                self.by_conn.insert(new_conn, id);
+                self.stats.upgraded += 1;
+                UpgradeOutcome::Upgraded { from: rate, to: higher }
+            }
+            Err(_) => match net.establish(src, dst, QosClass::Cbr { rate }, SetupStrategy::Epb)
+            {
+                Ok(restored) => {
+                    let session = self.sessions.get_mut(&id).expect("checked above");
+                    session.state = SessionState::Active { conn: restored };
+                    self.by_conn.insert(restored, id);
+                    UpgradeOutcome::NoHeadroom
+                }
+                Err(_) => {
+                    // Losing the restore race is an incident like any
+                    // other: the retry/backoff/degradation machinery owns
+                    // it from here.
+                    let session = self.sessions.get_mut(&id).expect("checked above");
+                    session.state = SessionState::Waiting { resume_at: now };
+                    session.fault_at = now;
+                    session.attempts = 0;
+                    self.stats.faults += 1;
+                    UpgradeOutcome::Recovering
+                }
+            },
+        }
+    }
+
     /// The recovery policy in force.
     pub fn policy(&self) -> &RecoveryPolicy {
         &self.policy
@@ -355,6 +476,11 @@ impl RecoveryManager {
     /// The session's current QoS class (reflects degradation steps).
     pub fn class(&self, id: SessionId) -> Option<QosClass> {
         self.sessions.get(&id).map(|s| s.class)
+    }
+
+    /// The session's `(source, destination)` endpoints.
+    pub fn endpoints(&self, id: SessionId) -> Option<(NodeId, NodeId)> {
+        self.sessions.get(&id).map(|s| (s.src, s.dst))
     }
 
     /// Rate-ladder rungs a session has surrendered.
@@ -843,6 +969,108 @@ mod tests {
             "{events:?}"
         );
         assert_eq!(mgr.status(stranded), Some(SessionStatus::Active));
+    }
+
+    #[test]
+    fn close_releases_everything_and_is_idempotent() {
+        let mut net = mesh_net();
+        let mut mgr = RecoveryManager::new(RecoveryPolicy::default());
+        let keep = mgr.open(&mut net, NodeId(0), NodeId(8), cbr_mbps(55.0)).expect("placed");
+        let gone = mgr.open(&mut net, NodeId(2), NodeId(6), cbr_mbps(55.0)).expect("placed");
+        let (peak_before, _) = net.link_load();
+        assert!(mgr.close(&mut net, gone));
+        assert_eq!(mgr.sessions(), 1);
+        assert_eq!(mgr.status(gone), None, "closed sessions are forgotten");
+        assert_eq!(mgr.status(keep), Some(SessionStatus::Active));
+        let (peak_after, _) = net.link_load();
+        assert!(peak_after <= peak_before, "closing cannot add load");
+        assert!(!mgr.close(&mut net, gone), "double close is a no-op");
+        assert_eq!(mgr.stats().closed, 1);
+        // Closing the survivor leaves a fully idle fabric.
+        assert!(mgr.close(&mut net, keep));
+        assert_eq!(net.link_load(), (0.0, 0.0));
+        let total: usize = (0..9).map(|n| net.router(NodeId(n)).connections()).sum();
+        assert_eq!(total, 0, "no reservations survive the closes");
+    }
+
+    #[test]
+    fn close_cancels_an_inflight_probe_without_leaking() {
+        let mut mgr = RecoveryManager::new(
+            RecoveryPolicy::default().max_retries(8).backoff(Cycles(2), Cycles(4)),
+        );
+        let (mut net, sid) = starved_ring_incident(&mut mgr);
+        // Step until the session has a probe in flight, then close it.
+        let mut t = 0u64;
+        while mgr.status(sid) == Some(SessionStatus::Recovering) && t < 50 {
+            let report = net.step(Cycles(t));
+            let _ = mgr.service(&mut net, &report, Cycles(t));
+            t += 1;
+        }
+        assert!(mgr.close(&mut net, sid));
+        // Keep stepping: any late setup success must be torn down, leaving
+        // only the two bystanders' reservations.
+        for t2 in t..t + 300 {
+            let report = net.step(Cycles(t2));
+            let _ = mgr.service(&mut net, &report, Cycles(t2));
+        }
+        let total: usize = (0..4).map(|n| net.router(NodeId(n)).connections()).sum();
+        let bystanders: usize = 2 * 2; // two 1-hop connections, 2 router-local entries each
+        assert!(total <= bystanders, "closed probe leaked reservations: {total}");
+    }
+
+    #[test]
+    fn upgrade_steps_one_rung_up_when_capacity_allows() {
+        let mut net = mesh_net();
+        let mut mgr = RecoveryManager::new(RecoveryPolicy::default());
+        let sid = mgr.open(&mut net, NodeId(0), NodeId(8), cbr_mbps(5.0)).expect("placed");
+        let (peak_before, _) = net.link_load();
+        let outcome = mgr.upgrade(&mut net, sid, Cycles(10));
+        assert_eq!(
+            outcome,
+            UpgradeOutcome::Upgraded {
+                from: Bandwidth::from_mbps(5.0),
+                to: Bandwidth::from_mbps(10.0)
+            },
+            "5 Mbps steps to the next paper-ladder rung"
+        );
+        assert_eq!(mgr.class(sid), Some(cbr_mbps(10.0)));
+        assert_eq!(mgr.status(sid), Some(SessionStatus::Active));
+        assert_eq!(mgr.stats().upgraded, 1);
+        let (peak_after, _) = net.link_load();
+        assert!(peak_after > peak_before, "the upgrade books more bandwidth");
+        // The upgraded connection still carries traffic.
+        let conn = mgr.conn(sid).expect("active");
+        net.inject(conn, Cycles(20)).expect("live");
+        let mut delivered = 0;
+        for t in 20..80u64 {
+            delivered += net.step(Cycles(t)).delivered.len();
+        }
+        assert_eq!(delivered, 1);
+    }
+
+    #[test]
+    fn upgrade_without_headroom_restores_the_original_rate() {
+        let mut net = mesh_net();
+        // A ladder whose next rung exceeds the 1.24 Gbps link rate: the
+        // upgrade must be refused and the session restored unharmed.
+        let mut mgr = RecoveryManager::new(RecoveryPolicy::default().ladder(vec![
+            Bandwidth::from_mbps(10.0),
+            Bandwidth::from_mbps(2_000.0),
+        ]));
+        let sid = mgr.open(&mut net, NodeId(0), NodeId(8), cbr_mbps(10.0)).expect("placed");
+        assert_eq!(mgr.upgrade(&mut net, sid, Cycles(5)), UpgradeOutcome::NoHeadroom);
+        assert_eq!(mgr.class(sid), Some(cbr_mbps(10.0)), "rate untouched");
+        assert_eq!(mgr.status(sid), Some(SessionStatus::Active));
+        assert_eq!(mgr.stats().upgraded, 0);
+    }
+
+    #[test]
+    fn upgrade_at_the_ladder_top_reports_ceiling() {
+        let mut net = mesh_net();
+        let mut mgr = RecoveryManager::new(RecoveryPolicy::default());
+        let sid = mgr.open(&mut net, NodeId(0), NodeId(8), cbr_mbps(120.0)).expect("placed");
+        assert_eq!(mgr.upgrade(&mut net, sid, Cycles(0)), UpgradeOutcome::AtCeiling);
+        assert_eq!(mgr.upgrade(&mut net, SessionId(99), Cycles(0)), UpgradeOutcome::NotActive);
     }
 
     #[test]

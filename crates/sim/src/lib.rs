@@ -35,5 +35,5 @@ pub mod units;
 
 pub use events::EventQueue;
 pub use rng::SeededRng;
-pub use stats::{Accumulator, DelayJitterRecorder, Histogram, SweepTable, Warmup};
+pub use stats::{Accumulator, DelayJitterRecorder, Histogram, SweepTable, TailSummary, Warmup};
 pub use units::{Bandwidth, Cycles, FlitTiming, SimTime};

@@ -187,13 +187,44 @@ impl Histogram {
 /// Identifier used by the recorder to tell connections apart.
 pub type FlowId = u32;
 
+/// Tail percentiles of a metric: the p50/p95/p99 columns the overload
+/// experiments report instead of means (tails are what admission control
+/// protects).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailSummary {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl TailSummary {
+    /// Reads p50/p95/p99 from a histogram; `None` when it is empty.
+    pub fn from_histogram(h: &Histogram) -> Option<TailSummary> {
+        Some(TailSummary {
+            p50: h.quantile(0.50)?,
+            p95: h.quantile(0.95)?,
+            p99: h.quantile(0.99)?,
+        })
+    }
+}
+
+/// Geometry of the recorder's tail histograms: 1-cycle bins up to 4096
+/// cycles, overflow beyond. The quantile of an overflowing tail saturates
+/// at the top edge, so a pathological run reports "≥ 4096" rather than a
+/// made-up number — and never allocates in the hot path.
+const TAIL_BIN_WIDTH: f64 = 1.0;
+const TAIL_BINS: usize = 4096;
+
 /// Per-connection delay/jitter bookkeeping implementing the paper's metrics.
 ///
 /// Feed it `(flow, delay_in_cycles)` for every flit that leaves the switch;
 /// read back mean delay (flit-weighted, like Figure 4) and mean jitter
 /// (connection-weighted mean of |Δdelay| between successive flits, like
 /// Figure 3).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DelayJitterRecorder {
     delay: Accumulator,
     /// Per-flow state, indexed directly by [`FlowId`] (flow ids are dense,
@@ -202,6 +233,22 @@ pub struct DelayJitterRecorder {
     /// float reduction visits flows in the same order.
     per_flow: Vec<Option<FlowJitter>>,
     flows: usize,
+    /// Fixed-bin delay histogram (all flits pooled) for tail percentiles.
+    delay_hist: Histogram,
+    /// Fixed-bin |Δdelay| histogram (flit-weighted, all flows pooled).
+    jitter_hist: Histogram,
+}
+
+impl Default for DelayJitterRecorder {
+    fn default() -> Self {
+        DelayJitterRecorder {
+            delay: Accumulator::new(),
+            per_flow: Vec::new(),
+            flows: 0,
+            delay_hist: Histogram::new(TAIL_BIN_WIDTH, TAIL_BINS),
+            jitter_hist: Histogram::new(TAIL_BIN_WIDTH, TAIL_BINS),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -223,6 +270,7 @@ impl DelayJitterRecorder {
     pub fn record(&mut self, flow: FlowId, delay: Cycles) {
         let d = delay.as_f64();
         self.delay.record(d);
+        self.delay_hist.record(d);
         let idx = flow as usize;
         if idx >= self.per_flow.len() {
             // mmr-lint: allow(A-PUSH, reason="amortized: grows once per newly seen flow, then stays flat for the run")
@@ -230,7 +278,9 @@ impl DelayJitterRecorder {
         }
         match &mut self.per_flow[idx] {
             Some(f) => {
-                f.jitter.record((d - f.last_delay).abs());
+                let dj = (d - f.last_delay).abs();
+                f.jitter.record(dj);
+                self.jitter_hist.record(dj);
                 f.last_delay = d;
             }
             slot => {
@@ -306,6 +356,18 @@ impl DelayJitterRecorder {
         } else {
             sum / n as f64
         }
+    }
+
+    /// p50/p95/p99 switch delay in cycles; `None` before the first flit.
+    /// Values saturate at the histogram's 4096-cycle top edge.
+    pub fn delay_tail(&self) -> Option<TailSummary> {
+        TailSummary::from_histogram(&self.delay_hist)
+    }
+
+    /// p50/p95/p99 of the flit-weighted |Δdelay| jitter samples; `None`
+    /// until some flow has produced two flits.
+    pub fn jitter_tail(&self) -> Option<TailSummary> {
+        TailSummary::from_histogram(&self.jitter_hist)
     }
 
     /// Mean jitter of one connection, if it produced at least two flits.
@@ -532,6 +594,32 @@ mod tests {
         assert!((r.mean_drift_cycles() - 0.25).abs() < 1e-12);
         // Flit-weighted: (2 + 1 + 0) / 3.
         assert!((r.mean_jitter_cycles_flit_weighted() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_percentiles_track_the_distribution() {
+        let mut r = DelayJitterRecorder::new();
+        assert_eq!(r.delay_tail(), None);
+        assert_eq!(r.jitter_tail(), None);
+        // 100 flits on one flow with delays 0..99: p50 ≈ 50, p99 ≈ 99,
+        // and |Δdelay| is constantly 1 so the jitter tail collapses.
+        for d in 0..100 {
+            r.record(0, Cycles(d));
+        }
+        let delay = r.delay_tail().expect("non-empty");
+        assert!((delay.p50 - 50.0).abs() <= 1.0, "p50 {}", delay.p50);
+        assert!((delay.p95 - 95.0).abs() <= 1.0, "p95 {}", delay.p95);
+        assert!((delay.p99 - 99.0).abs() <= 1.0, "p99 {}", delay.p99);
+        let jitter = r.jitter_tail().expect("two+ flits");
+        assert_eq!(jitter.p50, jitter.p99, "constant jitter has a flat tail");
+    }
+
+    #[test]
+    fn tail_overflow_saturates_at_top_edge() {
+        let mut r = DelayJitterRecorder::new();
+        r.record(0, Cycles(1_000_000));
+        let delay = r.delay_tail().expect("non-empty");
+        assert_eq!(delay.p99, 4096.0, "overflow reports the top edge, not garbage");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! per-flit delay and per-connection jitter over the measurement window.
 
 use mmr_core::router::RouterConfig;
-use mmr_sim::{Bandwidth, Cycles, DelayJitterRecorder, SeededRng, Warmup};
+use mmr_sim::{Bandwidth, Cycles, DelayJitterRecorder, SeededRng, TailSummary, Warmup};
 
 use crate::cbr::CbrWorkload;
 use crate::rates::paper_rate_ladder;
@@ -161,6 +161,8 @@ impl Experiment {
             max_delay_cycles: recorder.max_delay_cycles(),
             mean_jitter_cycles: recorder.mean_jitter_cycles(),
             mean_drift_cycles: recorder.mean_drift_cycles(),
+            delay_tail: recorder.delay_tail(),
+            jitter_tail: recorder.jitter_tail(),
             utilization: measured_flits as f64
                 / (self.measure_cycles as f64 * dims.ports() as f64),
             flits_measured: measured_flits,
@@ -214,6 +216,10 @@ pub struct ExperimentResult {
     /// drift/stability indicator; see
     /// [`mmr_sim::DelayJitterRecorder::mean_drift_cycles`]).
     pub mean_drift_cycles: f64,
+    /// p50/p95/p99 switch delay in cycles; `None` when no flit was measured.
+    pub delay_tail: Option<TailSummary>,
+    /// p50/p95/p99 flit-weighted |Δdelay| jitter in cycles.
+    pub jitter_tail: Option<TailSummary>,
     /// Measured switch utilization (flits per port per cycle).
     pub utilization: f64,
     /// Flits measured after warm-up.
@@ -286,6 +292,20 @@ mod tests {
         let biased = quick(small().arbiter(ArbiterKind::BiasedPriority).candidates(8), 0.8);
         assert!(perfect.mean_delay_cycles <= biased.mean_delay_cycles + 1e-9);
         assert!(perfect.mean_jitter_cycles <= biased.mean_jitter_cycles + 1e-9);
+    }
+
+    #[test]
+    fn tails_dominate_means() {
+        let r = quick(small(), 0.8);
+        let delay = r.delay_tail.expect("flits measured");
+        assert!(delay.p50 <= delay.p95 && delay.p95 <= delay.p99, "tail must be monotone");
+        assert!(
+            delay.p99 + 1.0 >= r.mean_delay_cycles,
+            "p99 {} can't sit below the mean {}",
+            delay.p99,
+            r.mean_delay_cycles
+        );
+        assert!(r.jitter_tail.is_some());
     }
 
     #[test]

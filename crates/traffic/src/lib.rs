@@ -32,12 +32,17 @@
 pub mod besteffort;
 pub mod calls;
 pub mod cbr;
+pub mod churn;
 pub mod driver;
 pub mod rates;
 pub mod vbr;
 
 pub use besteffort::PoissonPacketSource;
 pub use calls::{run_calls, CallStats, CallWorkload};
+pub use churn::{
+    ChurnConfig, ChurnEvent, ChurnEventKind, ChurnSchedule, DiurnalCurve, SessionClass,
+    SessionPlan,
+};
 pub use cbr::{CbrConnection, CbrSource, CbrWorkload};
 pub use driver::{Experiment, ExperimentResult, RateClassResult};
 pub use rates::{ladder_mean, paper_rate_ladder, scaled_rate_ladder};

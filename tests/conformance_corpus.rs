@@ -8,6 +8,8 @@
 //! expect = clean              # or: divergent
 //! bug = phantom-credit        # optional fault hook to arm
 //! max-conns = 4               # optional shrink bound for divergent seeds
+//! min-preempted = 1           # optional: replay must shed >= N sessions
+//! min-upgrades = 1            # optional: replay must upgrade >= N times
 //! ```
 //!
 //! Seeds with a `bug` line are replayed **twice**: unhooked they must be
@@ -27,6 +29,8 @@ struct CorpusCase {
     expect_divergent: bool,
     hooks: Hooks,
     max_conns: Option<usize>,
+    min_preempted: Option<u64>,
+    min_upgrades: Option<u64>,
 }
 
 fn corpus_dir() -> PathBuf {
@@ -38,6 +42,8 @@ fn parse_corpus_file(name: &str, text: &str) -> CorpusCase {
     let mut expect_divergent = false;
     let mut hooks = Hooks::default();
     let mut max_conns = None;
+    let mut min_preempted = None;
+    let mut min_upgrades = None;
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -62,6 +68,14 @@ fn parse_corpus_file(name: &str, text: &str) -> CorpusCase {
                 max_conns =
                     Some(value.parse().unwrap_or_else(|_| panic!("{name}: bad max-conns")));
             }
+            "min-preempted" => {
+                min_preempted =
+                    Some(value.parse().unwrap_or_else(|_| panic!("{name}: bad min-preempted")));
+            }
+            "min-upgrades" => {
+                min_upgrades =
+                    Some(value.parse().unwrap_or_else(|_| panic!("{name}: bad min-upgrades")));
+            }
             other => panic!("{name}: unknown key {other}"),
         }
     }
@@ -71,6 +85,8 @@ fn parse_corpus_file(name: &str, text: &str) -> CorpusCase {
         expect_divergent,
         hooks,
         max_conns,
+        min_preempted,
+        min_upgrades,
     }
 }
 
@@ -110,6 +126,26 @@ fn corpus_seeds_replay_as_recorded() {
             if case.expect_divergent { "divergent" } else { "clean" },
             run.divergences,
         );
+        // Overload-path pins: the seed must keep driving the shed /
+        // upgrade machinery, not just replay cleanly without it.
+        if let Some(min) = case.min_preempted {
+            assert!(
+                run.preempted >= min,
+                "{}: seed {:#x} preempted {} session(s), corpus requires >= {min}",
+                case.name,
+                case.seed,
+                run.preempted,
+            );
+        }
+        if let Some(min) = case.min_upgrades {
+            assert!(
+                run.upgraded >= min,
+                "{}: seed {:#x} granted {} upgrade(s), corpus requires >= {min}",
+                case.name,
+                case.seed,
+                run.upgraded,
+            );
+        }
     }
 }
 
