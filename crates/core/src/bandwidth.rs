@@ -37,8 +37,9 @@ impl RoundConfig {
     /// `K > 1` so every VC can be offered at least one cycle with room to
     /// spare for allocation flexibility.
     pub fn new(vcs_per_link: usize, k: u32) -> Self {
+        // mmr-lint: allow(P-TRANS, reason="construction-time config validation; unreachable from the per-cycle path")
         assert!(vcs_per_link > 0, "need at least one virtual channel");
-        assert!(k >= 2, "the paper requires K > 1");
+        assert!(k >= 2, "the paper requires K > 1"); // mmr-lint: allow(P-TRANS, reason="construction-time config validation; unreachable from the per-cycle path")
         RoundConfig { vcs_per_link, k }
     }
 
@@ -145,11 +146,12 @@ impl LinkBandwidthBook {
         best_effort_reserve: f64,
         concurrency_factor: f64,
     ) -> Self {
+        // mmr-lint: allow(P-TRANS, reason="construction-time config validation; unreachable from the per-cycle path")
         assert!(
             (0.0..1.0).contains(&best_effort_reserve),
             "best-effort reserve must be a fraction below 1"
         );
-        assert!(concurrency_factor >= 1.0, "concurrency factor below 1 would reject admissible peaks");
+        assert!(concurrency_factor >= 1.0, "concurrency factor below 1 would reject admissible peaks"); // mmr-lint: allow(P-TRANS, reason="construction-time config validation; unreachable from the per-cycle path")
         LinkBandwidthBook {
             round,
             timing,

@@ -208,6 +208,7 @@ impl VirtualChannelMemory {
             self.flits_available.set(vc.index(), true);
         }
         let kind = flit.kind;
+        // mmr-lint: allow(A-TRANS, reason="bounded by the depth check above; a VC queue never grows past its construction depth")
         q.flits.push_back(flit);
         if becomes_head {
             self.note_head_kind(vc.index(), Some(kind));

@@ -1,14 +1,21 @@
-//! The analysis engine: applies every rule to one lexed file, honoring
-//! `#[cfg(test)]` regions, `// mmr-lint: hot` function annotations, and
-//! `// mmr-lint: allow(...)` escape hatches.
+//! The analysis engine. Per file: annotation comments, `#[cfg(test)]`
+//! regions, and the direct token-pattern rules. Per workspace: the call
+//! graph over every analyzed file and the interprocedural rule families
+//! (A-TRANS, P-TRANS, S-SHARD chains), then allow-application and
+//! L-UNUSED reporting in one global pass — an allow on a leaf line can be
+//! "used" by a call chain rooted in another file.
+
+use std::collections::BTreeMap;
 
 use crate::diag::{Diagnostic, Rule};
+use crate::graph::{self, LeafKind, Site};
 use crate::lexer::{lex, Comment, Token, TokenKind};
 use crate::manifest::Manifest;
+use crate::parse::{self, FnItem, Region};
 
 /// Parsed `mmr-lint: allow(RULE, reason="...")` annotation.
 #[derive(Debug)]
-struct Allow {
+pub(crate) struct Allow {
     rule: Rule,
     /// Source line the annotation suppresses diagnostics on.
     target_line: u32,
@@ -17,73 +24,117 @@ struct Allow {
     used: bool,
 }
 
-/// Half-open token-index range.
-#[derive(Debug, Clone, Copy)]
-struct Region {
-    start: usize,
-    end: usize,
+/// One file's analysis, before the workspace-level pass.
+pub(crate) struct FileAnalysis {
+    path: String,
+    /// Direct-rule findings, pre-allow-application.
+    raw: Vec<Diagnostic>,
+    /// Findings that no allow can suppress (L-REASON).
+    fixed: Vec<Diagnostic>,
+    allows: Vec<Allow>,
+    fns: Vec<FnItem>,
+    sites: Vec<Vec<Site>>,
+    /// Struct field types declared in this file, for receiver resolution.
+    fields: Vec<(String, String, String)>,
 }
 
-impl Region {
-    fn contains(&self, i: usize) -> bool {
-        i >= self.start && i < self.end
-    }
-}
-
-/// Lints one file. `path` is the workspace-relative `/`-separated path used
-/// for designation lookups and in diagnostics.
+/// Lints one file in isolation (a one-file workspace: interprocedural
+/// rules still run over chains inside the file). `path` is the
+/// workspace-relative `/`-separated path used for designation lookups.
 pub fn check_file(path: &str, src: &str, manifest: &Manifest) -> Vec<Diagnostic> {
+    finalize(vec![analyze_file(path, src, manifest)], manifest).0
+}
+
+/// Runs annotation parsing, item parsing, site collection, and every
+/// direct (single-site) rule over one file.
+pub(crate) fn analyze_file(path: &str, src: &str, manifest: &Manifest) -> FileAnalysis {
     let lexed = lex(src);
     let tokens = &lexed.tokens;
 
-    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut fixed: Vec<Diagnostic> = Vec::new();
     let mut allows: Vec<Allow> = Vec::new();
     let mut hot_lines: Vec<u32> = Vec::new();
 
     // Pass 1: interpret annotation comments.
     for c in &lexed.comments {
-        parse_annotations(c, tokens, &mut allows, &mut hot_lines, &mut diags, path);
+        parse_annotations(c, tokens, &mut allows, &mut hot_lines, &mut fixed, path);
     }
 
-    let test_regions = find_test_regions(tokens);
-    let hot_regions = find_hot_regions(tokens, &hot_lines);
+    let test_regions = parse::find_test_regions(tokens);
+    let fns = parse::parse_items(tokens, &hot_lines, &test_regions);
+    let sites = graph::collect_sites(tokens, &fns);
+    let hot_regions: Vec<Region> =
+        fns.iter().filter(|f| f.hot).filter_map(|f| f.body).collect();
     let in_test = |i: usize| test_regions.iter().any(|r| r.contains(i));
     let in_hot = |i: usize| hot_regions.iter().any(|r| r.contains(i));
 
-    // Pass 2: token-pattern rules.
+    // Pass 2: direct token-pattern rules.
     let panic_free = manifest.is_panic_free(path);
     let index_free = manifest.is_index_free(path);
     let accounting = manifest.is_accounting(path);
     let time_exempt = manifest.is_time_exempt(path);
+    let iter_strict = manifest.is_iter_strict(path);
+    let shard_safe = manifest.is_shard_safe(path);
+    let bindings = if iter_strict { hashy_bindings(tokens) } else { Vec::new() };
+    // A use is hashy only where its binding is visible: in the same fn
+    // (params included) or bound at file scope (struct fields, statics).
+    // This keeps a BTree collection reusing a hashy name in another fn clean.
+    let fn_span_of = |idx: usize| {
+        fns.iter()
+            .find(|f| f.body.is_some_and(|b| f.start <= idx && idx <= b.end))
+            .map(|f| f.start)
+    };
+    let is_hashy = |name: &str, use_idx: usize| {
+        bindings.iter().any(|(n, bi)| {
+            n == name
+                && match fn_span_of(*bi) {
+                    Some(span) => fn_span_of(use_idx) == Some(span),
+                    None => true,
+                }
+        })
+    };
 
     let mut raw: Vec<Diagnostic> = Vec::new();
     let mut push = |line: u32, rule: Rule, message: String| {
-        raw.push(Diagnostic { file: path.to_string(), line, rule, message });
+        raw.push(Diagnostic::new(path, line, rule, message));
     };
 
     for (i, t) in tokens.iter().enumerate() {
-        if t.kind != TokenKind::Ident && !(t.kind == TokenKind::Float && accounting) {
-            // The only non-ident trigger besides floats is `[` (P-INDEX).
-            if index_free && !in_test(i) && t.is_punct('[') && is_index_expr(tokens, i) {
-                push(t.line, Rule::PIndex, "bare slice indexing; use get()/get_mut()".into());
-            }
-            continue;
-        }
         if in_test(i) {
             continue;
         }
         let next = tokens.get(i + 1);
         let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
 
-        // --- D-lints -----------------------------------------------------
-        if t.kind == TokenKind::Float && accounting {
-            push(
-                t.line,
-                Rule::DFloat,
-                format!("float literal `{}` in integer-ledger accounting module", t.text),
-            );
+        if t.kind == TokenKind::Float {
+            if accounting {
+                push(
+                    t.line,
+                    Rule::DFloat,
+                    format!("float literal `{}` in integer-ledger accounting module", t.text),
+                );
+            }
             continue;
         }
+        if t.kind != TokenKind::Ident {
+            if index_free && t.is_punct('[') && is_index_expr(tokens, i) {
+                push(t.line, Rule::PIndex, "bare slice indexing; use get()/get_mut()".into());
+            }
+            if shard_safe
+                && t.is_punct('*')
+                && next.is_some_and(|n| n.is_ident("const") || n.is_ident("mut"))
+                && tokens.get(i + 2).is_some_and(|n| n.kind == TokenKind::Ident)
+            {
+                push(
+                    t.line,
+                    Rule::SShard,
+                    "raw-pointer type in shard-safe module; use references or indices".into(),
+                );
+            }
+            continue;
+        }
+
+        // --- D-lints -----------------------------------------------------
         match t.text.as_str() {
             "HashMap" | "HashSet" => {
                 push(t.line, Rule::DHash, format!("use of `{}` (nondeterministic iteration order)", t.text));
@@ -105,6 +156,61 @@ pub fn check_file(path: &str, src: &str, manifest: &Manifest) -> Vec<Diagnostic>
                 push(t.line, Rule::DFloat, format!("`{}` type in integer-ledger accounting module", t.text));
             }
             _ => {}
+        }
+
+        // --- D-ITER: hash-order iteration in order-strict crates ---------
+        if iter_strict {
+            let is_call = next.is_some_and(|n| n.is_punct('('));
+            let after_dot = prev.is_some_and(|p| p.is_punct('.'));
+            if is_call
+                && after_dot
+                && matches!(
+                    t.text.as_str(),
+                    "iter" | "iter_mut" | "keys" | "values" | "values_mut" | "drain"
+                        | "into_iter" | "into_keys" | "into_values"
+                )
+                && i >= 2
+                && is_hashy(&tokens[i - 2].text, i)
+            {
+                push(
+                    t.line,
+                    Rule::DIter,
+                    format!(
+                        "hash-order iteration `.{}()` over `{}`; use a BTree collection or collect-and-sort first",
+                        t.text,
+                        tokens[i - 2].text
+                    ),
+                );
+            }
+            if t.is_ident("for") && !next.is_some_and(|n| n.is_punct('<')) {
+                if let Some(name) = for_loop_hashy_source(tokens, i, &is_hashy) {
+                    push(
+                        t.line,
+                        Rule::DIter,
+                        format!("hash-order iteration over `{name}` in for loop; use a BTree collection or collect-and-sort first"),
+                    );
+                }
+            }
+        }
+
+        // --- S-SHARD: shard-unsafe constructs ----------------------------
+        if shard_safe {
+            match t.text.as_str() {
+                "Rc" | "RefCell" | "Cell" | "UnsafeCell" => {
+                    push(
+                        t.line,
+                        Rule::SShard,
+                        format!("`{}` (unsynchronized shared mutability) in shard-safe module", t.text),
+                    );
+                }
+                "static" if next.is_some_and(|n| n.is_ident("mut")) => {
+                    push(t.line, Rule::SShard, "`static mut` (mutable global) in shard-safe module".into());
+                }
+                "thread_local" if next.is_some_and(|n| n.is_punct('!')) => {
+                    push(t.line, Rule::SShard, "`thread_local!` (per-thread state) in shard-safe module".into());
+                }
+                _ => {}
+            }
         }
 
         // --- P-lints -----------------------------------------------------
@@ -163,32 +269,212 @@ pub fn check_file(path: &str, src: &str, manifest: &Manifest) -> Vec<Diagnostic>
         }
     }
 
-    // Pass 3: apply allow-annotations; leftover allows become L-UNUSED.
-    for d in raw {
-        let mut suppressed = false;
-        for a in allows.iter_mut() {
-            if a.rule == d.rule && a.target_line == d.line {
-                a.used = true;
-                suppressed = true;
-            }
+    let fields = parse::parse_fields(tokens);
+    FileAnalysis { path: path.to_string(), raw, fixed, allows, fns, sites, fields }
+}
+
+/// The workspace-level pass: builds the call graph over every analyzed
+/// file, runs the interprocedural rules, applies allow-annotations
+/// globally, and reports leftover allows as L-UNUSED.
+pub(crate) fn finalize(
+    files: Vec<FileAnalysis>,
+    manifest: &Manifest,
+) -> (Vec<Diagnostic>, graph::Graph) {
+    let mut paths: Vec<String> = Vec::new();
+    let mut raws: Vec<Vec<Diagnostic>> = Vec::new();
+    let mut allows_by_file: Vec<Vec<Allow>> = Vec::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let mut per_file = Vec::new();
+    let mut fields: BTreeMap<(String, String), String> = BTreeMap::new();
+    for f in files {
+        paths.push(f.path.clone());
+        raws.push(f.raw);
+        out.extend(f.fixed);
+        allows_by_file.push(f.allows);
+        for (s, name, ty) in f.fields {
+            fields.insert((s, name), ty);
         }
-        if !suppressed {
-            diags.push(d);
-        }
+        per_file.push((f.path, f.fns, f.sites));
     }
-    for a in &allows {
-        if !a.used {
-            diags.push(Diagnostic {
-                file: path.to_string(),
-                line: a.own_line,
-                rule: Rule::LUnused,
-                message: format!("allow({}) suppressed no diagnostic; remove it", a.rule.id()),
-            });
-        }
+    let g = graph::build(per_file, &fields);
+
+    // Interprocedural rules. "Covered" callees — those carrying the same
+    // obligation as the root — are never descended into: their own direct
+    // rules (or their own chains) report their problems exactly once.
+    let mut trans: Vec<Diagnostic> = Vec::new();
+    {
+        let roots: Vec<usize> = (0..g.nodes.len()).filter(|&n| g.nodes[n].hot).collect();
+        let covered = |n: usize| g.nodes[n].hot;
+        let mut exempt = |n: usize, s: &Site| {
+            mark_allow(&mut allows_by_file[g.nodes[n].file], s.line, &[s.direct, Rule::ATrans])
+        };
+        trans.extend(graph::transitive_diags(
+            &g, &roots, &covered, LeafKind::Alloc, Rule::ATrans, "hot fn", &mut exempt,
+        ));
+    }
+    {
+        let pf: Vec<bool> =
+            g.nodes.iter().map(|n| manifest.is_panic_free(&g.files[n.file])).collect();
+        let roots: Vec<usize> = (0..g.nodes.len()).filter(|&n| pf[n]).collect();
+        let covered = |n: usize| pf[n];
+        let mut exempt = |n: usize, s: &Site| {
+            mark_allow(&mut allows_by_file[g.nodes[n].file], s.line, &[s.direct, Rule::PTrans])
+        };
+        trans.extend(graph::transitive_diags(
+            &g, &roots, &covered, LeafKind::Panic, Rule::PTrans, "panic-free fn", &mut exempt,
+        ));
+    }
+    {
+        let ss: Vec<bool> =
+            g.nodes.iter().map(|n| manifest.is_shard_safe(&g.files[n.file])).collect();
+        let roots: Vec<usize> = (0..g.nodes.len()).filter(|&n| ss[n]).collect();
+        let covered = |n: usize| ss[n];
+        let mut exempt = |n: usize, s: &Site| {
+            mark_allow(&mut allows_by_file[g.nodes[n].file], s.line, &[s.direct])
+        };
+        trans.extend(graph::transitive_diags(
+            &g, &roots, &covered, LeafKind::Shard, Rule::SShard, "shard-safe fn", &mut exempt,
+        ));
     }
 
-    diags.sort();
-    diags
+    // Apply allow-annotations: direct findings against their own file's
+    // allows, chain findings against the root call-site line.
+    let idx_of: BTreeMap<String, usize> =
+        paths.iter().enumerate().map(|(i, p)| (p.clone(), i)).collect();
+    for (i, raw) in raws.into_iter().enumerate() {
+        for d in raw {
+            if !mark_allow(&mut allows_by_file[i], d.line, &[d.rule]) {
+                out.push(d);
+            }
+        }
+    }
+    for d in trans {
+        let i = idx_of[&d.file];
+        if !mark_allow(&mut allows_by_file[i], d.line, &[d.rule]) {
+            out.push(d);
+        }
+    }
+    for (i, allows) in allows_by_file.iter().enumerate() {
+        for a in allows {
+            if !a.used {
+                out.push(Diagnostic::new(
+                    &paths[i],
+                    a.own_line,
+                    Rule::LUnused,
+                    format!("allow({}) suppressed no diagnostic; remove it", a.rule.id()),
+                ));
+            }
+        }
+    }
+    out.sort();
+    (out, g)
+}
+
+/// Marks every allow targeting `line` with a rule in `rules` as used;
+/// returns whether any matched.
+fn mark_allow(allows: &mut [Allow], line: u32, rules: &[Rule]) -> bool {
+    let mut any = false;
+    for a in allows.iter_mut() {
+        if a.target_line == line && rules.contains(&a.rule) {
+            a.used = true;
+            any = true;
+        }
+    }
+    any
+}
+
+/// Collects binding sites of identifiers bound to `HashMap`/`HashSet`
+/// values in this file — `name: HashMap<..>` annotations (lets, params,
+/// struct fields) and `name = HashMap::new()`-style initializers — as
+/// `(name, binding token index)` pairs. Still over-approximate by name
+/// within a scope: shadowing inside one fn counts as hashy.
+fn hashy_bindings(tokens: &[Token]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // `name = HashMap::new()` / `name = HashSet::from(..)`
+        if i >= 2 && tokens[i - 1].is_punct('=') && tokens[i - 2].kind == TokenKind::Ident {
+            out.push((tokens[i - 2].text.clone(), i - 2));
+            continue;
+        }
+        // `name: [&mut] [std::collections::] HashMap<..>`
+        let mut j = i;
+        for _ in 0..8 {
+            let Some(prev) = j.checked_sub(1) else { break };
+            j = prev;
+            let p = &tokens[j];
+            if p.is_punct(':') {
+                if let Some(k) = j.checked_sub(1) {
+                    if tokens[k].kind == TokenKind::Ident {
+                        out.push((tokens[k].text.clone(), k));
+                    }
+                }
+                break;
+            }
+            let continues = p.text == "::"
+                || p.is_punct('&')
+                || p.is_punct('<')
+                || p.is_ident("mut")
+                || p.is_ident("std")
+                || p.is_ident("collections")
+                || p.is_ident("dyn");
+            if !continues {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// For a `for` keyword at `i`, returns the hashy identifier the loop
+/// iterates over, if any: scans `for <pat> in <expr> {` and checks the
+/// expression's identifiers. Identifiers followed by `.` are left to the
+/// method-call check (e.g. `map.iter()`), so each loop is flagged once.
+fn for_loop_hashy_source(
+    tokens: &[Token],
+    i: usize,
+    is_hashy: &dyn Fn(&str, usize) -> bool,
+) -> Option<String> {
+    // Find the `in` at pattern depth 0 (an `impl Trait for Type` has none
+    // before its `{`, so it never matches).
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let mut in_idx = None;
+    while j < tokens.len() && j < i + 40 {
+        let p = &tokens[j];
+        if p.is_punct('(') || p.is_punct('[') {
+            depth += 1;
+        } else if p.is_punct(')') || p.is_punct(']') {
+            depth -= 1;
+        } else if p.is_ident("in") && depth <= 0 {
+            in_idx = Some(j);
+            break;
+        } else if p.is_punct('{') || p.is_punct(';') {
+            break;
+        }
+        j += 1;
+    }
+    let mut j = in_idx? + 1;
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        let p = &tokens[j];
+        if p.is_punct('(') || p.is_punct('[') {
+            depth += 1;
+        } else if p.is_punct(')') || p.is_punct(']') {
+            depth -= 1;
+        } else if p.is_punct('{') && depth <= 0 {
+            break;
+        } else if p.kind == TokenKind::Ident
+            && is_hashy(&p.text, j)
+            && !tokens.get(j + 1).is_some_and(|n| n.is_punct('.'))
+        {
+            return Some(p.text.clone());
+        }
+        j += 1;
+    }
+    None
 }
 
 /// Parses `mmr-lint:` annotations out of one comment. Malformed annotations
@@ -226,20 +512,15 @@ fn parse_annotations(
                 };
                 allows.push(Allow { rule, target_line, own_line: c.line, used: false });
             }
-            Err(why) => diags.push(Diagnostic {
-                file: path.to_string(),
-                line: c.line,
-                rule: Rule::LReason,
-                message: why,
-            }),
+            Err(why) => diags.push(Diagnostic::new(path, c.line, Rule::LReason, why)),
         }
     } else {
-        diags.push(Diagnostic {
-            file: path.to_string(),
-            line: c.line,
-            rule: Rule::LReason,
-            message: format!("unrecognized mmr-lint annotation `{body}`; expected `hot` or `allow(RULE, reason=\"...\")`"),
-        });
+        diags.push(Diagnostic::new(
+            path,
+            c.line,
+            Rule::LReason,
+            format!("unrecognized mmr-lint annotation `{body}`; expected `hot` or `allow(RULE, reason=\"...\")`"),
+        ));
     }
 }
 
@@ -270,118 +551,18 @@ fn parse_allow(s: &str) -> Result<Rule, String> {
     Ok(rule)
 }
 
-/// Finds token regions covered by `#[cfg(test)]` / `#[test]` attributes:
-/// the attribute plus the item it annotates (brace-matched, or up to `;`
-/// for brace-less items).
-fn find_test_regions(tokens: &[Token]) -> Vec<Region> {
-    let mut regions = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
-            // Scan the attribute body for `test` / `cfg(..test..)`.
-            let mut j = i + 2;
-            let mut depth = 1u32;
-            let mut is_test_attr = false;
-            while j < tokens.len() && depth > 0 {
-                let t = &tokens[j];
-                if t.is_punct('[') {
-                    depth += 1;
-                } else if t.is_punct(']') {
-                    depth -= 1;
-                } else if t.is_ident("test") || t.is_ident("tests") {
-                    is_test_attr = true;
-                }
-                j += 1;
-            }
-            if is_test_attr {
-                // Skip any further attributes, then the item itself.
-                let mut k = j;
-                while k < tokens.len()
-                    && tokens[k].is_punct('#')
-                    && tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
-                {
-                    let mut d = 1u32;
-                    k += 2;
-                    while k < tokens.len() && d > 0 {
-                        if tokens[k].is_punct('[') {
-                            d += 1;
-                        } else if tokens[k].is_punct(']') {
-                            d -= 1;
-                        }
-                        k += 1;
-                    }
-                }
-                let end = skip_item(tokens, k);
-                regions.push(Region { start: i, end });
-                i = end;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    regions
-}
-
-/// Given the first token of an item, returns the index one past its end:
-/// past the matching `}` of its first brace at depth 0, or past the first
-/// top-level `;` for brace-less items (`use`, `type`, …).
-fn skip_item(tokens: &[Token], start: usize) -> usize {
-    let mut i = start;
-    let mut paren = 0i32;
-    while i < tokens.len() {
-        let t = &tokens[i];
-        if t.is_punct('(') {
-            paren += 1;
-        } else if t.is_punct(')') {
-            paren -= 1;
-        } else if t.is_punct(';') && paren <= 0 {
-            return i + 1;
-        } else if t.is_punct('{') && paren <= 0 {
-            let mut depth = 1i32;
-            i += 1;
-            while i < tokens.len() && depth > 0 {
-                if tokens[i].is_punct('{') {
-                    depth += 1;
-                } else if tokens[i].is_punct('}') {
-                    depth -= 1;
-                }
-                i += 1;
-            }
-            return i;
-        }
-        i += 1;
-    }
-    i
-}
-
-/// Finds body regions of functions marked with `// mmr-lint: hot`: for each
-/// annotation line, the next `fn` token at or after it, then its
-/// brace-matched body.
-fn find_hot_regions(tokens: &[Token], hot_lines: &[u32]) -> Vec<Region> {
-    let mut regions = Vec::new();
-    for &line in hot_lines {
-        let Some(fn_idx) = tokens
-            .iter()
-            .position(|t| t.is_ident("fn") && t.line >= line)
-        else {
-            continue;
-        };
-        let end = skip_item(tokens, fn_idx);
-        regions.push(Region { start: fn_idx, end });
-    }
-    regions
-}
-
 /// Whether the `[` at index `i` opens an index expression: the previous
 /// significant token is an identifier, `)`, or `]` (a value), not a type or
 /// attribute position.
-fn is_index_expr(tokens: &[Token], i: usize) -> bool {
+pub(crate) fn is_index_expr(tokens: &[Token], i: usize) -> bool {
     let Some(prev) = i.checked_sub(1).and_then(|j| tokens.get(j)) else { return false };
     match prev.kind {
         TokenKind::Ident => !matches!(
             prev.text.as_str(),
-            // Keyword before `[` means array/slice literal position.
+            // Keyword before `[` means array/slice literal or pattern
+            // position (`let [a, b] = ...` destructures, it does not index).
             "return" | "in" | "if" | "while" | "match" | "else" | "mut" | "ref" | "as" | "dyn"
+                | "let"
         ),
         TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
         _ => false,
@@ -391,7 +572,7 @@ fn is_index_expr(tokens: &[Token], i: usize) -> bool {
 /// Whether token `i` (`new`/`from`/`with_capacity`) completes an allocating
 /// `Type::ctor` path: tokens `i-2`/`i-1` are an allocating type name and
 /// `::`.
-fn is_alloc_type_path(tokens: &[Token], i: usize) -> bool {
+pub(crate) fn is_alloc_type_path(tokens: &[Token], i: usize) -> bool {
     let Some(colons) = i.checked_sub(1).and_then(|j| tokens.get(j)) else { return false };
     let Some(ty) = i.checked_sub(2).and_then(|j| tokens.get(j)) else { return false };
     colons.text == "::"
@@ -532,5 +713,150 @@ mod tests {
     fn trigger_words_in_strings_and_comments_ignored() {
         let out = run("// HashMap unwrap panic!\nfn f() { let s = \"Instant::now() .unwrap()\"; }");
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    // --- v2: D-ITER ------------------------------------------------------
+
+    fn run_iter(src: &str) -> Vec<String> {
+        let m = Manifest::parse("[deterministic]\niter_strict = [\"a.rs\"]").expect("manifest");
+        check_file("a.rs", src, &m).iter().map(|d| d.render()).collect()
+    }
+
+    #[test]
+    fn hash_iteration_is_d_iter() {
+        let out = run_iter("fn f(m: &HashMap<u32, u32>) { for (k, v) in m.iter() { use_it(k, v); } }");
+        assert!(out.iter().any(|d| d.contains("D-ITER") && d.contains("`m`")), "{out:?}");
+        let out = run_iter("fn g() { let mut s = HashSet::new(); for x in s { touch(x); } }");
+        assert!(out.iter().any(|d| d.contains("D-ITER") && d.contains("for loop")), "{out:?}");
+    }
+
+    #[test]
+    fn btree_iteration_is_not_d_iter() {
+        let out = run_iter("fn f(m: &BTreeMap<u32, u32>) { for (k, v) in m.iter() { use_it(k, v); } }");
+        assert!(!out.iter().any(|d| d.contains("D-ITER")), "{out:?}");
+    }
+
+    #[test]
+    fn hashy_name_in_one_fn_does_not_taint_another_fn() {
+        let out = run_iter(
+            "fn f() { let mut m = HashMap::new(); for k in m.keys() { touch(k); } }\n\
+             fn g() { let mut m = BTreeMap::new(); for k in m.keys() { touch(k); } }",
+        );
+        let iter: Vec<_> = out.iter().filter(|d| d.contains("D-ITER")).collect();
+        assert_eq!(iter.len(), 1, "{out:?}");
+        assert!(iter[0].starts_with("a.rs:1:"), "{out:?}");
+    }
+
+    #[test]
+    fn file_scope_hashy_binding_taints_all_fns() {
+        let out = run_iter(
+            "struct S { m: HashMap<u32, u32> }\n\
+             fn f(s: &S) { for k in s.m.keys() { touch(k); } }",
+        );
+        assert!(out.iter().any(|d| d.contains("D-ITER")), "{out:?}");
+    }
+
+    #[test]
+    fn hash_iteration_outside_strict_crates_is_only_d_hash() {
+        let m = Manifest::default();
+        let out: Vec<String> =
+            check_file("a.rs", "fn f(m: &HashMap<u32, u32>) { for k in m.keys() { touch(k); } }", &m)
+                .iter()
+                .map(|d| d.render())
+                .collect();
+        assert!(!out.iter().any(|d| d.contains("D-ITER")), "{out:?}");
+        assert!(out.iter().any(|d| d.contains("D-HASH")), "{out:?}");
+    }
+
+    // --- v2: S-SHARD (direct) --------------------------------------------
+
+    fn run_shard(src: &str) -> Vec<String> {
+        let m = Manifest::parse("[shard_safe]\nmodules = [\"a.rs\"]").expect("manifest");
+        check_file("a.rs", src, &m).iter().map(|d| d.render()).collect()
+    }
+
+    #[test]
+    fn shard_unsafe_constructs_flagged() {
+        assert!(run_shard("static mut COUNTER: u32 = 0;").iter().any(|d| d.contains("S-SHARD")));
+        assert!(run_shard("use std::rc::Rc;").iter().any(|d| d.contains("S-SHARD")));
+        assert!(run_shard("fn f(p: *mut u8) {}").iter().any(|d| d.contains("S-SHARD")));
+        assert!(run_shard("thread_local! { static X: u32 = 0; }")
+            .iter()
+            .any(|d| d.contains("S-SHARD")));
+    }
+
+    #[test]
+    fn shard_rules_only_in_designated_modules() {
+        let m = Manifest::parse("[shard_safe]\nmodules = [\"b.rs\"]").expect("manifest");
+        let out = check_file("a.rs", "use std::rc::Rc;", &m);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    // --- v2: transitive rules --------------------------------------------
+
+    #[test]
+    fn hot_fn_transitive_allocation_is_a_trans() {
+        let out = run(
+            "// mmr-lint: hot\nfn step() { helper(); }\nfn helper() { deeper(); }\nfn deeper() { let v = Vec::new(); }",
+        );
+        let chain: Vec<&String> = out.iter().filter(|d| d.contains("A-TRANS")).collect();
+        assert_eq!(chain.len(), 1, "{out:?}");
+        assert!(chain[0].starts_with("a.rs:2:"), "{chain:?}");
+        assert!(chain[0].contains("step -> helper -> deeper"), "{chain:?}");
+    }
+
+    #[test]
+    fn p_trans_reports_cross_file_chains() {
+        let m = Manifest::parse("[panic_free]\nmodules = [\"router.rs\"]").expect("manifest");
+        let a = analyze_file("router.rs", "fn step(x: Option<u8>) -> u8 { decode(x) }", &m);
+        let b = analyze_file("util.rs", "fn decode(x: Option<u8>) -> u8 { x.unwrap() }", &m);
+        let (diags, _) = finalize(vec![a, b], &m);
+        let out: Vec<String> = diags.iter().map(|d| d.render()).collect();
+        assert!(
+            out.iter().any(|d| d.contains("P-TRANS")
+                && d.starts_with("router.rs:1:")
+                && d.contains("step -> decode")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn leaf_allow_exempts_the_chain_and_counts_as_used() {
+        let m = Manifest::parse("[panic_free]\nmodules = [\"router.rs\"]").expect("manifest");
+        let a = analyze_file("router.rs", "fn step(x: Option<u8>) -> u8 { decode(x) }", &m);
+        let b = analyze_file(
+            "util.rs",
+            "fn decode(x: Option<u8>) -> u8 { x.unwrap() } // mmr-lint: allow(P-UNWRAP, reason=\"caller validates\")",
+            &m,
+        );
+        let (diags, _) = finalize(vec![a, b], &m);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn callees_in_panic_free_files_are_not_re_reported() {
+        // Both files designated: the callee's own direct P-UNWRAP covers it;
+        // no chain is reported on top.
+        let m =
+            Manifest::parse("[panic_free]\nmodules = [\"router.rs\", \"util.rs\"]").expect("m");
+        let a = analyze_file("router.rs", "fn step(x: Option<u8>) -> u8 { decode(x) }", &m);
+        let b = analyze_file("util.rs", "fn decode(x: Option<u8>) -> u8 { x.unwrap() }", &m);
+        let (diags, _) = finalize(vec![a, b], &m);
+        let out: Vec<String> = diags.iter().map(|d| d.render()).collect();
+        assert!(!out.iter().any(|d| d.contains("P-TRANS")), "{out:?}");
+        assert!(out.iter().any(|d| d.contains("P-UNWRAP")), "{out:?}");
+    }
+
+    #[test]
+    fn s_shard_transitive_chain() {
+        let m = Manifest::parse("[shard_safe]\nmodules = [\"router.rs\"]").expect("manifest");
+        let a = analyze_file("router.rs", "fn step() { helper(); }", &m);
+        let b = analyze_file("util.rs", "fn helper() { let c = RefCell::new(0); }", &m);
+        let (diags, _) = finalize(vec![a, b], &m);
+        let out: Vec<String> = diags.iter().map(|d| d.render()).collect();
+        assert!(
+            out.iter().any(|d| d.contains("S-SHARD") && d.contains("step -> helper")),
+            "{out:?}"
+        );
     }
 }

@@ -19,8 +19,10 @@
 
 pub mod diag;
 pub mod engine;
+mod graph;
 pub mod lexer;
 pub mod manifest;
+mod parse;
 
 pub use diag::{Diagnostic, Rule, ALL_RULES};
 pub use manifest::Manifest;
@@ -29,26 +31,59 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Lints one file's source text. `rel_path` must be the workspace-relative
-/// `/`-separated path (used for designation lookups and diagnostics).
+/// The result of a full analysis run: the diagnostics plus the call graph
+/// they were computed over (for `--emit-callgraph`).
+pub struct Analysis {
+    /// All findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    graph: graph::Graph,
+}
+
+impl Analysis {
+    /// Renders the workspace call graph as deterministic DOT: nodes are
+    /// `file:line name` (hot fns boxed), edges are resolved calls.
+    pub fn callgraph_dot(&self) -> String {
+        graph::to_dot(&self.graph)
+    }
+}
+
+/// Analyzes a batch of sources as one workspace: the call graph spans all
+/// of them, so interprocedural rules see cross-file chains. Each entry is
+/// `(workspace-relative path, source text)`.
+pub fn analyze_sources(files: &[(&str, &str)], manifest: &Manifest) -> Analysis {
+    let analyses =
+        files.iter().map(|(p, s)| engine::analyze_file(p, s, manifest)).collect::<Vec<_>>();
+    let (diagnostics, graph) = engine::finalize(analyses, manifest);
+    Analysis { diagnostics, graph }
+}
+
+/// Lints one file's source text (a one-file workspace). `rel_path` must be
+/// the workspace-relative `/`-separated path (used for designation lookups
+/// and diagnostics).
 pub fn check_source(rel_path: &str, src: &str, manifest: &Manifest) -> Vec<Diagnostic> {
     engine::check_file(rel_path, src, manifest)
 }
 
 /// Walks `root` for `.rs` files, skipping manifest-excluded prefixes plus
-/// the built-in `target` / `.git` / hidden directories, and lints each.
-/// Returns diagnostics sorted by (file, line, rule).
-pub fn check_workspace(root: &Path, manifest: &Manifest) -> io::Result<Vec<Diagnostic>> {
+/// the built-in `target` / `.git` / hidden directories, and analyzes them
+/// all as one workspace (direct rules plus call-graph rules).
+pub fn analyze_workspace(root: &Path, manifest: &Manifest) -> io::Result<Analysis> {
     let mut files = Vec::new();
     collect_rs_files(root, root, manifest, &mut files)?;
     files.sort();
-    let mut diags = Vec::new();
+    let mut sources = Vec::new();
     for rel in files {
         let src = fs::read_to_string(root.join(&rel))?;
-        diags.extend(engine::check_file(&rel, &src, manifest));
+        sources.push((rel, src));
     }
-    diags.sort();
-    Ok(diags)
+    let refs: Vec<(&str, &str)> =
+        sources.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+    Ok(analyze_sources(&refs, manifest))
+}
+
+/// Like [`analyze_workspace`], returning only the diagnostics.
+pub fn check_workspace(root: &Path, manifest: &Manifest) -> io::Result<Vec<Diagnostic>> {
+    analyze_workspace(root, manifest).map(|a| a.diagnostics)
 }
 
 fn collect_rs_files(

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! mmr-lint [--deny-all] [--root DIR] [--manifest FILE] [--json]
-//!          [--list-rules] [FILE ...]
+//!          [--emit-callgraph PATH] [--list-rules] [FILE ...]
 //! ```
 //!
-//! With no FILE arguments, lints every `.rs` file under `--root` (default:
-//! current directory) honoring the manifest's `[paths] exclude`. With FILE
-//! arguments, lints exactly those files (paths relative to `--root`) — this
-//! is how CI exercises the committed fixture violations one at a time.
+//! With no FILE arguments, analyzes every `.rs` file under `--root`
+//! (default: current directory) as one workspace — the call graph spans
+//! all files, so A-TRANS/P-TRANS/S-SHARD chains cross crate boundaries.
+//! With FILE arguments, analyzes exactly those files as one batch (paths
+//! relative to `--root`) — this is how CI exercises the committed fixture
+//! violations. `--emit-callgraph PATH` additionally writes the resolved
+//! call graph as deterministic DOT.
 //!
 //! Exit codes: 0 = clean (or findings without `--deny-all`), 1 = findings
 //! under `--deny-all`, 2 = usage or I/O error.
@@ -16,7 +19,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mmr_lint::{check_source, check_workspace, load_manifest, Diagnostic, ALL_RULES};
+use mmr_lint::{analyze_sources, analyze_workspace, load_manifest, Analysis, ALL_RULES};
 
 struct Options {
     deny_all: bool,
@@ -24,6 +27,7 @@ struct Options {
     list_rules: bool,
     root: PathBuf,
     manifest: Option<PathBuf>,
+    callgraph: Option<PathBuf>,
     files: Vec<String>,
 }
 
@@ -34,6 +38,7 @@ fn parse_args() -> Result<Options, String> {
         list_rules: false,
         root: PathBuf::from("."),
         manifest: None,
+        callgraph: None,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -48,9 +53,13 @@ fn parse_args() -> Result<Options, String> {
             "--manifest" => {
                 opts.manifest = Some(PathBuf::from(args.next().ok_or("--manifest needs a file")?))
             }
+            "--emit-callgraph" => {
+                opts.callgraph =
+                    Some(PathBuf::from(args.next().ok_or("--emit-callgraph needs a path")?))
+            }
             "--help" | "-h" => {
                 println!(
-                    "mmr-lint [--deny-all] [--root DIR] [--manifest FILE] [--json] [--list-rules] [FILE ...]"
+                    "mmr-lint [--deny-all] [--root DIR] [--manifest FILE] [--json] [--emit-callgraph PATH] [--list-rules] [FILE ...]"
                 );
                 std::process::exit(0);
             }
@@ -86,30 +95,39 @@ fn main() -> ExitCode {
         }
     };
 
-    let diags: Vec<Diagnostic> = if opts.files.is_empty() {
-        match check_workspace(&opts.root, &manifest) {
-            Ok(d) => d,
+    let analysis: Analysis = if opts.files.is_empty() {
+        match analyze_workspace(&opts.root, &manifest) {
+            Ok(a) => a,
             Err(e) => {
                 eprintln!("mmr-lint: {e}");
                 return ExitCode::from(2);
             }
         }
     } else {
-        let mut all = Vec::new();
+        // Named files are analyzed as one batch so chains span them.
+        let mut sources: Vec<(String, String)> = Vec::new();
         for rel in &opts.files {
             let rel = rel.trim_start_matches("./").to_string();
-            let src = match std::fs::read_to_string(opts.root.join(&rel)) {
-                Ok(s) => s,
+            match std::fs::read_to_string(opts.root.join(&rel)) {
+                Ok(s) => sources.push((rel, s)),
                 Err(e) => {
                     eprintln!("mmr-lint: {rel}: {e}");
                     return ExitCode::from(2);
                 }
             };
-            all.extend(check_source(&rel, &src, &manifest));
         }
-        all.sort();
-        all
+        let refs: Vec<(&str, &str)> =
+            sources.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+        analyze_sources(&refs, &manifest)
     };
+    let diags = &analysis.diagnostics;
+
+    if let Some(path) = &opts.callgraph {
+        if let Err(e) = std::fs::write(path, analysis.callgraph_dot()) {
+            eprintln!("mmr-lint: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if opts.json {
         println!("[");
@@ -119,7 +137,7 @@ fn main() -> ExitCode {
         }
         println!("]");
     } else {
-        for d in &diags {
+        for d in diags {
             println!("{}", d.render());
         }
         if !diags.is_empty() {

@@ -1,0 +1,16 @@
+//! A-TRANS fixture: the hot function never allocates directly, but reaches
+//! a growing push through two intermediate hops; only the chain diagnostic
+//! fires, and it reports the full call chain.
+
+// mmr-lint: hot
+fn step(tbl: &mut Vec<u64>) {
+    refill(tbl);
+}
+
+fn refill(tbl: &mut Vec<u64>) {
+    grow(tbl);
+}
+
+fn grow(tbl: &mut Vec<u64>) {
+    tbl.push(7);
+}

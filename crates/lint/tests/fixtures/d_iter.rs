@@ -1,0 +1,29 @@
+//! D-ITER fixture: hash-order iteration in an iteration-strict module.
+//! Both the method-call form and the for-loop form are nondeterministic;
+//! the BTreeMap equivalents below them are not.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+fn tally() -> u64 {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    counts.insert(1, 10);
+    let mut sum = 0;
+    for v in counts.values() {
+        sum += v;
+    }
+    for (_k, v) in &counts {
+        sum += v;
+    }
+    sum
+}
+
+fn tally_sorted() -> u64 {
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+    counts.insert(1, 10);
+    let mut sum = 0;
+    for v in counts.values() {
+        sum += v;
+    }
+    sum
+}

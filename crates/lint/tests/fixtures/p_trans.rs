@@ -1,0 +1,7 @@
+//! P-TRANS fixture: this module is designated panic-free and contains no
+//! panic of its own, but it calls into a helper module (not designated)
+//! whose function unwraps. The cross-file chain is the violation.
+
+pub fn service(x: Option<u32>) -> u32 {
+    helper_value(x)
+}

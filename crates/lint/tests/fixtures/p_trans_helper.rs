@@ -1,0 +1,7 @@
+//! Companion for the P-TRANS fixture: not designated panic-free itself, so
+//! its unwrap draws no direct diagnostic — only the chain from p_trans.rs
+//! reaches it.
+
+pub fn helper_value(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,11 @@
+//! S-SHARD fixture: this module is designated shard-safe. It holds `Rc`
+//! state directly (one diagnostic) and calls into a helper module that
+//! touches thread-local state (a chain diagnostic).
+
+struct Cache {
+    inner: std::rc::Rc<Vec<u8>>,
+}
+
+fn lookup() -> u32 {
+    shard_helper_get()
+}

@@ -1,0 +1,10 @@
+//! Companion for the S-SHARD fixture: not designated shard-safe itself, so
+//! its thread-local draws no direct diagnostic — only the chain from
+//! s_shard.rs reaches it.
+
+pub fn shard_helper_get() -> u32 {
+    thread_local! {
+        static SLOT: std::cell::Cell<u32> = std::cell::Cell::new(0);
+    }
+    SLOT.with(|s| s.get())
+}

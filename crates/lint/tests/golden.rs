@@ -1,27 +1,37 @@
-//! Golden tests: each fixture under `tests/fixtures/` must produce exactly
-//! the diagnostics recorded in its `.expected` file, and together the
-//! fixtures must exercise every rule the linter knows about.
+//! Golden tests: each fixture group under `tests/fixtures/` must produce
+//! exactly the diagnostics recorded in its `.expected` file, and together
+//! the fixtures must exercise every rule the linter knows about.
 //!
+//! A group is one or more fixture files analyzed as a single workspace so
+//! interprocedural rules (A-TRANS, P-TRANS, S-SHARD chains) can resolve
+//! cross-file calls; the golden output lives next to the first file.
 //! Regenerate an `.expected` file after an intentional rule change with:
 //!
 //! ```text
 //! cargo run -p mmr-lint -- --root crates/lint/tests/fixtures \
-//!     --manifest crates/lint/tests/fixtures/lint.toml <fixture>.rs \
-//!     > crates/lint/tests/fixtures/<fixture>.expected
+//!     --manifest crates/lint/tests/fixtures/lint.toml <group files...> \
+//!     > crates/lint/tests/fixtures/<first file>.expected
 //! ```
+//! (drop the trailing `mmr-lint: N diagnostic(s)` summary line).
 
 use std::fs;
 use std::path::PathBuf;
 
-use mmr_lint::{check_source, load_manifest, Manifest, ALL_RULES};
+use mmr_lint::{analyze_sources, load_manifest, Manifest, ALL_RULES};
 
-const FIXTURES: &[&str] = &[
-    "determinism",
-    "accounting",
-    "panic_free",
-    "indexing",
-    "hot_alloc",
-    "annotations",
+/// Fixture groups: the files in each inner slice are linted together as one
+/// workspace; the `.expected` golden output is named after the first file.
+const FIXTURES: &[&[&str]] = &[
+    &["determinism"],
+    &["accounting"],
+    &["panic_free"],
+    &["indexing"],
+    &["hot_alloc"],
+    &["annotations"],
+    &["a_trans"],
+    &["p_trans", "p_trans_helper"],
+    &["d_iter"],
+    &["s_shard", "s_shard_helper"],
 ];
 
 fn fixtures_dir() -> PathBuf {
@@ -32,32 +42,42 @@ fn fixture_manifest() -> Manifest {
     load_manifest(&fixtures_dir().join("lint.toml")).expect("fixture lint.toml parses")
 }
 
+fn group_diagnostics(group: &[&str], manifest: &Manifest) -> Vec<String> {
+    let dir = fixtures_dir();
+    let sources: Vec<(String, String)> = group
+        .iter()
+        .map(|name| {
+            let path = format!("{name}.rs");
+            let src = fs::read_to_string(dir.join(&path)).expect("fixture readable");
+            (path, src)
+        })
+        .collect();
+    let refs: Vec<(&str, &str)> =
+        sources.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+    analyze_sources(&refs, manifest).diagnostics.iter().map(|d| d.render()).collect()
+}
+
 #[test]
 fn fixtures_match_golden_output() {
     let dir = fixtures_dir();
     let manifest = fixture_manifest();
-    for name in FIXTURES {
-        let src = fs::read_to_string(dir.join(format!("{name}.rs"))).expect("fixture readable");
-        let expected =
-            fs::read_to_string(dir.join(format!("{name}.expected"))).expect("golden readable");
-        let got: String = check_source(&format!("{name}.rs"), &src, &manifest)
-            .iter()
-            .map(|d| format!("{}\n", d.render()))
-            .collect();
-        assert_eq!(got, expected, "diagnostics drifted for fixture `{name}.rs`");
+    for group in FIXTURES {
+        let expected = fs::read_to_string(dir.join(format!("{}.expected", group[0])))
+            .expect("golden readable");
+        let got: String =
+            group_diagnostics(group, &manifest).iter().map(|d| format!("{d}\n")).collect();
+        assert_eq!(got, expected, "diagnostics drifted for fixture group `{}`", group[0]);
     }
 }
 
 #[test]
-fn every_fixture_violates_something() {
-    // CI asserts `--deny-all` exits nonzero per fixture; this is the
-    // in-process equivalent, so a fixture emptied by accident fails fast.
-    let dir = fixtures_dir();
+fn every_fixture_group_violates_something() {
+    // CI asserts `--deny-all` exits nonzero per fixture group; this is the
+    // in-process equivalent, so a group emptied by accident fails fast.
     let manifest = fixture_manifest();
-    for name in FIXTURES {
-        let src = fs::read_to_string(dir.join(format!("{name}.rs"))).expect("fixture readable");
-        let diags = check_source(&format!("{name}.rs"), &src, &manifest);
-        assert!(!diags.is_empty(), "fixture `{name}.rs` produced no diagnostics");
+    for group in FIXTURES {
+        let diags = group_diagnostics(group, &manifest);
+        assert!(!diags.is_empty(), "fixture group `{}` produced no diagnostics", group[0]);
     }
 }
 
@@ -67,8 +87,9 @@ fn every_rule_has_fixture_coverage() {
     let dir = fixtures_dir();
     let all_expected: String = FIXTURES
         .iter()
-        .map(|name| {
-            fs::read_to_string(dir.join(format!("{name}.expected"))).expect("golden readable")
+        .map(|group| {
+            fs::read_to_string(dir.join(format!("{}.expected", group[0])))
+                .expect("golden readable")
         })
         .collect();
     for rule in ALL_RULES {
@@ -77,6 +98,22 @@ fn every_rule_has_fixture_coverage() {
             "rule {} appears in no fixture's golden output",
             rule.id()
         );
+    }
+}
+
+#[test]
+fn transitive_goldens_record_call_chains() {
+    // The interprocedural fixtures must pin the rendered chain, not just the
+    // rule firing: a chain-reconstruction regression shows up byte-exactly.
+    let dir = fixtures_dir();
+    for (name, hops) in [
+        ("a_trans", "chain: step -> refill -> grow"),
+        ("p_trans", "chain: service -> helper_value"),
+        ("s_shard", "chain: lookup -> shard_helper_get"),
+    ] {
+        let expected =
+            fs::read_to_string(dir.join(format!("{name}.expected"))).expect("golden readable");
+        assert!(expected.contains(hops), "`{name}.expected` lost its call chain");
     }
 }
 
@@ -95,6 +132,8 @@ fn workspace_manifest_designations_resolve() {
         &manifest.accounting,
         &manifest.panic_free,
         &manifest.index_free,
+        &manifest.iter_strict,
+        &manifest.shard_safe,
     ] {
         for path in group {
             assert!(

@@ -144,6 +144,43 @@ impl UpDownRouting {
         self.legal[to.index()][from.index()][Phase::from_last(last_dir) as usize]
     }
 
+    /// The single best legal next hop — minimum remaining legal distance,
+    /// lowest port index as tie-break — without materializing the candidate
+    /// list. This is the allocation-free form the per-packet offer path uses;
+    /// `next_hops` returns the full sorted candidate set for adaptive-choice
+    /// analysis and tests.
+    pub fn best_hop(
+        &self,
+        topology: &Topology,
+        current: NodeId,
+        dest: NodeId,
+        last_dir: Option<LinkDir>,
+    ) -> Option<(PortId, NodeId, LinkDir)> {
+        if current == dest {
+            return None;
+        }
+        let phase = Phase::from_last(last_dir);
+        let here = self.legal[dest.index()][current.index()][phase as usize];
+        if here == usize::MAX {
+            return None;
+        }
+        let mut best: Option<(usize, PortId, NodeId, LinkDir)> = None;
+        for (port, peer, _) in topology.neighbors_iter(current) {
+            let dir = self.direction(current, peer);
+            if phase == Phase::DownOnly && dir == LinkDir::Up {
+                continue;
+            }
+            let landing = usize::from(dir == LinkDir::Down);
+            let there = self.legal[dest.index()][peer.index()][landing];
+            if there < here
+                && best.is_none_or(|(bt, bp, _, _)| (there, port.index()) < (bt, bp.index()))
+            {
+                best = Some((there, port, peer, dir));
+            }
+        }
+        best.map(|(_, port, peer, dir)| (port, peer, dir))
+    }
+
     /// Legal adaptive next hops from `current` toward `dest`, given the
     /// direction of the last traversed link (`None` at the source). Every
     /// offered hop strictly reduces the remaining legal distance, so
@@ -196,8 +233,7 @@ impl UpDownRouting {
         let mut current = src;
         let mut last_dir = None;
         while current != dest {
-            let hops = self.next_hops(topology, current, dest, last_dir);
-            let &(port, peer, dir) = hops.first()?;
+            let (port, peer, dir) = self.best_hop(topology, current, dest, last_dir)?;
             path.push((port, peer));
             current = peer;
             last_dir = Some(dir);

@@ -135,8 +135,9 @@ impl Histogram {
     ///
     /// Panics if `bin_width` is not positive or `bins` is zero.
     pub fn new(bin_width: f64, bins: usize) -> Self {
+        // mmr-lint: allow(P-TRANS, reason="construction-time config validation; unreachable from the per-cycle path")
         assert!(bin_width > 0.0, "bin width must be positive");
-        assert!(bins > 0, "need at least one bin");
+        assert!(bins > 0, "need at least one bin"); // mmr-lint: allow(P-TRANS, reason="construction-time config validation; unreachable from the per-cycle path")
         Histogram { bin_width, bins: vec![0; bins], overflow: 0, total: 0 }
     }
 
@@ -145,6 +146,7 @@ impl Histogram {
         self.total += 1;
         let idx = (x.max(0.0) / self.bin_width) as usize;
         if idx < self.bins.len() {
+            // mmr-lint: allow(P-TRANS, reason="idx is range-checked against the bin count on the line above")
             self.bins[idx] += 1;
         } else {
             self.overflow += 1;
@@ -276,6 +278,7 @@ impl DelayJitterRecorder {
             // mmr-lint: allow(A-PUSH, reason="amortized: grows once per newly seen flow, then stays flat for the run")
             self.per_flow.resize(idx + 1, None);
         }
+        // mmr-lint: allow(P-TRANS, reason="the per-flow table was just resized past idx when the flow is new")
         match &mut self.per_flow[idx] {
             Some(f) => {
                 let dj = (d - f.last_delay).abs();

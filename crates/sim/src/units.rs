@@ -36,6 +36,7 @@ impl Bandwidth {
     ///
     /// Panics if `bps` is negative or not finite.
     pub fn from_bps(bps: f64) -> Self {
+        // mmr-lint: allow(P-TRANS, reason="construction-time config validation; unreachable from the per-cycle path")
         assert!(bps.is_finite() && bps >= 0.0, "bandwidth must be finite and non-negative");
         Bandwidth(bps)
     }
@@ -285,8 +286,9 @@ impl FlitTiming {
     ///
     /// Panics if `flit_bits` is zero or the link rate is zero.
     pub fn new(flit_bits: u32, link_rate: Bandwidth) -> Self {
+        // mmr-lint: allow(P-TRANS, reason="construction-time config validation; unreachable from the per-cycle path")
         assert!(flit_bits > 0, "flit size must be positive");
-        assert!(link_rate.bits_per_sec() > 0.0, "link rate must be positive");
+        assert!(link_rate.bits_per_sec() > 0.0, "link rate must be positive"); // mmr-lint: allow(P-TRANS, reason="construction-time config validation; unreachable from the per-cycle path")
         FlitTiming { flit_bits, link_rate }
     }
 
@@ -331,6 +333,7 @@ impl FlitTiming {
     ///
     /// Panics if `rate` is zero.
     pub fn interarrival_cycles(self, rate: Bandwidth) -> f64 {
+        // mmr-lint: allow(P-TRANS, reason="construction-time config validation; unreachable from the per-cycle path")
         assert!(rate.bits_per_sec() > 0.0, "connection rate must be positive");
         self.link_rate.bits_per_sec() / rate.bits_per_sec()
     }
