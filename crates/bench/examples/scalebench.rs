@@ -1,0 +1,81 @@
+//! Scale wall: thousand-node dragonfly and butterfly fabrics under CBR
+//! churn, emitted as `BENCH_scale.json` and `results/scale.txt`.
+//!
+//! Usage: `cargo run --release -p mmr-bench --example scalebench --
+//! [--quick] [--jobs N | --serial] [--out PATH] [--table PATH]`
+//!
+//! The default grid simulates a 1056-node dragonfly `(a=32, p=1, h=1)`
+//! and a 1024-node 2-ary 8-fly end to end (establish → CBR churn →
+//! teardown) and reports the measured bytes-per-router footprint.
+//! `--quick` runs the 256-node dragonfly smoke point CI uses.
+//!
+//! The table is **byte-identical at any `--jobs` value** (no wall-clock
+//! content). The JSON adds wall-clock fields under `wall_*` keys; CI
+//! strips those lines before comparing serial and parallel runs. The
+//! binary exits nonzero if any point overruns its bytes-per-router budget
+//! or finishes with a dirty auditor.
+//!
+//! Lives in `crates/bench` (the D-TIME-exempt crate) as an example, next
+//! to `conformbench`.
+
+use std::time::Instant;
+
+use mmr_bench::scale::{render_json, render_table, run_scale, scale_grid};
+use mmr_bench::sweep::SweepOptions;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_args(&mut args);
+    let quick = args.iter().any(|a| a == "--quick");
+    let path_flag = |args: &[String], flag: &str, default: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let out_path = path_flag(&args, "--out", "BENCH_scale.json");
+    let table_path = path_flag(&args, "--table", "results/scale.txt");
+
+    let grid = scale_grid(quick);
+    let start = Instant::now();
+    let cells = run_scale(&grid, &opts);
+    let campaign_secs = start.elapsed().as_secs_f64();
+
+    let table = render_table(&cells);
+    let json = render_json(&cells);
+
+    print!("{table}");
+    if let Some(dir) = std::path::Path::new(&table_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create table directory");
+        }
+    }
+    std::fs::write(&table_path, &table).expect("write scale table");
+    std::fs::write(&out_path, &json).expect("write scale json");
+    eprintln!("wrote {table_path} and {out_path} (jobs={}, {campaign_secs:.1}s)", opts.jobs);
+
+    let mut failed = false;
+    for (fabric, r, _) in &cells {
+        if r.bytes_per_router > fabric.bytes_per_router_budget() {
+            eprintln!(
+                "FAIL: {} bytes/router {} exceeds budget {}",
+                fabric.name(),
+                r.bytes_per_router,
+                fabric.bytes_per_router_budget()
+            );
+            failed = true;
+        }
+        if !r.auditor_clean {
+            eprintln!("FAIL: {} finished with a dirty auditor", fabric.name());
+            failed = true;
+        }
+        if r.lost != 0 {
+            eprintln!("FAIL: {} lost {} flits in a fault-free run", fabric.name(), r.lost);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

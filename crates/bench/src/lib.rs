@@ -21,6 +21,7 @@ pub mod chaos;
 pub mod churn;
 pub mod extensions;
 pub mod faults;
+pub mod scale;
 pub mod sweep;
 
 /// Measurement effort for an experiment run.

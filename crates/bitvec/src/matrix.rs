@@ -85,6 +85,12 @@ impl StatusMatrix {
         self.vcs
     }
 
+    /// Heap bytes owned by the matrix's condition banks.
+    pub fn heap_bytes(&self) -> usize {
+        self.banks.capacity() * std::mem::size_of::<StatusBits>()
+            + self.banks.iter().map(StatusBits::heap_bytes).sum::<usize>()
+    }
+
     /// Reads one condition bit of one VC.
     pub fn get(&self, cond: Condition, vc: usize) -> bool {
         self.banks[cond.index()].get(vc)

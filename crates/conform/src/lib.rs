@@ -34,7 +34,8 @@ pub use oracle::{Divergence, Oracle};
 pub use report::{run, CaseOutcome, Report, RunConfig};
 pub use runner::{run_scenario, CaseRun, Hooks};
 pub use scenario::{
-    ChurnAction, ChurnEventSpec, ConnSpec, FaultKind, FaultSpec, Scenario, TopologySpec,
+    ChurnAction, ChurnEventSpec, ConnSpec, FaultKind, FaultSpec, RoutingChoice, Scenario,
+    TopologySpec,
 };
 pub use shrink::{shrink as shrink_scenario, Shrunk, DEFAULT_BUDGET};
 

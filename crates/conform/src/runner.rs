@@ -187,7 +187,7 @@ pub fn run_scenario(scenario: &Scenario, hooks: Hooks) -> CaseRun {
         .vc_depth(scenario.vc_depth)
         .candidates(scenario.candidates)
         .arbiter(scenario.arbiter);
-    let mut net = NetworkSim::new(topo, cfg);
+    let mut net = NetworkSim::with_routing(topo, cfg, scenario.routing.spec(&scenario.topology));
     if scenario.llr {
         net.enable_llr(LlrConfig::default());
     }

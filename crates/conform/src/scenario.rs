@@ -8,7 +8,9 @@
 //! (see [`crate::shrink`]) mutates them structurally and re-runs.
 
 use mmr_core::{ArbiterKind, PortId, QosClass};
-use mmr_net::{FaultPlan, NodeId, Topology};
+use mmr_net::{
+    Butterfly, Dragonfly, FaultPlan, Hypercube, MinimalSpec, NodeId, RoutingSpec, Topology,
+};
 use mmr_sim::{Bandwidth, Cycles, SeededRng};
 use mmr_traffic::rates::paper_rate_ladder;
 
@@ -52,6 +54,25 @@ pub enum TopologySpec {
         /// topology can be held fixed while the rest shrinks).
         seed: u64,
     },
+    /// Balanced dragonfly with one terminal per router (`p = 1`).
+    Dragonfly {
+        /// Routers per group.
+        a: u16,
+        /// Global links per router.
+        h: u16,
+    },
+    /// k-ary n-fly butterfly.
+    Butterfly {
+        /// Switch radix per direction.
+        k: u16,
+        /// Switch stages.
+        stages: u16,
+    },
+    /// `dim`-dimensional binary hypercube.
+    Hypercube {
+        /// Dimension (`2^dim` routers).
+        dim: u32,
+    },
 }
 
 impl TopologySpec {
@@ -67,6 +88,11 @@ impl TopologySpec {
                 let mut rng = SeededRng::new(seed);
                 Topology::irregular(nodes, PORTS_PER_NODE, extra, &mut rng)
             }
+            // The structured builders size their own port budgets (degree
+            // plus one terminal per router).
+            TopologySpec::Dragonfly { a, h } => Dragonfly::balanced(a, 1, h).build(),
+            TopologySpec::Butterfly { k, stages } => Butterfly::new(k, stages).build(),
+            TopologySpec::Hypercube { dim } => Hypercube::new(dim).build(),
         }
         .expect("generator dimensions fit the port budget")
     }
@@ -78,6 +104,27 @@ impl TopologySpec {
                 width * height
             }
             TopologySpec::Ring { nodes } | TopologySpec::Irregular { nodes, .. } => nodes,
+            TopologySpec::Dragonfly { a, h } => Dragonfly::balanced(a, 1, h).nodes(),
+            TopologySpec::Butterfly { k, stages } => Butterfly::new(k, stages).nodes(),
+            TopologySpec::Hypercube { dim } => Hypercube::new(dim).nodes(),
+        }
+    }
+
+    /// The structured minimal routing algorithm native to this shape, or
+    /// `None` for the classic fabrics that only know up*/down*.
+    pub fn minimal_spec(&self) -> Option<MinimalSpec> {
+        match *self {
+            TopologySpec::Dragonfly { a, h } => {
+                Some(MinimalSpec::Dragonfly(Dragonfly::balanced(a, 1, h)))
+            }
+            TopologySpec::Butterfly { k, stages } => {
+                Some(MinimalSpec::Butterfly(Butterfly::new(k, stages)))
+            }
+            TopologySpec::Hypercube { dim } => Some(MinimalSpec::Hypercube(Hypercube::new(dim))),
+            TopologySpec::Mesh { .. }
+            | TopologySpec::Torus { .. }
+            | TopologySpec::Ring { .. }
+            | TopologySpec::Irregular { .. } => None,
         }
     }
 
@@ -88,6 +135,51 @@ impl TopologySpec {
             TopologySpec::Torus { width, height } => format!("torus{width}x{height}"),
             TopologySpec::Ring { nodes } => format!("ring{nodes}"),
             TopologySpec::Irregular { nodes, extra, .. } => format!("irr{nodes}+{extra}"),
+            TopologySpec::Dragonfly { a, h } => format!("dfly{a}h{h}"),
+            TopologySpec::Butterfly { k, stages } => format!("bfly{k}x{stages}"),
+            TopologySpec::Hypercube { dim } => format!("cube{dim}"),
+        }
+    }
+}
+
+/// Which routing algorithm the scenario's network is built with. Classic
+/// fabrics (mesh/torus/ring/irregular) have no structured minimal
+/// algorithm, so every choice resolves to up*/down* there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingChoice {
+    /// The seed default: up*/down* over whatever graph the topology is.
+    UpDown,
+    /// The topology's native minimal algorithm (dimension-order,
+    /// group-minimal, destination-tag).
+    Minimal,
+    /// Minimal wrapped in seeded Valiant two-leg misrouting.
+    Valiant {
+        /// Intermediate-draw salt.
+        salt: u64,
+    },
+}
+
+impl RoutingChoice {
+    /// Resolves the drawn choice against the topology the scenario runs
+    /// on: structured fabrics honor Minimal/Valiant, everything else
+    /// falls back to up*/down*.
+    pub fn spec(&self, topology: &TopologySpec) -> RoutingSpec {
+        let Some(minimal) = topology.minimal_spec() else {
+            return RoutingSpec::up_down();
+        };
+        match *self {
+            RoutingChoice::UpDown => RoutingSpec::up_down(),
+            RoutingChoice::Minimal => RoutingSpec { minimal, valiant_salt: None },
+            RoutingChoice::Valiant { salt } => RoutingSpec { minimal, valiant_salt: Some(salt) },
+        }
+    }
+
+    /// Short report label (`updown`, `minimal`, `valiant`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingChoice::UpDown => "updown",
+            RoutingChoice::Minimal => "minimal",
+            RoutingChoice::Valiant { .. } => "valiant",
         }
     }
 }
@@ -195,6 +287,9 @@ pub struct Scenario {
     pub seed: u64,
     /// Network shape.
     pub topology: TopologySpec,
+    /// Routing algorithm the network is built with (resolved against the
+    /// topology by [`RoutingChoice::spec`]).
+    pub routing: RoutingChoice,
     /// Virtual channels per physical port.
     pub vcs_per_port: u16,
     /// Flit slots per VC buffer.
@@ -367,9 +462,66 @@ impl Scenario {
             churn.sort_by_key(|e| e.at);
         }
 
+        // Structured HPC fabrics (dragonfly / butterfly / hypercube) and
+        // the generalized routing layer. Appended after every earlier draw
+        // so pre-existing corpus seeds keep their exact scenario prefix;
+        // when a structured fabric is drawn, the endpoints already chosen
+        // against the classic topology are remapped by plain arithmetic —
+        // no further draws — and a routing algorithm is picked. Classic
+        // fabrics always route up*/down*.
+        let mut topology = topology;
+        let mut routing = RoutingChoice::UpDown;
+        if rng.chance(0.35) {
+            let structured = if rng.chance(0.08) {
+                // The scale-wall shape: a 1024-node 2-ary 8-fly. Rare,
+                // because one case costs two orders of magnitude more
+                // router-cycles than the small shapes.
+                TopologySpec::Butterfly { k: 2, stages: 8 }
+            } else {
+                match rng.index(6) {
+                    0 => TopologySpec::Dragonfly { a: 3, h: 1 },
+                    1 => TopologySpec::Dragonfly { a: 4, h: 1 },
+                    2 => TopologySpec::Butterfly { k: 2, stages: 3 },
+                    3 => TopologySpec::Butterfly { k: 3, stages: 3 },
+                    4 => TopologySpec::Hypercube { dim: 3 },
+                    _ => TopologySpec::Hypercube { dim: 4 },
+                }
+            };
+            let n = structured.nodes() as u16;
+            for c in &mut conns {
+                c.src %= n;
+                c.dst %= n;
+                if c.src == c.dst {
+                    c.dst = (c.src + 1) % n;
+                }
+            }
+            for e in &mut churn {
+                if let ChurnAction::Open { src, dst, .. } = &mut e.action {
+                    *src %= n;
+                    *dst %= n;
+                    if src == dst {
+                        *dst = (*src + 1) % n;
+                    }
+                }
+            }
+            // Fault endpoints remap the same way (a fail/repair pair stays
+            // a pair); wire faults whose remapped port is not a wire of the
+            // structured fabric are discarded by `fault_plan` at run time.
+            for f in &mut faults {
+                f.node %= n;
+            }
+            topology = structured;
+            routing = match rng.index(3) {
+                0 => RoutingChoice::UpDown,
+                1 => RoutingChoice::Minimal,
+                _ => RoutingChoice::Valiant { salt: rng.next_u64() },
+            };
+        }
+
         Scenario {
             seed,
             topology,
+            routing,
             vcs_per_port,
             vc_depth,
             candidates,
@@ -464,9 +616,10 @@ impl Scenario {
             })
             .collect();
         format!(
-            "{} vcs={} depth={} cand={} arb={:?} llr={} cycles={} conns=[{}] faults=[{}] \
-             churn=[{}]",
+            "{} route={} vcs={} depth={} cand={} arb={:?} llr={} cycles={} conns=[{}] \
+             faults=[{}] churn=[{}]",
             self.topology.label(),
+            self.routing.label(),
             self.vcs_per_port,
             self.vc_depth,
             self.candidates,

@@ -21,7 +21,7 @@
 
 use crate::oracle::Divergence;
 use crate::runner::{run_scenario, CaseRun, Hooks};
-use crate::scenario::{Scenario, TopologySpec};
+use crate::scenario::{RoutingChoice, Scenario, TopologySpec};
 
 /// Default re-run budget per shrink (each candidate costs one full case).
 pub const DEFAULT_BUDGET: usize = 200;
@@ -56,6 +56,18 @@ pub fn shrink(scenario: &Scenario, hooks: Hooks, budget: usize) -> Shrunk {
             Some(run)
         }
     };
+
+    // Pass 0: try the plain up*/down* fallback — if the divergence
+    // survives without the structured routing algorithm, the algorithm is
+    // incidental and the reproducer reads simpler.
+    if current.routing != RoutingChoice::UpDown {
+        let mut cand = current.clone();
+        cand.routing = RoutingChoice::UpDown;
+        if let Some(run) = try_candidate(&cand, &mut attempts) {
+            current = cand;
+            current_div = run.divergences;
+        }
+    }
 
     // Pass 1: drop churn events one at a time (restart after each success,
     // same ddmin inner loop as the connection pass below).
@@ -119,6 +131,9 @@ pub fn shrink(scenario: &Scenario, hooks: Hooks, budget: usize) -> Shrunk {
         let n = smaller.nodes() as u16;
         let mut cand = current.clone();
         cand.topology = smaller;
+        // The ladder shapes have no structured minimal algorithm; recording
+        // up*/down* keeps the minimal scenario's spec string honest.
+        cand.routing = RoutingChoice::UpDown;
         for c in &mut cand.conns {
             c.src %= n;
             c.dst %= n;

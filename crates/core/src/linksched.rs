@@ -126,6 +126,14 @@ impl ClassMasks {
     pub fn has_best_effort(&self) -> bool {
         self.best_effort_count > 0
     }
+
+    /// Heap bytes owned by the four class masks.
+    pub fn heap_bytes(&self) -> usize {
+        self.cbr.heap_bytes()
+            + self.vbr.heap_bytes()
+            + self.control.heap_bytes()
+            + self.best_effort.heap_bytes()
+    }
 }
 
 /// How the link scheduler picks its `C` candidates from the eligible set.
@@ -260,6 +268,18 @@ impl LinkScheduler {
             best_effort_heads: StatusBits::zeros(vcs),
             sorted: Vec::new(),
         }
+    }
+
+    /// Heap bytes owned by the scheduler's scratch state (candidate
+    /// contents excluded — `sorted` is transient and usually empty).
+    pub fn heap_bytes(&self) -> usize {
+        self.eligible.heap_bytes()
+            + self.classified.heap_bytes()
+            + self.info.heap_bytes()
+            + self.domain.heap_bytes()
+            + self.stream_heads.heap_bytes()
+            + self.control_heads.heap_bytes()
+            + self.best_effort_heads.heap_bytes()
     }
 
     /// Selects this cycle's candidates for one input port, writing them in

@@ -566,6 +566,53 @@ impl Router {
         self.credit_clamp = clamp;
     }
 
+    /// Estimated heap bytes of this router's steady-state structures — the
+    /// per-router term of the scale benchmarks' bytes-per-router figure.
+    ///
+    /// Covers the dominant per-port state: VC memories (lazily materialized
+    /// queue banks), status matrices, link-scheduler scratch, class masks,
+    /// free-VC stacks, credit tables, and bandwidth books, plus per-port
+    /// vector headers. Transient contents (in-flight candidate lists, the
+    /// allocation map's node overhead) are estimated shallowly; the figure
+    /// is an accounting lower bound rather than an allocator measurement.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let ports = usize::from(self.cfg.ports);
+        let vcms: usize = self.vcms.iter().map(VirtualChannelMemory::heap_bytes).sum();
+        let status: usize = self.status.iter().map(StatusMatrix::heap_bytes).sum();
+        let scheds: usize = self.link_scheds.iter().map(LinkScheduler::heap_bytes).sum();
+        let masks: usize = self.class_masks.iter().map(ClassMasks::heap_bytes).sum();
+        let stacks: usize = self
+            .free_input_vcs
+            .iter()
+            .chain(self.free_output_vcs.iter())
+            .map(|s| s.capacity() * size_of::<VcIndex>())
+            .sum();
+        let credits: usize =
+            self.credits.iter().map(|c| c.capacity() * size_of::<u32>()).sum();
+        let books = (self.books.len() + self.input_books.len()) * size_of::<LinkBandwidthBook>();
+        let allocs = self.allocations.len()
+            * (size_of::<ConnectionId>() + 2 * size_of::<Allocation>());
+        // Per-port vector headers of the remaining dense tables.
+        let headers = ports
+            * (size_of::<VirtualChannelMemory>()
+                + size_of::<StatusMatrix>()
+                + size_of::<LinkScheduler>()
+                + size_of::<ClassMasks>()
+                + 3 * size_of::<Vec<u32>>()
+                + size_of::<usize>()
+                + size_of::<u32>()
+                + 2 * size_of::<bool>());
+        vcms + status + scheds + masks + stacks + credits + books + allocs + headers
+    }
+
+    /// Total lazily materialized VC queue banks across all input ports —
+    /// the scale benchmarks report this against the eager worst case of
+    /// `ports × vcs / QUEUE_BANK_VCS`.
+    pub fn materialized_vc_banks(&self) -> usize {
+        self.vcms.iter().map(VirtualChannelMemory::materialized_banks).sum()
+    }
+
     /// The router's dimensions and timing.
     pub fn config(&self) -> RouterDims {
         RouterDims {

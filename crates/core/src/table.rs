@@ -27,9 +27,14 @@ use crate::ids::{PortId, VcIndex};
 
 /// A dense table with one slot per router port, indexed by [`PortId`] (or by
 /// the raw port index inside scheduler loops).
+///
+/// Backed by a `Box<[T]>` rather than a `Vec<T>`: the tables never grow
+/// after construction, and the boxed slice drops the capacity word — three
+/// machine words down to two per table, which adds up across the dozens of
+/// per-port tables of a thousand-router fabric.
 #[derive(Debug, Clone, Default)]
 pub struct PortMap<T> {
-    slots: Vec<T>,
+    slots: Box<[T]>,
 }
 
 impl<T> PortMap<T> {
@@ -37,7 +42,7 @@ impl<T> PortMap<T> {
     pub fn new_with(ports: usize, fill: impl FnMut() -> T) -> Self {
         let mut slots = Vec::with_capacity(ports);
         slots.resize_with(ports, fill);
-        PortMap { slots }
+        PortMap { slots: slots.into_boxed_slice() }
     }
 
     /// Creates a table of `ports` clones of `value`.
@@ -45,7 +50,13 @@ impl<T> PortMap<T> {
     where
         T: Clone,
     {
-        PortMap { slots: vec![value; ports] }
+        PortMap { slots: vec![value; ports].into_boxed_slice() }
+    }
+
+    /// Shallow heap footprint of the table itself (slot storage only — heap
+    /// owned *by* the slots, if any, is not traversed).
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val::<[T]>(&self.slots)
     }
 
     /// Number of ports the table was sized for.
@@ -115,9 +126,12 @@ impl<T> PortMap<T> {
 
 /// A dense table with one slot per virtual channel of a port, indexed by
 /// [`VcIndex`] (or by the raw VC index produced by bit-vector scans).
+///
+/// Boxed-slice backed for the same reason as [`PortMap`]: fixed size after
+/// construction, one less word of header per table.
 #[derive(Debug, Clone, Default)]
 pub struct VcMap<T> {
-    slots: Vec<T>,
+    slots: Box<[T]>,
 }
 
 impl<T> VcMap<T> {
@@ -126,7 +140,12 @@ impl<T> VcMap<T> {
     where
         T: Clone,
     {
-        VcMap { slots: vec![value; vcs] }
+        VcMap { slots: vec![value; vcs].into_boxed_slice() }
+    }
+
+    /// Shallow heap footprint of the table itself (slot storage only).
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val::<[T]>(&self.slots)
     }
 
     /// Number of virtual channels the table was sized for.

@@ -58,8 +58,17 @@ struct VcQueue {
     head_ready_at: Cycles,
 }
 
+/// Virtual channels per lazily-materialized queue bank: storage for a
+/// bank is allocated the first time one of its VCs buffers a flit. A
+/// paper-default port exposes 256 VCs but a typical connection load
+/// touches a handful, so thousand-router fabrics only pay for the banks
+/// they actually lease (the bytes-per-router number `scalebench` reports).
+const QUEUE_BANK_VCS: usize = 32;
+
 /// The virtual channel memory of one input port: `vcs` bounded FIFOs over an
-/// interleaved bank array.
+/// interleaved bank array. Queue storage is materialized lazily in
+/// [`QUEUE_BANK_VCS`]-sized chunks on first push, so an idle port costs a
+/// few hundred bytes regardless of its VC count.
 ///
 /// # Example
 ///
@@ -80,7 +89,13 @@ struct VcQueue {
 /// ```
 #[derive(Debug, Clone)]
 pub struct VirtualChannelMemory {
-    queues: Vec<VcQueue>,
+    /// Number of virtual channels (the logical size; storage below is
+    /// lazy).
+    vcs: usize,
+    /// Queue storage in `QUEUE_BANK_VCS`-sized chunks; `None` until a VC
+    /// of the chunk first buffers a flit. Distinct from the *timing*
+    /// bank count `banks`, which models RAM-module interleaving.
+    queue_banks: Vec<Option<Box<[VcQueue]>>>,
     depth: usize,
     flits_available: StatusBits,
     /// VCs whose *head* flit is a control flit — kept in lockstep with
@@ -118,7 +133,8 @@ impl VirtualChannelMemory {
         // mmr-lint: allow(P-PANIC, reason="construction-time config validation (documented # Panics contract), not on the flit-cycle path")
         assert!(banks > 0, "need at least one memory bank");
         VirtualChannelMemory {
-            queues: vec![VcQueue::default(); vcs],
+            vcs,
+            queue_banks: vec![None; vcs.div_ceil(QUEUE_BANK_VCS)],
             depth,
             flits_available: StatusBits::zeros(vcs),
             head_control: StatusBits::zeros(vcs),
@@ -135,7 +151,7 @@ impl VirtualChannelMemory {
 
     /// Number of virtual channels.
     pub fn vcs(&self) -> usize {
-        self.queues.len()
+        self.vcs
     }
 
     /// Per-VC buffer depth in flits.
@@ -148,8 +164,29 @@ impl VirtualChannelMemory {
         self.banks
     }
 
-    fn queue(&self, vc: VcIndex) -> Result<&VcQueue, VcmError> {
-        self.queues.get(vc.index()).ok_or(VcmError::NoSuchVc { vc })
+    /// The queue of `vc`, or `None` if the index is out of range *or* its
+    /// bank has never been materialized (an absent bank is an empty queue).
+    fn queue_ref(&self, vc: usize) -> Option<&VcQueue> {
+        self.queue_banks.get(vc / QUEUE_BANK_VCS)?.as_deref()?.get(vc % QUEUE_BANK_VCS)
+    }
+
+    /// Mutable access without materializing: absent banks stay absent, so
+    /// the pop/flush paths remain allocation-free.
+    fn queue_mut_if_present(&mut self, vc: usize) -> Option<&mut VcQueue> {
+        self.queue_banks.get_mut(vc / QUEUE_BANK_VCS)?.as_deref_mut()?.get_mut(vc % QUEUE_BANK_VCS)
+    }
+
+    /// Mutable access for the push path: materializes the bank holding `vc`
+    /// on first use. Callers must have bounds-checked `vc < self.vcs`.
+    fn queue_mut_materialize(&mut self, vc: usize) -> Option<&mut VcQueue> {
+        let vcs = self.vcs;
+        let bank = self.queue_banks.get_mut(vc / QUEUE_BANK_VCS)?;
+        let slot = bank.get_or_insert_with(|| {
+            let width = QUEUE_BANK_VCS.min(vcs - (vc / QUEUE_BANK_VCS) * QUEUE_BANK_VCS);
+            // mmr-lint: allow(A-TRANS, reason="one-time bank materialization on first lease of any VC in the bank; never repeated for the bank's lifetime")
+            vec![VcQueue::default(); width].into_boxed_slice()
+        });
+        slot.get_mut(vc % QUEUE_BANK_VCS)
     }
 
     /// Marks the start of a new flit cycle (resets the bank access budget).
@@ -198,19 +235,22 @@ impl VirtualChannelMemory {
     /// [`VcmError::NoSuchVc`] if the index is out of range.
     pub fn push(&mut self, vc: VcIndex, flit: Flit, now: Cycles) -> Result<(), VcmError> {
         let depth = self.depth;
-        let q = self.queues.get_mut(vc.index()).ok_or(VcmError::NoSuchVc { vc })?;
+        if vc.index() >= self.vcs {
+            return Err(VcmError::NoSuchVc { vc });
+        }
+        let kind = flit.kind;
+        let q = self.queue_mut_materialize(vc.index()).ok_or(VcmError::NoSuchVc { vc })?;
         if q.flits.len() >= depth {
             return Err(VcmError::BufferFull { vc });
         }
         let becomes_head = q.flits.is_empty();
         if becomes_head {
             q.head_ready_at = now;
-            self.flits_available.set(vc.index(), true);
         }
-        let kind = flit.kind;
         // mmr-lint: allow(A-TRANS, reason="bounded by the depth check above; a VC queue never grows past its construction depth")
         q.flits.push_back(flit);
         if becomes_head {
+            self.flits_available.set(vc.index(), true);
             self.note_head_kind(vc.index(), Some(kind));
         }
         self.total_pushed += 1;
@@ -230,7 +270,7 @@ impl VirtualChannelMemory {
     /// one queue lookup where the transmit path would otherwise do three.
     // mmr-lint: hot
     pub fn pop_timed(&mut self, vc: VcIndex, now: Cycles) -> Option<(Flit, Cycles, bool)> {
-        let q = self.queues.get_mut(vc.index())?;
+        let q = self.queue_mut_if_present(vc.index())?;
         let flit = q.flits.pop_front()?;
         let delay = now.since(q.head_ready_at);
         let next_kind = q.flits.front().map(|f| f.kind);
@@ -248,19 +288,19 @@ impl VirtualChannelMemory {
 
     /// The head flit of `vc`, if any.
     pub fn head(&self, vc: VcIndex) -> Option<&Flit> {
-        self.queue(vc).ok().and_then(|q| q.flits.front())
+        self.queue_ref(vc.index()).and_then(|q| q.flits.front())
     }
 
     /// Cycle at which the head flit of `vc` became ready, if there is one.
     pub fn head_ready_at(&self, vc: VcIndex) -> Option<Cycles> {
-        self.queue(vc).ok().and_then(|q| (!q.flits.is_empty()).then_some(q.head_ready_at))
+        self.queue_ref(vc.index()).and_then(|q| (!q.flits.is_empty()).then_some(q.head_ready_at))
     }
 
     /// The head flit of `vc` together with the cycle it became ready — one
     /// queue lookup where the scheduler's per-candidate classification
     /// would otherwise do two.
     pub fn head_with_ready(&self, vc: VcIndex) -> Option<(&Flit, Cycles)> {
-        self.queue(vc).ok().and_then(|q| q.flits.front().map(|f| (f, q.head_ready_at)))
+        self.queue_ref(vc.index()).and_then(|q| q.flits.front().map(|f| (f, q.head_ready_at)))
     }
 
     /// The paper's per-flit delay so far: cycles the head of `vc` has waited
@@ -271,7 +311,7 @@ impl VirtualChannelMemory {
 
     /// Number of flits queued on `vc` (0 for out-of-range indices).
     pub fn occupancy(&self, vc: VcIndex) -> usize {
-        self.queue(vc).map(|q| q.flits.len()).unwrap_or(0)
+        self.queue_ref(vc.index()).map_or(0, |q| q.flits.len())
     }
 
     /// Whether `vc` has no room for another flit.
@@ -282,7 +322,7 @@ impl VirtualChannelMemory {
     /// Drops every queued flit of `vc` (connection teardown or an
     /// `AbortFrame` command word) and returns how many were dropped.
     pub fn flush(&mut self, vc: VcIndex) -> usize {
-        let Some(q) = self.queues.get_mut(vc.index()) else { return 0 };
+        let Some(q) = self.queue_mut_if_present(vc.index()) else { return 0 };
         let n = q.flits.len();
         q.flits.clear();
         if n > 0 {
@@ -325,7 +365,38 @@ impl VirtualChannelMemory {
 
     /// Total flits currently stored across all VCs.
     pub fn total_occupancy(&self) -> usize {
-        self.queues.iter().map(|q| q.flits.len()).sum()
+        self.queue_banks
+            .iter()
+            .flatten()
+            .flat_map(|bank| bank.iter())
+            .map(|q| q.flits.len())
+            .sum()
+    }
+
+    /// Number of queue banks materialized so far (≤ `vcs / QUEUE_BANK_VCS`
+    /// rounded up). An idle port reports zero.
+    pub fn materialized_banks(&self) -> usize {
+        self.queue_banks.iter().flatten().count()
+    }
+
+    /// Heap bytes currently held by this VCM: the status vectors, the bank
+    /// spine, and every materialized queue (including VecDeque capacity).
+    /// This is the per-port term of the bytes-per-router figure reported by
+    /// the `scalebench` example.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let status = self.flits_available.heap_bytes()
+            + self.head_control.heap_bytes()
+            + self.head_best_effort.heap_bytes();
+        let spine = self.queue_banks.capacity() * size_of::<Option<Box<[VcQueue]>>>();
+        let queues: usize = self
+            .queue_banks
+            .iter()
+            .flatten()
+            .flat_map(|bank| bank.iter())
+            .map(|q| size_of::<VcQueue>() + q.flits.capacity() * size_of::<Flit>())
+            .sum();
+        status + spine + queues
     }
 
     /// Accesses that exceeded the per-cycle bank budget since construction.
@@ -504,6 +575,48 @@ mod tests {
         assert_eq!(pushed, 3);
         assert_eq!(popped, 1);
         assert_eq!(vcm.total_occupancy(), 2);
+    }
+
+    #[test]
+    fn queue_banks_materialize_on_first_push_only() {
+        let mut vcm = VirtualChannelMemory::new(256, 4, 8);
+        assert_eq!(vcm.materialized_banks(), 0, "idle VCM holds no queue storage");
+        let idle_bytes = vcm.heap_bytes();
+        // Reads on an unmaterialized bank see empty-queue semantics and
+        // allocate nothing.
+        assert_eq!(vcm.occupancy(VcIndex(200)), 0);
+        assert_eq!(vcm.pop(VcIndex(200), Cycles(0)), None);
+        assert_eq!(vcm.flush(VcIndex(200)), 0);
+        assert!(vcm.head(VcIndex(200)).is_none());
+        assert_eq!(vcm.materialized_banks(), 0);
+        // One push materializes exactly the bank holding that VC.
+        vcm.push(VcIndex(200), flit(0, 0), Cycles(0)).expect("room");
+        assert_eq!(vcm.materialized_banks(), 1);
+        assert!(vcm.heap_bytes() > idle_bytes);
+        assert_eq!(vcm.occupancy(VcIndex(200)), 1);
+        // A neighbor in the same bank reuses it; a distant VC adds one.
+        vcm.push(VcIndex(201), flit(1, 0), Cycles(0)).expect("room");
+        assert_eq!(vcm.materialized_banks(), 1);
+        vcm.push(VcIndex(3), flit(2, 0), Cycles(0)).expect("room");
+        assert_eq!(vcm.materialized_banks(), 2);
+        // Draining does not un-materialize: behavior stays identical.
+        vcm.pop(VcIndex(200), Cycles(1));
+        vcm.pop(VcIndex(201), Cycles(1));
+        vcm.flush(VcIndex(3));
+        assert_eq!(vcm.total_occupancy(), 0);
+        assert_eq!(vcm.materialized_banks(), 2);
+        assert!(!vcm.flits_available().any());
+    }
+
+    #[test]
+    fn partial_final_bank_covers_the_tail_vcs() {
+        // 40 VCs = one full bank of 32 plus a final bank of 8.
+        let mut vcm = VirtualChannelMemory::new(40, 2, 1);
+        vcm.push(VcIndex(39), flit(0, 0), Cycles(0)).expect("room");
+        assert_eq!(vcm.materialized_banks(), 1);
+        assert_eq!(vcm.occupancy(VcIndex(39)), 1);
+        assert_eq!(vcm.push(VcIndex(40), flit(1, 0), Cycles(0)), Err(VcmError::NoSuchVc { vc: VcIndex(40) }));
+        assert_eq!(vcm.pop(VcIndex(39), Cycles(1)).map(|f| f.seq), Some(0));
     }
 
     #[test]

@@ -7,10 +7,17 @@
 //! This crate builds all of it:
 //!
 //! * [`topology`] — meshes, tori, rings and connected random irregular
-//!   graphs, with router-port wiring and terminal (NI) ports.
+//!   graphs, plus the HPC-scale shapes (dragonfly, k-ary n-fly butterfly,
+//!   hypercube), with router-port wiring and terminal (NI) ports.
 //! * [`updown`] — deadlock-free up*/down* adaptive routing for arbitrary
 //!   connected topologies (the substrate of the Silla–Duato algorithms the
 //!   paper cites).
+//! * [`routing`] — the [`RoutingAlgorithm`] trait over all of it:
+//!   structured O(1)-memory minimal routing per regular topology
+//!   (dimension-order, dragonfly group-minimal, butterfly
+//!   destination-tag), seeded Valiant misrouting for adversarial loads,
+//!   and up*/down* as the irregular/fault fallback, each with a VC-class
+//!   escape layering proving deadlock freedom.
 //! * [`setup`] — exhaustive profitable backtracking (EPB) connection
 //!   establishment with history stores, plus a greedy baseline.
 //! * [`network`] — the cycle-driven multi-router simulator: one
@@ -61,6 +68,7 @@ pub mod driver;
 pub mod fault;
 pub mod network;
 pub mod recovery;
+pub mod routing;
 pub mod setup;
 pub mod topology;
 pub mod updown;
@@ -78,6 +86,9 @@ pub use recovery::{
     RecoveryEvent, RecoveryManager, RecoveryPolicy, RecoveryStats, SessionId, SessionStatus,
     UpgradeOutcome,
 };
+pub use routing::{
+    MinimalRouting, MinimalSpec, RouteCtx, RouteHop, Routing, RoutingAlgorithm, RoutingSpec,
+};
 pub use setup::{ProbeMachine, ProbeStep, SetupError, SetupReceipt, SetupStrategy};
-pub use topology::{NodeId, Topology, TopologyError, Wire};
+pub use topology::{Butterfly, Dragonfly, Hypercube, NodeId, Topology, TopologyError, Wire};
 pub use updown::{LinkDir, UpDownRouting};

@@ -20,9 +20,10 @@ use mmr_core::llr::{LlrConfig, LlrFrame, LlrReceiver, LlrSender, LlrSignal, RxOu
 use mmr_core::router::{InjectError, PacketError, PacketOutcome, Router, RouterConfig, StepReport};
 use mmr_sim::{Accumulator, Bandwidth, Cycles, SeededRng};
 
+use crate::routing::{MinimalRouting, RouteCtx, Routing, RoutingAlgorithm, RoutingSpec};
 use crate::setup::{ProbeMachine, ProbeStep, SetupError, SetupStrategy};
 use crate::topology::{NodeId, Topology};
-use crate::updown::{LinkDir, UpDownRouting};
+use crate::updown::UpDownRouting;
 
 /// Errors from the fallible [`NetworkSim`] entry points.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -382,8 +383,9 @@ struct PacketState {
     kind: FlitKind,
     hops: u32,
     injected_at: Cycles,
-    /// Direction of the last inter-router link taken (up*/down* phase).
-    last_dir: Option<LinkDir>,
+    /// Per-packet routing state (up*/down* phase, butterfly walk segment,
+    /// Valiant intermediate — whatever the active algorithm carries).
+    ctx: RouteCtx,
 }
 
 #[derive(Debug)]
@@ -419,7 +421,10 @@ pub struct NetworkSim {
     topology: Topology,
     /// The surviving graph after failures (routing decisions use this).
     live_topology: Topology,
-    routing: UpDownRouting,
+    routing: Routing,
+    /// The configured routing description; faults fall back to up*/down*
+    /// over the survivor graph, full repair restores this.
+    routing_spec: RoutingSpec,
     routers: Vec<Router>,
     conns: BTreeMap<NetConnectionId, NetConnection>,
     /// (node, local connection) → network connection, for delivery lookup.
@@ -499,6 +504,23 @@ impl NetworkSim {
     ///
     /// Panics if the topology needs more ports than the configuration has.
     pub fn new(topology: Topology, router_cfg: RouterConfig) -> Self {
+        Self::with_routing(topology, router_cfg, RoutingSpec::up_down())
+    }
+
+    /// Builds the network with an explicit routing description. Structured
+    /// specs (dimension-order, dragonfly, butterfly) carry no per-network
+    /// tables, which is what lets thousand-router fabrics fit in memory;
+    /// `RoutingSpec::up_down()` reproduces [`NetworkSim::new`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology needs more ports than the configuration has
+    /// or does not match the declared routing shape.
+    pub fn with_routing(
+        topology: Topology,
+        router_cfg: RouterConfig,
+        spec: RoutingSpec,
+    ) -> Self {
         let audit_env =
             std::env::var("MMR_AUDIT").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
         let mut seed_rng = SeededRng::new(0x4E45_5457 ^ 0x1999);
@@ -512,10 +534,11 @@ impl NetworkSim {
                     .build()
             })
             .collect();
-        let routing = UpDownRouting::new(&topology);
+        let routing = Routing::build(spec, &topology);
         let nodes = routers.len();
         NetworkSim {
             routing,
+            routing_spec: spec,
             live_topology: topology.clone(),
             routers,
             conns: BTreeMap::new(),
@@ -678,9 +701,15 @@ impl NetworkSim {
         &self.live_topology
     }
 
-    /// The up*/down* routing relation.
-    pub fn routing(&self) -> &UpDownRouting {
+    /// The active routing engine (the configured algorithm, or the
+    /// up*/down* fault fallback while parts of the fabric are down).
+    pub fn routing(&self) -> &Routing {
         &self.routing
+    }
+
+    /// The routing description the network was built with.
+    pub fn routing_spec(&self) -> RoutingSpec {
+        self.routing_spec
     }
 
     /// A node's router (read access for assertions and stats).
@@ -699,6 +728,17 @@ impl NetworkSim {
     /// Number of live end-to-end connections.
     pub fn connections(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Estimated heap bytes of the fabric's steady-state structures: every
+    /// router's [`Router::heap_bytes`] plus the routing engine's tables.
+    /// `scalebench` divides this by the router count for its
+    /// bytes-per-router figure, so the number reflects what actually grows
+    /// with fabric size (lazy VC banks, status vectors, routing state) and
+    /// not transient traffic.
+    pub fn memory_footprint(&self) -> usize {
+        let routers: usize = self.routers.iter().map(Router::heap_bytes).sum();
+        routers + self.routing.heap_bytes()
     }
 
     /// A connection's state.
@@ -847,10 +887,18 @@ impl NetworkSim {
         self.topology.peer_of(node, port).ok_or(NetError::TerminalPort { node, port })
     }
 
-    /// Rebuilds the operational topology and the up*/down* routing relation
-    /// from the physical topology minus the currently failed wires and the
-    /// wires attached to failed nodes.
+    /// Rebuilds the operational topology and the routing engine from the
+    /// physical topology minus the currently failed wires and the wires
+    /// attached to failed nodes. Structured algorithms assume the intact
+    /// regular fabric, so any failure swaps routing to up*/down* over the
+    /// survivor graph; once everything is repaired the configured
+    /// algorithm is restored.
     fn rebuild_routing(&mut self) {
+        if self.failed_ports.is_empty() && self.failed_nodes.is_empty() {
+            self.routing = Routing::build(self.routing_spec, &self.topology);
+            self.live_topology = self.topology.clone();
+            return;
+        }
         let mut survivor = Topology::new(self.topology.nodes(), self.topology.ports_per_node());
         for w in self.topology.wires() {
             let dead = self.failed_ports.contains(&w.a)
@@ -868,7 +916,8 @@ impl NetworkSim {
             .map(NodeId)
             .find(|n| !self.failed_nodes.contains(n))
             .unwrap_or(NodeId(0));
-        self.routing = UpDownRouting::with_root(&survivor, root);
+        self.routing =
+            Routing::Minimal(MinimalRouting::UpDown(UpDownRouting::with_root(&survivor, root)));
         self.live_topology = survivor;
     }
 
@@ -1320,10 +1369,8 @@ impl NetworkSim {
         }
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
-        self.packets.insert(
-            id,
-            PacketState { dst, kind, hops: 0, injected_at: now, last_dir: None },
-        );
+        let ctx = self.routing.initial_ctx(src, dst, id.0);
+        self.packets.insert(id, PacketState { dst, kind, hops: 0, injected_at: now, ctx });
         let Some(entry) = self.topology.terminal_port(src) else {
             self.packets.remove(&id);
             return Err(NetError::NoTerminalPort { node: src });
@@ -1337,9 +1384,10 @@ impl NetworkSim {
         // A packet that vanished (torn down by a fault mid-retry) has
         // nothing left to offer.
         let Some(state) = self.packets.get(&packet).cloned() else { return };
-        // Next output: terminal port when at the destination, else the best
-        // adaptive up*/down* hop (the packet's descent phase is sticky).
-        let (output, dir) = if node == state.dst {
+        // Next output: terminal port when at the destination, else the
+        // routing engine's next hop (the packet's routing context — e.g.
+        // the up*/down* descent phase — is sticky).
+        let (output, next_ctx) = if node == state.dst {
             let Some(ni) = self.topology.terminal_port(node) else {
                 // No NI to deliver into: the packet cannot exit; drop it.
                 self.packets.remove(&packet);
@@ -1348,8 +1396,8 @@ impl NetworkSim {
             };
             (ni, None)
         } else {
-            match self.routing.best_hop(&self.live_topology, node, state.dst, state.last_dir) {
-                Some((port, _, dir)) => (port, Some(dir)),
+            match self.routing.next_hop(&self.live_topology, node, state.dst, state.ctx) {
+                Some(hop) => (hop.port, Some(hop.ctx)),
                 None => {
                     // Unreachable destination: drop the packet.
                     self.packets.remove(&packet);
@@ -1360,16 +1408,16 @@ impl NetworkSim {
         self.wake(node);
         match self.routers[node.index()].inject_packet(entry, output, state.kind, now) {
             Ok(PacketOutcome::CutThrough) => {
-                if let (Some(d), Some(state)) = (dir, self.packets.get_mut(&packet)) {
-                    state.last_dir = Some(d);
+                if let (Some(c), Some(state)) = (next_ctx, self.packets.get_mut(&packet)) {
+                    state.ctx = c;
                 }
                 // The packet crossed this router within the cycle; it is now
                 // on the output wire (or delivered, at the destination).
                 self.forward_packet(node, output, packet, now);
             }
             Ok(PacketOutcome::Buffered(local)) => {
-                if let (Some(d), Some(state)) = (dir, self.packets.get_mut(&packet)) {
-                    state.last_dir = Some(d);
+                if let (Some(c), Some(state)) = (next_ctx, self.packets.get_mut(&packet)) {
+                    state.ctx = c;
                 }
                 // mmr-lint: allow(A-TRANS, reason="per-packet index entry, bounded by the admission-controlled in-flight packet population")
                 self.packet_index.insert((node, local), packet);

@@ -1,0 +1,236 @@
+//! Destination-tag routing on the bidirectional k-ary n-fly.
+//!
+//! Crossing stage boundary `s` (in either direction) can set base-`k`
+//! digit `s` of the row, so a route is a *covering walk* over the stage
+//! axis: it must dip to the lowest differing digit `lo`, span up through
+//! the highest `hi = maxdiff + 1`, and end on the destination stage. The
+//! shortest such walk visits the interval `[L, H]`
+//! (`L = min(lo, s_src, s_dst)`, `H = max(hi, s_src, s_dst)`) in one of
+//! two orders — down-first (`src → L → H → dst`) or up-first
+//! (`src → H → L → dst`) — and [`ButterflyRouting::initial_ctx`] picks
+//! the cheaper order per packet. Each boundary crossing sets the crossed
+//! digit to the destination's value (a straight link when it already
+//! matches).
+//!
+//! # Deadlock freedom
+//!
+//! Three VC classes = the three monotone legs of the walk: class 0 for
+//! the first leg, class 1 for the reversed middle leg, class 2 for the
+//! final approach. The leg index is carried in the packet's [`RouteCtx`]
+//! and never decreases, and within one class every packet moves
+//! monotonically along the stage axis (all up or all down per leg shape),
+//! so a class's dependence chains follow the stage order and cannot
+//! cycle. Mixed shapes share classes safely because up-moving and
+//! down-moving packets in the same class use disjoint channel directions
+//! of each wire (one DAG per direction).
+
+use crate::topology::{Butterfly, NodeId, Topology};
+
+use super::{hop_to, RouteCtx, RouteHop, RoutingAlgorithm};
+
+/// Which way the next hop moves along the stage axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageMove {
+    /// Toward stage 0, crossing boundary `s - 1`.
+    Down,
+    /// Toward the last stage, crossing boundary `s`.
+    Up,
+}
+
+/// Destination-tag butterfly routing. Stateless: row digits are the
+/// routing table.
+#[derive(Debug, Clone, Copy)]
+pub struct ButterflyRouting {
+    shape: Butterfly,
+}
+
+/// Down-first walk order (`src → L → H → dst`).
+const SHAPE_DOWN_FIRST: u8 = 0;
+/// Up-first walk order (`src → H → L → dst`).
+const SHAPE_UP_FIRST: u8 = 1;
+
+impl ButterflyRouting {
+    /// Builds the router for `shape`, validating that `topology` is that
+    /// butterfly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's node count does not match the shape.
+    pub fn new(shape: Butterfly, topology: &Topology) -> Self {
+        // mmr-lint: allow(P-TRANS, reason="construction-time shape validation; unreachable from the per-cycle path")
+        assert_eq!(topology.nodes(), shape.nodes(), "topology is not the declared butterfly");
+        ButterflyRouting { shape }
+    }
+
+    /// The butterfly parameters this router was built for.
+    pub fn shape(&self) -> &Butterfly {
+        &self.shape
+    }
+
+    /// Lowest differing digit and highest-differing-digit + 1 between two
+    /// rows, or `None` when the rows match.
+    fn diff_span(&self, row_a: usize, row_b: usize) -> Option<(usize, usize)> {
+        let digits = usize::from(self.shape.stages) - 1;
+        let mut span = None;
+        for d in 0..digits {
+            if self.shape.digit(row_a, d) != self.shape.digit(row_b, d) {
+                let (lo, _) = span.unwrap_or((d, d + 1));
+                span = Some((lo, d + 1));
+            }
+        }
+        span
+    }
+
+    /// The walk-order costs from `(s1, row1)` to `(s2, row2)`: `(down
+    /// first, up first)`.
+    fn order_costs(&self, s1: usize, row1: usize, s2: usize, row2: usize) -> (usize, usize) {
+        let (lo, hi) = match self.diff_span(row1, row2) {
+            Some((lo, hi)) => (lo.min(s1.min(s2)), hi.max(s1.max(s2))),
+            None => (s1.min(s2), s1.max(s2)),
+        };
+        let span = hi - lo;
+        (span + (s1 - lo) + (hi - s2), span + (hi - s1) + (s2 - lo))
+    }
+
+    /// The move and (possibly advanced) leg for a packet at `(s, row)`
+    /// bound for `(s2, row2)` under walk order `shape` and stored leg
+    /// `seg`. Shared by `next_hop` and `vc_class` so the class a packet
+    /// reports always matches the hop it takes. Total for any stored
+    /// `seg`: stale contexts degrade to a longer legal walk.
+    fn step(&self, s: usize, row: usize, s2: usize, row2: usize, shape: u8, seg: u8) -> (StageMove, u8) {
+        match self.diff_span(row, row2) {
+            // All digits agree: final approach straight to the
+            // destination stage.
+            None => (if s2 > s { StageMove::Up } else { StageMove::Down }, 2),
+            Some((lo, hi)) => {
+                if shape == SHAPE_DOWN_FIRST {
+                    if seg == 0 && s > lo.min(s2) {
+                        (StageMove::Down, 0)
+                    } else if hi > s {
+                        (StageMove::Up, seg.max(1))
+                    } else {
+                        // A diff below the current stage on the middle
+                        // leg: only reachable from a stale context;
+                        // descend to fix it.
+                        (StageMove::Down, seg.max(1))
+                    }
+                } else if seg == 0 && s < hi.max(s2) {
+                    (StageMove::Up, 0)
+                } else if lo < s {
+                    (StageMove::Down, seg.max(1))
+                } else {
+                    (StageMove::Up, seg.max(1))
+                }
+            }
+        }
+    }
+}
+
+impl RoutingAlgorithm for ButterflyRouting {
+    fn name(&self) -> &'static str {
+        "destination-tag"
+    }
+
+    fn initial_ctx(&self, src: NodeId, dst: NodeId, _salt: u64) -> RouteCtx {
+        let (s1, row1) = self.shape.coords(src);
+        let (s2, row2) = self.shape.coords(dst);
+        let (down_first, up_first) = self.order_costs(s1, row1, s2, row2);
+        let shape = if down_first <= up_first { SHAPE_DOWN_FIRST } else { SHAPE_UP_FIRST };
+        RouteCtx { phase: shape, via: RouteCtx::NO_VIA }
+    }
+
+    fn next_hop(
+        &self,
+        topology: &Topology,
+        current: NodeId,
+        dst: NodeId,
+        ctx: RouteCtx,
+    ) -> Option<RouteHop> {
+        if current == dst {
+            return None;
+        }
+        let (s, row) = self.shape.coords(current);
+        let (s2, row2) = self.shape.coords(dst);
+        let shape = ctx.phase & 1;
+        let seg = (ctx.phase >> 1).min(2);
+        let (mv, seg) = self.step(s, row, s2, row2, shape, seg);
+        let target = match mv {
+            // Crossing boundary `b` sets digit `b` to the destination's
+            // value (the straight wire when it already matches).
+            StageMove::Up => {
+                let b = s;
+                self.shape.node(s + 1, self.shape.set_digit(row, b, self.shape.digit(row2, b)))
+            }
+            StageMove::Down => {
+                let b = s - 1;
+                self.shape.node(s - 1, self.shape.set_digit(row, b, self.shape.digit(row2, b)))
+            }
+        };
+        hop_to(topology, current, target, RouteCtx { phase: shape | (seg << 1), via: ctx.via })
+    }
+
+    fn distance(&self, from: NodeId, to: NodeId) -> usize {
+        if from == to {
+            return 0;
+        }
+        let (s1, row1) = self.shape.coords(from);
+        let (s2, row2) = self.shape.coords(to);
+        let (down_first, up_first) = self.order_costs(s1, row1, s2, row2);
+        down_first.min(up_first)
+    }
+
+    fn vc_class(&self, current: NodeId, dst: NodeId, ctx: RouteCtx) -> u8 {
+        if current == dst {
+            return (ctx.phase >> 1).min(2);
+        }
+        let (s, row) = self.shape.coords(current);
+        let (s2, row2) = self.shape.coords(dst);
+        let (_, seg) = self.step(s, row, s2, row2, ctx.phase & 1, (ctx.phase >> 1).min(2));
+        seg
+    }
+
+    fn vc_classes(&self) -> u8 {
+        3
+    }
+
+    fn hop_bound(&self) -> usize {
+        // Three monotone legs, each at most the full stage span.
+        3 * (usize::from(self.shape.stages) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_match_the_closed_form_distance() {
+        let shape = Butterfly::new(2, 4);
+        let topo = shape.build().expect("wires fit");
+        let routing = ButterflyRouting::new(shape, &topo);
+        for src in 0..shape.nodes() as u16 {
+            for dst in 0..shape.nodes() as u16 {
+                let (src, dst) = (NodeId(src), NodeId(dst));
+                let route = routing.route(&topo, src, dst).expect("terminates");
+                assert_eq!(route.len(), routing.distance(src, dst), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_matches_bfs_everywhere() {
+        let shape = Butterfly::new(2, 3);
+        let topo = shape.build().expect("wires fit");
+        let routing = ButterflyRouting::new(shape, &topo);
+        for src in 0..shape.nodes() as u16 {
+            let bfs = topo.distances_from(NodeId(src));
+            for (dst, &d) in bfs.iter().enumerate() {
+                assert_eq!(
+                    routing.distance(NodeId(src), NodeId(dst as u16)),
+                    d,
+                    "n{src}->n{dst}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Dimension-order routing on a binary hypercube: fix the lowest differing
+//! address bit each hop.
+//!
+//! # Deadlock freedom
+//!
+//! Every packet crosses dimensions in strictly increasing order, so the
+//! channel dependence relation is a sub-order of (dimension, link) and has
+//! no cycle — a single VC class suffices (the classic e-cube argument).
+
+use crate::topology::{Hypercube, NodeId, Topology};
+
+use super::{hop_to, RouteCtx, RouteHop, RoutingAlgorithm};
+
+/// Dimension-order (e-cube) routing. Stateless: the shape parameters are
+/// the whole table.
+#[derive(Debug, Clone, Copy)]
+pub struct DimensionOrderRouting {
+    shape: Hypercube,
+}
+
+impl DimensionOrderRouting {
+    /// Builds the router for `shape`, validating that `topology` is that
+    /// hypercube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's node count does not match the shape.
+    pub fn new(shape: Hypercube, topology: &Topology) -> Self {
+        // mmr-lint: allow(P-TRANS, reason="construction-time shape validation; unreachable from the per-cycle path")
+        assert_eq!(topology.nodes(), shape.nodes(), "topology is not the declared hypercube");
+        DimensionOrderRouting { shape }
+    }
+
+    /// The hypercube parameters this router was built for.
+    pub fn shape(&self) -> &Hypercube {
+        &self.shape
+    }
+}
+
+impl RoutingAlgorithm for DimensionOrderRouting {
+    fn name(&self) -> &'static str {
+        "dimension"
+    }
+
+    fn next_hop(
+        &self,
+        topology: &Topology,
+        current: NodeId,
+        dst: NodeId,
+        ctx: RouteCtx,
+    ) -> Option<RouteHop> {
+        let diff = current.0 ^ dst.0;
+        if diff == 0 {
+            return None;
+        }
+        let bit = diff.trailing_zeros();
+        let target = NodeId(current.0 ^ (1 << bit));
+        hop_to(topology, current, target, ctx)
+    }
+
+    fn distance(&self, from: NodeId, to: NodeId) -> usize {
+        (from.0 ^ to.0).count_ones() as usize
+    }
+
+    fn vc_class(&self, _current: NodeId, _dst: NodeId, _ctx: RouteCtx) -> u8 {
+        0
+    }
+
+    fn vc_classes(&self) -> u8 {
+        1
+    }
+
+    fn hop_bound(&self) -> usize {
+        self.shape.diameter_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_fix_bits_low_to_high() {
+        let shape = Hypercube::new(4);
+        let topo = shape.build().expect("wires fit");
+        let routing = DimensionOrderRouting::new(shape, &topo);
+        let route = routing.route(&topo, NodeId(0b0000), NodeId(0b1011)).expect("terminates");
+        let visited: Vec<u16> = route.iter().map(|h| h.next.0).collect();
+        assert_eq!(visited, vec![0b0001, 0b0011, 0b1011]);
+        assert_eq!(route.len(), routing.distance(NodeId(0), NodeId(0b1011)));
+    }
+}

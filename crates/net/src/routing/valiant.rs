@@ -1,0 +1,203 @@
+//! Seeded Valiant misrouting: route to a random intermediate first, then
+//! to the real destination, each leg under the minimal base algorithm.
+//!
+//! Valiant's trick turns any adversarial traffic pattern into two uniform
+//! random patterns at the price of (at most) doubling path length. The
+//! intermediate is drawn per packet from a seeded hash of (salt, src,
+//! dst, packet id), so runs stay bit-for-bit deterministic and
+//! reproducible at any `--jobs` value.
+//!
+//! # Deadlock freedom
+//!
+//! The VC classes are the base algorithm's classes duplicated: leg 0 uses
+//! classes `0..C`, leg 1 uses `C..2C`. The leg index is carried in the
+//! packet's [`RouteCtx`] high phase bits and advances 0 → 1 exactly once
+//! (on reaching the intermediate), so classes stay monotone along every
+//! route; within a leg the base algorithm's own acyclicity argument
+//! applies unchanged.
+
+use mmr_sim::SeededRng;
+
+use crate::topology::{NodeId, Topology};
+
+use super::{MinimalRouting, RouteCtx, RouteHop, RoutingAlgorithm};
+
+/// Phase-bit stride separating the Valiant leg index from the base
+/// algorithm's phase bits (base phases fit in 3 bits).
+const LEG_STRIDE: u8 = 8;
+
+/// Valiant two-leg misrouting over a minimal base.
+#[derive(Debug, Clone)]
+pub struct ValiantRouting {
+    base: MinimalRouting,
+    salt: u64,
+}
+
+impl ValiantRouting {
+    /// Wraps `base` with misrouting seeded by `salt`.
+    pub fn new(base: MinimalRouting, salt: u64) -> Self {
+        ValiantRouting { base, salt }
+    }
+
+    /// The wrapped minimal algorithm.
+    pub fn base(&self) -> &MinimalRouting {
+        &self.base
+    }
+
+    /// The deterministic intermediate for a packet, or `None` when the
+    /// draw lands on an endpoint (the packet then routes minimally).
+    fn pick_via(&self, src: NodeId, dst: NodeId, salt: u64) -> Option<NodeId> {
+        let mix = self.salt
+            ^ salt.rotate_left(17)
+            ^ (u64::from(src.0) << 32)
+            ^ (u64::from(dst.0) << 48);
+        let via = NodeId((SeededRng::new(mix).next_u64() % self.base.nodes() as u64) as u16);
+        (via != src && via != dst).then_some(via)
+    }
+
+    /// Splits a wrapped context into (on second leg?, base context).
+    fn unwrap_ctx(ctx: RouteCtx) -> (bool, RouteCtx) {
+        let leg1 = ctx.phase >= LEG_STRIDE || ctx.via == RouteCtx::NO_VIA;
+        (leg1, RouteCtx { phase: ctx.phase % LEG_STRIDE, via: RouteCtx::NO_VIA })
+    }
+}
+
+impl RoutingAlgorithm for ValiantRouting {
+    fn name(&self) -> &'static str {
+        "valiant"
+    }
+
+    fn initial_ctx(&self, src: NodeId, dst: NodeId, salt: u64) -> RouteCtx {
+        match self.pick_via(src, dst, salt) {
+            Some(via) => RouteCtx {
+                phase: self.base.initial_ctx(src, via, salt).phase,
+                via: via.0,
+            },
+            // Degenerate draw: minimal route on second-leg classes.
+            None => RouteCtx {
+                phase: LEG_STRIDE + self.base.initial_ctx(src, dst, salt).phase,
+                via: RouteCtx::NO_VIA,
+            },
+        }
+    }
+
+    fn next_hop(
+        &self,
+        topology: &Topology,
+        current: NodeId,
+        dst: NodeId,
+        ctx: RouteCtx,
+    ) -> Option<RouteHop> {
+        let (leg1, inner) = Self::unwrap_ctx(ctx);
+        if !leg1 {
+            let via = NodeId(ctx.via);
+            if current != via && via.index() < topology.nodes() {
+                let hop = self.base.next_hop(topology, current, via, inner)?;
+                return Some(RouteHop {
+                    port: hop.port,
+                    next: hop.next,
+                    ctx: RouteCtx { phase: hop.ctx.phase, via: ctx.via },
+                });
+            }
+        }
+        // Second leg (or promotion on reaching the intermediate): route to
+        // the real destination. A promoted packet re-derives its base
+        // context deterministically from where it stands.
+        let inner = if leg1 {
+            inner
+        } else {
+            RouteCtx {
+                phase: self.base.initial_ctx(current, dst, u64::from(ctx.via)).phase,
+                via: RouteCtx::NO_VIA,
+            }
+        };
+        let hop = self.base.next_hop(topology, current, dst, inner)?;
+        Some(RouteHop {
+            port: hop.port,
+            next: hop.next,
+            ctx: RouteCtx { phase: LEG_STRIDE + hop.ctx.phase, via: ctx.via },
+        })
+    }
+
+    /// Minimal-base distances: path setup and reachability probes use the
+    /// minimal metric even while packets misroute.
+    fn distance(&self, from: NodeId, to: NodeId) -> usize {
+        self.base.distance(from, to)
+    }
+
+    fn vc_class(&self, current: NodeId, dst: NodeId, ctx: RouteCtx) -> u8 {
+        let (leg1, inner) = Self::unwrap_ctx(ctx);
+        if leg1 {
+            self.base.vc_classes() + self.base.vc_class(current, dst, inner)
+        } else if current == NodeId(ctx.via) {
+            // Promotion hop: already counted on second-leg classes.
+            self.base.vc_classes()
+                + self.base.vc_class(
+                    current,
+                    dst,
+                    RouteCtx {
+                        phase: self.base.initial_ctx(current, dst, u64::from(ctx.via)).phase,
+                        via: RouteCtx::NO_VIA,
+                    },
+                )
+        } else {
+            self.base.vc_class(current, NodeId(ctx.via), inner)
+        }
+    }
+
+    fn vc_classes(&self) -> u8 {
+        2 * self.base.vc_classes()
+    }
+
+    fn hop_bound(&self) -> usize {
+        2 * self.base.hop_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Dragonfly, Topology};
+    use crate::routing::DragonflyRouting;
+    use crate::updown::UpDownRouting;
+
+    #[test]
+    fn two_legs_reach_the_destination() {
+        let shape = Dragonfly::balanced(4, 1, 1);
+        let topo = shape.build().expect("wires fit");
+        let base = MinimalRouting::Dragonfly(DragonflyRouting::new(shape, &topo));
+        let routing = ValiantRouting::new(base, 0x5eed);
+        let (src, dst) = (NodeId(0), NodeId(17));
+        let route = routing.route(&topo, src, dst).expect("terminates");
+        assert!(route.len() <= routing.hop_bound());
+        assert_eq!(route.last().map(|h| h.next), Some(dst));
+        // Classes never decrease along the route.
+        let mut at = src;
+        let mut ctx = routing.initial_ctx(src, dst, 0);
+        let mut last_class = 0;
+        for hop in &route {
+            let class = routing.vc_class(at, dst, ctx);
+            assert!(class >= last_class, "class regressed at {at}");
+            last_class = class;
+            at = hop.next;
+            ctx = hop.ctx;
+        }
+    }
+
+    #[test]
+    fn updown_base_stays_reachable() {
+        let topo = Topology::ring(6, 4).expect("wires fit");
+        let base = MinimalRouting::UpDown(UpDownRouting::new(&topo));
+        let routing = ValiantRouting::new(base, 7);
+        for src in 0..6u16 {
+            for dst in 0..6u16 {
+                if src == dst {
+                    continue;
+                }
+                let route =
+                    routing.route(&topo, NodeId(src), NodeId(dst)).expect("terminates");
+                assert_eq!(route.last().map(|h| h.next), Some(NodeId(dst)));
+            }
+        }
+    }
+}

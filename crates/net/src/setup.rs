@@ -31,6 +31,7 @@ use mmr_core::ids::{ConnectionId, PortId, VcIndex};
 use mmr_sim::Bandwidth;
 
 use crate::network::{Hop, NetConnection, NetConnectionId, NetworkSim};
+use crate::routing::RoutingAlgorithm;
 use crate::topology::NodeId;
 
 /// The path-search strategy a probe uses.

@@ -7,9 +7,24 @@
 //! irregular graphs, and assigns router ports: each node's low-numbered
 //! ports are wired to neighbours, the remainder serve as network-interface
 //! (terminal) ports.
+//!
+//! The HPC-scale shapes live in submodules and share the same `Topology`
+//! representation: [`Dragonfly`] (fully-connected groups joined by global
+//! links), [`Butterfly`] (k-ary n-fly multistage) and [`Hypercube`]. Each
+//! exposes a parameter struct whose `build()` wires the fabric through
+//! [`Topology::connect_next_free`], plus closed-form node/link/diameter
+//! figures that the property-test wall checks against the built graph.
 
 use mmr_core::ids::PortId;
 use mmr_sim::SeededRng;
+
+mod dragonfly;
+mod hypercube;
+mod multistage;
+
+pub use dragonfly::Dragonfly;
+pub use hypercube::Hypercube;
+pub use multistage::Butterfly;
 
 /// A node (router) index in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -37,6 +52,15 @@ pub enum TopologyError {
         /// The saturated node.
         node: NodeId,
     },
+    /// The two nodes are already joined by a direct wire; the regular
+    /// builders never need parallel links, so asking for one is a bug in
+    /// the caller's wiring plan.
+    DuplicateLink {
+        /// First endpoint of the existing link.
+        a: NodeId,
+        /// Second endpoint of the existing link.
+        b: NodeId,
+    },
 }
 
 impl std::fmt::Display for TopologyError {
@@ -44,6 +68,9 @@ impl std::fmt::Display for TopologyError {
         match self {
             TopologyError::NoFreePort { node } => {
                 write!(f, "node {node} has no free port; increase ports_per_node")
+            }
+            TopologyError::DuplicateLink { a, b } => {
+                write!(f, "nodes {a} and {b} are already linked")
             }
         }
     }
@@ -162,6 +189,11 @@ impl Topology {
         self.neighbors_iter(node).count()
     }
 
+    /// Whether a direct wire already joins `a` and `b`.
+    pub fn linked(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors_iter(a).any(|(_, peer, _)| peer == b)
+    }
+
     /// Whether the graph is connected (ignoring isolated terminal ports).
     pub fn is_connected(&self) -> bool {
         if self.nodes <= 1 {
@@ -214,9 +246,15 @@ impl Topology {
     ///
     /// # Errors
     ///
-    /// Returns [`TopologyError::NoFreePort`] if either node has no port
-    /// left; the topology is unchanged in that case.
+    /// Returns [`TopologyError::DuplicateLink`] if the nodes are already
+    /// directly linked and [`TopologyError::NoFreePort`] if either node has
+    /// no port left; the topology is unchanged in either case. Parallel
+    /// links remain expressible through [`Topology::connect`] with explicit
+    /// ports.
     pub fn connect_next_free(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        if self.linked(a, b) {
+            return Err(TopologyError::DuplicateLink { a, b });
+        }
         let pa = self.next_free_port(a)?;
         let pb = self.next_free_port(b)?;
         self.connect((a, pa), (b, pb));
@@ -359,14 +397,46 @@ impl Topology {
             if a == b || t.degree(a) >= max_degree || t.degree(b) >= max_degree {
                 continue;
             }
-            // Avoid duplicate direct links for cleaner graphs.
-            if t.neighbors(a).iter().any(|&(_, n, _)| n == b) {
+            // Skip duplicate direct links for cleaner graphs (wiring one
+            // would be rejected as a DuplicateLink anyway).
+            if t.linked(a, b) {
                 continue;
             }
             t.connect_next_free(a, b)?;
             added += 1;
         }
         Ok(t)
+    }
+
+    /// A balanced dragonfly with `a` routers per group, `p` terminals per
+    /// router and `h` global links per router (`a·h + 1` groups).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if the wiring plan is inconsistent; see
+    /// [`Dragonfly::build`].
+    pub fn dragonfly(a: u16, p: u16, h: u16) -> Result<Self, TopologyError> {
+        Dragonfly::balanced(a, p, h).build()
+    }
+
+    /// A k-ary n-fly butterfly with `stages` switch columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if the wiring plan is inconsistent; see
+    /// [`Butterfly::build`].
+    pub fn butterfly(k: u16, stages: u16) -> Result<Self, TopologyError> {
+        Butterfly::new(k, stages).build()
+    }
+
+    /// A binary hypercube of dimension `dim` (`2^dim` routers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if the wiring plan is inconsistent; see
+    /// [`Hypercube::build`].
+    pub fn hypercube(dim: u32) -> Result<Self, TopologyError> {
+        Hypercube::new(dim).build()
     }
 }
 
@@ -467,6 +537,22 @@ mod tests {
         assert_eq!(t.next_free_port(NodeId(2)), Ok(PortId(0)));
         let msg = TopologyError::NoFreePort { node: NodeId(0) }.to_string();
         assert!(msg.contains("n0 has no free port"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_links_surface_as_an_error() {
+        let mut t = Topology::new(3, 4);
+        t.connect_next_free(NodeId(0), NodeId(1)).expect("both nodes have a free port");
+        assert_eq!(
+            t.connect_next_free(NodeId(1), NodeId(0)),
+            Err(TopologyError::DuplicateLink { a: NodeId(1), b: NodeId(0) }),
+        );
+        assert_eq!(t.wires().len(), 1, "rejected wiring leaves the topology unchanged");
+        let msg = TopologyError::DuplicateLink { a: NodeId(1), b: NodeId(0) }.to_string();
+        assert!(msg.contains("n1 and n0 are already linked"), "{msg}");
+        // Parallel links stay expressible through explicit ports.
+        t.connect((NodeId(0), PortId(2)), (NodeId(1), PortId(2)));
+        assert_eq!(t.wires().len(), 2);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use mmr_core::ids::PortId;
 
+use crate::routing::{RouteCtx, RouteHop, RoutingAlgorithm};
 use crate::topology::{NodeId, Topology};
 
 /// Direction of a traversed link relative to the spanning tree.
@@ -121,6 +122,25 @@ impl UpDownRouting {
     /// The spanning-tree root this relation is oriented around.
     pub fn root(&self) -> NodeId {
         self.root
+    }
+
+    /// Node count of the fabric the tables were built for.
+    pub fn nodes(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Heap footprint of the routing tables: the O(n²) distance and
+    /// legality matrices that structured routing avoids.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let n = self.level.len();
+        let dist: usize = self.dist.iter().map(|row| row.capacity() * size_of::<usize>()).sum();
+        let legal: usize =
+            self.legal.iter().map(|row| row.capacity() * size_of::<[usize; 2]>()).sum();
+        self.level.capacity() * size_of::<usize>()
+            + dist
+            + legal
+            + 2 * n * size_of::<Vec<usize>>()
     }
 
     /// Direction of the link `from → to`.
@@ -239,6 +259,49 @@ impl UpDownRouting {
             last_dir = Some(dir);
         }
         Some(path)
+    }
+}
+
+impl RoutingAlgorithm for UpDownRouting {
+    fn name(&self) -> &'static str {
+        "updown"
+    }
+
+    /// `phase` 0 means the packet may still ascend (fresh, or last moved
+    /// Up), 1 means it is committed downward — exactly the private
+    /// [`Phase`] the legality tables are indexed by, so routing through
+    /// the trait is bit-identical to the historical `last_dir` tracking.
+    fn next_hop(
+        &self,
+        topology: &Topology,
+        current: NodeId,
+        dst: NodeId,
+        ctx: RouteCtx,
+    ) -> Option<RouteHop> {
+        let last_dir = if ctx.phase == 1 { Some(LinkDir::Down) } else { None };
+        self.best_hop(topology, current, dst, last_dir).map(|(port, next, dir)| RouteHop {
+            port,
+            next,
+            ctx: RouteCtx { phase: u8::from(dir == LinkDir::Down), via: ctx.via },
+        })
+    }
+
+    fn distance(&self, from: NodeId, to: NodeId) -> usize {
+        self.dist[from.index()][to.index()]
+    }
+
+    fn vc_class(&self, _current: NodeId, _dst: NodeId, ctx: RouteCtx) -> u8 {
+        ctx.phase.min(1)
+    }
+
+    fn vc_classes(&self) -> u8 {
+        2
+    }
+
+    fn hop_bound(&self) -> usize {
+        // A legal walk ascends at most to the root and descends at most
+        // once through every node.
+        2 * self.level.len()
     }
 }
 

@@ -120,7 +120,11 @@ proptest! {
         for a in 0..NODES {
             for b in 0..NODES {
                 prop_assert!(
-                    net.routing().legal_distance(NodeId(a), NodeId(b), None) != usize::MAX,
+                    net.routing()
+                        .up_down()
+                        .expect("up*/down* spec")
+                        .legal_distance(NodeId(a), NodeId(b), None)
+                        != usize::MAX,
                     "{a}->{b} unroutable after full repair"
                 );
             }
